@@ -1,0 +1,193 @@
+//! The saga decomposition model (Garcia-Molina & Salem \[8\]).
+//!
+//! §1: *"a transaction T is broken into a sequence of subtransactions
+//! T1, …, Tn. Each Ti is an independent activity by itself. After the
+//! termination of Ti the locks on data items held by Ti can be released
+//! and the effects of Ti externalized. Thus, in the saga transaction
+//! model all possible interleavings of the subtransactions are
+//! permitted."*
+//!
+//! Here a [`Saga`] is a named sequence of subtransaction programs; the
+//! flattening turns a saga mix into an independent program mix (each
+//! subtransaction its own transaction), to be run by any scheduler and
+//! judged by any criterion. The paper's §2.3 registration example is
+//! the positive case: when every integrity conjunct is local to the
+//! data one subtransaction touches, subtransaction-level
+//! serializability (⊆ PWSR) preserves consistency even though the saga
+//! level is wildly non-serializable.
+
+use pwsr_core::ids::TxnId;
+use pwsr_tplang::ast::Program;
+
+/// A saga: an ordered list of subtransaction programs.
+#[derive(Clone, Debug)]
+pub struct Saga {
+    /// Display name.
+    pub name: String,
+    /// Subtransactions, executed in order (each commits independently).
+    pub steps: Vec<Program>,
+}
+
+impl Saga {
+    /// Build a saga.
+    pub fn new(name: &str, steps: Vec<Program>) -> Saga {
+        Saga {
+            name: name.to_owned(),
+            steps,
+        }
+    }
+
+    /// Number of subtransactions.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Is the saga empty?
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// Flatten sagas into one program list for the scheduler, returning the
+/// programs plus, for each resulting transaction id, which saga it
+/// came from (`saga_of[k]` = saga index of transaction `k+1`).
+///
+/// The scheduler runs subtransactions as independent transactions —
+/// exactly the saga model's "all interleavings permitted". (Intra-saga
+/// order is not enforced by the flattening; callers wanting ordered
+/// steps can run phases or check the order post-hoc. For the §2.3
+/// registration workload the steps are commutative inserts, so order
+/// does not affect the consistency question.)
+pub fn flatten_sagas(sagas: &[Saga]) -> (Vec<Program>, Vec<usize>) {
+    let mut programs = Vec::new();
+    let mut saga_of = Vec::new();
+    for (si, saga) in sagas.iter().enumerate() {
+        for step in &saga.steps {
+            programs.push(step.clone());
+            saga_of.push(si);
+        }
+    }
+    (programs, saga_of)
+}
+
+/// Which saga does transaction `txn` belong to (post-flattening)?
+pub fn saga_of_txn(saga_of: &[usize], txn: TxnId) -> Option<usize> {
+    let idx = (txn.0 as usize).checked_sub(1)?;
+    saga_of.get(idx).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwsr_core::catalog::Catalog;
+    use pwsr_core::constraint::{Conjunct, Formula, IntegrityConstraint, Term};
+    use pwsr_core::pwsr::is_pwsr;
+    use pwsr_core::serializability::precedence_graph;
+    use pwsr_core::solver::Solver;
+    use pwsr_core::state::DbState;
+    use pwsr_core::strong::check_strong_correctness;
+    use pwsr_core::value::{Domain, Value};
+    use pwsr_scheduler::exec::{run_workload, ExecConfig};
+    use pwsr_scheduler::policy::PolicySpec;
+    use pwsr_tplang::parser::parse_program;
+
+    /// A miniature §2.3 registration schema: two course relations
+    /// (seat counters `course0`, `course1` with capacity constraints)
+    /// and a per-student hour counter with its own constraint. Each
+    /// registration saga = one subtransaction per course + one hours
+    /// update.
+    fn registration_setup() -> (Catalog, IntegrityConstraint, DbState, Vec<Saga>) {
+        let mut cat = Catalog::new();
+        let c0 = cat.add_item("course0", Domain::int_range(0, 100));
+        let c1 = cat.add_item("course1", Domain::int_range(0, 100));
+        let h1 = cat.add_item("hours_s1", Domain::int_range(0, 100));
+        let h2 = cat.add_item("hours_s2", Domain::int_range(0, 100));
+        let ic = IntegrityConstraint::new(vec![
+            Conjunct::new(0, Formula::le(Term::var(c0), Term::int(30))),
+            Conjunct::new(1, Formula::le(Term::var(c1), Term::int(30))),
+            Conjunct::new(2, Formula::le(Term::var(h1), Term::int(18))),
+            Conjunct::new(3, Formula::le(Term::var(h2), Term::int(18))),
+        ])
+        .unwrap();
+        let initial = DbState::from_pairs([
+            (c0, Value::Int(0)),
+            (c1, Value::Int(0)),
+            (h1, Value::Int(0)),
+            (h2, Value::Int(0)),
+        ]);
+        let enroll = |course: &str| {
+            parse_program(
+                "enroll",
+                &format!("if ({course} < 30) then {course} := {course} + 1;"),
+            )
+            .unwrap()
+        };
+        let hours = |h: &str| {
+            parse_program("hours", &format!("if ({h} < 13) then {h} := {h} + 6;")).unwrap()
+        };
+        let sagas = vec![
+            Saga::new(
+                "reg_s1",
+                vec![enroll("course0"), enroll("course1"), hours("hours_s1")],
+            ),
+            Saga::new("reg_s2", vec![enroll("course0"), hours("hours_s2")]),
+        ];
+        (cat, ic, initial, sagas)
+    }
+
+    #[test]
+    fn flattening_indexes_sagas() {
+        let (_, _, _, sagas) = registration_setup();
+        let (programs, saga_of) = flatten_sagas(&sagas);
+        assert_eq!(programs.len(), 5);
+        assert_eq!(saga_of, vec![0, 0, 0, 1, 1]);
+        assert_eq!(saga_of_txn(&saga_of, TxnId(3)), Some(0));
+        assert_eq!(saga_of_txn(&saga_of, TxnId(4)), Some(1));
+        assert_eq!(saga_of_txn(&saga_of, TxnId(9)), None);
+        assert_eq!(saga_of_txn(&saga_of, TxnId(0)), None);
+    }
+
+    #[test]
+    fn registration_sagas_preserve_consistency_under_pw2pl() {
+        // The paper's §2.3 claim: constraints never span relations, so
+        // schedules serializable at the *subtransaction* level preserve
+        // the constraints even though whole sagas interleave freely.
+        let (cat, ic, initial, sagas) = registration_setup();
+        let (programs, saga_of) = flatten_sagas(&sagas);
+        let solver = Solver::new(&cat, &ic);
+        for seed in 0..25 {
+            let cfg = ExecConfig {
+                seed,
+                ..ExecConfig::default()
+            };
+            let policy = PolicySpec::predicate_wise_2pl_early(&ic);
+            let out = run_workload(&programs, &cat, &initial, &policy, &cfg).unwrap();
+            assert!(is_pwsr(&out.schedule, &ic).ok());
+            let report = check_strong_correctness(&out.schedule, &solver, &initial);
+            assert!(report.ok(), "seed {seed}: {report:?}");
+            // Saga-level interleaving really happened in at least the
+            // trivial sense that subtransactions of different sagas
+            // both committed.
+            let touched: std::collections::BTreeSet<usize> = out
+                .schedule
+                .txn_ids()
+                .iter()
+                .filter_map(|&t| saga_of_txn(&saga_of, t))
+                .collect();
+            assert_eq!(touched.len(), 2);
+        }
+    }
+
+    #[test]
+    fn saga_level_conflicts_exist_but_subtxn_level_is_serializable() {
+        // Cross-saga conflicts on course0 give a nontrivial precedence
+        // graph at the subtransaction level, yet it stays acyclic
+        // (PW-2PL), while the *saga-level* grouping would interleave.
+        let (cat, ic, initial, sagas) = registration_setup();
+        let (programs, _) = flatten_sagas(&sagas);
+        let policy = PolicySpec::predicate_wise_2pl_early(&ic);
+        let out = run_workload(&programs, &cat, &initial, &policy, &ExecConfig::default()).unwrap();
+        let g = precedence_graph(&out.schedule);
+        assert!(!g.has_cycle());
+    }
+}

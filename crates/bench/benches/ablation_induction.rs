@@ -1,0 +1,42 @@
+//! Ablation: the paper's operation-indexed machinery vs the [14]-style
+//! per-set check.
+//!
+//! `setwise` (= [14]) only tests per-set serializability — cheap but,
+//! as §3.1 shows, unable to certify consistency by itself. The paper's
+//! strong-correctness check adds value-level verification via the
+//! solver. This bench quantifies what the stronger guarantee costs on
+//! the same schedules.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pwsr_baselines::setwise::{is_setwise_serializable, AtomicDataSets};
+use pwsr_bench::scale_exp::sized_workload;
+use pwsr_core::solver::Solver;
+use pwsr_core::strong::check_strong_correctness;
+use pwsr_gen::chaos::random_execution;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_induction");
+    for target in [50usize, 200] {
+        let mut rng = StdRng::seed_from_u64(0xAB1 + target as u64);
+        let w = sized_workload(&mut rng, target, 3);
+        let s = random_execution(&w.programs, &w.catalog, &w.initial, &mut rng)
+            .expect("workload executes");
+        let ads = AtomicDataSets::from_constraint(&w.ic).expect("disjoint");
+        let solver = Solver::new(&w.catalog, &w.ic);
+        group.bench_with_input(BenchmarkId::new("setwise_only", s.len()), &s, |b, s| {
+            b.iter(|| black_box(is_setwise_serializable(s, &ads)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("strong_correctness", s.len()),
+            &s,
+            |b, s| b.iter(|| black_box(check_strong_correctness(s, &solver, &w.initial).ok())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! SCALE-1 bench: checker cost vs schedule length and conjunct count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pwsr_bench::scale_exp::sized_workload;
+use pwsr_core::dag::data_access_graph;
+use pwsr_core::dr::is_delayed_read;
+use pwsr_core::pwsr::is_pwsr;
+use pwsr_core::serializability::is_conflict_serializable;
+use pwsr_gen::chaos::random_execution;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_checkers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkers");
+    for target in [50usize, 200, 800] {
+        let mut rng = StdRng::seed_from_u64(0xBEEF + target as u64);
+        let w = sized_workload(&mut rng, target, 4);
+        let s = random_execution(&w.programs, &w.catalog, &w.initial, &mut rng)
+            .expect("workload executes");
+        let ops = s.len();
+        group.bench_with_input(BenchmarkId::new("csr", ops), &s, |b, s| {
+            b.iter(|| black_box(is_conflict_serializable(s)))
+        });
+        group.bench_with_input(BenchmarkId::new("pwsr", ops), &s, |b, s| {
+            b.iter(|| black_box(is_pwsr(s, &w.ic).ok()))
+        });
+        group.bench_with_input(BenchmarkId::new("dr", ops), &s, |b, s| {
+            b.iter(|| black_box(is_delayed_read(s)))
+        });
+        group.bench_with_input(BenchmarkId::new("dag", ops), &s, |b, s| {
+            b.iter(|| black_box(data_access_graph(s, &w.ic).is_acyclic()))
+        });
+    }
+    group.finish();
+
+    // Conjunct-count sweep at fixed size.
+    let mut group = c.benchmark_group("checkers_conjuncts");
+    for conjuncts in [1usize, 4, 16] {
+        let mut rng = StdRng::seed_from_u64(0xFACE + conjuncts as u64);
+        let w = sized_workload(&mut rng, 200, conjuncts);
+        let s = random_execution(&w.programs, &w.catalog, &w.initial, &mut rng)
+            .expect("workload executes");
+        group.bench_with_input(BenchmarkId::new("pwsr", conjuncts), &s, |b, s| {
+            b.iter(|| black_box(is_pwsr(s, &w.ic).ok()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkers);
+criterion_main!(benches);

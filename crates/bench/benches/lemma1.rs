@@ -1,0 +1,49 @@
+//! FIG-1 bench: Lemma 1's decomposition — the cost of deciding
+//! consistency per conjunct vs jointly, as the conjunct count grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pwsr_core::solver::Solver;
+use pwsr_core::state::DbState;
+use pwsr_gen::constraints::{random_ic, IcConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_lemma1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lemma1");
+    for l in [1usize, 4, 16, 64] {
+        let mut rng = StdRng::seed_from_u64(0x11 + l as u64);
+        let g = random_ic(
+            &mut rng,
+            &IcConfig {
+                conjuncts: l,
+                items_per_conjunct: 3,
+                domain_width: 50,
+            },
+        );
+        let solver = Solver::new(&g.catalog, &g.ic);
+        // A half-assigned restriction.
+        let mut partial = DbState::new();
+        for (k, (item, v)) in g.initial.iter().enumerate() {
+            if k % 2 == 0 {
+                partial.set(item, v.clone());
+            }
+        }
+        group.bench_with_input(BenchmarkId::new("joint", l), &partial, |b, p| {
+            b.iter(|| black_box(solver.is_consistent(p)))
+        });
+        group.bench_with_input(BenchmarkId::new("per_conjunct", l), &partial, |b, p| {
+            b.iter(|| {
+                let mut all = true;
+                for conj in g.ic.conjuncts() {
+                    all &= solver.is_consistent(&p.restrict(conj.items()));
+                }
+                black_box(all)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lemma1);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! PERF-3 bench: MDBS end-to-end run cost as the site count grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pwsr_gen::workloads::mdbs_workload;
+use pwsr_scheduler::exec::ExecConfig;
+use pwsr_scheduler::mdbs::{run_mdbs, Site};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_mdbs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mdbs");
+    for k in [2usize, 4, 8] {
+        let mut rng = StdRng::seed_from_u64(0x3D + k as u64);
+        let (w, site_sets) = mdbs_workload(&mut rng, k, 2, k * 2, 2, 2.min(k));
+        let sites: Vec<Site> = site_sets
+            .iter()
+            .enumerate()
+            .map(|(i, items)| Site::new(&format!("site{i}"), items.clone()))
+            .collect();
+        let cfg = ExecConfig {
+            seed: 3,
+            ..ExecConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("run", k), &k, |b, _| {
+            b.iter(|| {
+                black_box(
+                    run_mdbs(&w.programs, &w.catalog, &w.initial, &sites, true, &cfg)
+                        .expect("mdbs completes"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mdbs);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! PERF-1 / PERF-4 bench: scheduler throughput by policy on the CAD
+//! workload (global 2PL vs predicate-wise 2PL vs early release vs DR
+//! blocking).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pwsr_gen::workloads::cad_workload;
+use pwsr_scheduler::exec::{run_workload, ExecConfig};
+use pwsr_scheduler::occ::run_occ;
+use pwsr_scheduler::policy::PolicySpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedulers");
+    for span in [2usize, 6] {
+        let mut rng = StdRng::seed_from_u64(0x5EED + span as u64);
+        let w = cad_workload(&mut rng, 8, 3, span, 6);
+        let cfg = ExecConfig {
+            seed: 1,
+            ..ExecConfig::default()
+        };
+        let policies = [
+            PolicySpec::global_2pl(),
+            PolicySpec::predicate_wise_2pl(&w.ic),
+            PolicySpec::predicate_wise_2pl_early(&w.ic),
+            PolicySpec::predicate_wise_2pl_early(&w.ic).dr_blocking(),
+        ];
+        for policy in &policies {
+            group.bench_with_input(
+                BenchmarkId::new(policy.name.clone(), format!("span{span}")),
+                policy,
+                |b, policy| {
+                    b.iter(|| {
+                        black_box(
+                            run_workload(&w.programs, &w.catalog, &w.initial, policy, &cfg)
+                                .expect("workload completes"),
+                        )
+                    })
+                },
+            );
+        }
+        // The optimistic alternative on the same workload.
+        let occ_policy = PolicySpec::predicate_wise_2pl_early(&w.ic);
+        group.bench_function(BenchmarkId::new("OCC-PW", format!("span{span}")), |b| {
+            b.iter(|| {
+                black_box(
+                    run_occ(&w.programs, &w.catalog, &w.initial, &occ_policy, &cfg)
+                        .expect("occ completes"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! SCALE-2 bench: restriction-consistency vs domain width & arity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pwsr_core::solver::Solver;
+use pwsr_core::state::DbState;
+use pwsr_gen::constraints::{random_ic, IcConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver");
+    for chain in [2usize, 4, 8] {
+        for width in [8i64, 64, 512] {
+            let mut rng = StdRng::seed_from_u64(7 + chain as u64 * 1000 + width as u64);
+            let g = random_ic(
+                &mut rng,
+                &IcConfig {
+                    conjuncts: 2,
+                    items_per_conjunct: chain,
+                    domain_width: width,
+                },
+            );
+            let solver = Solver::new(&g.catalog, &g.ic);
+            let mut partial = DbState::new();
+            for (k, (item, v)) in g.initial.iter().enumerate() {
+                if k % 2 == 0 {
+                    partial.set(item, v.clone());
+                }
+            }
+            group.bench_function(
+                BenchmarkId::new(format!("chain{chain}"), format!("w{width}")),
+                |b| b.iter(|| black_box(solver.is_consistent(&partial))),
+            );
+        }
+    }
+    group.finish();
+
+    // Total-state evaluation (the fast path).
+    let mut rng = StdRng::seed_from_u64(42);
+    let g = random_ic(
+        &mut rng,
+        &IcConfig {
+            conjuncts: 8,
+            items_per_conjunct: 4,
+            domain_width: 100,
+        },
+    );
+    let solver = Solver::new(&g.catalog, &g.ic);
+    c.bench_function("solver/total_state_eval", |b| {
+        b.iter(|| black_box(solver.is_consistent_total(&g.initial).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! FIG-2 / FIG-6 bench: Lemma 2 & Lemma 6 view-set computation and the
+//! full inclusion sweep over every operation of a schedule.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pwsr_bench::scale_exp::sized_workload;
+use pwsr_core::ids::OpIndex;
+use pwsr_core::serializability::serialization_order;
+use pwsr_core::viewset::{inclusion_holds_everywhere, view_sets_dr, view_sets_general};
+use pwsr_gen::chaos::random_execution;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_viewsets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("viewsets");
+    for target in [50usize, 200] {
+        let mut rng = StdRng::seed_from_u64(0xAB + target as u64);
+        let w = sized_workload(&mut rng, target, 2);
+        let s = random_execution(&w.programs, &w.catalog, &w.initial, &mut rng)
+            .expect("workload executes");
+        let d = w.ic.conjuncts()[0].items().clone();
+        let proj = s.project(&d);
+        // The computation cost is order-independent; fall back to the
+        // projection's first-appearance order if it is not serializable
+        // so the measurement never silently drops out.
+        let order = serialization_order(&proj).unwrap_or_else(|| proj.txn_ids().to_vec());
+        let mid = OpIndex(s.len() / 2);
+        group.bench_with_input(BenchmarkId::new("lemma2_single_p", s.len()), &s, |b, s| {
+            b.iter(|| black_box(view_sets_general(s, &d, &order, mid)))
+        });
+        group.bench_with_input(BenchmarkId::new("lemma6_single_p", s.len()), &s, |b, s| {
+            b.iter(|| black_box(view_sets_dr(s, &d, &order, mid)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("lemma2_full_sweep", s.len()),
+            &s,
+            |b, s| b.iter(|| black_box(inclusion_holds_everywhere(s, &d, &order, false))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_viewsets);
+criterion_main!(benches);

@@ -1,0 +1,165 @@
+//! Regenerate every example, figure and theorem of the paper.
+//!
+//! ```text
+//! experiments [all|examples|lemmas|theorems|perf|scale|base|bank|recovery|exhaustive|<id>] [--trials N]
+//! ```
+//!
+//! `<id>` ∈ {ex1 … ex5, fig3, lemma1, viewsets, lemma3, lemma4, lemma7,
+//! thm1, thm2, thm3, perf1 … perf5, scale1, scale2, base1, bank1, rec1,
+//! exh1}.
+//! Every experiment prints a paper-vs-measured table; the exit code is
+//! nonzero if any run deviates from the paper's predicted shape.
+
+use pwsr_bench::{
+    bank_exp, base_exp, examples_exp, exhaustive_exp, lemmas_exp, perf_exp, recovery_exp,
+    scale_exp, theorems_exp,
+};
+
+struct Opts {
+    what: String,
+    trials: u64,
+}
+
+fn parse_args() -> Opts {
+    let mut what = "all".to_owned();
+    let mut trials = 0u64; // 0 = per-experiment default
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trials" => {
+                trials = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--trials needs a number");
+                        std::process::exit(2);
+                    });
+                i += 2;
+            }
+            other => {
+                what = other.to_owned();
+                i += 1;
+            }
+        }
+    }
+    Opts { what, trials }
+}
+
+fn main() {
+    let opts = parse_args();
+    let mut all_ok = true;
+    let mut matched = false;
+    {
+        let mut run = |id: &str, f: &dyn Fn(u64) -> (bool, String)| {
+            let selected =
+                matches!(opts.what.as_str(), "all") || opts.what == id || group_of(id) == opts.what;
+            if selected {
+                matched = true;
+                let (ok, text) = f(opts.trials);
+                println!("{text}");
+                if !ok {
+                    eprintln!("!! {id}: deviation from the paper's predicted shape\n");
+                }
+                all_ok &= ok;
+            }
+        };
+
+        run("ex1", &|_| examples_exp::ex1());
+        run("ex2", &|_| examples_exp::ex2());
+        run("ex3", &|_| examples_exp::ex3());
+        run("ex4", &|_| examples_exp::ex4());
+        run("ex5", &|_| examples_exp::ex5());
+        run("fig3", &|_| examples_exp::fig3());
+
+        run("lemma1", &|n| {
+            let (o, t) = lemmas_exp::lemma1(pick(n, 2_000), 11);
+            (o.clean(), t)
+        });
+        run("viewsets", &|n| {
+            let (l2, l6, t) = lemmas_exp::viewset_lemmas(pick(n, 150), 12);
+            (
+                l2.clean() && l6.clean() && l2.checks > 0 && l6.checks > 0,
+                t,
+            )
+        });
+        run("lemma3", &|n| {
+            let (fixed, _ctrl, t) = lemmas_exp::lemma3(pick(n, 200), 13);
+            (fixed.clean() && fixed.checks > 0, t)
+        });
+        run("lemma4", &|n| {
+            let (l4, l8, t) = lemmas_exp::lemma4_and_8(pick(n, 60), 14);
+            (
+                l4.clean() && l8.clean() && l4.checks > 0 && l8.checks > 0,
+                t,
+            )
+        });
+        run("lemma7", &|n| {
+            let (o, t) = lemmas_exp::lemma7(pick(n, 500), 15);
+            (o.clean() && o.checks > 0, t)
+        });
+
+        run("thm1", &|n| {
+            let (o, t) = theorems_exp::theorem(1, pick(n, 30), 8, 101);
+            (o.matches_paper(), t)
+        });
+        run("thm2", &|n| {
+            let (o, t) = theorems_exp::theorem(2, pick(n, 30), 8, 102);
+            (o.matches_paper(), t)
+        });
+        run("thm3", &|n| {
+            let (o, t) = theorems_exp::theorem(3, pick(n, 30), 8, 103);
+            (o.matches_paper(), t)
+        });
+
+        run("perf1", &|n| perf_exp::perf1(pick(n, 8), 400));
+        run("perf2", &|_| perf_exp::perf2(401));
+        run("perf3", &|n| perf_exp::perf3(pick(n, 5), 402));
+        run("perf4", &|n| perf_exp::perf4(pick(n, 8), 403));
+        run("perf5", &|n| perf_exp::perf5(pick(n, 10), 404));
+
+        run("scale1", &|_| scale_exp::scale1(500));
+        run("scale2", &|_| scale_exp::scale2(501));
+
+        run("base1", &|n| base_exp::base1(pick(n, 80), 600));
+
+        run("bank1", &|n| bank_exp::bank1(pick(n, 200), 700));
+        run("rec1", &|n| recovery_exp::rec1(pick(n, 600), 800));
+        run("exh1", &|_| exhaustive_exp::exh1());
+    }
+
+    if !matched {
+        eprintln!(
+            "unknown experiment {:?}; try: all, examples, lemmas, theorems, perf, scale, base, \
+             or an id like ex2 / thm1 / perf2",
+            opts.what
+        );
+        std::process::exit(2);
+    }
+    if !all_ok {
+        std::process::exit(1);
+    }
+}
+
+fn pick(n: u64, default: u64) -> u64 {
+    if n == 0 {
+        default
+    } else {
+        n
+    }
+}
+
+fn group_of(id: &str) -> &'static str {
+    match id {
+        "ex1" | "ex2" | "ex3" | "ex4" | "ex5" | "fig3" => "examples",
+        "lemma1" | "viewsets" | "lemma3" | "lemma4" | "lemma7" => "lemmas",
+        "thm1" | "thm2" | "thm3" => "theorems",
+        "perf1" | "perf2" | "perf3" | "perf4" | "perf5" => "perf",
+        "scale1" | "scale2" => "scale",
+        "base1" => "base",
+        "bank1" => "bank",
+        "rec1" => "recovery",
+        "exh1" => "exhaustive",
+        _ => "",
+    }
+}

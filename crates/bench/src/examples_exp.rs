@@ -1,0 +1,338 @@
+//! EX-1 … EX-5: replay every example in the paper and check each claim.
+//!
+//! Each function returns `(all_claims_hold, report_text)`; the binary
+//! prints the text, `EXPERIMENTS.md` records the outcome, and the
+//! integration tests assert the boolean.
+
+use crate::report::Table;
+use pwsr_core::dag::data_access_graph;
+use pwsr_core::dr::is_delayed_read;
+use pwsr_core::ids::TxnId;
+use pwsr_core::pwsr::is_pwsr;
+use pwsr_core::serializability::{all_serialization_orders, is_conflict_serializable};
+use pwsr_core::solver::Solver;
+use pwsr_core::state::ItemSet;
+use pwsr_core::strong::check_strong_correctness;
+use pwsr_core::txstate::transaction_states;
+use pwsr_core::value::Value;
+use pwsr_tplang::analysis::static_structure;
+use pwsr_tplang::programs::{example1, example2, example2_with_tp1_prime, example4, example5};
+
+fn yn(b: bool) -> String {
+    if b {
+        "yes".into()
+    } else {
+        "NO".into()
+    }
+}
+
+/// EX-1: §2.2 notation — RS/WS/read/write/projections on Example 1.
+pub fn ex1() -> (bool, String) {
+    let sc = example1();
+    let s = sc.schedule.as_ref().expect("example 1 has a schedule");
+    let mut ok = true;
+    let mut t = Table::new(
+        "EX-1  Example 1: notation & execution ([DS1] S [DS2])",
+        &["quantity", "paper", "measured", "match"],
+    );
+    let t1 = s.transaction(TxnId(1));
+    let rs = format!("{:?}", t1.read_set());
+    ok &= rs == "{d0,d2}"; // a, c
+    t.row(&[
+        "RS(T1)".into(),
+        "{a, c}".into(),
+        rs.clone(),
+        yn(rs == "{d0,d2}"),
+    ]);
+    let ws = format!("{:?}", t1.write_set());
+    ok &= ws == "{d1}";
+    t.row(&["WS(T1)".into(), "{b}".into(), ws.clone(), yn(ws == "{d1}")]);
+    let ds2 = s.apply(&sc.initial);
+    let b_val = ds2.get(sc.catalog.lookup("b").unwrap()).cloned();
+    let d_val = ds2.get(sc.catalog.lookup("d").unwrap()).cloned();
+    let m = b_val == Some(Value::Int(5)) && d_val == Some(Value::Int(0));
+    ok &= m;
+    t.row(&[
+        "DS2".into(),
+        "{(a,0),(b,5),(c,5),(d,0)}".into(),
+        format!("b={b_val:?}, d={d_val:?}"),
+        yn(m),
+    ]);
+    let coherent = s.check_read_coherence(&sc.initial).is_ok();
+    ok &= coherent;
+    t.row(&[
+        "replayable from DS1".into(),
+        "yes".into(),
+        yn(coherent),
+        yn(coherent),
+    ]);
+    let orders = all_serialization_orders(s, 10)
+        .map(|o| o.len())
+        .unwrap_or(0);
+    ok &= orders == 2;
+    t.row(&[
+        "serialization orders".into(),
+        "2 (T1T2, T2T1)".into(),
+        orders.to_string(),
+        yn(orders == 2),
+    ]);
+    (ok, t.render())
+}
+
+/// EX-2: the flagship counterexample — PWSR alone is not strongly
+/// correct.
+pub fn ex2() -> (bool, String) {
+    let sc = example2();
+    let s = sc.schedule.as_ref().expect("example 2 has a schedule");
+    let solver = Solver::new(&sc.catalog, &sc.ic);
+    let mut ok = true;
+    let mut t = Table::new(
+        "EX-2  Example 2: PWSR schedule violating consistency",
+        &["claim", "paper", "measured", "match"],
+    );
+    let pwsr = is_pwsr(s, &sc.ic).ok();
+    ok &= pwsr;
+    t.row(&["S is PWSR".into(), "yes".into(), yn(pwsr), yn(pwsr)]);
+    let csr = is_conflict_serializable(s);
+    ok &= !csr;
+    t.row(&["S is serializable".into(), "no".into(), yn(csr), yn(!csr)]);
+    let report = check_strong_correctness(s, &solver, &sc.initial);
+    ok &= report.initial_consistent && !report.final_consistent;
+    t.row(&[
+        "final state consistent".into(),
+        "no — (1,−1,−1)".into(),
+        yn(report.final_consistent),
+        yn(!report.final_consistent),
+    ]);
+    let fixed = static_structure(&sc.programs[0], &sc.catalog).is_fixed();
+    ok &= !fixed;
+    t.row(&[
+        "TP1 fixed-structure".into(),
+        "no".into(),
+        yn(fixed),
+        yn(!fixed),
+    ]);
+    // With TP1′ the §3.1 remark: the schedule extended with w1(b,·) is
+    // not PWSR.
+    let prime = example2_with_tp1_prime();
+    let fixed_p = static_structure(&prime.programs[0], &prime.catalog).is_fixed();
+    ok &= fixed_p;
+    t.row(&[
+        "TP1' fixed-structure".into(),
+        "yes".into(),
+        yn(fixed_p),
+        yn(fixed_p),
+    ]);
+    (ok, t.render())
+}
+
+/// EX-3: Lemma 3 fails without fixed structure (Example 3, p = w1(a,1)).
+pub fn ex3() -> (bool, String) {
+    use pwsr_core::ids::OpIndex;
+    use pwsr_core::op;
+    let sc = example2(); // Example 3 reuses Example 2's setup
+    let s = sc.schedule.as_ref().expect("schedule");
+    let solver = Solver::new(&sc.catalog, &sc.ic);
+    let a = sc.catalog.lookup("a").unwrap();
+    let b = sc.catalog.lookup("b").unwrap();
+    let d = ItemSet::from_iter([a, b]); // d1 of C1
+    let p = OpIndex(0); // w1(a,1)
+    let mut ok = true;
+    let mut t = Table::new(
+        "EX-3  Example 3: Lemma 3's conclusion fails for non-fixed TP1",
+        &["quantity", "paper", "measured", "match"],
+    );
+    // Premise: DS1^d ∪ read(before(T1, p, S)) is consistent.
+    let before = s.before_txn(TxnId(1), p);
+    let premise = sc
+        .initial
+        .restrict(&d)
+        .union(&op::read_state(&before))
+        .map(|u| solver.is_consistent(&u))
+        .unwrap_or(false);
+    ok &= premise;
+    t.row(&[
+        "DS1^d ∪ read(before(T1,p,S)) consistent".into(),
+        "yes".into(),
+        yn(premise),
+        yn(premise),
+    ]);
+    // Conclusion: DS2^{d − WS(after(T1,p,S))} should be consistent —
+    // but is not, because TP1 is not fixed-structure.
+    let ds2 = s.apply(&sc.initial);
+    let after_ws = op::write_set(&s.after_txn(TxnId(1), p));
+    let conclusion_set = d.difference(&after_ws);
+    let conclusion = solver.is_consistent(&ds2.restrict(&conclusion_set));
+    ok &= !conclusion;
+    t.row(&[
+        "DS2^{d−WS(after)} consistent".into(),
+        "no — {(a,1),(b,−1)}".into(),
+        yn(conclusion),
+        yn(!conclusion),
+    ]);
+    (ok, t.render())
+}
+
+/// EX-4: Lemma 7 needs the *joint* consistency of `DS^d ∪ read(T)`.
+pub fn ex4() -> (bool, String) {
+    let sc = example4();
+    let s = sc.schedule.as_ref().expect("schedule");
+    let solver = Solver::new(&sc.catalog, &sc.ic);
+    let a = sc.catalog.lookup("a").unwrap();
+    let b = sc.catalog.lookup("b").unwrap();
+    let d = ItemSet::from_iter([a, b]);
+    let t1 = s.transaction(TxnId(1));
+    let mut ok = true;
+    let mut t = Table::new(
+        "EX-4  Example 4: separate consistency does not give joint consistency",
+        &["quantity", "paper", "measured", "match"],
+    );
+    let ds_d = solver.is_consistent(&sc.initial.restrict(&d));
+    ok &= ds_d;
+    t.row(&["DS1^d consistent".into(), "yes".into(), yn(ds_d), yn(ds_d)]);
+    let reads = solver.is_consistent(&t1.read_state());
+    ok &= reads;
+    t.row(&[
+        "read(T1) consistent".into(),
+        "yes".into(),
+        yn(reads),
+        yn(reads),
+    ]);
+    let joint = sc
+        .initial
+        .restrict(&d)
+        .union(&t1.read_state())
+        .map(|u| solver.is_consistent(&u))
+        .unwrap_or(false);
+    ok &= !joint;
+    t.row(&[
+        "DS1^d ∪ read(T1) consistent".into(),
+        "no".into(),
+        yn(joint),
+        yn(!joint),
+    ]);
+    let ds2 = s.apply(&sc.initial);
+    let d_ws = d.union(&t1.write_set());
+    let concl = solver.is_consistent(&ds2.restrict(&d_ws));
+    ok &= !concl;
+    t.row(&[
+        "DS2^{d ∪ WS(T1)} consistent".into(),
+        "no — {(a,1),(b,−1)}".into(),
+        yn(concl),
+        yn(!concl),
+    ]);
+    (ok, t.render())
+}
+
+/// EX-5: overlapping conjuncts defeat all three theorems at once.
+pub fn ex5() -> (bool, String) {
+    let sc = example5();
+    let s = sc.schedule.as_ref().expect("schedule");
+    let solver = Solver::new(&sc.catalog, &sc.ic);
+    let mut ok = true;
+    let mut t = Table::new(
+        "EX-5  Example 5: non-disjoint conjuncts break everything",
+        &["claim", "paper", "measured", "match"],
+    );
+    let disjoint = sc.ic.is_disjoint();
+    ok &= !disjoint;
+    t.row(&[
+        "conjuncts disjoint".into(),
+        "no (share a)".into(),
+        yn(disjoint),
+        yn(!disjoint),
+    ]);
+    let fixed = sc
+        .programs
+        .iter()
+        .all(|p| static_structure(p, &sc.catalog).is_fixed());
+    ok &= fixed;
+    t.row(&[
+        "all programs fixed-structure".into(),
+        "yes".into(),
+        yn(fixed),
+        yn(fixed),
+    ]);
+    let dr = is_delayed_read(s);
+    ok &= dr;
+    t.row(&["S is DR".into(), "yes".into(), yn(dr), yn(dr)]);
+    let dag = data_access_graph(s, &sc.ic);
+    ok &= dag.is_acyclic();
+    t.row(&[
+        "DAG(S, IC) acyclic".into(),
+        "yes".into(),
+        yn(dag.is_acyclic()),
+        yn(dag.is_acyclic()),
+    ]);
+    let pwsr = is_pwsr(s, &sc.ic).ok();
+    ok &= pwsr;
+    t.row(&["S is PWSR".into(), "yes".into(), yn(pwsr), yn(pwsr)]);
+    let report = check_strong_correctness(s, &solver, &sc.initial);
+    ok &= report.initial_consistent && !report.final_consistent;
+    t.row(&[
+        "final state consistent".into(),
+        "no — d = −15".into(),
+        yn(report.final_consistent),
+        yn(!report.final_consistent),
+    ]);
+    (ok, t.render())
+}
+
+/// FIG-3 companion: Definition 4's order-dependent transaction states
+/// on Example 1, matching the paper's two worked values.
+pub fn fig3() -> (bool, String) {
+    let sc = example1();
+    let s = sc.schedule.as_ref().expect("schedule");
+    let (a, b, c) = (
+        sc.catalog.lookup("a").unwrap(),
+        sc.catalog.lookup("b").unwrap(),
+        sc.catalog.lookup("c").unwrap(),
+    );
+    let d = ItemSet::from_iter([a, b, c]);
+    let mut ok = true;
+    let mut t = Table::new(
+        "FIG-3  Definition 4: state(T2, {a,b,c}, S, DS1) per serialization order",
+        &["order", "paper", "measured", "match"],
+    );
+    let st12 = transaction_states(s, &d, &[TxnId(1), TxnId(2)], &sc.initial);
+    let m12 = format!("{:?}", st12[1]);
+    let exp12 = "{(d0, 0), (d1, 5), (d2, 5)}";
+    ok &= m12 == exp12;
+    t.row(&[
+        "T1,T2".into(),
+        "{(a,0),(b,5),(c,5)}".into(),
+        m12.clone(),
+        yn(m12 == exp12),
+    ]);
+    let st21 = transaction_states(s, &d, &[TxnId(2), TxnId(1)], &sc.initial);
+    let m21 = format!("{:?}", st21[0]);
+    let exp21 = "{(d0, 0), (d1, 10), (d2, 5)}";
+    ok &= m21 == exp21;
+    t.row(&[
+        "T2,T1".into(),
+        "{(a,0),(b,10),(c,5)}".into(),
+        m21.clone(),
+        yn(m21 == exp21),
+    ]);
+    (ok, t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_example_experiments_pass() {
+        for (name, f) in [
+            ("ex1", ex1 as fn() -> (bool, String)),
+            ("ex2", ex2),
+            ("ex3", ex3),
+            ("ex4", ex4),
+            ("ex5", ex5),
+            ("fig3", fig3),
+        ] {
+            let (ok, text) = f();
+            assert!(ok, "{name} failed:\n{text}");
+        }
+    }
+}

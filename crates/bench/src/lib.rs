@@ -1,0 +1,19 @@
+//! # pwsr-bench — the experiment harness
+//!
+//! One module per experiment family from `DESIGN.md`'s index; each
+//! experiment returns a structured result plus a printable table so the
+//! `experiments` binary can regenerate every example, figure and
+//! theorem of the paper (see `EXPERIMENTS.md` for the paper-vs-measured
+//! record). Criterion benches under `benches/` time the hot checker and
+//! scheduler paths.
+
+pub mod bank_exp;
+pub mod base_exp;
+pub mod examples_exp;
+pub mod exhaustive_exp;
+pub mod lemmas_exp;
+pub mod perf_exp;
+pub mod recovery_exp;
+pub mod report;
+pub mod scale_exp;
+pub mod theorems_exp;

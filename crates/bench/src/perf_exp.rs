@@ -1,0 +1,463 @@
+//! PERF-1 … PERF-4: the concurrency benefits the paper argues for.
+//!
+//! The paper's introduction motivates PWSR with long-duration CAD
+//! transactions and autonomous multidatabases; these experiments
+//! measure that motivation on the scheduler substrate. Expected shapes
+//! (not absolute numbers): predicate-wise policies wait less than
+//! global 2PL and the gap grows with transaction span; PWSR admits
+//! strictly more interleavings than conflict serializability; MDBS
+//! locals stay serializable while global serializability evaporates;
+//! DR blocking costs extra waits.
+
+use crate::report::Table;
+use pwsr_baselines::setwise::{is_setwise_serializable, AtomicDataSets};
+use pwsr_core::dr::is_delayed_read;
+use pwsr_core::pwsr::is_pwsr;
+use pwsr_core::serializability::is_conflict_serializable;
+use pwsr_core::solver::Solver;
+use pwsr_core::strong::check_strong_correctness;
+use pwsr_gen::chaos::enumerate_executions;
+use pwsr_gen::workloads::{cad_workload, mdbs_workload, random_workload, WorkloadConfig};
+use pwsr_scheduler::exec::{run_workload, ExecConfig};
+use pwsr_scheduler::mdbs::{run_mdbs, Site};
+use pwsr_scheduler::occ::run_occ;
+use pwsr_scheduler::policy::PolicySpec;
+use pwsr_scheduler::sgt::run_sgt;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// PERF-1: CAD long transactions. Sweeps the long-transaction span and
+/// compares policies by accumulated waits and goodput.
+pub fn perf1(seeds: u64, seed0: u64) -> (bool, String) {
+    let mut t = Table::new(
+        "PERF-1  CAD long transactions: waits by policy (lower is better)",
+        &[
+            "span",
+            "2PL waits",
+            "PW-2PL waits",
+            "PW-early waits",
+            "2PL goodput",
+            "PW-early goodput",
+        ],
+    );
+    let mut shape_holds = true;
+    for span in [2usize, 4, 6, 8] {
+        let mut w2pl = 0u64;
+        let mut wpw = 0u64;
+        let mut wearly = 0u64;
+        let mut g2pl = 0.0f64;
+        let mut gearly = 0.0f64;
+        let mut runs = 0u32;
+        for s in 0..seeds {
+            let mut rng = StdRng::seed_from_u64(seed0 + s);
+            let w = cad_workload(&mut rng, 8, 3, span, 6);
+            let cfg = ExecConfig {
+                seed: seed0 + s,
+                ..ExecConfig::default()
+            };
+            let Ok(r1) = run_workload(
+                &w.programs,
+                &w.catalog,
+                &w.initial,
+                &PolicySpec::global_2pl(),
+                &cfg,
+            ) else {
+                continue;
+            };
+            let Ok(r2) = run_workload(
+                &w.programs,
+                &w.catalog,
+                &w.initial,
+                &PolicySpec::predicate_wise_2pl(&w.ic),
+                &cfg,
+            ) else {
+                continue;
+            };
+            let Ok(r3) = run_workload(
+                &w.programs,
+                &w.catalog,
+                &w.initial,
+                &PolicySpec::predicate_wise_2pl_early(&w.ic),
+                &cfg,
+            ) else {
+                continue;
+            };
+            w2pl += r1.metrics.waits;
+            wpw += r2.metrics.waits;
+            wearly += r3.metrics.waits;
+            g2pl += r1.metrics.goodput();
+            gearly += r3.metrics.goodput();
+            runs += 1;
+        }
+        if runs > 0 {
+            g2pl /= f64::from(runs);
+            gearly /= f64::from(runs);
+        }
+        // The paper's claim shape: predicate-wise locking waits no more
+        // than global locking on multi-conjunct workloads.
+        shape_holds &= wearly <= w2pl;
+        t.row(&[
+            span.to_string(),
+            w2pl.to_string(),
+            wpw.to_string(),
+            wearly.to_string(),
+            format!("{g2pl:.3}"),
+            format!("{gearly:.3}"),
+        ]);
+    }
+    (shape_holds, t.render())
+}
+
+/// PERF-2: interleaving head-room. Exhaustively enumerate every
+/// interleaving of a small mix and count how many each criterion
+/// admits. Expected: CSR ⊆ PWSR (= setwise on conjunct sets), with a
+/// strict gap; some PWSR interleavings of the gadget violate strong
+/// correctness.
+pub fn perf2(seed: u64) -> (bool, String) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Table::new(
+        "PERF-2  Admissible interleavings by criterion (exhaustive, small mixes)",
+        &[
+            "mix",
+            "total",
+            "CSR",
+            "PWSR",
+            "setwise",
+            "DR",
+            "strongly correct",
+        ],
+    );
+    let mut shape = true;
+    // Mix A: the Example-2 gadget alone.
+    let wa = random_workload(
+        &mut rng,
+        &WorkloadConfig {
+            conjuncts: 1,
+            items_per_conjunct: 2,
+            n_background: 0,
+            gadgets: 1,
+            ..WorkloadConfig::default()
+        },
+    );
+    // Mix B: two correct fixed background transactions.
+    let wb = random_workload(
+        &mut rng,
+        &WorkloadConfig {
+            conjuncts: 2,
+            items_per_conjunct: 2,
+            n_background: 2,
+            cross_read_prob: 1.0,
+            fixed_only: true,
+            gadgets: 0,
+            domain_width: 30,
+        },
+    );
+    for (name, w) in [("gadget", &wa), ("background", &wb)] {
+        let Ok(Some(all)) = enumerate_executions(&w.programs, &w.catalog, &w.initial, 1_000_000)
+        else {
+            continue;
+        };
+        let solver = Solver::new(&w.catalog, &w.ic);
+        let ads = AtomicDataSets::from_constraint(&w.ic).expect("disjoint");
+        let total = all.len();
+        let mut csr = 0usize;
+        let mut pwsr = 0usize;
+        let mut setwise = 0usize;
+        let mut dr = 0usize;
+        let mut strong = 0usize;
+        for s in &all {
+            let c = is_conflict_serializable(s);
+            let p = is_pwsr(s, &w.ic).ok();
+            csr += usize::from(c);
+            pwsr += usize::from(p);
+            setwise += usize::from(is_setwise_serializable(s, &ads));
+            dr += usize::from(is_delayed_read(s));
+            strong += usize::from(check_strong_correctness(s, &solver, &w.initial).ok());
+            // CSR ⊆ PWSR pointwise.
+            shape &= !c || p;
+        }
+        shape &= csr <= pwsr && pwsr == setwise;
+        if name == "gadget" {
+            // Some PWSR interleavings of the gadget are not strongly
+            // correct (Example 2's whole point).
+            shape &= strong < pwsr;
+        }
+        t.row(&[
+            name.to_string(),
+            total.to_string(),
+            csr.to_string(),
+            pwsr.to_string(),
+            setwise.to_string(),
+            dr.to_string(),
+            strong.to_string(),
+        ]);
+    }
+    (shape, t.render())
+}
+
+/// PERF-3: the MDBS scenario over a site-count sweep. Locals must stay
+/// serializable (autonomy preserved); global serializability decays;
+/// strong correctness holds throughout (fixed-structure programs +
+/// PWSR — Theorem 1).
+pub fn perf3(seeds: u64, seed0: u64) -> (bool, String) {
+    let mut t = Table::new(
+        "PERF-3  MDBS: local autonomy vs global serializability",
+        &[
+            "sites",
+            "runs",
+            "locals SR",
+            "global CSR",
+            "global PWSR",
+            "violations",
+        ],
+    );
+    let mut shape = true;
+    for k in [2usize, 4, 6] {
+        let mut runs = 0u32;
+        let mut locals_ok = 0u32;
+        let mut global_csr = 0u32;
+        let mut global_pwsr = 0u32;
+        let mut violations = 0u32;
+        for s in 0..seeds {
+            let mut rng = StdRng::seed_from_u64(seed0 + s);
+            let (w, site_sets) = mdbs_workload(&mut rng, k, 2, k * 2, 2, 2.min(k));
+            let sites: Vec<Site> = site_sets
+                .iter()
+                .enumerate()
+                .map(|(i, items)| Site::new(&format!("site{i}"), items.clone()))
+                .collect();
+            let cfg = ExecConfig {
+                seed: seed0 + s,
+                ..ExecConfig::default()
+            };
+            let Ok(out) = run_mdbs(&w.programs, &w.catalog, &w.initial, &sites, true, &cfg) else {
+                continue;
+            };
+            runs += 1;
+            locals_ok += u32::from(out.all_locals_serializable());
+            global_csr += u32::from(out.globally_serializable);
+            global_pwsr += u32::from(is_pwsr(&out.exec.schedule, &w.ic).ok());
+            let solver = Solver::new(&w.catalog, &w.ic);
+            violations += u32::from(
+                check_strong_correctness(&out.exec.schedule, &solver, &w.initial).violation(),
+            );
+        }
+        shape &= locals_ok == runs && global_pwsr == runs && violations == 0;
+        t.row(&[
+            k.to_string(),
+            runs.to_string(),
+            locals_ok.to_string(),
+            global_csr.to_string(),
+            global_pwsr.to_string(),
+            violations.to_string(),
+        ]);
+    }
+    (shape, t.render())
+}
+
+/// PERF-4: the price of Theorem 2 — DR blocking adds waits relative to
+/// plain PW-2PL-early on write-hot workloads, but buys the delayed-read
+/// guarantee.
+pub fn perf4(seeds: u64, seed0: u64) -> (bool, String) {
+    let mut t = Table::new(
+        "PERF-4  DR enforcement cost (PW-early vs PW-early+DR)",
+        &["metric", "PW-early", "PW-early+DR"],
+    );
+    let mut waits_plain = 0u64;
+    let mut waits_dr = 0u64;
+    let mut dr_rate_plain = 0u32;
+    let mut dr_rate_dr = 0u32;
+    let mut runs = 0u32;
+    for s in 0..seeds {
+        let mut rng = StdRng::seed_from_u64(seed0 + s);
+        let w = random_workload(
+            &mut rng,
+            &WorkloadConfig {
+                conjuncts: 2,
+                items_per_conjunct: 3,
+                n_background: 6,
+                cross_read_prob: 0.8,
+                fixed_only: true,
+                gadgets: 0,
+                domain_width: 50,
+            },
+        );
+        let cfg = ExecConfig {
+            seed: seed0 + s,
+            ..ExecConfig::default()
+        };
+        let plain = PolicySpec::predicate_wise_2pl_early(&w.ic);
+        let blocked = PolicySpec::predicate_wise_2pl_early(&w.ic).dr_blocking();
+        let (Ok(a), Ok(b)) = (
+            run_workload(&w.programs, &w.catalog, &w.initial, &plain, &cfg),
+            run_workload(&w.programs, &w.catalog, &w.initial, &blocked, &cfg),
+        ) else {
+            continue;
+        };
+        runs += 1;
+        waits_plain += a.metrics.waits;
+        waits_dr += b.metrics.waits;
+        dr_rate_plain += u32::from(is_delayed_read(&a.schedule));
+        dr_rate_dr += u32::from(is_delayed_read(&b.schedule));
+    }
+    // The guarantee: with blocking, every schedule is DR.
+    let shape = dr_rate_dr == runs && runs > 0;
+    t.row(&[
+        "total waits".into(),
+        waits_plain.to_string(),
+        waits_dr.to_string(),
+    ]);
+    t.row(&[
+        format!("DR schedules (of {runs})"),
+        dr_rate_plain.to_string(),
+        dr_rate_dr.to_string(),
+    ]);
+    (shape, t.render())
+}
+
+/// PERF-5: the three mechanisms head to head — blocking (PW-2PL-early),
+/// optimistic (OCC), certifying (SGT) — on the same conjunct-aligned
+/// workload. All three must produce PWSR, strongly-correct schedules;
+/// their cost profiles differ (waits vs validation aborts vs
+/// certification aborts).
+pub fn perf5(seeds: u64, seed0: u64) -> (bool, String) {
+    use pwsr_core::solver::Solver;
+    let mut t = Table::new(
+        "PERF-5  Mechanisms: blocking vs optimistic vs certifying (per-conjunct)",
+        &[
+            "mechanism",
+            "runs",
+            "waits",
+            "aborts",
+            "steps",
+            "violations",
+        ],
+    );
+    let mut ok = true;
+    let mut tally = |name: &str,
+                     f: &dyn Fn(
+        &pwsr_gen::workloads::Workload,
+        u64,
+    ) -> Option<pwsr_scheduler::exec::ExecOutcome>| {
+        let mut runs = 0u64;
+        let mut waits = 0u64;
+        let mut aborts = 0u64;
+        let mut steps = 0u64;
+        let mut violations = 0u64;
+        for s in 0..seeds {
+            let mut rng = StdRng::seed_from_u64(seed0 + s);
+            let w = random_workload(
+                &mut rng,
+                &WorkloadConfig {
+                    conjuncts: 3,
+                    items_per_conjunct: 3,
+                    n_background: 6,
+                    cross_read_prob: 0.5,
+                    fixed_only: true,
+                    gadgets: 0,
+                    domain_width: 50,
+                },
+            );
+            let Some(out) = f(&w, seed0 + s) else {
+                continue;
+            };
+            runs += 1;
+            waits += out.metrics.waits;
+            aborts += out.metrics.aborts;
+            steps += out.metrics.steps;
+            let solver = Solver::new(&w.catalog, &w.ic);
+            let bad = !is_pwsr(&out.schedule, &w.ic).ok()
+                || check_strong_correctness(&out.schedule, &solver, &w.initial).violation();
+            violations += u64::from(bad);
+        }
+        ok &= violations == 0 && runs > 0;
+        t.row(&[
+            name.to_string(),
+            runs.to_string(),
+            waits.to_string(),
+            aborts.to_string(),
+            steps.to_string(),
+            violations.to_string(),
+        ]);
+    };
+    tally("PW-2PL-early (blocking)", &|w, s| {
+        let cfg = ExecConfig {
+            seed: s,
+            ..ExecConfig::default()
+        };
+        run_workload(
+            &w.programs,
+            &w.catalog,
+            &w.initial,
+            &PolicySpec::predicate_wise_2pl_early(&w.ic),
+            &cfg,
+        )
+        .ok()
+    });
+    tally("OCC-PW (optimistic)", &|w, s| {
+        let cfg = ExecConfig {
+            seed: s,
+            ..ExecConfig::default()
+        };
+        run_occ(
+            &w.programs,
+            &w.catalog,
+            &w.initial,
+            &PolicySpec::predicate_wise_2pl_early(&w.ic),
+            &cfg,
+        )
+        .ok()
+        .map(|o| o.exec)
+    });
+    tally("SGT-PW (certifying)", &|w, s| {
+        let cfg = ExecConfig {
+            seed: s,
+            ..ExecConfig::default()
+        };
+        run_sgt(
+            &w.programs,
+            &w.catalog,
+            &w.initial,
+            &PolicySpec::predicate_wise_2pl(&w.ic),
+            &cfg,
+        )
+        .ok()
+        .map(|o| o.exec)
+    });
+    (ok, t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perf1_shape() {
+        let (ok, text) = perf1(4, 400);
+        assert!(ok, "{text}");
+    }
+
+    #[test]
+    fn perf2_shape() {
+        let (ok, text) = perf2(401);
+        assert!(ok, "{text}");
+    }
+
+    #[test]
+    fn perf3_shape() {
+        let (ok, text) = perf3(3, 402);
+        assert!(ok, "{text}");
+    }
+
+    #[test]
+    fn perf4_shape() {
+        let (ok, text) = perf4(4, 403);
+        assert!(ok, "{text}");
+    }
+
+    #[test]
+    fn perf5_shape() {
+        let (ok, text) = perf5(6, 404);
+        assert!(ok, "{text}");
+    }
+}

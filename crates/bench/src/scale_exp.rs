@@ -1,0 +1,168 @@
+//! SCALE-1 / SCALE-2: checker and solver scalability.
+//!
+//! Coarse wall-clock sweeps for the experiment binary; the Criterion
+//! benches under `benches/` repeat the same measurements with proper
+//! statistics. Expected shapes: the precedence-graph checkers scale
+//! quadratically in schedule length (pairwise conflict scan) and
+//! linearly in conjunct count; the restriction solver scales linearly
+//! in domain width for chain constraints.
+
+use crate::report::Table;
+use pwsr_core::dag::data_access_graph;
+use pwsr_core::dr::is_delayed_read;
+use pwsr_core::pwsr::is_pwsr;
+use pwsr_core::serializability::is_conflict_serializable;
+use pwsr_core::solver::Solver;
+use pwsr_core::state::DbState;
+use pwsr_gen::chaos::random_execution;
+use pwsr_gen::constraints::{random_ic, IcConfig};
+use pwsr_gen::workloads::{random_workload, Workload, WorkloadConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// A workload sized to produce a schedule of roughly `target_ops`
+/// operations.
+pub fn sized_workload(rng: &mut StdRng, target_ops: usize, conjuncts: usize) -> Workload {
+    // Each background template contributes ~2–6 ops.
+    let n_background = (target_ops / 4).max(2);
+    random_workload(
+        rng,
+        &WorkloadConfig {
+            conjuncts,
+            items_per_conjunct: 3,
+            n_background,
+            cross_read_prob: 0.5,
+            fixed_only: true,
+            gadgets: 0,
+            domain_width: 50,
+        },
+    )
+}
+
+fn micros<F: FnMut()>(mut f: F, iters: u32) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e6 / f64::from(iters)
+}
+
+/// SCALE-1: checker cost vs schedule length.
+pub fn scale1(seed: u64) -> (bool, String) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Table::new(
+        "SCALE-1  Checker cost vs schedule length (µs/run)",
+        &["ops", "CSR", "PWSR", "DR", "DAG"],
+    );
+    let mut ok = true;
+    for target in [50usize, 200, 800] {
+        let w = sized_workload(&mut rng, target, 4);
+        let Ok(s) = random_execution(&w.programs, &w.catalog, &w.initial, &mut rng) else {
+            continue;
+        };
+        ok &= !s.is_empty();
+        let csr = micros(
+            || {
+                std::hint::black_box(is_conflict_serializable(&s));
+            },
+            10,
+        );
+        let pwsr = micros(
+            || {
+                std::hint::black_box(is_pwsr(&s, &w.ic).ok());
+            },
+            10,
+        );
+        let dr = micros(
+            || {
+                std::hint::black_box(is_delayed_read(&s));
+            },
+            10,
+        );
+        let dag = micros(
+            || {
+                std::hint::black_box(data_access_graph(&s, &w.ic).is_acyclic());
+            },
+            10,
+        );
+        t.row(&[
+            s.len().to_string(),
+            format!("{csr:.1}"),
+            format!("{pwsr:.1}"),
+            format!("{dr:.1}"),
+            format!("{dag:.1}"),
+        ]);
+    }
+    (ok, t.render())
+}
+
+/// SCALE-2: restriction-consistency solver cost vs domain width and
+/// chain length.
+pub fn scale2(seed: u64) -> (bool, String) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Table::new(
+        "SCALE-2  Restriction-consistency solver (µs/query)",
+        &["chain len", "width 8", "width 64", "width 512"],
+    );
+    let mut ok = true;
+    for chain in [2usize, 4, 8] {
+        let mut cells = vec![chain.to_string()];
+        for width in [8i64, 64, 512] {
+            let g = random_ic(
+                &mut rng,
+                &IcConfig {
+                    conjuncts: 2,
+                    items_per_conjunct: chain,
+                    domain_width: width,
+                },
+            );
+            let solver = Solver::new(&g.catalog, &g.ic);
+            // Query: a partial state assigning about half of the items.
+            let mut partial = DbState::new();
+            for (k, (item, v)) in g.initial.iter().enumerate() {
+                if k % 2 == 0 {
+                    partial.set(item, v.clone());
+                }
+            }
+            ok &= solver.is_consistent(&partial);
+            let us = micros(
+                || {
+                    std::hint::black_box(solver.is_consistent(&partial));
+                },
+                20,
+            );
+            cells.push(format!("{us:.1}"));
+        }
+        t.row(&cells);
+    }
+    let _ = rng.random_range(0..2); // keep rng used consistently
+    (ok, t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale1_runs() {
+        let (ok, text) = scale1(500);
+        assert!(ok, "{text}");
+        assert!(text.contains("SCALE-1"));
+    }
+
+    #[test]
+    fn scale2_runs() {
+        let (ok, text) = scale2(501);
+        assert!(ok, "{text}");
+        assert!(text.contains("width 512"));
+    }
+
+    #[test]
+    fn sized_workload_scales() {
+        let mut rng = StdRng::seed_from_u64(502);
+        let small = sized_workload(&mut rng, 40, 2);
+        let large = sized_workload(&mut rng, 400, 2);
+        assert!(large.programs.len() > small.programs.len());
+    }
+}

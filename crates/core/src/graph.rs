@@ -1,0 +1,277 @@
+//! A small directed-graph utility.
+//!
+//! Used for precedence graphs ([`crate::serializability`]), data access
+//! graphs ([`crate::dag`]) and the scheduler's waits-for graphs. Nodes
+//! are dense `usize` indices; callers keep their own node↔entity maps.
+
+use std::collections::BTreeSet;
+
+/// A directed graph over nodes `0..n` with deduplicated edges.
+#[derive(Clone, Debug, Default)]
+pub struct DiGraph {
+    /// `succ[u]` = ordered successor set of `u`.
+    succ: Vec<BTreeSet<usize>>,
+}
+
+impl DiGraph {
+    /// A graph with `n` isolated nodes.
+    pub fn new(n: usize) -> DiGraph {
+        DiGraph {
+            succ: vec![BTreeSet::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// Is the graph empty (no nodes)?
+    pub fn is_empty(&self) -> bool {
+        self.succ.is_empty()
+    }
+
+    /// Add the edge `u → v` (self-loops allowed; duplicates ignored).
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        self.succ[u].insert(v);
+    }
+
+    /// Is `u → v` present?
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.succ[u].contains(&v)
+    }
+
+    /// Successors of `u` in ascending order.
+    pub fn successors(&self, u: usize) -> impl Iterator<Item = usize> + '_ {
+        self.succ[u].iter().copied()
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.succ.iter().map(|s| s.len()).sum()
+    }
+
+    /// All edges `(u, v)`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.succ
+            .iter()
+            .enumerate()
+            .flat_map(|(u, vs)| vs.iter().map(move |&v| (u, v)))
+    }
+
+    /// Does the graph contain a directed cycle?
+    pub fn has_cycle(&self) -> bool {
+        self.topo_sort().is_none()
+    }
+
+    /// One topological order (smallest-index-first, i.e. deterministic),
+    /// or `None` if the graph is cyclic.
+    pub fn topo_sort(&self) -> Option<Vec<usize>> {
+        let n = self.len();
+        let mut indeg = vec![0usize; n];
+        for (_, v) in self.edges() {
+            indeg[v] += 1;
+        }
+        // BTreeSet as a priority queue keeps the order deterministic.
+        let mut ready: BTreeSet<usize> = (0..n).filter(|&u| indeg[u] == 0).collect();
+        let mut out = Vec::with_capacity(n);
+        while let Some(&u) = ready.iter().next() {
+            ready.remove(&u);
+            out.push(u);
+            for v in self.successors(u) {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    ready.insert(v);
+                }
+            }
+        }
+        (out.len() == n).then_some(out)
+    }
+
+    /// All topological orders, up to `cap` of them (the count can be
+    /// factorial). Returns `None` if cyclic.
+    pub fn all_topo_sorts(&self, cap: usize) -> Option<Vec<Vec<usize>>> {
+        if self.has_cycle() {
+            return None;
+        }
+        let n = self.len();
+        let mut indeg = vec![0usize; n];
+        for (_, v) in self.edges() {
+            indeg[v] += 1;
+        }
+        let mut out = Vec::new();
+        let mut current = Vec::with_capacity(n);
+        let mut used = vec![false; n];
+        self.topo_rec(&mut indeg, &mut used, &mut current, &mut out, cap);
+        Some(out)
+    }
+
+    fn topo_rec(
+        &self,
+        indeg: &mut Vec<usize>,
+        used: &mut Vec<bool>,
+        current: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+        cap: usize,
+    ) {
+        if out.len() >= cap {
+            return;
+        }
+        if current.len() == self.len() {
+            out.push(current.clone());
+            return;
+        }
+        for u in 0..self.len() {
+            if !used[u] && indeg[u] == 0 {
+                used[u] = true;
+                current.push(u);
+                for v in self.successors(u) {
+                    indeg[v] -= 1;
+                }
+                self.topo_rec(indeg, used, current, out, cap);
+                for v in self.successors(u) {
+                    indeg[v] += 1;
+                }
+                current.pop();
+                used[u] = false;
+            }
+        }
+    }
+
+    /// One directed cycle as a node list `[v0, v1, …, vk]` with
+    /// `v0 = vk`'s successor closing the loop, if any exists.
+    pub fn find_cycle(&self) -> Option<Vec<usize>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            White,
+            Gray,
+            Black,
+        }
+        let n = self.len();
+        let mut mark = vec![Mark::White; n];
+        let mut parent = vec![usize::MAX; n];
+        for start in 0..n {
+            if mark[start] != Mark::White {
+                continue;
+            }
+            // Iterative DFS with explicit stack of (node, successor iter pos).
+            let mut stack = vec![(start, self.succ[start].iter())];
+            mark[start] = Mark::Gray;
+            while let Some((u, it)) = stack.last_mut() {
+                let u = *u;
+                match it.next() {
+                    Some(&v) => match mark[v] {
+                        Mark::White => {
+                            parent[v] = u;
+                            mark[v] = Mark::Gray;
+                            stack.push((v, self.succ[v].iter()));
+                        }
+                        Mark::Gray => {
+                            // Found a back edge u → v: unwind the cycle.
+                            let mut cycle = vec![u];
+                            let mut w = u;
+                            while w != v {
+                                w = parent[w];
+                                cycle.push(w);
+                            }
+                            cycle.reverse();
+                            return Some(cycle);
+                        }
+                        Mark::Black => {}
+                    },
+                    None => {
+                        mark[u] = Mark::Black;
+                        stack.pop();
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acyclic_topo() {
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 3);
+        assert!(!g.has_cycle());
+        let order = g.topo_sort().unwrap();
+        let pos = |u: usize| order.iter().position(|&x| x == u).unwrap();
+        assert!(pos(0) < pos(1) && pos(1) < pos(2) && pos(0) < pos(3));
+    }
+
+    #[test]
+    fn cycle_detected_and_found() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        assert!(g.has_cycle());
+        assert!(g.topo_sort().is_none());
+        let cycle = g.find_cycle().unwrap();
+        assert_eq!(cycle.len(), 3);
+        // Every consecutive pair (and the closing pair) is an edge.
+        for w in cycle.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+        assert!(g.has_edge(*cycle.last().unwrap(), cycle[0]));
+    }
+
+    #[test]
+    fn self_loop_is_cycle() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(1, 1);
+        assert!(g.has_cycle());
+        let cycle = g.find_cycle().unwrap();
+        assert_eq!(cycle, vec![1]);
+        assert!(g.has_edge(1, 1));
+    }
+
+    #[test]
+    fn all_topo_sorts_of_antichain() {
+        let g = DiGraph::new(3);
+        let all = g.all_topo_sorts(100).unwrap();
+        assert_eq!(all.len(), 6); // 3! orders of an antichain
+    }
+
+    #[test]
+    fn all_topo_sorts_capped() {
+        let g = DiGraph::new(5);
+        let all = g.all_topo_sorts(10).unwrap();
+        assert_eq!(all.len(), 10);
+    }
+
+    #[test]
+    fn all_topo_sorts_respects_edges() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 2);
+        let all = g.all_topo_sorts(100).unwrap();
+        assert_eq!(all.len(), 3); // 0 before 2, 1 anywhere
+        for order in &all {
+            let pos = |u: usize| order.iter().position(|&x| x == u).unwrap();
+            assert!(pos(0) < pos(2));
+        }
+    }
+
+    #[test]
+    fn duplicate_edges_ignored() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraph::new(0);
+        assert!(g.is_empty());
+        assert_eq!(g.topo_sort().unwrap(), Vec::<usize>::new());
+        assert!(g.find_cycle().is_none());
+    }
+}

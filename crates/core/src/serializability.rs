@@ -1,0 +1,246 @@
+//! Conflict (and view) serializability.
+//!
+//! The paper's footnote 2: *"by serializability we refer to conflict
+//! serializability (CSR)"*. The classical test: build the precedence
+//! graph (one node per transaction, an edge `T_i → T_j` whenever an
+//! operation of `T_i` conflicts with and precedes one of `T_j`), and
+//! check acyclicity; every topological order is a serialization order.
+//!
+//! View serializability is provided as a brute-force reference for small
+//! inputs (used by property tests to cross-check CSR ⊆ VSR).
+
+use crate::graph::DiGraph;
+use crate::ids::TxnId;
+use crate::schedule::Schedule;
+use std::collections::HashMap;
+
+/// The precedence (conflict) graph of a schedule, with node `k`
+/// representing `schedule.txn_ids()[k]`.
+pub fn precedence_graph(schedule: &Schedule) -> DiGraph {
+    let txns = schedule.txn_ids();
+    let index: HashMap<TxnId, usize> = txns.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+    let mut g = DiGraph::new(txns.len());
+    let ops = schedule.ops();
+    for i in 0..ops.len() {
+        for j in (i + 1)..ops.len() {
+            if ops[i].conflicts_with(&ops[j]) {
+                g.add_edge(index[&ops[i].txn], index[&ops[j].txn]);
+            }
+        }
+    }
+    g
+}
+
+/// Is the schedule conflict-serializable?
+pub fn is_conflict_serializable(schedule: &Schedule) -> bool {
+    !precedence_graph(schedule).has_cycle()
+}
+
+/// One (deterministic) serialization order of a conflict-serializable
+/// schedule, or `None` if it is not CSR.
+pub fn serialization_order(schedule: &Schedule) -> Option<Vec<TxnId>> {
+    let txns = schedule.txn_ids();
+    precedence_graph(schedule)
+        .topo_sort()
+        .map(|order| order.into_iter().map(|k| txns[k]).collect())
+}
+
+/// All serialization orders (up to `cap`), or `None` if not CSR.
+///
+/// Example 1's schedule admits both `T1,T2` and `T2,T1`; Definition 4's
+/// transaction states depend on which one is chosen, so enumerating the
+/// orders matters.
+pub fn all_serialization_orders(schedule: &Schedule, cap: usize) -> Option<Vec<Vec<TxnId>>> {
+    let txns = schedule.txn_ids();
+    precedence_graph(schedule)
+        .all_topo_sorts(cap)
+        .map(|orders| {
+            orders
+                .into_iter()
+                .map(|o| o.into_iter().map(|k| txns[k]).collect())
+                .collect()
+        })
+}
+
+/// A conflict cycle witnessing non-serializability, as transaction ids.
+pub fn conflict_cycle(schedule: &Schedule) -> Option<Vec<TxnId>> {
+    let txns = schedule.txn_ids();
+    precedence_graph(schedule)
+        .find_cycle()
+        .map(|c| c.into_iter().map(|k| txns[k]).collect())
+}
+
+/// Is the schedule *view-serializable*? Brute force over all
+/// permutations of the transactions — exponential, only for small
+/// schedules (≤ `MAX_VSR_TXNS` transactions).
+pub fn is_view_serializable(schedule: &Schedule) -> Option<bool> {
+    const MAX_VSR_TXNS: usize = 8;
+    let txns = schedule.transactions();
+    if txns.len() > MAX_VSR_TXNS {
+        return None;
+    }
+    let target = view_signature(schedule);
+    let mut ids: Vec<usize> = (0..txns.len()).collect();
+    let found = permute_until(&mut ids, 0, &mut |perm| {
+        let serial = Schedule::serial(&perm.iter().map(|&k| txns[k].clone()).collect::<Vec<_>>())
+            .expect("serial composition of valid transactions is valid");
+        view_signature(&serial) == target
+    });
+    Some(found)
+}
+
+/// The view-equivalence signature: for every read, which write (txn) it
+/// reads from (`None` = initial state), plus the final writer per item.
+fn view_signature(schedule: &Schedule) -> ViewSig {
+    let mut reads = Vec::new();
+    for p in schedule.positions() {
+        let o = schedule.op(p);
+        if o.is_read() {
+            let src = schedule.reads_from(p).map(|w| schedule.op(w).txn);
+            reads.push((o.txn, o.item, src));
+        }
+    }
+    reads.sort();
+    let mut final_writer: HashMap<crate::ids::ItemId, TxnId> = HashMap::new();
+    for o in schedule.ops() {
+        if o.is_write() {
+            final_writer.insert(o.item, o.txn);
+        }
+    }
+    let mut finals: Vec<_> = final_writer.into_iter().collect();
+    finals.sort();
+    ViewSig { reads, finals }
+}
+
+#[derive(PartialEq, Eq)]
+struct ViewSig {
+    reads: Vec<(TxnId, crate::ids::ItemId, Option<TxnId>)>,
+    finals: Vec<(crate::ids::ItemId, TxnId)>,
+}
+
+fn permute_until(ids: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize]) -> bool) -> bool {
+    if k == ids.len() {
+        return f(ids);
+    }
+    for i in k..ids.len() {
+        ids.swap(k, i);
+        if permute_until(ids, k + 1, f) {
+            ids.swap(k, i);
+            return true;
+        }
+        ids.swap(k, i);
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ItemId;
+    use crate::op::Operation;
+    use crate::value::Value;
+
+    fn rd(t: u32, i: u32, v: i64) -> Operation {
+        Operation::read(TxnId(t), ItemId(i), Value::Int(v))
+    }
+
+    fn wr(t: u32, i: u32, v: i64) -> Operation {
+        Operation::write(TxnId(t), ItemId(i), Value::Int(v))
+    }
+
+    #[test]
+    fn serial_is_serializable() {
+        let s = Schedule::new(vec![rd(1, 0, 0), wr(1, 1, 1), rd(2, 1, 1), wr(2, 0, 2)]).unwrap();
+        assert!(is_conflict_serializable(&s));
+        assert_eq!(serialization_order(&s).unwrap(), vec![TxnId(1), TxnId(2)]);
+    }
+
+    #[test]
+    fn example2_schedule_not_csr() {
+        // Example 2: w1(a,1), r2(a,1), r2(b,−1), w2(c,−1), r1(c,−1)
+        // has edges T1 → T2 (on a) and T2 → T1 (on c): a cycle.
+        let s = Schedule::new(vec![
+            wr(1, 0, 1),
+            rd(2, 0, 1),
+            rd(2, 1, -1),
+            wr(2, 2, -1),
+            rd(1, 2, -1),
+        ])
+        .unwrap();
+        assert!(!is_conflict_serializable(&s));
+        assert!(serialization_order(&s).is_none());
+        let cycle = conflict_cycle(&s).unwrap();
+        assert_eq!(cycle.len(), 2);
+        assert!(cycle.contains(&TxnId(1)) && cycle.contains(&TxnId(2)));
+        assert_eq!(is_view_serializable(&s), Some(false));
+    }
+
+    #[test]
+    fn example1_has_two_orders() {
+        // Example 1: no conflicts at all between T1 and T2, so both
+        // serialization orders exist.
+        let s = Schedule::new(vec![
+            rd(1, 0, 0),
+            rd(2, 0, 0),
+            wr(2, 3, 0),
+            rd(1, 2, 5),
+            wr(1, 1, 5),
+        ])
+        .unwrap();
+        assert!(is_conflict_serializable(&s));
+        let orders = all_serialization_orders(&s, 10).unwrap();
+        assert_eq!(orders.len(), 2);
+    }
+
+    #[test]
+    fn csr_implies_vsr() {
+        let s = Schedule::new(vec![wr(1, 0, 1), rd(2, 0, 1), wr(2, 1, 2)]).unwrap();
+        assert!(is_conflict_serializable(&s));
+        assert_eq!(is_view_serializable(&s), Some(true));
+    }
+
+    #[test]
+    fn classic_vsr_not_csr_with_blind_writes() {
+        // The textbook example needs a txn writing without reading:
+        // w1(x), w2(x), w2(y), w1(y), w3(x), w3(y) is VSR (= T1 T2 T3)
+        // but not CSR.
+        let s = Schedule::new(vec![
+            wr(1, 0, 1),
+            wr(2, 0, 2),
+            wr(2, 1, 2),
+            wr(1, 1, 1),
+            wr(3, 0, 3),
+            wr(3, 1, 3),
+        ])
+        .unwrap();
+        assert!(!is_conflict_serializable(&s));
+        assert_eq!(is_view_serializable(&s), Some(true));
+    }
+
+    #[test]
+    fn vsr_gives_up_on_large_inputs() {
+        let mut ops = Vec::new();
+        for t in 0..9 {
+            ops.push(wr(t, t, 0));
+        }
+        let s = Schedule::new(ops).unwrap();
+        assert_eq!(is_view_serializable(&s), None);
+    }
+
+    #[test]
+    fn empty_schedule_serializable() {
+        let s = Schedule::new(vec![]).unwrap();
+        assert!(is_conflict_serializable(&s));
+        assert_eq!(serialization_order(&s).unwrap(), Vec::<TxnId>::new());
+    }
+
+    #[test]
+    fn precedence_graph_edges() {
+        // r1(x) w2(x): edge T1 → T2 only.
+        let s = Schedule::new(vec![rd(1, 0, 0), wr(2, 0, 1)]).unwrap();
+        let g = precedence_graph(&s);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        assert_eq!(g.edge_count(), 1);
+    }
+}

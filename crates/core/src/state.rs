@@ -1,0 +1,388 @@
+//! Database states as partial variable assignments, and item sets.
+//!
+//! §2.1: a database state is a set of pairs `DS = {(d′, v′)}` assigning a
+//! value to every item; its *restriction* `DS^d` keeps only the items in
+//! `d ⊆ D`. Because restrictions are everywhere in the paper (read sets,
+//! write effects, view sets, per-conjunct states), [`DbState`] is a
+//! **partial** assignment; a "full" state is simply one that is total for
+//! the catalog.
+//!
+//! The union `DS^{d1}_1 ⊔ DS^{d2}_2` is the paper's ⊔: set union that is
+//! *undefined* (here: an error) when the operands disagree on an item.
+
+use crate::error::{CoreError, Result};
+use crate::ids::ItemId;
+use crate::value::Value;
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A set of data items `d ⊆ D` (a "data set" in the paper).
+///
+/// Backed by a `BTreeSet` for deterministic iteration; these sets are
+/// small (conjunct scopes, read/write sets), so tree overhead is noise.
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ItemSet(BTreeSet<ItemId>);
+
+impl ItemSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        ItemSet::default()
+    }
+
+    /// Build from anything yielding [`ItemId`]s.
+    #[allow(clippy::should_implement_trait)] // also provided via FromIterator
+    pub fn from_iter<I: IntoIterator<Item = ItemId>>(iter: I) -> Self {
+        ItemSet(iter.into_iter().collect())
+    }
+
+    /// Insert an item; returns whether it was newly inserted.
+    pub fn insert(&mut self, id: ItemId) -> bool {
+        self.0.insert(id)
+    }
+
+    /// Remove an item; returns whether it was present.
+    pub fn remove(&mut self, id: ItemId) -> bool {
+        self.0.remove(&id)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: ItemId) -> bool {
+        self.0.contains(&id)
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterate items in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = ItemId> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// `self ∪ other`.
+    pub fn union(&self, other: &ItemSet) -> ItemSet {
+        ItemSet(self.0.union(&other.0).copied().collect())
+    }
+
+    /// `self ∩ other`.
+    pub fn intersection(&self, other: &ItemSet) -> ItemSet {
+        ItemSet(self.0.intersection(&other.0).copied().collect())
+    }
+
+    /// `self − other`.
+    pub fn difference(&self, other: &ItemSet) -> ItemSet {
+        ItemSet(self.0.difference(&other.0).copied().collect())
+    }
+
+    /// Are the two sets disjoint (`self ∩ other = ∅`)?
+    pub fn is_disjoint(&self, other: &ItemSet) -> bool {
+        self.0.is_disjoint(&other.0)
+    }
+
+    /// Is `self ⊆ other`?
+    pub fn is_subset(&self, other: &ItemSet) -> bool {
+        self.0.is_subset(&other.0)
+    }
+
+    /// An arbitrary element shared with `other`, if any.
+    pub fn common_item(&self, other: &ItemSet) -> Option<ItemId> {
+        self.0.intersection(&other.0).next().copied()
+    }
+}
+
+impl FromIterator<ItemId> for ItemSet {
+    fn from_iter<I: IntoIterator<Item = ItemId>>(iter: I) -> Self {
+        ItemSet::from_iter(iter)
+    }
+}
+
+impl<const N: usize> From<[ItemId; N]> for ItemSet {
+    fn from(items: [ItemId; N]) -> Self {
+        ItemSet::from_iter(items)
+    }
+}
+
+impl fmt::Debug for ItemSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, id) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{id:?}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A (partial) database state: a finite map from items to values.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct DbState(BTreeMap<ItemId, Value>);
+
+impl DbState {
+    /// The empty assignment `∅`.
+    pub fn new() -> Self {
+        DbState::default()
+    }
+
+    /// Build from `(item, value)` pairs. Later pairs overwrite earlier
+    /// ones (use [`DbState::union`] for the paper's conflict-checking ⊔).
+    pub fn from_pairs<I: IntoIterator<Item = (ItemId, Value)>>(pairs: I) -> Self {
+        DbState(pairs.into_iter().collect())
+    }
+
+    /// Assign `item := value`, returning the previous value if any.
+    pub fn set(&mut self, item: ItemId, value: Value) -> Option<Value> {
+        self.0.insert(item, value)
+    }
+
+    /// The value of `item`, if assigned.
+    pub fn get(&self, item: ItemId) -> Option<&Value> {
+        self.0.get(&item)
+    }
+
+    /// The value of `item`, or a [`CoreError::MissingItem`] error.
+    pub fn require(&self, item: ItemId) -> Result<&Value> {
+        self.get(item).ok_or(CoreError::MissingItem(item))
+    }
+
+    /// Remove `item` from the assignment.
+    pub fn unset(&mut self, item: ItemId) -> Option<Value> {
+        self.0.remove(&item)
+    }
+
+    /// Number of assigned items.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Is nothing assigned?
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The set of assigned items.
+    pub fn items(&self) -> ItemSet {
+        ItemSet::from_iter(self.0.keys().copied())
+    }
+
+    /// Iterate `(item, value)` pairs in ascending item order.
+    pub fn iter(&self) -> impl Iterator<Item = (ItemId, &Value)> + '_ {
+        self.0.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// The restriction `DS^d`: keep only items in `d`.
+    pub fn restrict(&self, d: &ItemSet) -> DbState {
+        // Iterate the smaller side.
+        if d.len() < self.0.len() {
+            DbState(
+                d.iter()
+                    .filter_map(|id| self.0.get(&id).map(|v| (id, v.clone())))
+                    .collect(),
+            )
+        } else {
+            DbState(
+                self.0
+                    .iter()
+                    .filter(|(id, _)| d.contains(**id))
+                    .map(|(id, v)| (*id, v.clone()))
+                    .collect(),
+            )
+        }
+    }
+
+    /// `DS^{D−d}`: drop the items in `d`.
+    pub fn without(&self, d: &ItemSet) -> DbState {
+        DbState(
+            self.0
+                .iter()
+                .filter(|(id, _)| !d.contains(**id))
+                .map(|(id, v)| (*id, v.clone()))
+                .collect(),
+        )
+    }
+
+    /// The paper's ⊔: union of two assignments, **undefined** (an error)
+    /// if they disagree on any item.
+    pub fn union(&self, other: &DbState) -> Result<DbState> {
+        let mut out = self.0.clone();
+        for (&item, v) in &other.0 {
+            match out.entry(item) {
+                Entry::Vacant(e) => {
+                    e.insert(v.clone());
+                }
+                Entry::Occupied(e) => {
+                    if e.get() != v {
+                        return Err(CoreError::UnionConflict {
+                            item,
+                            left: e.get().clone(),
+                            right: v.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(DbState(out))
+    }
+
+    /// Right-biased overwrite: `self` updated with every pair of
+    /// `updates`. This is the state-transformer form used in
+    /// Definition 4 (`state^{d−WS} ∪ write(T^d)`), where overwriting is
+    /// intended rather than an error.
+    pub fn updated_with(&self, updates: &DbState) -> DbState {
+        let mut out = self.0.clone();
+        for (&item, v) in &updates.0 {
+            out.insert(item, v.clone());
+        }
+        DbState(out)
+    }
+
+    /// Do `self` and `other` agree on every item they both assign?
+    pub fn compatible(&self, other: &DbState) -> bool {
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small
+            .iter()
+            .all(|(id, v)| large.get(id).is_none_or(|w| w == v))
+    }
+
+    /// Is the state total for the given item set (assigns all of `d`)?
+    pub fn is_total_for(&self, d: &ItemSet) -> bool {
+        d.iter().all(|id| self.0.contains_key(&id))
+    }
+
+    /// Does `self` extend `other` (assign everything `other` does, with
+    /// equal values)?
+    pub fn extends(&self, other: &DbState) -> bool {
+        other.iter().all(|(id, v)| self.get(id) == Some(v))
+    }
+}
+
+impl FromIterator<(ItemId, Value)> for DbState {
+    fn from_iter<I: IntoIterator<Item = (ItemId, Value)>>(iter: I) -> Self {
+        DbState::from_pairs(iter)
+    }
+}
+
+impl fmt::Debug for DbState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (id, v)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "({id:?}, {v})")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u32) -> ItemId {
+        ItemId(n)
+    }
+
+    #[test]
+    fn itemset_algebra() {
+        let a = ItemSet::from_iter([id(1), id(2), id(3)]);
+        let b = ItemSet::from_iter([id(3), id(4)]);
+        assert_eq!(a.union(&b).len(), 4);
+        assert_eq!(a.intersection(&b).len(), 1);
+        assert_eq!(a.difference(&b).len(), 2);
+        assert!(!a.is_disjoint(&b));
+        assert_eq!(a.common_item(&b), Some(id(3)));
+        assert!(a.intersection(&b).is_subset(&a));
+    }
+
+    #[test]
+    fn restriction_keeps_only_d() {
+        // Paper §2.1: DS^d = {(d′,v′) : d′ ∈ d and (d′,v′) ∈ DS}.
+        let ds = DbState::from_pairs([
+            (id(0), Value::Int(5)),
+            (id(1), Value::Int(6)),
+            (id(2), Value::Int(7)),
+        ]);
+        let d = ItemSet::from_iter([id(0), id(2), id(9)]);
+        let r = ds.restrict(&d);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get(id(0)), Some(&Value::Int(5)));
+        assert_eq!(r.get(id(2)), Some(&Value::Int(7)));
+        assert_eq!(r.get(id(1)), None);
+    }
+
+    #[test]
+    fn union_agrees_ok() {
+        let l = DbState::from_pairs([(id(0), Value::Int(5)), (id(1), Value::Int(1))]);
+        let r = DbState::from_pairs([(id(0), Value::Int(5)), (id(2), Value::Int(9))]);
+        let u = l.union(&r).unwrap();
+        assert_eq!(u.len(), 3);
+    }
+
+    #[test]
+    fn union_conflict_is_undefined() {
+        // §2.1: DS1^{d1} ⊔ DS2^{d2} is undefined if they disagree.
+        let l = DbState::from_pairs([(id(0), Value::Int(5))]);
+        let r = DbState::from_pairs([(id(0), Value::Int(6))]);
+        let err = l.union(&r).unwrap_err();
+        assert!(matches!(err, CoreError::UnionConflict { item, .. } if item == id(0)));
+    }
+
+    #[test]
+    fn updated_with_overwrites() {
+        let base = DbState::from_pairs([(id(0), Value::Int(1)), (id(1), Value::Int(2))]);
+        let upd = DbState::from_pairs([(id(1), Value::Int(9)), (id(2), Value::Int(3))]);
+        let out = base.updated_with(&upd);
+        assert_eq!(out.get(id(0)), Some(&Value::Int(1)));
+        assert_eq!(out.get(id(1)), Some(&Value::Int(9)));
+        assert_eq!(out.get(id(2)), Some(&Value::Int(3)));
+    }
+
+    #[test]
+    fn compatible_and_extends() {
+        let small = DbState::from_pairs([(id(0), Value::Int(1))]);
+        let big = DbState::from_pairs([(id(0), Value::Int(1)), (id(1), Value::Int(2))]);
+        let clash = DbState::from_pairs([(id(0), Value::Int(7))]);
+        assert!(small.compatible(&big));
+        assert!(big.extends(&small));
+        assert!(!small.extends(&big));
+        assert!(!clash.compatible(&big));
+    }
+
+    #[test]
+    fn without_drops_items() {
+        let ds = DbState::from_pairs([(id(0), Value::Int(1)), (id(1), Value::Int(2))]);
+        let out = ds.without(&ItemSet::from_iter([id(0)]));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.get(id(1)), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn total_for() {
+        let ds = DbState::from_pairs([(id(0), Value::Int(1)), (id(1), Value::Int(2))]);
+        assert!(ds.is_total_for(&ItemSet::from_iter([id(0), id(1)])));
+        assert!(!ds.is_total_for(&ItemSet::from_iter([id(0), id(2)])));
+        assert!(ds.is_total_for(&ItemSet::new()));
+    }
+
+    #[test]
+    fn require_missing() {
+        let ds = DbState::new();
+        assert!(matches!(
+            ds.require(id(5)),
+            Err(CoreError::MissingItem(i)) if i == id(5)
+        ));
+    }
+}

@@ -1,0 +1,96 @@
+//! Scheduler errors.
+
+use pwsr_core::error::CoreError;
+use pwsr_core::ids::TxnId;
+use pwsr_tplang::error::TpError;
+use std::fmt;
+
+/// Errors of the scheduling substrate.
+#[derive(Clone, Debug)]
+pub enum SchedError {
+    /// The executor hit its step budget before all transactions
+    /// committed (livelock guard).
+    StepBudgetExhausted {
+        /// The configured budget.
+        max_steps: u64,
+        /// Transactions still incomplete.
+        pending: Vec<TxnId>,
+    },
+    /// Every live transaction is blocked but no waits-for cycle exists —
+    /// an internal invariant violation.
+    Stalled,
+    /// A transaction exceeded the restart limit (starvation guard).
+    RestartLimit {
+        /// The starving transaction.
+        txn: TxnId,
+        /// How many times it was restarted.
+        restarts: u32,
+    },
+    /// A program failed during execution.
+    Program(TpError),
+    /// A core-model error.
+    Core(CoreError),
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::StepBudgetExhausted { max_steps, pending } => write!(
+                f,
+                "executor exhausted {max_steps} steps with {} transactions pending",
+                pending.len()
+            ),
+            SchedError::Stalled => write!(f, "all transactions blocked without a waits-for cycle"),
+            SchedError::RestartLimit { txn, restarts } => {
+                write!(f, "transaction {txn} restarted {restarts} times; giving up")
+            }
+            SchedError::Program(e) => write!(f, "program error: {e}"),
+            SchedError::Core(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SchedError::Program(e) => Some(e),
+            SchedError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TpError> for SchedError {
+    fn from(e: TpError) -> Self {
+        SchedError::Program(e)
+    }
+}
+
+impl From<CoreError> for SchedError {
+    fn from(e: CoreError) -> Self {
+        SchedError::Core(e)
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, SchedError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_all_variants() {
+        let e = SchedError::StepBudgetExhausted {
+            max_steps: 10,
+            pending: vec![TxnId(1)],
+        };
+        assert!(e.to_string().contains("10 steps"));
+        assert!(SchedError::Stalled.to_string().contains("blocked"));
+        let e = SchedError::RestartLimit {
+            txn: TxnId(2),
+            restarts: 5,
+        };
+        assert!(e.to_string().contains("T2"));
+    }
+}

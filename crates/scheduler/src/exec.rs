@@ -1,0 +1,1022 @@
+//! The deterministic discrete-event executor.
+//!
+//! Drives a set of transaction programs against one database under a
+//! [`PolicySpec`]: each step, a seeded RNG picks a runnable transaction
+//! and attempts its next operation (via
+//! [`ProgramSession`](pwsr_tplang::session::ProgramSession)); lock
+//! conflicts and delayed-read conflicts block; blocking triggers
+//! waits-for deadlock detection; deadlock victims are aborted with
+//! transitive *cascading* aborts (any transaction that read from an
+//! aborted write), rolled back by trace filtering, and restarted after
+//! a backoff. The output is the **committed** schedule — a valid
+//! [`Schedule`] in the paper's sense — plus execution metrics.
+//!
+//! The executor is fully deterministic for a fixed seed, making every
+//! experiment reproducible.
+
+use crate::error::{Result, SchedError};
+use crate::lock::{LockMode, LockTable, SpaceId};
+use crate::metrics::Metrics;
+use crate::plan::{access_plan, PlanMode};
+use crate::policy::PolicySpec;
+use pwsr_core::catalog::Catalog;
+use pwsr_core::graph::DiGraph;
+use pwsr_core::ids::{ItemId, TxnId};
+use pwsr_core::op::{OpStruct, Operation};
+use pwsr_core::schedule::Schedule;
+use pwsr_core::state::DbState;
+use pwsr_tplang::ast::Program;
+use pwsr_tplang::session::{Pending, ProgramSession};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeSet, HashMap};
+
+/// How the executor deals with waits-for cycles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeadlockPolicy {
+    /// Let transactions wait; detect cycles in the waits-for graph and
+    /// abort a victim (default).
+    Detect,
+    /// *Wait-die* prevention: a requester may wait only for a younger
+    /// holder; a younger requester dies (aborts itself) immediately.
+    /// Timestamps survive restarts, so every transaction eventually
+    /// becomes oldest and completes.
+    WaitDie,
+    /// *Wound-wait* prevention: an older requester wounds (aborts)
+    /// younger holders; a younger requester waits.
+    WoundWait,
+}
+
+/// Executor configuration.
+#[derive(Clone, Debug)]
+pub struct ExecConfig {
+    /// RNG seed: same seed ⇒ identical execution.
+    pub seed: u64,
+    /// Step budget (livelock guard).
+    pub max_steps: u64,
+    /// Access-plan production (enables early release when the policy
+    /// asks for it).
+    pub plan_mode: PlanMode,
+    /// Per-transaction restart cap (starvation guard).
+    pub max_restarts: u32,
+    /// Deadlock handling: detection or prevention.
+    pub deadlock: DeadlockPolicy,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            seed: 0xC0FFEE,
+            max_steps: 1_000_000,
+            plan_mode: PlanMode::ExactIfFixed,
+            max_restarts: 64,
+            deadlock: DeadlockPolicy::Detect,
+        }
+    }
+}
+
+/// The result of one workload execution.
+#[derive(Clone, Debug)]
+pub struct ExecOutcome {
+    /// The committed schedule (aborted work removed).
+    pub schedule: Schedule,
+    /// The final database state.
+    pub final_state: DbState,
+    /// Counters.
+    pub metrics: Metrics,
+    /// Transactions permanently rejected by the runtime DAG guard
+    /// (Theorem 3 admission); empty unless `PolicySpec::dag_guard`.
+    pub rejected: Vec<TxnId>,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Block {
+    Lock {
+        space: SpaceId,
+        item: ItemId,
+        mode: LockMode,
+    },
+    Dirty {
+        writer: TxnId,
+    },
+}
+
+struct TxnRt<'a> {
+    txn: TxnId,
+    program: &'a Program,
+    catalog: &'a Catalog,
+    session: ProgramSession<'a>,
+    plan: Option<Vec<OpStruct>>,
+    done: bool,
+    blocked: Option<Block>,
+    restarts: u32,
+    backoff: u32,
+}
+
+/// Execute `programs` (program `k` runs as transaction `k+1`) from
+/// `initial` under `policy`.
+pub fn run_workload(
+    programs: &[Program],
+    catalog: &Catalog,
+    initial: &DbState,
+    policy: &PolicySpec,
+    cfg: &ExecConfig,
+) -> Result<ExecOutcome> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rts: Vec<TxnRt<'_>> = programs
+        .iter()
+        .enumerate()
+        .map(|(k, p)| {
+            let txn = TxnId(k as u32 + 1);
+            TxnRt {
+                txn,
+                program: p,
+                catalog,
+                session: ProgramSession::new(p, catalog, txn),
+                plan: access_plan(p, catalog, cfg.plan_mode),
+                done: false,
+                blocked: None,
+                restarts: 0,
+                backoff: 0,
+            }
+        })
+        .collect();
+    let mut locks = LockTable::new();
+    let mut db = initial.clone();
+    let mut trace: Vec<Operation> = Vec::new();
+    let mut dirty: HashMap<ItemId, TxnId> = HashMap::new();
+    let mut metrics = Metrics::default();
+    let mut rejected: Vec<TxnId> = Vec::new();
+
+    loop {
+        if rts.iter().all(|rt| rt.done) {
+            break;
+        }
+        if metrics.steps >= cfg.max_steps {
+            return Err(SchedError::StepBudgetExhausted {
+                max_steps: cfg.max_steps,
+                pending: rts.iter().filter(|rt| !rt.done).map(|rt| rt.txn).collect(),
+            });
+        }
+        let runnable: Vec<usize> = rts
+            .iter()
+            .enumerate()
+            .filter(|(_, rt)| !rt.done && rt.blocked.is_none() && rt.backoff == 0)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            // Let backoffs tick down first.
+            let mut ticked = false;
+            for rt in rts.iter_mut() {
+                if rt.backoff > 0 {
+                    rt.backoff -= 1;
+                    ticked = true;
+                }
+            }
+            if ticked {
+                continue;
+            }
+            // Everyone live is blocked: there must be a cycle.
+            let resolved = resolve_deadlock(
+                &mut rts,
+                &mut locks,
+                &mut trace,
+                &mut dirty,
+                &mut db,
+                initial,
+                &mut metrics,
+                cfg,
+            )?;
+            if !resolved {
+                return Err(SchedError::Stalled);
+            }
+            continue;
+        }
+        let pick = runnable[rng.random_range(0..runnable.len())];
+        metrics.steps += 1;
+        step(
+            pick,
+            policy,
+            &mut rts,
+            &mut locks,
+            &mut db,
+            &mut trace,
+            &mut dirty,
+            &mut metrics,
+            initial,
+            cfg,
+            &mut rejected,
+        )?;
+        metrics.lock_acquisitions = locks.acquisitions();
+    }
+
+    metrics.committed_ops = trace.len() as u64;
+    let schedule = Schedule::new(trace)?;
+    Ok(ExecOutcome {
+        schedule,
+        final_state: db,
+        metrics,
+        rejected,
+    })
+}
+
+/// Would granting `txn` an access of `is_write` kind in conjunct
+/// `space` close a cycle in the conjunct access graph over the current
+/// trace? (Spaces ≥ `l` are not conjuncts and never participate.)
+fn dag_guard_rejects(
+    trace: &[Operation],
+    policy: &PolicySpec,
+    l: u32,
+    txn: TxnId,
+    space: u32,
+    is_write: bool,
+) -> bool {
+    use std::collections::BTreeSet;
+    let mut rs: HashMap<TxnId, BTreeSet<u32>> = HashMap::new();
+    let mut ws: HashMap<TxnId, BTreeSet<u32>> = HashMap::new();
+    for op in trace {
+        let sp = policy.space_of(op.item).0;
+        if sp >= l {
+            continue;
+        }
+        if op.is_read() {
+            rs.entry(op.txn).or_default().insert(sp);
+        } else {
+            ws.entry(op.txn).or_default().insert(sp);
+        }
+    }
+    if is_write {
+        ws.entry(txn).or_default().insert(space);
+    } else {
+        rs.entry(txn).or_default().insert(space);
+    }
+    let mut g = DiGraph::new(l as usize);
+    let txns: BTreeSet<TxnId> = rs.keys().chain(ws.keys()).copied().collect();
+    for t in txns {
+        if let (Some(r), Some(w)) = (rs.get(&t), ws.get(&t)) {
+            for &i in r {
+                for &j in w {
+                    if i != j {
+                        g.add_edge(i as usize, j as usize);
+                    }
+                }
+            }
+        }
+    }
+    g.has_cycle()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn step(
+    pick: usize,
+    policy: &PolicySpec,
+    rts: &mut Vec<TxnRt<'_>>,
+    locks: &mut LockTable,
+    db: &mut DbState,
+    trace: &mut Vec<Operation>,
+    dirty: &mut HashMap<ItemId, TxnId>,
+    metrics: &mut Metrics,
+    initial: &DbState,
+    cfg: &ExecConfig,
+    rejected: &mut Vec<TxnId>,
+) -> Result<()> {
+    let txn = rts[pick].txn;
+    let pending = rts[pick].session.pending()?;
+    // Runtime Theorem-3 guard: refuse the access that would close a
+    // conjunct cycle, rejecting the transaction outright (a retry
+    // could never commit — committed edges persist in DAG(S, IC)).
+    if let Some(l) = policy.dag_guard {
+        let intent = match &pending {
+            Pending::NeedRead(item) => Some((*item, false)),
+            Pending::Write(op) => Some((op.item, true)),
+            Pending::Done => None,
+        };
+        if let Some((item, is_write)) = intent {
+            let space = policy.space_of(item).0;
+            if space < l && dag_guard_rejects(trace, policy, l, txn, space, is_write) {
+                abort_cascading(pick, rts, locks, trace, dirty, db, initial, metrics, cfg)?;
+                rts[pick].done = true;
+                rejected.push(txn);
+                return Ok(());
+            }
+        }
+    }
+    match pending {
+        Pending::Done => {
+            // Commit: release everything, clean the dirty map.
+            locks.release_all(txn);
+            dirty.retain(|_, w| *w != txn);
+            rts[pick].done = true;
+            clear_blocks(rts);
+            Ok(())
+        }
+        Pending::NeedRead(item) => {
+            if policy.dr_block {
+                if let Some(&writer) = dirty.get(&item) {
+                    if writer != txn {
+                        block(
+                            pick,
+                            Block::Dirty { writer },
+                            rts,
+                            locks,
+                            trace,
+                            dirty,
+                            db,
+                            initial,
+                            metrics,
+                            cfg,
+                        )?;
+                        return Ok(());
+                    }
+                }
+            }
+            let space = policy.space_of(item);
+            if let Err(_holders) = locks.try_acquire(txn, space, item, LockMode::Shared) {
+                block(
+                    pick,
+                    Block::Lock {
+                        space,
+                        item,
+                        mode: LockMode::Shared,
+                    },
+                    rts,
+                    locks,
+                    trace,
+                    dirty,
+                    db,
+                    initial,
+                    metrics,
+                    cfg,
+                )?;
+                return Ok(());
+            }
+            let value = db.require(item)?.clone();
+            let op = rts[pick].session.feed_read(value)?;
+            trace.push(op);
+            after_op(pick, policy, rts, locks);
+            Ok(())
+        }
+        Pending::Write(op) => {
+            let space = policy.space_of(op.item);
+            if let Err(_holders) = locks.try_acquire(txn, space, op.item, LockMode::Exclusive) {
+                block(
+                    pick,
+                    Block::Lock {
+                        space,
+                        item: op.item,
+                        mode: LockMode::Exclusive,
+                    },
+                    rts,
+                    locks,
+                    trace,
+                    dirty,
+                    db,
+                    initial,
+                    metrics,
+                    cfg,
+                )?;
+                return Ok(());
+            }
+            db.set(op.item, op.value.clone());
+            dirty.insert(op.item, txn);
+            rts[pick].session.advance_write()?;
+            trace.push(op);
+            after_op(pick, policy, rts, locks);
+            Ok(())
+        }
+    }
+}
+
+/// Post-operation hooks: early per-space lock release driven by the
+/// access plan.
+fn after_op(pick: usize, policy: &PolicySpec, rts: &mut Vec<TxnRt<'_>>, locks: &mut LockTable) {
+    if !policy.early_release {
+        return;
+    }
+    let rt = &mut rts[pick];
+    let Some(plan) = &rt.plan else {
+        return; // no plan ⇒ hold to end
+    };
+    let emitted = rt.session.emitted();
+    if emitted > plan.len() {
+        // Plan deviation (defensive; cannot happen for certified
+        // fixed-structure programs): disable early release.
+        rt.plan = None;
+        return;
+    }
+    let remaining_spaces: BTreeSet<SpaceId> = plan[emitted..]
+        .iter()
+        .map(|o| policy.space_of(o.item))
+        .collect();
+    let txn = rt.txn;
+    let mut released = false;
+    for space in locks.spaces_held(txn) {
+        if !remaining_spaces.contains(&space) {
+            locks.release_space(txn, space);
+            released = true;
+        }
+    }
+    if released {
+        clear_blocks(rts);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn block(
+    pick: usize,
+    why: Block,
+    rts: &mut Vec<TxnRt<'_>>,
+    locks: &mut LockTable,
+    trace: &mut Vec<Operation>,
+    dirty: &mut HashMap<ItemId, TxnId>,
+    db: &mut DbState,
+    initial: &DbState,
+    metrics: &mut Metrics,
+    cfg: &ExecConfig,
+) -> Result<()> {
+    metrics.waits += 1;
+    // Who stands in the way right now?
+    let index: HashMap<TxnId, usize> = rts.iter().enumerate().map(|(i, rt)| (rt.txn, i)).collect();
+    let opponents: Vec<usize> = match &why {
+        Block::Lock { space, item, mode } => locks
+            .conflicting_holders(rts[pick].txn, *space, *item, *mode)
+            .into_iter()
+            .filter_map(|t| index.get(&t).copied())
+            .filter(|&j| !rts[j].done)
+            .collect(),
+        Block::Dirty { writer } => index
+            .get(writer)
+            .copied()
+            .filter(|&j| !rts[j].done)
+            .into_iter()
+            .collect(),
+    };
+    match cfg.deadlock {
+        DeadlockPolicy::Detect => {
+            rts[pick].blocked = Some(why);
+            // A new edge appeared: look for a cycle right away.
+            let _ = resolve_deadlock(rts, locks, trace, dirty, db, initial, metrics, cfg)?;
+        }
+        DeadlockPolicy::WaitDie => {
+            // Wait only for younger opponents (requester older = smaller
+            // timestamp); otherwise die. Timestamps = original TxnId,
+            // stable across restarts.
+            let me = rts[pick].txn;
+            if opponents.iter().all(|&j| me < rts[j].txn) {
+                rts[pick].blocked = Some(why);
+            } else {
+                // Prevention: the requester dies; no cycle can ever form.
+                abort_cascading(pick, rts, locks, trace, dirty, db, initial, metrics, cfg)?;
+            }
+        }
+        DeadlockPolicy::WoundWait => {
+            let me = rts[pick].txn;
+            let younger: Vec<usize> = opponents
+                .iter()
+                .copied()
+                .filter(|&j| me < rts[j].txn)
+                .collect();
+            if younger.is_empty() {
+                // All opponents are older: wait politely.
+                rts[pick].blocked = Some(why);
+            } else {
+                // Wound every younger holder; retry the operation on a
+                // later step.
+                for j in younger {
+                    if !rts[j].done {
+                        abort_cascading(j, rts, locks, trace, dirty, db, initial, metrics, cfg)?;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Build the waits-for graph from the current blocks and resolve one
+/// cycle if present. Returns whether a cycle was resolved.
+#[allow(clippy::too_many_arguments)]
+fn resolve_deadlock(
+    rts: &mut Vec<TxnRt<'_>>,
+    locks: &mut LockTable,
+    trace: &mut Vec<Operation>,
+    dirty: &mut HashMap<ItemId, TxnId>,
+    db: &mut DbState,
+    initial: &DbState,
+    metrics: &mut Metrics,
+    cfg: &ExecConfig,
+) -> Result<bool> {
+    let index: HashMap<TxnId, usize> = rts.iter().enumerate().map(|(i, rt)| (rt.txn, i)).collect();
+    let mut graph = DiGraph::new(rts.len());
+    for (i, rt) in rts.iter().enumerate() {
+        match &rt.blocked {
+            Some(Block::Lock { space, item, mode }) => {
+                for holder in locks.conflicting_holders(rt.txn, *space, *item, *mode) {
+                    if let Some(&j) = index.get(&holder) {
+                        if !rts[j].done {
+                            graph.add_edge(i, j);
+                        }
+                    }
+                }
+            }
+            Some(Block::Dirty { writer }) => {
+                if let Some(&j) = index.get(writer) {
+                    if !rts[j].done {
+                        graph.add_edge(i, j);
+                    }
+                }
+            }
+            None => {}
+        }
+    }
+    let Some(cycle) = graph.find_cycle() else {
+        return Ok(false);
+    };
+    metrics.deadlocks += 1;
+    // Victim: the cycle member with the fewest emitted operations
+    // (cheapest to redo); ties broken by the larger transaction id.
+    let &victim = cycle
+        .iter()
+        .min_by_key(|&&i| (rts[i].session.emitted(), std::cmp::Reverse(rts[i].txn)))
+        .expect("cycles are non-empty");
+    abort_cascading(victim, rts, locks, trace, dirty, db, initial, metrics, cfg)?;
+    Ok(true)
+}
+
+/// Abort `victim` plus every transaction that (transitively) read one
+/// of an aborted transaction's writes; roll back by filtering the trace
+/// and replaying, then restart the aborted transactions with backoff.
+#[allow(clippy::too_many_arguments)]
+fn abort_cascading(
+    victim: usize,
+    rts: &mut Vec<TxnRt<'_>>,
+    locks: &mut LockTable,
+    trace: &mut Vec<Operation>,
+    dirty: &mut HashMap<ItemId, TxnId>,
+    db: &mut DbState,
+    initial: &DbState,
+    metrics: &mut Metrics,
+    cfg: &ExecConfig,
+) -> Result<()> {
+    // Transitive closure of dirty readers.
+    let mut aborted: BTreeSet<TxnId> = BTreeSet::new();
+    aborted.insert(rts[victim].txn);
+    loop {
+        let mut grew = false;
+        for (i, op) in trace.iter().enumerate() {
+            if !op.is_read() || aborted.contains(&op.txn) {
+                continue;
+            }
+            let writer = trace[..i]
+                .iter()
+                .rev()
+                .find(|w| w.is_write() && w.item == op.item)
+                .map(|w| w.txn);
+            if let Some(w) = writer {
+                if aborted.contains(&w) && aborted.insert(op.txn) {
+                    grew = true;
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    // Roll back: drop aborted ops, replay the rest.
+    trace.retain(|op| !aborted.contains(&op.txn));
+    *db = initial.clone();
+    for op in trace.iter() {
+        if op.is_write() {
+            db.set(op.item, op.value.clone());
+        }
+    }
+    // Rebuild the dirty map from the filtered trace.
+    dirty.clear();
+    let done_set: BTreeSet<TxnId> = rts.iter().filter(|rt| rt.done).map(|rt| rt.txn).collect();
+    for op in trace.iter() {
+        if op.is_write() {
+            if done_set.contains(&op.txn) {
+                dirty.remove(&op.item);
+            } else {
+                dirty.insert(op.item, op.txn);
+            }
+        }
+    }
+    // Reset the aborted transactions.
+    metrics.aborts += aborted.len() as u64;
+    for rt in rts.iter_mut() {
+        if aborted.contains(&rt.txn) {
+            locks.release_all(rt.txn);
+            rt.session = ProgramSession::new(rt.program, rt.catalog, rt.txn);
+            rt.restarts += 1;
+            metrics.restarts += 1;
+            if rt.restarts > cfg.max_restarts {
+                return Err(SchedError::RestartLimit {
+                    txn: rt.txn,
+                    restarts: rt.restarts,
+                });
+            }
+            rt.backoff = rt.restarts;
+            rt.blocked = None;
+            rt.done = false;
+        }
+    }
+    clear_blocks(rts);
+    Ok(())
+}
+
+/// Unblock everyone: blocks are re-derived on the next attempt. Cheap
+/// revalidation after any lock/dirty state change.
+fn clear_blocks(rts: &mut [TxnRt<'_>]) {
+    for rt in rts.iter_mut() {
+        rt.blocked = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwsr_core::constraint::{Conjunct, Formula, IntegrityConstraint, Term};
+    use pwsr_core::pwsr::is_pwsr;
+    use pwsr_core::serializability::is_conflict_serializable;
+    use pwsr_core::value::{Domain, Value};
+    use pwsr_tplang::parser::parse_program;
+
+    /// Two conjuncts: C0 over {a0, b0}, C1 over {a1, b1}.
+    fn setup() -> (Catalog, IntegrityConstraint, DbState) {
+        let mut cat = Catalog::new();
+        let a0 = cat.add_item("a0", Domain::int_range(-100, 100));
+        let b0 = cat.add_item("b0", Domain::int_range(-100, 100));
+        let a1 = cat.add_item("a1", Domain::int_range(-100, 100));
+        let b1 = cat.add_item("b1", Domain::int_range(-100, 100));
+        let ic = IntegrityConstraint::new(vec![
+            Conjunct::new(0, Formula::le(Term::var(a0), Term::var(b0))),
+            Conjunct::new(1, Formula::le(Term::var(a1), Term::var(b1))),
+        ])
+        .unwrap();
+        let initial = DbState::from_pairs([
+            (a0, Value::Int(0)),
+            (b0, Value::Int(10)),
+            (a1, Value::Int(0)),
+            (b1, Value::Int(10)),
+        ]);
+        (cat, ic, initial)
+    }
+
+    fn cross_conjunct_programs() -> Vec<Program> {
+        vec![
+            parse_program("T1", "a0 := a0 + 1; a1 := a1 + 1;").unwrap(),
+            parse_program("T2", "b1 := b1 + 1; b0 := b0 + 1;").unwrap(),
+            parse_program("T3", "a0 := a0 + 2;").unwrap(),
+        ]
+    }
+
+    #[test]
+    fn global_2pl_produces_serializable_schedules() {
+        let (cat, _ic, initial) = setup();
+        let programs = cross_conjunct_programs();
+        for seed in 0..20 {
+            let cfg = ExecConfig {
+                seed,
+                ..ExecConfig::default()
+            };
+            let out =
+                run_workload(&programs, &cat, &initial, &PolicySpec::global_2pl(), &cfg).unwrap();
+            assert!(
+                is_conflict_serializable(&out.schedule),
+                "seed {seed}: {}",
+                out.schedule
+            );
+            out.schedule.check_read_coherence(&initial).unwrap();
+        }
+    }
+
+    #[test]
+    fn pw_2pl_produces_pwsr_schedules() {
+        let (cat, ic, initial) = setup();
+        let programs = cross_conjunct_programs();
+        for seed in 0..20 {
+            let cfg = ExecConfig {
+                seed,
+                ..ExecConfig::default()
+            };
+            let policy = PolicySpec::predicate_wise_2pl_early(&ic);
+            let out = run_workload(&programs, &cat, &initial, &policy, &cfg).unwrap();
+            assert!(is_pwsr(&out.schedule, &ic).ok(), "seed {seed}");
+            out.schedule.check_read_coherence(&initial).unwrap();
+        }
+    }
+
+    #[test]
+    fn final_state_accumulates_all_writes() {
+        let (cat, _ic, initial) = setup();
+        let programs = vec![
+            parse_program("T1", "a0 := a0 + 1;").unwrap(),
+            parse_program("T2", "a0 := a0 + 1;").unwrap(),
+        ];
+        let out = run_workload(
+            &programs,
+            &cat,
+            &initial,
+            &PolicySpec::global_2pl(),
+            &ExecConfig::default(),
+        )
+        .unwrap();
+        // Both increments applied (lost updates prevented by locking).
+        assert_eq!(
+            out.final_state.get(cat.lookup("a0").unwrap()),
+            Some(&Value::Int(2))
+        );
+        assert_eq!(out.metrics.committed_ops, 4);
+    }
+
+    #[test]
+    fn deadlock_detected_and_resolved() {
+        // Opposite lock orders on x and y force a deadlock for some
+        // schedule draws; the run must nonetheless complete.
+        let mut cat = Catalog::new();
+        cat.add_item("x", Domain::int_range(-100, 100));
+        cat.add_item("y", Domain::int_range(-100, 100));
+        let initial = DbState::from_pairs([
+            (cat.lookup("x").unwrap(), Value::Int(0)),
+            (cat.lookup("y").unwrap(), Value::Int(0)),
+        ]);
+        let programs = vec![
+            parse_program("T1", "x := x + 1; y := y + 1;").unwrap(),
+            parse_program("T2", "y := y + 10; x := x + 10;").unwrap(),
+        ];
+        let mut saw_deadlock = false;
+        for seed in 0..40 {
+            let cfg = ExecConfig {
+                seed,
+                ..ExecConfig::default()
+            };
+            let out =
+                run_workload(&programs, &cat, &initial, &PolicySpec::global_2pl(), &cfg).unwrap();
+            saw_deadlock |= out.metrics.deadlocks > 0;
+            // Both increments survive restarts: x = y = 11 always.
+            assert_eq!(
+                out.final_state.get(cat.lookup("x").unwrap()),
+                Some(&Value::Int(11)),
+                "seed {seed}"
+            );
+            assert_eq!(
+                out.final_state.get(cat.lookup("y").unwrap()),
+                Some(&Value::Int(11))
+            );
+            assert!(is_conflict_serializable(&out.schedule));
+            out.schedule.check_read_coherence(&initial).unwrap();
+        }
+        assert!(saw_deadlock, "expected at least one seed to deadlock");
+    }
+
+    #[test]
+    fn early_release_never_waits_more_than_hold_to_end() {
+        let (cat, ic, initial) = setup();
+        // A long transaction touching both conjuncts, plus short ones
+        // contending on each conjunct.
+        let programs = vec![
+            parse_program(
+                "LONG",
+                "a0 := a0 + 1; b0 := b0 + 1; a1 := a1 + 1; b1 := b1 + 1;",
+            )
+            .unwrap(),
+            parse_program("S0", "a0 := a0 + 1;").unwrap(),
+            parse_program("S1", "a1 := a1 + 1;").unwrap(),
+        ];
+        let mut hold_waits = 0u64;
+        let mut early_waits = 0u64;
+        for seed in 0..30 {
+            let cfg = ExecConfig {
+                seed,
+                ..ExecConfig::default()
+            };
+            let hold = run_workload(
+                &programs,
+                &cat,
+                &initial,
+                &PolicySpec::predicate_wise_2pl(&ic),
+                &cfg,
+            )
+            .unwrap();
+            let early = run_workload(
+                &programs,
+                &cat,
+                &initial,
+                &PolicySpec::predicate_wise_2pl_early(&ic),
+                &cfg,
+            )
+            .unwrap();
+            hold_waits += hold.metrics.waits;
+            early_waits += early.metrics.waits;
+            assert!(is_pwsr(&early.schedule, &ic).ok());
+        }
+        assert!(
+            early_waits <= hold_waits,
+            "early release should not increase waiting ({early_waits} vs {hold_waits})"
+        );
+    }
+
+    #[test]
+    fn dr_blocking_yields_delayed_read_schedules() {
+        let (cat, ic, initial) = setup();
+        let programs = cross_conjunct_programs();
+        for seed in 0..20 {
+            let cfg = ExecConfig {
+                seed,
+                ..ExecConfig::default()
+            };
+            let policy = PolicySpec::predicate_wise_2pl_early(&ic).dr_blocking();
+            let out = run_workload(&programs, &cat, &initial, &policy, &cfg).unwrap();
+            assert!(
+                pwsr_core::dr::is_delayed_read(&out.schedule),
+                "seed {seed}: {}",
+                out.schedule
+            );
+        }
+    }
+
+    #[test]
+    fn hold_to_end_pw2pl_is_dr_by_construction() {
+        let (cat, ic, initial) = setup();
+        let programs = cross_conjunct_programs();
+        for seed in 0..10 {
+            let cfg = ExecConfig {
+                seed,
+                ..ExecConfig::default()
+            };
+            let out = run_workload(
+                &programs,
+                &cat,
+                &initial,
+                &PolicySpec::predicate_wise_2pl(&ic),
+                &cfg,
+            )
+            .unwrap();
+            assert!(pwsr_core::dr::is_delayed_read(&out.schedule));
+        }
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let (cat, ic, initial) = setup();
+        let programs = cross_conjunct_programs();
+        let cfg = ExecConfig {
+            seed: 42,
+            ..ExecConfig::default()
+        };
+        let policy = PolicySpec::predicate_wise_2pl_early(&ic);
+        let a = run_workload(&programs, &cat, &initial, &policy, &cfg).unwrap();
+        let b = run_workload(&programs, &cat, &initial, &policy, &cfg).unwrap();
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn empty_workload() {
+        let (cat, _ic, initial) = setup();
+        let out = run_workload(
+            &[],
+            &cat,
+            &initial,
+            &PolicySpec::global_2pl(),
+            &ExecConfig::default(),
+        )
+        .unwrap();
+        assert!(out.schedule.is_empty());
+        assert_eq!(out.final_state, initial);
+    }
+
+    #[test]
+    fn prevention_policies_complete_deadlock_prone_workloads() {
+        // The opposite-lock-order workload that deadlocks under
+        // detection must also complete under wait-die and wound-wait,
+        // with zero detected cycles (prevention forbids them).
+        let mut cat = Catalog::new();
+        cat.add_item("x", Domain::int_range(-100, 100));
+        cat.add_item("y", Domain::int_range(-100, 100));
+        let initial = DbState::from_pairs([
+            (cat.lookup("x").unwrap(), Value::Int(0)),
+            (cat.lookup("y").unwrap(), Value::Int(0)),
+        ]);
+        let programs = vec![
+            parse_program("T1", "x := x + 1; y := y + 1;").unwrap(),
+            parse_program("T2", "y := y + 10; x := x + 10;").unwrap(),
+            parse_program("T3", "x := x + 100; y := y + 100;").unwrap(),
+        ];
+        for policy in [DeadlockPolicy::WaitDie, DeadlockPolicy::WoundWait] {
+            let mut restarts = 0;
+            for seed in 0..30 {
+                let cfg = ExecConfig {
+                    seed,
+                    deadlock: policy,
+                    ..ExecConfig::default()
+                };
+                let out = run_workload(&programs, &cat, &initial, &PolicySpec::global_2pl(), &cfg)
+                    .unwrap();
+                assert_eq!(
+                    out.metrics.deadlocks, 0,
+                    "{policy:?} must not detect cycles"
+                );
+                restarts += out.metrics.restarts;
+                assert_eq!(
+                    out.final_state.get(cat.lookup("x").unwrap()),
+                    Some(&Value::Int(111)),
+                    "{policy:?} seed {seed}"
+                );
+                assert_eq!(
+                    out.final_state.get(cat.lookup("y").unwrap()),
+                    Some(&Value::Int(111))
+                );
+                assert!(is_conflict_serializable(&out.schedule));
+                out.schedule.check_read_coherence(&initial).unwrap();
+            }
+            assert!(restarts > 0, "{policy:?}: contention should cause restarts");
+        }
+    }
+
+    #[test]
+    fn dag_guard_rejects_cyclic_access_and_stays_correct() {
+        // The Example-2 program pair accesses the two conjuncts in a
+        // cyclic pattern; under the guarded policy one of the pair is
+        // rejected and the committed schedule always has an acyclic
+        // DAG (and, per Theorem 3, stays strongly correct).
+        use pwsr_core::dag::data_access_graph;
+        use pwsr_core::solver::Solver;
+        use pwsr_core::strong::check_strong_correctness;
+        use pwsr_tplang::programs::example2;
+        let sc = example2();
+        let policy = PolicySpec::predicate_wise_2pl_early(&sc.ic).dag_guarded(&sc.ic);
+        let solver = Solver::new(&sc.catalog, &sc.ic);
+        let mut rejections = 0u32;
+        for seed in 0..30 {
+            let cfg = ExecConfig {
+                seed,
+                ..ExecConfig::default()
+            };
+            let out = run_workload(&sc.programs, &sc.catalog, &sc.initial, &policy, &cfg).unwrap();
+            let dag = data_access_graph(&out.schedule, &sc.ic);
+            assert!(
+                dag.is_acyclic(),
+                "seed {seed}: guard must keep the DAG acyclic"
+            );
+            assert!(is_pwsr(&out.schedule, &sc.ic).ok());
+            let report = check_strong_correctness(&out.schedule, &solver, &sc.initial);
+            assert!(report.ok(), "seed {seed}: {report:?}");
+            rejections += out.rejected.len() as u32;
+        }
+        assert!(rejections > 0, "the cyclic pair must trigger rejections");
+    }
+
+    #[test]
+    fn dag_guard_admits_acyclic_mixes_untouched() {
+        use pwsr_tplang::programs::example2;
+        let sc = example2();
+        // Both programs read conjunct 0 and write conjunct 1 only.
+        let mix = vec![
+            parse_program("P1", "c := max(a, 1);").unwrap(),
+            parse_program("P2", "c := abs(b) + 1;").unwrap(),
+        ];
+        let policy = PolicySpec::predicate_wise_2pl_early(&sc.ic).dag_guarded(&sc.ic);
+        for seed in 0..20 {
+            let cfg = ExecConfig {
+                seed,
+                ..ExecConfig::default()
+            };
+            let out = run_workload(&mix, &sc.catalog, &sc.initial, &policy, &cfg).unwrap();
+            assert!(out.rejected.is_empty(), "seed {seed}");
+            assert_eq!(out.schedule.txn_ids().len(), 2);
+        }
+    }
+
+    #[test]
+    fn wound_wait_favors_elders() {
+        // Under wound-wait, the oldest transaction is never aborted.
+        let mut cat = Catalog::new();
+        cat.add_item("x", Domain::int_range(-100, 100));
+        cat.add_item("y", Domain::int_range(-100, 100));
+        let initial = DbState::from_pairs([
+            (cat.lookup("x").unwrap(), Value::Int(0)),
+            (cat.lookup("y").unwrap(), Value::Int(0)),
+        ]);
+        let programs = vec![
+            parse_program("OLD", "x := x + 1; y := y + 1;").unwrap(),
+            parse_program("YOUNG", "y := y + 10; x := x + 10;").unwrap(),
+        ];
+        for seed in 0..30 {
+            let cfg = ExecConfig {
+                seed,
+                deadlock: DeadlockPolicy::WoundWait,
+                ..ExecConfig::default()
+            };
+            let out =
+                run_workload(&programs, &cat, &initial, &PolicySpec::global_2pl(), &cfg).unwrap();
+            // Both effects present; T1 (older) may wound T2 but both
+            // finish.
+            assert_eq!(
+                out.final_state.get(cat.lookup("x").unwrap()),
+                Some(&Value::Int(11))
+            );
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! # pwsr-scheduler — concurrency-control substrate
+//!
+//! The paper motivates PWSR with long-duration transactions (CAD) and
+//! autonomous multidatabases: global serializability forces long waits,
+//! while per-conjunct serializability permits far more interleaving.
+//! This crate makes that comparison measurable by *generating* schedules
+//! under lock-based policies:
+//!
+//! * [`lock`] — a shared/exclusive lock table partitioned into lock
+//!   *spaces* (one space = one unit of serializability).
+//! * [`policy`] — policy specifications: global strict 2PL (the
+//!   serializability baseline), predicate-wise 2PL (one lock space per
+//!   conjunct — Definition 2 made operational), optional early
+//!   per-conjunct lock release (the long-transaction win), and optional
+//!   delayed-read blocking (Theorem 2 made operational).
+//! * [`plan`] — access plans: exact operation structures for
+//!   fixed-structure programs (Theorem 1's class), enabling sound early
+//!   release.
+//! * [`exec`] — a deterministic, seeded, discrete-event executor with
+//!   waits-for deadlock detection, victim selection, cascading aborts
+//!   and restarts; produces the committed schedule plus metrics.
+//! * [`dag_admission`] — static Theorem-3 admission: conjunct access
+//!   ordering from the program set's syntactic read/write sets.
+//! * [`mdbs`] — the §4 multidatabase scenario: each site is a lock
+//!   space; local serializability everywhere ⇒ the global schedule is
+//!   PWSR over the site partition.
+//! * [`concurrent`] — a genuinely threaded executor (parking_lot) for
+//!   demonstration that the discrete-event results are not an artifact
+//!   of simulation.
+
+pub mod concurrent;
+pub mod dag_admission;
+pub mod error;
+pub mod exec;
+pub mod lock;
+pub mod mdbs;
+pub mod metrics;
+pub mod occ;
+pub mod plan;
+pub mod policy;
+pub mod sgt;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::dag_admission::{check_static_dag, StaticDag};
+    pub use crate::error::SchedError;
+    pub use crate::exec::{run_workload, ExecConfig, ExecOutcome};
+    pub use crate::lock::{LockMode, LockTable, SpaceId};
+    pub use crate::mdbs::{run_mdbs, MdbsOutcome, Site};
+    pub use crate::metrics::Metrics;
+    pub use crate::occ::{run_occ, OccOutcome, OccStats};
+    pub use crate::plan::{access_plan, PlanMode};
+    pub use crate::policy::PolicySpec;
+    pub use crate::sgt::{run_sgt, SgtOutcome, SgtStats};
+}

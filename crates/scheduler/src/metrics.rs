@@ -1,0 +1,90 @@
+//! Execution metrics collected by the executor.
+
+use std::fmt;
+
+/// Counters describing one workload execution.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Scheduler steps taken (each step attempts one operation).
+    pub steps: u64,
+    /// Operations committed into the final schedule.
+    pub committed_ops: u64,
+    /// Times a transaction found itself blocked (lock or DR wait).
+    pub waits: u64,
+    /// Deadlock cycles resolved.
+    pub deadlocks: u64,
+    /// Transactions aborted (victims + cascades).
+    pub aborts: u64,
+    /// Transaction restarts performed.
+    pub restarts: u64,
+    /// Lock acquisitions granted.
+    pub lock_acquisitions: u64,
+}
+
+impl Metrics {
+    /// Blocked-step fraction: waits per step (0 when no steps ran).
+    pub fn wait_ratio(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.waits as f64 / self.steps as f64
+        }
+    }
+
+    /// Useful-work fraction: committed operations per step.
+    pub fn goodput(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.committed_ops as f64 / self.steps as f64
+        }
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "steps={} ops={} waits={} deadlocks={} aborts={} restarts={} locks={} goodput={:.3}",
+            self.steps,
+            self.committed_ops,
+            self.waits,
+            self.deadlocks,
+            self.aborts,
+            self.restarts,
+            self.lock_acquisitions,
+            self.goodput()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios() {
+        let m = Metrics {
+            steps: 10,
+            committed_ops: 5,
+            waits: 2,
+            ..Metrics::default()
+        };
+        assert!((m.wait_ratio() - 0.2).abs() < 1e-9);
+        assert!((m.goodput() - 0.5).abs() < 1e-9);
+        let z = Metrics::default();
+        assert_eq!(z.wait_ratio(), 0.0);
+        assert_eq!(z.goodput(), 0.0);
+    }
+
+    #[test]
+    fn display_contains_counters() {
+        let m = Metrics {
+            steps: 3,
+            deadlocks: 1,
+            ..Metrics::default()
+        };
+        let s = m.to_string();
+        assert!(s.contains("steps=3") && s.contains("deadlocks=1"));
+    }
+}

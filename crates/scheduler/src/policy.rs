@@ -1,0 +1,204 @@
+//! Concurrency-control policy specifications.
+//!
+//! A [`PolicySpec`] tells the executor (a) which lock space each data
+//! item belongs to, (b) whether a transaction's locks in a space may be
+//! released as soon as its access plan shows no further accesses there
+//! (*early release* — the long-transaction benefit §1 motivates), and
+//! (c) whether reads of items last written by an unfinished transaction
+//! must block (*DR blocking*, the operational form of Theorem 2).
+//!
+//! | constructor | spaces | guarantees on the committed schedule |
+//! |---|---|---|
+//! | [`PolicySpec::global_2pl`] | one | conflict-serializable |
+//! | [`PolicySpec::predicate_wise_2pl`] | per conjunct | PWSR |
+//! | [`PolicySpec::predicate_wise_2pl_early`] | per conjunct | PWSR, more interleaving |
+//! | [`PolicySpec::dr_blocking`] (wrapper) | unchanged | + delayed-read |
+
+use crate::lock::SpaceId;
+use pwsr_core::constraint::IntegrityConstraint;
+use pwsr_core::ids::ItemId;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A policy: item→space map plus behavioural flags.
+#[derive(Clone)]
+pub struct PolicySpec {
+    /// Display name (appears in metrics and experiment tables).
+    pub name: String,
+    space_of: Arc<dyn Fn(ItemId) -> SpaceId + Send + Sync>,
+    /// Release a space's locks once the access plan shows no further
+    /// accesses there (requires plans; without a plan the executor
+    /// holds to end).
+    pub early_release: bool,
+    /// Block reads of items whose latest writer has not finished.
+    pub dr_block: bool,
+    /// When `Some(l)`, spaces `0..l` are conjuncts and the executor
+    /// enforces Theorem 3 at run time: a transaction whose accesses
+    /// would make `DAG(S, IC)` cyclic is rejected (§3.3's data-access
+    /// ordering as runtime admission). Only meaningful for
+    /// conjunct-aligned policies.
+    pub dag_guard: Option<u32>,
+}
+
+impl std::fmt::Debug for PolicySpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PolicySpec")
+            .field("name", &self.name)
+            .field("early_release", &self.early_release)
+            .field("dr_block", &self.dr_block)
+            .finish()
+    }
+}
+
+impl PolicySpec {
+    /// The lock space of `item`.
+    pub fn space_of(&self, item: ItemId) -> SpaceId {
+        (self.space_of)(item)
+    }
+
+    /// Global strict two-phase locking: a single lock space, locks held
+    /// to transaction end. The serializability baseline.
+    pub fn global_2pl() -> PolicySpec {
+        PolicySpec {
+            name: "2PL".to_owned(),
+            space_of: Arc::new(|_| SpaceId(0)),
+            early_release: false,
+            dr_block: false,
+            dag_guard: None,
+        }
+    }
+
+    /// Predicate-wise strict 2PL: one lock space per conjunct of `ic`
+    /// (items outside every conjunct get their own private space).
+    /// Locks held to end ⇒ committed schedules are PWSR *and* DR.
+    pub fn predicate_wise_2pl(ic: &IntegrityConstraint) -> PolicySpec {
+        PolicySpec {
+            name: "PW-2PL".to_owned(),
+            space_of: conjunct_spaces(ic),
+            early_release: false,
+            dr_block: false,
+            dag_guard: None,
+        }
+    }
+
+    /// Predicate-wise 2PL with early per-conjunct release: once a
+    /// transaction's access plan shows no further accesses in a
+    /// conjunct, that conjunct's locks drop immediately. Committed
+    /// schedules remain PWSR (per-space 2PL is still two-phase), but
+    /// are generally *not* DR — this is the policy whose anomalies
+    /// Theorems 1–3 adjudicate.
+    pub fn predicate_wise_2pl_early(ic: &IntegrityConstraint) -> PolicySpec {
+        PolicySpec {
+            name: "PW-2PL-early".to_owned(),
+            space_of: conjunct_spaces(ic),
+            early_release: true,
+            dr_block: false,
+            dag_guard: None,
+        }
+    }
+
+    /// Enable the runtime Theorem-3 guard (requires conjunct-aligned
+    /// spaces, i.e. one of the predicate-wise constructors).
+    pub fn dag_guarded(mut self, ic: &IntegrityConstraint) -> PolicySpec {
+        self.dag_guard = Some(ic.len() as u32);
+        self.name = format!("{}+DAG", self.name);
+        self
+    }
+
+    /// Wrap a policy with delayed-read blocking (Theorem 2's condition,
+    /// enforced at run time).
+    pub fn dr_blocking(mut self) -> PolicySpec {
+        self.dr_block = true;
+        self.name = format!("{}+DR", self.name);
+        self
+    }
+
+    /// A policy with an explicit item→space table (used by the MDBS
+    /// simulation, where spaces are *sites*).
+    pub fn from_table(
+        name: &str,
+        table: HashMap<ItemId, SpaceId>,
+        fallback_base: u32,
+    ) -> PolicySpec {
+        PolicySpec {
+            name: name.to_owned(),
+            space_of: Arc::new(move |item: ItemId| {
+                table
+                    .get(&item)
+                    .copied()
+                    .unwrap_or(SpaceId(fallback_base + item.0))
+            }),
+            early_release: false,
+            dr_block: false,
+            dag_guard: None,
+        }
+    }
+}
+
+/// Item→space map assigning conjunct `k` the space `k`; unconstrained
+/// items get private spaces above the conjunct range (they constrain
+/// nothing, so serializing them per item is harmless and maximally
+/// permissive).
+fn conjunct_spaces(ic: &IntegrityConstraint) -> Arc<dyn Fn(ItemId) -> SpaceId + Send + Sync> {
+    let l = ic.len() as u32;
+    let mut table: HashMap<ItemId, SpaceId> = HashMap::new();
+    for (k, c) in ic.conjuncts().iter().enumerate() {
+        for item in c.items().iter() {
+            // First conjunct wins for overlapping ICs.
+            table.entry(item).or_insert(SpaceId(k as u32));
+        }
+    }
+    Arc::new(move |item: ItemId| table.get(&item).copied().unwrap_or(SpaceId(l + item.0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwsr_core::constraint::{Conjunct, Formula, Term};
+
+    fn two_conjunct_ic() -> IntegrityConstraint {
+        IntegrityConstraint::new(vec![
+            Conjunct::new(0, Formula::gt(Term::var(ItemId(0)), Term::var(ItemId(1)))),
+            Conjunct::new(1, Formula::gt(Term::var(ItemId(2)), Term::int(0))),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn global_maps_everything_to_space_zero() {
+        let p = PolicySpec::global_2pl();
+        assert_eq!(p.space_of(ItemId(0)), SpaceId(0));
+        assert_eq!(p.space_of(ItemId(99)), SpaceId(0));
+        assert!(!p.early_release && !p.dr_block);
+    }
+
+    #[test]
+    fn predicate_wise_maps_by_conjunct() {
+        let ic = two_conjunct_ic();
+        let p = PolicySpec::predicate_wise_2pl(&ic);
+        assert_eq!(p.space_of(ItemId(0)), SpaceId(0));
+        assert_eq!(p.space_of(ItemId(1)), SpaceId(0));
+        assert_eq!(p.space_of(ItemId(2)), SpaceId(1));
+        // Unconstrained item 7 → private space 2 + 7.
+        assert_eq!(p.space_of(ItemId(7)), SpaceId(9));
+    }
+
+    #[test]
+    fn early_and_dr_flags() {
+        let ic = two_conjunct_ic();
+        let p = PolicySpec::predicate_wise_2pl_early(&ic);
+        assert!(p.early_release);
+        let p = p.dr_blocking();
+        assert!(p.dr_block);
+        assert_eq!(p.name, "PW-2PL-early+DR");
+    }
+
+    #[test]
+    fn table_policy_with_fallback() {
+        let mut table = HashMap::new();
+        table.insert(ItemId(0), SpaceId(5));
+        let p = PolicySpec::from_table("sites", table, 100);
+        assert_eq!(p.space_of(ItemId(0)), SpaceId(5));
+        assert_eq!(p.space_of(ItemId(3)), SpaceId(103));
+    }
+}

@@ -1,0 +1,430 @@
+//! Fixed-structure analysis (Definition 3) and related program classes.
+//!
+//! Definition 3: *"Transaction program TP has a fixed structure if for
+//! all pairs (DS₁, DS₂) of database states, struct(T₁) = struct(T₂)"* —
+//! the operation sequence with values erased must not depend on the
+//! initial state.
+//!
+//! Three flavours are provided:
+//!
+//! * [`structure_of`] — the structure of one execution.
+//! * [`fixed_structure_over`] / [`is_fixed_structure_exhaustive`] —
+//!   ground truth by executing over supplied / all enumerable states.
+//! * [`static_structure`] — a conservative *prover*: a `Fixed` verdict
+//!   is sound (no execution can deviate), `Unknown` means the program
+//!   may or may not be fixed (e.g. branches with different footprints
+//!   that are never both reachable).
+//!
+//! [`is_straight_line`] recognizes the transaction class of the
+//! Sha–Lehoczky–Jensen baseline \[14\]: no control flow at all. Every
+//! straight-line program is fixed-structure (also checked in tests).
+
+use crate::ast::{Cond, Expr, Program, Stmt};
+use crate::error::Result;
+use crate::interp::execute;
+use pwsr_core::catalog::Catalog;
+use pwsr_core::ids::{ItemId, TxnId};
+use pwsr_core::op::{Action, OpStruct};
+use pwsr_core::state::{DbState, ItemSet};
+use std::collections::BTreeSet;
+
+/// `struct(T)` for the transaction produced by running `program` from
+/// `state`.
+pub fn structure_of(
+    program: &Program,
+    catalog: &Catalog,
+    state: &DbState,
+) -> Result<Vec<OpStruct>> {
+    Ok(execute(program, catalog, TxnId(0), state)?.structure())
+}
+
+/// Is the structure identical across all the given states (pairwise
+/// Definition 3 over a finite family)?
+pub fn fixed_structure_over<'a, I>(program: &Program, catalog: &Catalog, states: I) -> Result<bool>
+where
+    I: IntoIterator<Item = &'a DbState>,
+{
+    let mut reference: Option<Vec<OpStruct>> = None;
+    for st in states {
+        let s = structure_of(program, catalog, st)?;
+        match &reference {
+            None => reference = Some(s),
+            Some(r) if *r != s => return Ok(false),
+            Some(_) => {}
+        }
+    }
+    Ok(true)
+}
+
+/// The data items a program can possibly access: every identifier in
+/// the program text that names a catalog item (a syntactic
+/// over-approximation of `RS ∪ WS` across all executions).
+pub fn accessed_items(program: &Program, catalog: &Catalog) -> ItemSet {
+    let mut names = Vec::new();
+    fn walk(stmts: &[Stmt], names: &mut Vec<String>) {
+        for s in stmts {
+            match s {
+                Stmt::Assign { target, expr } => {
+                    names.push(target.clone());
+                    expr.var_names(names);
+                }
+                Stmt::Touch(name) => names.push(name.clone()),
+                Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                } => {
+                    cond.var_names(names);
+                    walk(then_branch, names);
+                    walk(else_branch, names);
+                }
+                Stmt::While { cond, body, .. } => {
+                    cond.var_names(names);
+                    walk(body, names);
+                }
+            }
+        }
+    }
+    walk(&program.body, &mut names);
+    names
+        .into_iter()
+        .filter_map(|n| catalog.lookup(&n).ok())
+        .collect()
+}
+
+/// Enumerate every total state over the program's accessible items (up
+/// to `cap` states) and compare structures. Returns `None` if the state
+/// space exceeds `cap` — fall back to sampling in that case.
+pub fn is_fixed_structure_exhaustive(
+    program: &Program,
+    catalog: &Catalog,
+    cap: u64,
+) -> Result<Option<bool>> {
+    let items: Vec<ItemId> = accessed_items(program, catalog).iter().collect();
+    let mut total: u64 = 1;
+    for &i in &items {
+        total = total.saturating_mul(catalog.domain(i).size());
+        if total > cap {
+            return Ok(None);
+        }
+    }
+    // Odometer enumeration over the domains.
+    let mut reference: Option<Vec<OpStruct>> = None;
+    let mut counters: Vec<u64> = vec![0; items.len()];
+    loop {
+        let mut st = DbState::new();
+        for (k, &i) in items.iter().enumerate() {
+            let v = catalog
+                .domain(i)
+                .iter()
+                .nth(counters[k] as usize)
+                .expect("counter within domain");
+            st.set(i, v);
+        }
+        let s = structure_of(program, catalog, &st)?;
+        match &reference {
+            None => reference = Some(s),
+            Some(r) if *r != s => return Ok(Some(false)),
+            Some(_) => {}
+        }
+        // Advance the odometer.
+        let mut k = 0;
+        loop {
+            if k == items.len() {
+                return Ok(Some(true));
+            }
+            counters[k] += 1;
+            if counters[k] < catalog.domain(items[k]).size() {
+                break;
+            }
+            counters[k] = 0;
+            k += 1;
+        }
+    }
+}
+
+/// Verdict of the conservative static prover.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StaticVerdict {
+    /// Definitely fixed-structure: every execution from every state
+    /// emits the same operation-structure sequence.
+    Fixed,
+    /// Could not be proven fixed (with the obstruction found).
+    Unknown(String),
+}
+
+impl StaticVerdict {
+    /// Was a `Fixed` proof found?
+    pub fn is_fixed(&self) -> bool {
+        matches!(self, StaticVerdict::Fixed)
+    }
+}
+
+/// Conservative static fixed-structure check. Sound for `Fixed`:
+/// branches must have identical op footprints given the read cache at
+/// entry, and loops must be operation-silent.
+pub fn static_structure(program: &Program, catalog: &Catalog) -> StaticVerdict {
+    let mut cached: BTreeSet<ItemId> = BTreeSet::new();
+    match sym_block(&program.body, catalog, &mut cached) {
+        Ok(_) => StaticVerdict::Fixed,
+        Err(reason) => StaticVerdict::Unknown(reason),
+    }
+}
+
+/// Symbolic walk result: the op-structure footprint of the block.
+pub(crate) fn sym_block(
+    stmts: &[Stmt],
+    catalog: &Catalog,
+    cached: &mut BTreeSet<ItemId>,
+) -> std::result::Result<Vec<OpStruct>, String> {
+    let mut out = Vec::new();
+    for s in stmts {
+        match s {
+            Stmt::Assign { target, expr } => {
+                sym_expr(expr, catalog, cached, &mut out);
+                if let Ok(item) = catalog.lookup(target) {
+                    out.push(OpStruct {
+                        action: Action::Write,
+                        item,
+                    });
+                    cached.insert(item); // write buffer serves later reads
+                }
+            }
+            Stmt::Touch(name) => {
+                if let Ok(item) = catalog.lookup(name) {
+                    if cached.insert(item) {
+                        out.push(OpStruct {
+                            action: Action::Read,
+                            item,
+                        });
+                    }
+                }
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                sym_cond(cond, catalog, cached, &mut out);
+                let mut cached_then = cached.clone();
+                let mut cached_else = cached.clone();
+                let then_ops = sym_block(then_branch, catalog, &mut cached_then)?;
+                let else_ops = sym_block(else_branch, catalog, &mut cached_else)?;
+                if then_ops != else_ops {
+                    return Err(format!(
+                        "if-branches have different operation footprints ({} vs {} ops)",
+                        then_ops.len(),
+                        else_ops.len()
+                    ));
+                }
+                out.extend(then_ops);
+                *cached = cached_then; // equal footprints ⇒ equal caches
+            }
+            Stmt::While { cond, body, .. } => {
+                sym_cond(cond, catalog, cached, &mut out);
+                let mut cached_body = cached.clone();
+                let body_ops = sym_block(body, catalog, &mut cached_body)?;
+                if !body_ops.is_empty() {
+                    return Err(
+                        "while body performs data-item operations (iteration count is state-dependent)"
+                            .to_owned(),
+                    );
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn sym_expr(
+    expr: &Expr,
+    catalog: &Catalog,
+    cached: &mut BTreeSet<ItemId>,
+    out: &mut Vec<OpStruct>,
+) {
+    let mut names = Vec::new();
+    expr.var_names(&mut names);
+    for n in names {
+        if let Ok(item) = catalog.lookup(&n) {
+            if cached.insert(item) {
+                out.push(OpStruct {
+                    action: Action::Read,
+                    item,
+                });
+            }
+        }
+    }
+}
+
+fn sym_cond(
+    cond: &Cond,
+    catalog: &Catalog,
+    cached: &mut BTreeSet<ItemId>,
+    out: &mut Vec<OpStruct>,
+) {
+    let mut names = Vec::new();
+    cond.var_names(&mut names);
+    for n in names {
+        if let Ok(item) = catalog.lookup(&n) {
+            if cached.insert(item) {
+                out.push(OpStruct {
+                    action: Action::Read,
+                    item,
+                });
+            }
+        }
+    }
+}
+
+/// Is the program straight-line (no `if`/`while` at any depth)? This is
+/// the restriction on transactions assumed by Sha et al. \[14\], which the
+/// paper relaxes. Straight-line ⇒ fixed-structure.
+pub fn is_straight_line(program: &Program) -> bool {
+    !program.has_control_flow()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use pwsr_core::value::Domain;
+
+    fn catalog_abc(lo: i64, hi: i64) -> Catalog {
+        let mut cat = Catalog::new();
+        for name in ["a", "b", "c"] {
+            cat.add_item(name, Domain::int_range(lo, hi));
+        }
+        cat
+    }
+
+    #[test]
+    fn example2_tp1_is_not_fixed() {
+        // The paper: "in Example 2, the transaction program TP1 does not
+        // have a fixed structure."
+        let cat = catalog_abc(-2, 2);
+        let tp1 = parse_program("TP1", "a := 1; if (c > 0) then b := abs(b) + 1;").unwrap();
+        assert_eq!(
+            is_fixed_structure_exhaustive(&tp1, &cat, 10_000).unwrap(),
+            Some(false)
+        );
+        assert!(!static_structure(&tp1, &cat).is_fixed());
+    }
+
+    #[test]
+    fn example2_tp1_prime_is_fixed() {
+        // TP1′ pads the else branch with b := b.
+        let cat = catalog_abc(-2, 2);
+        let tp1p = parse_program(
+            "TP1p",
+            "a := 1; if (c > 0) then { b := abs(b) + 1; } else { b := b; }",
+        )
+        .unwrap();
+        assert_eq!(
+            is_fixed_structure_exhaustive(&tp1p, &cat, 10_000).unwrap(),
+            Some(true)
+        );
+        assert!(static_structure(&tp1p, &cat).is_fixed());
+    }
+
+    #[test]
+    fn straight_line_is_fixed() {
+        let cat = catalog_abc(-2, 2);
+        let p = parse_program("P", "b := c - 5; a := b * 2;").unwrap();
+        assert!(is_straight_line(&p));
+        assert!(static_structure(&p, &cat).is_fixed());
+        assert_eq!(
+            is_fixed_structure_exhaustive(&p, &cat, 10_000).unwrap(),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn branching_but_balanced_is_not_straight_line() {
+        let cat = catalog_abc(-2, 2);
+        let p = parse_program("P", "if (a > 0) then { b := 1; } else { b := 2; }").unwrap();
+        assert!(!is_straight_line(&p));
+        // …but it IS fixed-structure: same footprint in both branches.
+        assert!(static_structure(&p, &cat).is_fixed());
+        assert_eq!(
+            is_fixed_structure_exhaustive(&p, &cat, 10_000).unwrap(),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn static_is_conservative() {
+        // Both branches write different items, but the condition is a
+        // tautology over the domain (a*a >= 0): every execution takes
+        // the then-branch, so the program is in fact fixed. The static
+        // prover cannot see this and answers Unknown — the exhaustive
+        // check knows better.
+        let cat = catalog_abc(-2, 2);
+        let p = parse_program("P", "if (a * a >= 0) then { b := 1; } else { c := 1; }").unwrap();
+        assert!(!static_structure(&p, &cat).is_fixed());
+        assert_eq!(
+            is_fixed_structure_exhaustive(&p, &cat, 10_000).unwrap(),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn loops_on_locals_are_fixed() {
+        let cat = catalog_abc(-2, 2);
+        let p = parse_program("P", "i := 0; while (i < 3) do { i := i + 1; } a := i;").unwrap();
+        assert!(static_structure(&p, &cat).is_fixed());
+    }
+
+    #[test]
+    fn loops_touching_items_are_unknown() {
+        let cat = catalog_abc(-2, 2);
+        let p = parse_program("P", "while (a > 0) do { b := b - 1; }").unwrap();
+        let v = static_structure(&p, &cat);
+        assert!(matches!(v, StaticVerdict::Unknown(_)));
+    }
+
+    #[test]
+    fn accessed_items_is_syntactic_union() {
+        let cat = catalog_abc(-2, 2);
+        let p = parse_program("P", "if (a > 0) then b := 1; else c := temp_local;").unwrap();
+        // temp_local is not a catalog item.
+        let items = accessed_items(&p, &cat);
+        assert_eq!(items.len(), 3);
+    }
+
+    #[test]
+    fn exhaustive_gives_up_over_cap() {
+        let cat = catalog_abc(-100, 100); // 201³ ≈ 8.1M states
+        let p = parse_program("P", "a := b + c;").unwrap();
+        assert_eq!(
+            is_fixed_structure_exhaustive(&p, &cat, 1_000).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn fixed_over_explicit_states() {
+        let cat = catalog_abc(-2, 2);
+        let c = cat.lookup("c").unwrap();
+        let b = cat.lookup("b").unwrap();
+        let tp1 = parse_program("TP1", "a := 1; if (c > 0) then b := abs(b) + 1;").unwrap();
+        use pwsr_core::value::Value;
+        let s_pos = DbState::from_pairs([(c, Value::Int(1)), (b, Value::Int(0))]);
+        let s_neg = DbState::from_pairs([(c, Value::Int(-1)), (b, Value::Int(0))]);
+        // Same-branch states agree...
+        assert!(fixed_structure_over(&tp1, &cat, [&s_pos, &s_pos.clone()]).unwrap());
+        // ...cross-branch states do not.
+        assert!(!fixed_structure_over(&tp1, &cat, [&s_pos, &s_neg]).unwrap());
+    }
+
+    #[test]
+    fn structure_of_matches_execute() {
+        let cat = catalog_abc(-2, 2);
+        let p = parse_program("P", "b := c - 1;").unwrap();
+        use pwsr_core::value::Value;
+        let st = DbState::from_pairs([(cat.lookup("c").unwrap(), Value::Int(1))]);
+        let s = structure_of(&p, &cat, &st).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].action, Action::Read);
+        assert_eq!(s[1].action, Action::Write);
+    }
+}

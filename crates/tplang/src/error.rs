@@ -1,0 +1,94 @@
+//! Errors of the transaction-program substrate.
+
+use pwsr_core::error::CoreError;
+use pwsr_core::ids::ItemId;
+use std::fmt;
+
+/// Errors raised while parsing, analyzing or executing a program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TpError {
+    /// Lexical error at a byte offset.
+    Lex {
+        /// Byte position in the source.
+        at: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// Parse error.
+    Parse {
+        /// Approximate token index.
+        at: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// A local variable was used before being assigned.
+    UnboundLocal(String),
+    /// The program wrote a data item twice (violates §2.2).
+    DoubleWrite(ItemId),
+    /// A `while` loop exceeded its iteration limit.
+    LoopLimit {
+        /// The configured bound.
+        limit: u32,
+    },
+    /// The `fix_structure` rewrite could not canonicalize the program
+    /// (its branches fall outside the supported shape).
+    CannotCanonicalize(String),
+    /// An underlying model error (type error, missing item, …).
+    Core(CoreError),
+}
+
+impl fmt::Display for TpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TpError::Lex { at, msg } => write!(f, "lex error at byte {at}: {msg}"),
+            TpError::Parse { at, msg } => write!(f, "parse error near token {at}: {msg}"),
+            TpError::UnboundLocal(name) => {
+                write!(f, "local variable {name:?} used before assignment")
+            }
+            TpError::DoubleWrite(item) => {
+                write!(f, "program writes item {item:?} twice (violates §2.2)")
+            }
+            TpError::LoopLimit { limit } => {
+                write!(f, "while loop exceeded its iteration limit of {limit}")
+            }
+            TpError::CannotCanonicalize(msg) => {
+                write!(f, "fix_structure cannot canonicalize: {msg}")
+            }
+            TpError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TpError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for TpError {
+    fn from(e: CoreError) -> Self {
+        TpError::Core(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, TpError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = TpError::DoubleWrite(ItemId(2));
+        assert!(e.to_string().contains("twice"));
+        let e = TpError::from(CoreError::MissingItem(ItemId(0)));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(TpError::UnboundLocal("temp".into())
+            .to_string()
+            .contains("temp"));
+    }
+}

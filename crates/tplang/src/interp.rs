@@ -1,0 +1,476 @@
+//! Program interpreter: turns a transaction program plus a database
+//! state into the paper's *transaction* (a value-carrying operation
+//! sequence).
+//!
+//! ## Operational model (§2.2 assumptions, realized)
+//!
+//! * The **first** read of a data item emits a read operation; repeated
+//!   reads are served from a read cache (read each item at most once).
+//! * A read of an item the program has already **written** is served
+//!   from the write buffer without an operation (no read-after-write).
+//! * A second write to the same item is an error ([`TpError::DoubleWrite`]).
+//! * Local variables (any name not in the catalog) live outside the
+//!   database and never produce operations.
+//!
+//! ## Resumable execution
+//!
+//! [`run_with_reads`] re-executes the program feeding it a log of read
+//! values; when the program needs a value the log does not yet contain,
+//! execution suspends with [`RunOutcome::NeedsRead`]. This is the
+//! *continuation-by-replay* technique: deterministic programs replay
+//! identically on a fixed read log, so schedulers can interleave
+//! programs operation-by-operation without coroutines (see
+//! [`crate::session`]).
+
+use crate::ast::{BinOp, Cond, Expr, Program, Stmt, UnOp};
+use crate::error::{Result, TpError};
+use pwsr_core::catalog::Catalog;
+use pwsr_core::error::CoreError;
+use pwsr_core::ids::{ItemId, TxnId};
+use pwsr_core::op::Operation;
+use pwsr_core::state::DbState;
+use pwsr_core::txn::Transaction;
+use pwsr_core::value::Value;
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+/// Result of a (possibly suspended) program run.
+#[derive(Clone, Debug)]
+pub enum RunOutcome {
+    /// The program finished; `ops` is the complete transaction body.
+    Complete {
+        /// All operations, in program order.
+        ops: Vec<Operation>,
+    },
+    /// The program needs the value of `item` to continue; `ops` are the
+    /// operations emitted so far (the suspended read is *not* included).
+    NeedsRead {
+        /// The item whose value is needed.
+        item: ItemId,
+        /// Operations emitted before the suspension.
+        ops: Vec<Operation>,
+    },
+}
+
+enum Interrupt {
+    NeedsRead(ItemId),
+    Fail(TpError),
+}
+
+impl From<TpError> for Interrupt {
+    fn from(e: TpError) -> Self {
+        Interrupt::Fail(e)
+    }
+}
+
+struct Runner<'a> {
+    catalog: &'a Catalog,
+    txn: TxnId,
+    read_values: &'a [Value],
+    next_read: usize,
+    ops: Vec<Operation>,
+    locals: HashMap<String, Value>,
+    read_cache: BTreeMap<ItemId, Value>,
+    write_buffer: BTreeMap<ItemId, Value>,
+}
+
+type Step<T> = std::result::Result<T, Interrupt>;
+
+impl<'a> Runner<'a> {
+    fn read_name(&mut self, name: &str) -> Step<Value> {
+        match self.catalog.lookup(name) {
+            Ok(item) => self.read_item(item),
+            Err(_) => self
+                .locals
+                .get(name)
+                .cloned()
+                .ok_or_else(|| Interrupt::Fail(TpError::UnboundLocal(name.to_owned()))),
+        }
+    }
+
+    fn read_item(&mut self, item: ItemId) -> Step<Value> {
+        if let Some(v) = self.write_buffer.get(&item) {
+            return Ok(v.clone()); // own write, no operation
+        }
+        if let Some(v) = self.read_cache.get(&item) {
+            return Ok(v.clone()); // already read once
+        }
+        if self.next_read < self.read_values.len() {
+            let v = self.read_values[self.next_read].clone();
+            self.next_read += 1;
+            self.ops.push(Operation::read(self.txn, item, v.clone()));
+            self.read_cache.insert(item, v.clone());
+            Ok(v)
+        } else {
+            Err(Interrupt::NeedsRead(item))
+        }
+    }
+
+    fn write_name(&mut self, name: &str, value: Value) -> Step<()> {
+        match self.catalog.lookup(name) {
+            Ok(item) => {
+                if self.write_buffer.contains_key(&item) {
+                    return Err(Interrupt::Fail(TpError::DoubleWrite(item)));
+                }
+                self.ops
+                    .push(Operation::write(self.txn, item, value.clone()));
+                self.write_buffer.insert(item, value);
+                Ok(())
+            }
+            Err(_) => {
+                self.locals.insert(name.to_owned(), value);
+                Ok(())
+            }
+        }
+    }
+
+    fn eval(&mut self, expr: &Expr) -> Step<Value> {
+        fn int_of(v: Value, ctx: &'static str) -> Step<i64> {
+            v.as_int()
+                .ok_or(Interrupt::Fail(TpError::Core(CoreError::TypeError {
+                    expected: "int",
+                    found: "non-int",
+                    context: ctx,
+                })))
+        }
+        match expr {
+            Expr::Const(v) => Ok(v.clone()),
+            Expr::Var(name) => self.read_name(name),
+            Expr::Unary(op, e) => {
+                let v = int_of(self.eval(e)?, "unary op")?;
+                let out = match op {
+                    UnOp::Neg => v.checked_neg(),
+                    UnOp::Abs => v.checked_abs(),
+                };
+                out.map(Value::Int)
+                    .ok_or(Interrupt::Fail(TpError::Core(CoreError::Overflow)))
+            }
+            Expr::Binary(op, l, r) => {
+                let lv = int_of(self.eval(l)?, "binary op")?;
+                let rv = int_of(self.eval(r)?, "binary op")?;
+                let out = match op {
+                    BinOp::Add => lv.checked_add(rv),
+                    BinOp::Sub => lv.checked_sub(rv),
+                    BinOp::Mul => lv.checked_mul(rv),
+                    BinOp::Min => Some(lv.min(rv)),
+                    BinOp::Max => Some(lv.max(rv)),
+                };
+                out.map(Value::Int)
+                    .ok_or(Interrupt::Fail(TpError::Core(CoreError::Overflow)))
+            }
+        }
+    }
+
+    fn test(&mut self, cond: &Cond) -> Step<bool> {
+        match cond {
+            Cond::True => Ok(true),
+            Cond::False => Ok(false),
+            Cond::Cmp(op, l, r) => {
+                let lv = self.eval(l)?;
+                let rv = self.eval(r)?;
+                op.apply(&lv, &rv)
+                    .map_err(|e| Interrupt::Fail(TpError::Core(e)))
+            }
+            Cond::And(l, r) => Ok(self.test(l)? && self.test(r)?),
+            Cond::Or(l, r) => Ok(self.test(l)? || self.test(r)?),
+            Cond::Not(c) => Ok(!self.test(c)?),
+        }
+    }
+
+    fn exec_block(&mut self, stmts: &[Stmt]) -> Step<()> {
+        for s in stmts {
+            self.exec(s)?;
+        }
+        Ok(())
+    }
+
+    fn exec(&mut self, stmt: &Stmt) -> Step<()> {
+        match stmt {
+            Stmt::Assign { target, expr } => {
+                let v = self.eval(expr)?;
+                self.write_name(target, v)
+            }
+            Stmt::Touch(name) => {
+                let _ = self.read_name(name)?;
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                if self.test(cond)? {
+                    self.exec_block(then_branch)
+                } else {
+                    self.exec_block(else_branch)
+                }
+            }
+            Stmt::While { cond, body, limit } => {
+                let mut iters = 0u32;
+                while self.test(cond)? {
+                    if iters >= *limit {
+                        return Err(Interrupt::Fail(TpError::LoopLimit { limit: *limit }));
+                    }
+                    iters += 1;
+                    self.exec_block(body)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Run `program` as transaction `txn`, feeding its data-item reads from
+/// `read_values` (in read order). Suspends when the log runs out.
+pub fn run_with_reads(
+    program: &Program,
+    catalog: &Catalog,
+    txn: TxnId,
+    read_values: &[Value],
+) -> Result<RunOutcome> {
+    let mut runner = Runner {
+        catalog,
+        txn,
+        read_values,
+        next_read: 0,
+        ops: Vec::new(),
+        locals: HashMap::new(),
+        read_cache: BTreeMap::new(),
+        write_buffer: BTreeMap::new(),
+    };
+    match runner.exec_block(&program.body) {
+        Ok(()) => Ok(RunOutcome::Complete { ops: runner.ops }),
+        Err(Interrupt::NeedsRead(item)) => Ok(RunOutcome::NeedsRead {
+            item,
+            ops: runner.ops,
+        }),
+        Err(Interrupt::Fail(e)) => Err(e),
+    }
+}
+
+/// Execute `program` in isolation from `state` (the `[DS1] TP [DS2]`
+/// of the paper), returning the resulting transaction.
+pub fn execute(
+    program: &Program,
+    catalog: &Catalog,
+    txn: TxnId,
+    state: &DbState,
+) -> Result<Transaction> {
+    let mut reads: Vec<Value> = Vec::new();
+    loop {
+        match run_with_reads(program, catalog, txn, &reads)? {
+            RunOutcome::Complete { ops } => return Ok(Transaction::new(txn, ops)?),
+            RunOutcome::NeedsRead { item, .. } => {
+                reads.push(state.require(item)?.clone());
+            }
+        }
+    }
+}
+
+/// Execute in isolation and also apply the writes, returning
+/// `(transaction, DS2)`.
+pub fn execute_and_apply(
+    program: &Program,
+    catalog: &Catalog,
+    txn: TxnId,
+    state: &DbState,
+) -> Result<(Transaction, DbState)> {
+    let t = execute(program, catalog, txn, state)?;
+    let out = state.updated_with(&t.write_state());
+    Ok((t, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use pwsr_core::op::Action;
+    use pwsr_core::value::Domain;
+
+    fn catalog_abcd() -> Catalog {
+        let mut cat = Catalog::new();
+        for name in ["a", "b", "c", "d"] {
+            cat.add_item(name, Domain::int_range(-100, 100));
+        }
+        cat
+    }
+
+    #[test]
+    fn example1_tp1_from_ds1() {
+        // TP1: if (a >= 0) then b := c else c := d, from
+        // DS1 = {(a,0),(b,10),(c,5),(d,10)} → T1: r(a,0), r(c,5), w(b,5).
+        let cat = catalog_abcd();
+        let p = parse_program("TP1", "if (a >= 0) then b := c; else c := d;").unwrap();
+        let ds1 = DbState::from_pairs([
+            (cat.lookup("a").unwrap(), Value::Int(0)),
+            (cat.lookup("b").unwrap(), Value::Int(10)),
+            (cat.lookup("c").unwrap(), Value::Int(5)),
+            (cat.lookup("d").unwrap(), Value::Int(10)),
+        ]);
+        let t = execute(&p, &cat, TxnId(1), &ds1).unwrap();
+        let shown: Vec<String> = t.ops().iter().map(|o| o.display(&cat)).collect();
+        assert_eq!(shown, vec!["r1(a, 0)", "r1(c, 5)", "w1(b, 5)"]);
+    }
+
+    #[test]
+    fn example1_tp2() {
+        // TP2: d := a, from DS1 → T2: r(a,0), w(d,0).
+        let cat = catalog_abcd();
+        let p = parse_program("TP2", "d := a;").unwrap();
+        let ds1 = DbState::from_pairs([(cat.lookup("a").unwrap(), Value::Int(0))]);
+        let t = execute(&p, &cat, TxnId(2), &ds1).unwrap();
+        let shown: Vec<String> = t.ops().iter().map(|o| o.display(&cat)).collect();
+        assert_eq!(shown, vec!["r2(a, 0)", "w2(d, 0)"]);
+    }
+
+    #[test]
+    fn repeated_reads_cached() {
+        let cat = catalog_abcd();
+        let p = parse_program("P", "b := a + a; c := a;").unwrap();
+        let ds = DbState::from_pairs([(cat.lookup("a").unwrap(), Value::Int(3))]);
+        let t = execute(&p, &cat, TxnId(1), &ds).unwrap();
+        // One read of a despite three uses.
+        assert_eq!(
+            t.ops().iter().filter(|o| o.action == Action::Read).count(),
+            1
+        );
+        assert_eq!(
+            t.write_state().get(cat.lookup("b").unwrap()),
+            Some(&Value::Int(6))
+        );
+    }
+
+    #[test]
+    fn read_after_write_served_from_buffer() {
+        let cat = catalog_abcd();
+        let p = parse_program("P", "a := 7; b := a + 1;").unwrap();
+        let t = execute(&p, &cat, TxnId(1), &DbState::new()).unwrap();
+        // No read op at all: a's value comes from the write buffer.
+        assert!(t.ops().iter().all(|o| o.action == Action::Write));
+        assert_eq!(
+            t.write_state().get(cat.lookup("b").unwrap()),
+            Some(&Value::Int(8))
+        );
+    }
+
+    #[test]
+    fn double_write_rejected() {
+        let cat = catalog_abcd();
+        let p = parse_program("P", "a := 1; a := 2;").unwrap();
+        let err = execute(&p, &cat, TxnId(1), &DbState::new()).unwrap_err();
+        assert!(matches!(err, TpError::DoubleWrite(_)));
+    }
+
+    #[test]
+    fn locals_produce_no_operations() {
+        // Example 5's TP2: temp := c; a := temp + 20; c := temp + 20.
+        let cat = catalog_abcd();
+        let p = parse_program("TP2", "temp := c; a := temp + 20; c := temp + 20;").unwrap();
+        let ds = DbState::from_pairs([(cat.lookup("c").unwrap(), Value::Int(10))]);
+        let t = execute(&p, &cat, TxnId(2), &ds).unwrap();
+        let shown: Vec<String> = t.ops().iter().map(|o| o.display(&cat)).collect();
+        assert_eq!(shown, vec!["r2(c, 10)", "w2(a, 30)", "w2(c, 30)"]);
+    }
+
+    #[test]
+    fn unbound_local_rejected() {
+        let cat = catalog_abcd();
+        let p = parse_program("P", "a := ghost + 1;").unwrap();
+        let err = execute(&p, &cat, TxnId(1), &DbState::new()).unwrap_err();
+        assert!(matches!(err, TpError::UnboundLocal(name) if name == "ghost"));
+    }
+
+    #[test]
+    fn while_loop_runs_on_locals() {
+        let cat = catalog_abcd();
+        let p = parse_program(
+            "P",
+            "i := 0; acc := 0; while (i < 5) do { acc := acc + i; i := i + 1; } a := acc;",
+        )
+        .unwrap();
+        let t = execute(&p, &cat, TxnId(1), &DbState::new()).unwrap();
+        assert_eq!(
+            t.write_state().get(cat.lookup("a").unwrap()),
+            Some(&Value::Int(10))
+        );
+        assert_eq!(t.len(), 1); // only the final write
+    }
+
+    #[test]
+    fn loop_limit_enforced() {
+        let cat = catalog_abcd();
+        let mut p = parse_program("P", "i := 0; while (i < 10) do { i := i + 1; }").unwrap();
+        if let Stmt::While { limit, .. } = &mut p.body[1] {
+            *limit = 3;
+        }
+        let err = execute(&p, &cat, TxnId(1), &DbState::new()).unwrap_err();
+        assert!(matches!(err, TpError::LoopLimit { limit: 3 }));
+    }
+
+    #[test]
+    fn suspension_and_replay() {
+        let cat = catalog_abcd();
+        let p = parse_program("P", "b := a + 1; d := c;").unwrap();
+        // No reads fed: suspends wanting a.
+        match run_with_reads(&p, &cat, TxnId(1), &[]).unwrap() {
+            RunOutcome::NeedsRead { item, ops } => {
+                assert_eq!(item, cat.lookup("a").unwrap());
+                assert!(ops.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+        // One read fed: emits r(a), w(b), suspends wanting c.
+        match run_with_reads(&p, &cat, TxnId(1), &[Value::Int(5)]).unwrap() {
+            RunOutcome::NeedsRead { item, ops } => {
+                assert_eq!(item, cat.lookup("c").unwrap());
+                assert_eq!(ops.len(), 2);
+                assert_eq!(ops[1].value, Value::Int(6));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Both fed: completes.
+        match run_with_reads(&p, &cat, TxnId(1), &[Value::Int(5), Value::Int(9)]).unwrap() {
+            RunOutcome::Complete { ops } => assert_eq!(ops.len(), 4),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn execute_and_apply_updates_state() {
+        let cat = catalog_abcd();
+        let p = parse_program("P", "a := b + 1;").unwrap();
+        let ds = DbState::from_pairs([
+            (cat.lookup("a").unwrap(), Value::Int(0)),
+            (cat.lookup("b").unwrap(), Value::Int(4)),
+        ]);
+        let (t, out) = execute_and_apply(&p, &cat, TxnId(3), &ds).unwrap();
+        assert_eq!(t.id(), TxnId(3));
+        assert_eq!(out.get(cat.lookup("a").unwrap()), Some(&Value::Int(5)));
+        assert_eq!(out.get(cat.lookup("b").unwrap()), Some(&Value::Int(4)));
+    }
+
+    #[test]
+    fn missing_item_in_state_is_core_error() {
+        let cat = catalog_abcd();
+        let p = parse_program("P", "b := a;").unwrap();
+        let err = execute(&p, &cat, TxnId(1), &DbState::new()).unwrap_err();
+        assert!(matches!(err, TpError::Core(CoreError::MissingItem(_))));
+    }
+
+    #[test]
+    fn branch_on_state_changes_structure() {
+        // The paper's core observation: different initial states give
+        // different transactions for non-fixed-structure programs.
+        let cat = catalog_abcd();
+        let p = parse_program("TP1", "a := 1; if (c > 0) then b := abs(b) + 1;").unwrap();
+        let c = cat.lookup("c").unwrap();
+        let b = cat.lookup("b").unwrap();
+        let pos = DbState::from_pairs([(c, Value::Int(1)), (b, Value::Int(-1))]);
+        let neg = DbState::from_pairs([(c, Value::Int(-1)), (b, Value::Int(-1))]);
+        let t_pos = execute(&p, &cat, TxnId(1), &pos).unwrap();
+        let t_neg = execute(&p, &cat, TxnId(1), &neg).unwrap();
+        assert_ne!(t_pos.structure(), t_neg.structure());
+        assert_eq!(t_pos.len(), 4); // w(a), r(c), r(b), w(b)
+        assert_eq!(t_neg.len(), 2); // w(a), r(c)
+    }
+}

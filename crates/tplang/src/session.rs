@@ -1,0 +1,241 @@
+//! Incremental program execution for schedulers.
+//!
+//! A [`ProgramSession`] lets a concurrency-control scheduler drive one
+//! program operation-by-operation against an evolving database:
+//!
+//! ```text
+//! loop {
+//!     match session.pending()? {
+//!         Pending::NeedRead(item) => {            // next op is a read
+//!             let v = db.get(item);               // scheduler decides *when*
+//!             let op = session.feed_read(v);      // logs value, returns r-op
+//!             schedule.push(op);
+//!         }
+//!         Pending::Write(op) => {                 // next op is a write
+//!             db.set(op.item, op.value.clone());
+//!             schedule.push(op);
+//!             session.advance_write()?;
+//!         }
+//!         Pending::Done => break,
+//!     }
+//! }
+//! ```
+//!
+//! Internally each call replays the program against the accumulated
+//! read log ([`crate::interp::run_with_reads`]); programs are
+//! deterministic, so the replay always reaches the same frontier.
+
+use crate::ast::Program;
+use crate::error::{Result, TpError};
+use crate::interp::{run_with_reads, RunOutcome};
+use pwsr_core::catalog::Catalog;
+use pwsr_core::ids::{ItemId, TxnId};
+use pwsr_core::op::Operation;
+use pwsr_core::value::Value;
+
+/// What the program will do next.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Pending {
+    /// The next operation is a read of this item; the scheduler must
+    /// supply the current value via [`ProgramSession::feed_read`].
+    NeedRead(ItemId),
+    /// The next operation is this write; apply it and call
+    /// [`ProgramSession::advance_write`].
+    Write(Operation),
+    /// The program has no further operations.
+    Done,
+}
+
+/// A resumable execution of one program as one transaction.
+#[derive(Clone, Debug)]
+pub struct ProgramSession<'p> {
+    program: &'p Program,
+    catalog: &'p Catalog,
+    txn: TxnId,
+    reads: Vec<Value>,
+    /// Operations already handed to the scheduler.
+    emitted: usize,
+}
+
+impl<'p> ProgramSession<'p> {
+    /// Start a session for `program` running as transaction `txn`.
+    pub fn new(program: &'p Program, catalog: &'p Catalog, txn: TxnId) -> ProgramSession<'p> {
+        ProgramSession {
+            program,
+            catalog,
+            txn,
+            reads: Vec::new(),
+            emitted: 0,
+        }
+    }
+
+    /// The transaction id this session runs under.
+    pub fn txn(&self) -> TxnId {
+        self.txn
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &Program {
+        self.program
+    }
+
+    /// Number of operations already emitted to the scheduler.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// What happens next?
+    pub fn pending(&self) -> Result<Pending> {
+        match run_with_reads(self.program, self.catalog, self.txn, &self.reads)? {
+            RunOutcome::Complete { ops } => {
+                if self.emitted < ops.len() {
+                    Ok(Pending::Write(ops[self.emitted].clone()))
+                } else {
+                    Ok(Pending::Done)
+                }
+            }
+            RunOutcome::NeedsRead { item, ops } => {
+                if self.emitted < ops.len() {
+                    Ok(Pending::Write(ops[self.emitted].clone()))
+                } else {
+                    Ok(Pending::NeedRead(item))
+                }
+            }
+        }
+    }
+
+    /// Supply the value for the pending read; returns the read
+    /// operation to append to the schedule.
+    ///
+    /// Must only be called when [`ProgramSession::pending`] returned
+    /// [`Pending::NeedRead`].
+    pub fn feed_read(&mut self, value: Value) -> Result<Operation> {
+        let Pending::NeedRead(item) = self.pending()? else {
+            return Err(TpError::Parse {
+                at: 0,
+                msg: "feed_read called while no read is pending".into(),
+            });
+        };
+        self.reads.push(value.clone());
+        self.emitted += 1;
+        Ok(Operation::read(self.txn, item, value))
+    }
+
+    /// Acknowledge the pending write (after applying it to the store).
+    pub fn advance_write(&mut self) -> Result<()> {
+        match self.pending()? {
+            Pending::Write(_) => {
+                self.emitted += 1;
+                Ok(())
+            }
+            other => Err(TpError::Parse {
+                at: 0,
+                msg: format!("advance_write called while pending is {other:?}"),
+            }),
+        }
+    }
+
+    /// Has the program emitted all of its operations?
+    pub fn is_done(&self) -> Result<bool> {
+        Ok(matches!(self.pending()?, Pending::Done))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use pwsr_core::state::DbState;
+    use pwsr_core::value::Domain;
+
+    fn catalog_abc() -> Catalog {
+        let mut cat = Catalog::new();
+        for name in ["a", "b", "c"] {
+            cat.add_item(name, Domain::int_range(-100, 100));
+        }
+        cat
+    }
+
+    /// Drive a session to completion against a mutable state, returning
+    /// the operations in emission order.
+    fn drive(session: &mut ProgramSession<'_>, db: &mut DbState) -> Vec<Operation> {
+        let mut ops = Vec::new();
+        loop {
+            match session.pending().unwrap() {
+                Pending::NeedRead(item) => {
+                    let v = db.get(item).unwrap().clone();
+                    ops.push(session.feed_read(v).unwrap());
+                }
+                Pending::Write(op) => {
+                    db.set(op.item, op.value.clone());
+                    ops.push(op);
+                    session.advance_write().unwrap();
+                }
+                Pending::Done => return ops,
+            }
+        }
+    }
+
+    #[test]
+    fn session_matches_isolated_execution() {
+        let cat = catalog_abc();
+        let p = parse_program("P", "a := 1; if (c > 0) then b := abs(b) + 1;").unwrap();
+        let initial = DbState::from_pairs([
+            (cat.lookup("a").unwrap(), Value::Int(-1)),
+            (cat.lookup("b").unwrap(), Value::Int(-1)),
+            (cat.lookup("c").unwrap(), Value::Int(1)),
+        ]);
+        let isolated = crate::interp::execute(&p, &cat, TxnId(1), &initial).unwrap();
+        let mut db = initial.clone();
+        let mut session = ProgramSession::new(&p, &cat, TxnId(1));
+        let ops = drive(&mut session, &mut db);
+        assert_eq!(ops, isolated.ops().to_vec());
+        assert!(session.is_done().unwrap());
+    }
+
+    #[test]
+    fn session_sees_intervening_writes() {
+        // Two sessions interleaved: T2 reads a *after* T1 writes it.
+        let cat = catalog_abc();
+        let p1 = parse_program("TP1", "a := 1;").unwrap();
+        let p2 = parse_program("TP2", "c := a;").unwrap();
+        let a = cat.lookup("a").unwrap();
+        let mut db = DbState::from_pairs([(a, Value::Int(-1))]);
+        let mut s1 = ProgramSession::new(&p1, &cat, TxnId(1));
+        let mut s2 = ProgramSession::new(&p2, &cat, TxnId(2));
+        // T1's write first.
+        let Pending::Write(w) = s1.pending().unwrap() else {
+            panic!()
+        };
+        db.set(w.item, w.value.clone());
+        s1.advance_write().unwrap();
+        // Now T2 reads a = 1 (T1's value), not −1.
+        let Pending::NeedRead(item) = s2.pending().unwrap() else {
+            panic!()
+        };
+        assert_eq!(item, a);
+        let op = s2.feed_read(db.get(a).unwrap().clone()).unwrap();
+        assert_eq!(op.value, Value::Int(1));
+    }
+
+    #[test]
+    fn misuse_is_rejected() {
+        let cat = catalog_abc();
+        let p = parse_program("P", "a := 1;").unwrap();
+        let mut s = ProgramSession::new(&p, &cat, TxnId(1));
+        // Pending is a write; feeding a read is an error.
+        assert!(s.feed_read(Value::Int(0)).is_err());
+        s.advance_write().unwrap();
+        // Done; advancing again is an error.
+        assert!(s.advance_write().is_err());
+        assert!(s.is_done().unwrap());
+    }
+
+    #[test]
+    fn empty_program_is_immediately_done() {
+        let cat = catalog_abc();
+        let p = parse_program("P", "").unwrap();
+        let s = ProgramSession::new(&p, &cat, TxnId(1));
+        assert_eq!(s.pending().unwrap(), Pending::Done);
+    }
+}

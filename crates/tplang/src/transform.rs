@@ -1,0 +1,418 @@
+//! The `fix_structure` rewrite: §3.1's TP1 → TP1′ generalized.
+//!
+//! The paper notes that the non-fixed-structure `TP1` of Example 2
+//! *"can be converted into the following fixed-structured transaction
+//! program TP1′"* by giving the `if` an `else` branch with the identity
+//! assignment `b := b`. This module mechanizes that conversion:
+//!
+//! * every `if` whose branches have different operation footprints is
+//!   **canonicalized**: both branches first `touch` the union of the
+//!   items either branch reads (plus items only one branch writes),
+//!   sorted by item; then both write the union of the items either
+//!   branch writes, sorted, using the branch's own expression where it
+//!   has one and the identity `x := x` where it does not;
+//! * `while` loops must already be operation-silent (their structure
+//!   cannot be fixed by padding).
+//!
+//! The rewrite preserves semantics under two checkable restrictions
+//! (violations yield [`TpError::CannotCanonicalize`]): branch bodies
+//! must be flat `assign`/`touch` sequences (canonicalize inner `if`s
+//! first — the walk is bottom-up, so only *still-unbalanced* nested
+//! `if`s are rejected), and no branch expression may read a data item
+//! written earlier in the same branch (reordering writes would change
+//! the value seen). Identity writes are semantically neutral; `touch`
+//! reads do not change the database.
+
+use crate::analysis::sym_block;
+use crate::ast::{Expr, Program, Stmt};
+use crate::error::{Result, TpError};
+use pwsr_core::catalog::Catalog;
+use pwsr_core::ids::ItemId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Rewrite `program` into a fixed-structure equivalent, or explain why
+/// the canonicalization does not apply.
+pub fn fix_structure(program: &Program, catalog: &Catalog) -> Result<Program> {
+    let mut cached: BTreeSet<ItemId> = BTreeSet::new();
+    let body = fix_block(&program.body, catalog, &mut cached)?;
+    Ok(Program::new(&format!("{}_fixed", program.name), body))
+}
+
+fn fix_block(
+    stmts: &[Stmt],
+    catalog: &Catalog,
+    cached: &mut BTreeSet<ItemId>,
+) -> Result<Vec<Stmt>> {
+    let mut out = Vec::with_capacity(stmts.len());
+    for s in stmts {
+        match s {
+            Stmt::Assign { target, expr } => {
+                note_expr_reads(expr, catalog, cached);
+                if let Ok(item) = catalog.lookup(target) {
+                    cached.insert(item);
+                }
+                out.push(s.clone());
+            }
+            Stmt::Touch(name) => {
+                if let Ok(item) = catalog.lookup(name) {
+                    cached.insert(item);
+                }
+                out.push(s.clone());
+            }
+            Stmt::While { cond, body, limit } => {
+                note_cond_reads(cond, catalog, cached);
+                let mut body_cache = cached.clone();
+                let ops = sym_block(body, catalog, &mut body_cache)
+                    .map_err(TpError::CannotCanonicalize)?;
+                if !ops.is_empty() {
+                    return Err(TpError::CannotCanonicalize(
+                        "while body performs data-item operations; padding cannot fix a \
+                         state-dependent iteration count"
+                            .to_owned(),
+                    ));
+                }
+                out.push(Stmt::While {
+                    cond: cond.clone(),
+                    body: body.clone(),
+                    limit: *limit,
+                });
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                note_cond_reads(cond, catalog, cached);
+                // Bottom-up: canonicalize nested structure first.
+                let then_fixed = fix_block(then_branch, catalog, &mut cached.clone())?;
+                let else_fixed = fix_block(else_branch, catalog, &mut cached.clone())?;
+                // Already balanced?
+                let then_ops = sym_block(&then_fixed, catalog, &mut cached.clone())
+                    .map_err(TpError::CannotCanonicalize)?;
+                let else_ops = sym_block(&else_fixed, catalog, &mut cached.clone())
+                    .map_err(TpError::CannotCanonicalize)?;
+                if then_ops == else_ops {
+                    for op in &then_ops {
+                        cached.insert(op.item);
+                    }
+                    out.push(Stmt::If {
+                        cond: cond.clone(),
+                        then_branch: then_fixed,
+                        else_branch: else_fixed,
+                    });
+                    continue;
+                }
+                // Canonicalize the two (flat) branches.
+                let a = BranchShape::analyze(&then_fixed, catalog, cached)?;
+                let b = BranchShape::analyze(&else_fixed, catalog, cached)?;
+                let all_writes: BTreeSet<ItemId> =
+                    a.writes.keys().chain(b.writes.keys()).copied().collect();
+                let sym_diff: BTreeSet<ItemId> = all_writes
+                    .iter()
+                    .filter(|i| a.writes.contains_key(i) != b.writes.contains_key(i))
+                    .copied()
+                    .collect();
+                let mut touch_set: BTreeSet<ItemId> = a
+                    .reads
+                    .iter()
+                    .chain(b.reads.iter())
+                    .chain(sym_diff.iter())
+                    .copied()
+                    .collect();
+                touch_set.retain(|i| !cached.contains(i));
+                let new_then = a.canonical_body(catalog, &touch_set, &all_writes);
+                let new_else = b.canonical_body(catalog, &touch_set, &all_writes);
+                cached.extend(touch_set.iter().copied());
+                cached.extend(all_writes.iter().copied());
+                out.push(Stmt::If {
+                    cond: cond.clone(),
+                    then_branch: new_then,
+                    else_branch: new_else,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The reorderable shape of a flat branch.
+struct BranchShape {
+    /// Items read anywhere in the branch (incl. local-assign exprs).
+    reads: BTreeSet<ItemId>,
+    /// Item → its assignment expression.
+    writes: BTreeMap<ItemId, Expr>,
+    /// Local assignments and original touches, in original order.
+    locals: Vec<Stmt>,
+}
+
+impl BranchShape {
+    fn analyze(
+        stmts: &[Stmt],
+        catalog: &Catalog,
+        entry_cache: &BTreeSet<ItemId>,
+    ) -> Result<BranchShape> {
+        let mut shape = BranchShape {
+            reads: BTreeSet::new(),
+            writes: BTreeMap::new(),
+            locals: Vec::new(),
+        };
+        for s in stmts {
+            match s {
+                Stmt::Assign { target, expr } => {
+                    // Reject expressions reading items written earlier
+                    // in this branch: reordering would change values.
+                    let mut names = Vec::new();
+                    expr.var_names(&mut names);
+                    for n in &names {
+                        if let Ok(item) = catalog.lookup(n) {
+                            if shape.writes.contains_key(&item) {
+                                return Err(TpError::CannotCanonicalize(format!(
+                                    "branch reads item {n:?} after writing it; write \
+                                     reordering would change semantics"
+                                )));
+                            }
+                            shape.reads.insert(item);
+                        }
+                    }
+                    match catalog.lookup(target) {
+                        Ok(item) => {
+                            if shape.writes.insert(item, expr.clone()).is_some() {
+                                return Err(TpError::DoubleWrite(item));
+                            }
+                        }
+                        Err(_) => shape.locals.push(s.clone()),
+                    }
+                }
+                Stmt::Touch(name) => {
+                    if let Ok(item) = catalog.lookup(name) {
+                        shape.reads.insert(item);
+                    } else {
+                        shape.locals.push(s.clone());
+                    }
+                }
+                Stmt::If { .. } | Stmt::While { .. } => {
+                    return Err(TpError::CannotCanonicalize(
+                        "branch still contains control flow after bottom-up canonicalization"
+                            .to_owned(),
+                    ));
+                }
+            }
+        }
+        let _ = entry_cache;
+        Ok(shape)
+    }
+
+    /// Rebuild the branch: sorted touches, then locals, then the sorted
+    /// union of writes (identity where this branch has no expression).
+    fn canonical_body(
+        &self,
+        catalog: &Catalog,
+        touch_set: &BTreeSet<ItemId>,
+        all_writes: &BTreeSet<ItemId>,
+    ) -> Vec<Stmt> {
+        let mut body: Vec<Stmt> = touch_set
+            .iter()
+            .map(|&i| Stmt::Touch(catalog.name(i).to_owned()))
+            .collect();
+        body.extend(self.locals.iter().cloned());
+        for &item in all_writes {
+            let name = catalog.name(item).to_owned();
+            let expr = self
+                .writes
+                .get(&item)
+                .cloned()
+                .unwrap_or(Expr::Var(name.clone()));
+            body.push(Stmt::Assign { target: name, expr });
+        }
+        body
+    }
+}
+
+fn note_expr_reads(expr: &Expr, catalog: &Catalog, cached: &mut BTreeSet<ItemId>) {
+    let mut names = Vec::new();
+    expr.var_names(&mut names);
+    for n in names {
+        if let Ok(item) = catalog.lookup(&n) {
+            cached.insert(item);
+        }
+    }
+}
+
+fn note_cond_reads(cond: &crate::ast::Cond, catalog: &Catalog, cached: &mut BTreeSet<ItemId>) {
+    let mut names = Vec::new();
+    cond.var_names(&mut names);
+    for n in names {
+        if let Ok(item) = catalog.lookup(&n) {
+            cached.insert(item);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{is_fixed_structure_exhaustive, static_structure};
+    use crate::interp::execute_and_apply;
+    use crate::parser::parse_program;
+    use pwsr_core::ids::TxnId;
+    use pwsr_core::state::DbState;
+    use pwsr_core::value::{Domain, Value};
+
+    fn catalog_abc(lo: i64, hi: i64) -> Catalog {
+        let mut cat = Catalog::new();
+        for name in ["a", "b", "c"] {
+            cat.add_item(name, Domain::int_range(lo, hi));
+        }
+        cat
+    }
+
+    /// Every total state over the (small) catalog.
+    fn all_states(cat: &Catalog) -> Vec<DbState> {
+        let items: Vec<_> = cat.items().collect();
+        let mut out = vec![DbState::new()];
+        for &i in &items {
+            let mut next = Vec::new();
+            for st in &out {
+                for v in cat.domain(i).iter() {
+                    let mut s2 = st.clone();
+                    s2.set(i, v);
+                    next.push(s2);
+                }
+            }
+            out = next;
+        }
+        out
+    }
+
+    #[test]
+    fn tp1_becomes_fixed_and_matches_tp1_prime_semantics() {
+        let cat = catalog_abc(-2, 2);
+        let tp1 = parse_program("TP1", "a := 1; if (c > 0) then b := abs(b) + 1;").unwrap();
+        let fixed = fix_structure(&tp1, &cat).unwrap();
+        assert!(static_structure(&fixed, &cat).is_fixed());
+        assert_eq!(
+            is_fixed_structure_exhaustive(&fixed, &cat, 100_000).unwrap(),
+            Some(true)
+        );
+        // Semantics preserved on every state.
+        for st in all_states(&cat) {
+            let (_, out_orig) = execute_and_apply(&tp1, &cat, TxnId(1), &st).unwrap();
+            let (_, out_fixed) = execute_and_apply(&fixed, &cat, TxnId(1), &st).unwrap();
+            assert_eq!(out_orig, out_fixed, "divergence from {st:?}");
+        }
+    }
+
+    #[test]
+    fn fixed_tp1_has_paper_tp1_prime_structure() {
+        // The paper's TP1′ writes b on both branches; ours additionally
+        // touches b first (the read that `b := |b|+1` performs anyway).
+        let cat = catalog_abc(-2, 2);
+        let tp1 = parse_program("TP1", "a := 1; if (c > 0) then b := abs(b) + 1;").unwrap();
+        let fixed = fix_structure(&tp1, &cat).unwrap();
+        let b = cat.lookup("b").unwrap();
+        let st = DbState::from_pairs([
+            (b, Value::Int(1)),
+            (cat.lookup("c").unwrap(), Value::Int(-1)),
+        ]);
+        let t = execute_and_apply(&fixed, &cat, TxnId(1), &st).unwrap().0;
+        // Else path now emits r(b), w(b) — the identity write.
+        let shown: Vec<String> = t.ops().iter().map(|o| o.display(&cat)).collect();
+        assert_eq!(shown, vec!["w1(a, 1)", "r1(c, -1)", "r1(b, 1)", "w1(b, 1)"]);
+    }
+
+    #[test]
+    fn asymmetric_write_sets_are_unified() {
+        let cat = catalog_abc(-2, 2);
+        let p = parse_program("P", "if (c > 0) then { a := 1; } else { b := 2; }").unwrap();
+        let fixed = fix_structure(&p, &cat).unwrap();
+        assert!(static_structure(&fixed, &cat).is_fixed());
+        for st in all_states(&cat) {
+            let (_, o1) = execute_and_apply(&p, &cat, TxnId(1), &st).unwrap();
+            let (_, o2) = execute_and_apply(&fixed, &cat, TxnId(1), &st).unwrap();
+            assert_eq!(o1, o2);
+        }
+    }
+
+    #[test]
+    fn locals_survive_canonicalization() {
+        let cat = catalog_abc(-4, 4);
+        let p = parse_program(
+            "P",
+            "if (c > 0) then { t := c + 1; a := t; } else { a := a; }",
+        )
+        .unwrap();
+        let fixed = fix_structure(&p, &cat).unwrap();
+        assert!(static_structure(&fixed, &cat).is_fixed());
+        for st in all_states(&cat) {
+            let (_, o1) = execute_and_apply(&p, &cat, TxnId(1), &st).unwrap();
+            let (_, o2) = execute_and_apply(&fixed, &cat, TxnId(1), &st).unwrap();
+            assert_eq!(o1, o2);
+        }
+    }
+
+    #[test]
+    fn nested_ifs_canonicalize_bottom_up() {
+        // The inner if is unbalanced; after its canonicalization the
+        // outer branches have identical footprints (r(a), r(b), w(b))
+        // and need no further padding.
+        let cat = catalog_abc(-2, 2);
+        let p = parse_program(
+            "P",
+            "if (c > 0) then { if (a > 0) then { b := 1; } } \
+             else { touch a; b := b; }",
+        )
+        .unwrap();
+        let fixed = fix_structure(&p, &cat).unwrap();
+        assert!(static_structure(&fixed, &cat).is_fixed());
+        for st in all_states(&cat) {
+            let (_, o1) = execute_and_apply(&p, &cat, TxnId(1), &st).unwrap();
+            let (_, o2) = execute_and_apply(&fixed, &cat, TxnId(1), &st).unwrap();
+            assert_eq!(o1, o2);
+        }
+    }
+
+    #[test]
+    fn unbalanced_outer_with_inner_control_flow_is_rejected() {
+        // Known limitation: if the outer branches still differ after
+        // bottom-up canonicalization and one of them contains control
+        // flow, the flat-branch rewrite cannot apply.
+        let cat = catalog_abc(-2, 2);
+        let p = parse_program(
+            "P",
+            "if (c > 0) then { if (a > 0) then { b := 1; } } else { b := 0; }",
+        )
+        .unwrap();
+        let err = fix_structure(&p, &cat).unwrap_err();
+        assert!(matches!(err, TpError::CannotCanonicalize(_)));
+    }
+
+    #[test]
+    fn write_then_read_in_branch_is_rejected() {
+        let cat = catalog_abc(-2, 2);
+        // Branch writes a then reads it into b: reordering unsafe.
+        let p = parse_program(
+            "P",
+            "if (c > 0) then { a := 1; b := a + 1; } else { b := 0; }",
+        )
+        .unwrap();
+        let err = fix_structure(&p, &cat).unwrap_err();
+        assert!(matches!(err, TpError::CannotCanonicalize(_)));
+    }
+
+    #[test]
+    fn state_dependent_loop_is_rejected() {
+        let cat = catalog_abc(-2, 2);
+        let p = parse_program("P", "while (a > 0) do { a := a - 1; }").unwrap();
+        // Double write aside, the loop itself is un-fixable.
+        let err = fix_structure(&p, &cat).unwrap_err();
+        assert!(matches!(err, TpError::CannotCanonicalize(_)));
+    }
+
+    #[test]
+    fn already_fixed_program_is_unchanged_in_structure() {
+        let cat = catalog_abc(-2, 2);
+        let p = parse_program("P", "b := c - 1;").unwrap();
+        let fixed = fix_structure(&p, &cat).unwrap();
+        assert_eq!(fixed.body, p.body);
+    }
+}

@@ -1,0 +1,208 @@
+//! Property-based tests for the program substrate: interpreter
+//! determinism, session/isolated equivalence, fixed-structure
+//! soundness, and the `fix_structure` rewrite.
+
+use proptest::prelude::*;
+use pwsr_core::catalog::Catalog;
+use pwsr_core::ids::TxnId;
+use pwsr_core::state::DbState;
+use pwsr_core::value::{Domain, Value};
+use pwsr_tplang::analysis::{is_straight_line, static_structure};
+use pwsr_tplang::ast::{Cond, Expr, Program, Stmt};
+use pwsr_tplang::interp::{execute, execute_and_apply};
+use pwsr_tplang::session::{Pending, ProgramSession};
+use pwsr_tplang::transform::fix_structure;
+
+const ITEMS: [&str; 4] = ["a", "b", "c", "d"];
+
+fn catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    for n in ITEMS {
+        cat.add_item(n, Domain::int_range(-100, 100));
+    }
+    cat
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-20i64..20).prop_map(Expr::int),
+        (0..ITEMS.len()).prop_map(|i| Expr::var(ITEMS[i])),
+    ];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| l.add(r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| l.sub(r)),
+            inner.prop_map(|e| e.abs()),
+        ]
+    })
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    (arb_expr(), arb_expr(), 0u8..4).prop_map(|(l, r, op)| match op {
+        0 => Cond::gt(l, r),
+        1 => Cond::lt(l, r),
+        2 => Cond::eq(l, r),
+        _ => Cond::ge(l, r),
+    })
+}
+
+/// Programs with straight-line bodies plus at most one balanced if —
+/// each item written at most once overall (to satisfy §2.2 for sure,
+/// writes go to distinct items).
+fn arb_program() -> impl Strategy<Value = Program> {
+    (
+        proptest::collection::vec(arb_expr(), 1..3),
+        arb_cond(),
+        any::<bool>(),
+        proptest::sample::subsequence(vec![0usize, 1, 2, 3], 1..4),
+    )
+        .prop_map(|(exprs, cond, with_if, targets)| {
+            let mut body = Vec::new();
+            let mut targets = targets.into_iter();
+            for e in exprs {
+                if let Some(t) = targets.next() {
+                    body.push(Stmt::assign(ITEMS[t], e));
+                }
+            }
+            if with_if {
+                if let Some(t) = targets.next() {
+                    let name = ITEMS[t];
+                    body.push(Stmt::if_then_else(
+                        cond,
+                        vec![Stmt::assign(name, Expr::var(name).add(Expr::int(1)))],
+                        vec![Stmt::assign(name, Expr::var(name))],
+                    ));
+                }
+            }
+            Program::new("P", body)
+        })
+}
+
+fn arb_state() -> impl Strategy<Value = DbState> {
+    proptest::collection::vec(-30i64..30, ITEMS.len()).prop_map(|vals| {
+        let cat = catalog();
+        DbState::from_pairs(
+            ITEMS
+                .iter()
+                .zip(vals)
+                .map(|(n, v)| (cat.lookup(n).unwrap(), Value::Int(v))),
+        )
+    })
+}
+
+proptest! {
+    /// The interpreter is deterministic.
+    #[test]
+    fn execution_is_deterministic(p in arb_program(), st in arb_state()) {
+        let cat = catalog();
+        let a = execute(&p, &cat, TxnId(1), &st);
+        let b = execute(&p, &cat, TxnId(1), &st);
+        prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    /// Driving a session step-by-step against a private copy of the
+    /// state produces exactly the isolated transaction.
+    #[test]
+    fn session_equals_isolated(p in arb_program(), st in arb_state()) {
+        let cat = catalog();
+        let isolated = execute(&p, &cat, TxnId(1), &st).unwrap();
+        let mut db = st.clone();
+        let mut sess = ProgramSession::new(&p, &cat, TxnId(1));
+        let mut ops = Vec::new();
+        loop {
+            match sess.pending().unwrap() {
+                Pending::NeedRead(item) => {
+                    let v = db.get(item).unwrap().clone();
+                    ops.push(sess.feed_read(v).unwrap());
+                }
+                Pending::Write(op) => {
+                    db.set(op.item, op.value.clone());
+                    ops.push(op);
+                    sess.advance_write().unwrap();
+                }
+                Pending::Done => break,
+            }
+        }
+        prop_assert_eq!(ops, isolated.ops().to_vec());
+    }
+
+    /// Transactions produced by the interpreter satisfy §2.2 (their
+    /// constructor re-validates, so executing cannot yield a malformed
+    /// transaction), and write effects match the final state delta.
+    #[test]
+    fn produced_transactions_are_wellformed(p in arb_program(), st in arb_state()) {
+        let cat = catalog();
+        if let Ok((txn, out)) = execute_and_apply(&p, &cat, TxnId(1), &st) {
+            prop_assert!(out.extends(&txn.write_state()));
+            // Unwritten items unchanged.
+            for (item, v) in st.iter() {
+                if !txn.write_set().contains(item) {
+                    prop_assert_eq!(out.get(item), Some(v));
+                }
+            }
+        }
+    }
+
+    /// A `Fixed` verdict from the static prover is sound: structures
+    /// agree across arbitrary state pairs.
+    #[test]
+    fn static_fixed_is_sound(p in arb_program(), s1 in arb_state(), s2 in arb_state()) {
+        let cat = catalog();
+        if static_structure(&p, &cat).is_fixed() {
+            let t1 = execute(&p, &cat, TxnId(1), &s1);
+            let t2 = execute(&p, &cat, TxnId(1), &s2);
+            if let (Ok(t1), Ok(t2)) = (t1, t2) {
+                prop_assert_eq!(t1.structure(), t2.structure());
+            }
+        }
+    }
+
+    /// Straight-line programs are always provably fixed.
+    #[test]
+    fn straight_line_implies_fixed(p in arb_program()) {
+        let cat = catalog();
+        if is_straight_line(&p) {
+            prop_assert!(static_structure(&p, &cat).is_fixed());
+        }
+    }
+
+    /// `fix_structure` preserves final-state semantics and achieves
+    /// provable fixedness whenever it succeeds.
+    #[test]
+    fn fix_structure_sound_and_semantics_preserving(
+        p in arb_program(),
+        st in arb_state(),
+    ) {
+        let cat = catalog();
+        if let Ok(fixed) = fix_structure(&p, &cat) {
+            prop_assert!(static_structure(&fixed, &cat).is_fixed());
+            let orig = execute_and_apply(&p, &cat, TxnId(1), &st);
+            let new = execute_and_apply(&fixed, &cat, TxnId(1), &st);
+            match (orig, new) {
+                (Ok((_, o1)), Ok((_, o2))) => prop_assert_eq!(o1, o2),
+                (Err(_), Err(_)) => {}
+                (a, b) => prop_assert!(
+                    false,
+                    "behaviour diverged: {:?} vs {:?}",
+                    a.map(|x| x.1),
+                    b.map(|x| x.1)
+                ),
+            }
+        }
+    }
+
+    /// Pretty-print → parse stabilizes after one generation (negative
+    /// literals re-parse as unary negation, so the first round trip may
+    /// renormalize; the second must be the identity).
+    #[test]
+    fn display_parse_roundtrip(p in arb_program()) {
+        let strip = |text: &str| -> String {
+            text.lines().skip(1).collect::<Vec<_>>().join("\n")
+        };
+        let gen1 =
+            pwsr_tplang::parser::parse_program("P", &strip(&p.to_string())).unwrap();
+        let gen2 =
+            pwsr_tplang::parser::parse_program("P", &strip(&gen1.to_string())).unwrap();
+        prop_assert_eq!(gen2.body, gen1.body);
+    }
+}

@@ -1,0 +1,26 @@
+//! # pwsr — predicate-wise serializability toolkit
+//!
+//! Facade crate re-exporting the whole workspace: the formal model
+//! ([`core`]), the transaction-program language ([`tplang`]), the
+//! lock-based scheduler substrate ([`scheduler`]), baseline correctness
+//! criteria ([`baselines`]) and workload generators ([`gen`]).
+//!
+//! Reproduces Rastogi, Mehrotra, Breitbart, Korth, Silberschatz —
+//! *On Correctness of Nonserializable Executions* (PODS '93 / JCSS '98).
+//! See `README.md` for a tour and `EXPERIMENTS.md` for the
+//! paper-vs-measured index.
+
+pub use pwsr_baselines as baselines;
+pub use pwsr_core as core;
+pub use pwsr_gen as gen;
+pub use pwsr_scheduler as scheduler;
+pub use pwsr_tplang as tplang;
+
+pub mod diagnosis;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use crate::diagnosis::{diagnose, Diagnosis};
+    pub use pwsr_core::prelude::*;
+    pub use pwsr_tplang::prelude::*;
+}
