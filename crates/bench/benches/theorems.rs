@@ -1,0 +1,38 @@
+//! Verdict-engine bench: cost of the full Theorems 1–3 classification
+//! (`classify` = PWSR check + DR check + DAG construction) vs schedule
+//! length, compared against its cheapest component.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pwsr_bench::scale_exp::sized_workload;
+use pwsr_core::dr::is_delayed_read;
+use pwsr_core::theorems::{classify, ProgramTraits};
+use pwsr_gen::chaos::random_execution;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_theorems(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorems");
+    for target in [50usize, 200, 800] {
+        let mut rng = StdRng::seed_from_u64(0xC0DE + target as u64);
+        let w = sized_workload(&mut rng, target, 4);
+        let s = random_execution(&w.programs, &w.catalog, &w.initial, &mut rng)
+            .expect("workload executes");
+        let ops = s.len();
+        let traits = if w.all_fixed_structure {
+            ProgramTraits::fixed_structure()
+        } else {
+            ProgramTraits::unknown()
+        };
+        group.bench_with_input(BenchmarkId::new("classify", ops), &s, |b, s| {
+            b.iter(|| black_box(classify(s, &w.ic, traits).strongly_correct_guaranteed()))
+        });
+        group.bench_with_input(BenchmarkId::new("dr_only", ops), &s, |b, s| {
+            b.iter(|| black_box(is_delayed_read(s)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_theorems);
+criterion_main!(benches);

@@ -1,7 +1,8 @@
 //! Regenerate every example, figure and theorem of the paper.
 //!
 //! ```text
-//! experiments [all|examples|lemmas|theorems|perf|scale|base|bank|recovery|exhaustive|<id>] [--trials N]
+//! experiments [all|examples|lemmas|theorems|perf|scale|base|bank|recovery|exhaustive|<id>]
+//!             [--trials N] [--smoke]
 //! ```
 //!
 //! `<id>` ∈ {ex1 … ex5, fig3, lemma1, viewsets, lemma3, lemma4, lemma7,
@@ -9,6 +10,12 @@
 //! exh1}.
 //! Every experiment prints a paper-vs-measured table; the exit code is
 //! nonzero if any run deviates from the paper's predicted shape.
+//!
+//! `--smoke` caps every per-experiment trial default at a small constant
+//! so the full sweep finishes in a couple of seconds — the CI entry
+//! point (`experiments all --smoke`) that keeps every experiment's code
+//! path *and* its shape check exercised without paying for full
+//! statistical power. An explicit `--trials` overrides the cap.
 
 use pwsr_bench::{
     bank_exp, base_exp, examples_exp, exhaustive_exp, lemmas_exp, perf_exp, recovery_exp,
@@ -18,11 +25,13 @@ use pwsr_bench::{
 struct Opts {
     what: String,
     trials: u64,
+    smoke: bool,
 }
 
 fn parse_args() -> Opts {
     let mut what = "all".to_owned();
     let mut trials = 0u64; // 0 = per-experiment default
+    let mut smoke = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -37,17 +46,38 @@ fn parse_args() -> Opts {
                     });
                 i += 2;
             }
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+            }
             other => {
                 what = other.to_owned();
                 i += 1;
             }
         }
     }
-    Opts { what, trials }
+    Opts {
+        what,
+        trials,
+        smoke,
+    }
 }
+
+/// Trial cap applied by `--smoke` to every per-experiment default.
+const SMOKE_TRIALS: u64 = 8;
 
 fn main() {
     let opts = parse_args();
+    let smoke = opts.smoke;
+    let pick = move |n: u64, default: u64| -> u64 {
+        if n != 0 {
+            n
+        } else if smoke {
+            default.min(SMOKE_TRIALS)
+        } else {
+            default
+        }
+    };
     let mut all_ok = true;
     let mut matched = false;
     {
@@ -112,7 +142,7 @@ fn main() {
             (o.matches_paper(), t)
         });
 
-        run("perf1", &|n| perf_exp::perf1(pick(n, 8), 400));
+        run("perf1", &|n| perf_exp::perf1(pick(n, 24), 400));
         run("perf2", &|_| perf_exp::perf2(401));
         run("perf3", &|n| perf_exp::perf3(pick(n, 5), 402));
         run("perf4", &|n| perf_exp::perf4(pick(n, 8), 403));
@@ -138,14 +168,6 @@ fn main() {
     }
     if !all_ok {
         std::process::exit(1);
-    }
-}
-
-fn pick(n: u64, default: u64) -> u64 {
-    if n == 0 {
-        default
-    } else {
-        n
     }
 }
 

@@ -1,6 +1,6 @@
 //! # pwsr-bench — the experiment harness
 //!
-//! One module per experiment family from `DESIGN.md`'s index; each
+//! One module per experiment family from `EXPERIMENTS.md`'s index; each
 //! experiment returns a structured result plus a printable table so the
 //! `experiments` binary can regenerate every example, figure and
 //! theorem of the paper (see `EXPERIMENTS.md` for the paper-vs-measured

@@ -189,7 +189,7 @@ pub fn random_ic<R: Rng>(rng: &mut R, cfg: &IcConfig) -> GeneratedIc {
         let mut v = rng.random_range(-8..=0);
         for &item in &items {
             initial.set(item, Value::Int(v));
-            v += rng.random_range(0..=4);
+            v += rng.random_range(0i64..=4);
         }
         let shape = ConjunctShape::Chain {
             items: items.clone(),

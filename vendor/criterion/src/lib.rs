@@ -1,0 +1,244 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API the workspace's benches
+//! use — `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros — with a lightweight
+//! measurement loop instead of criterion's full statistical pipeline:
+//! each benchmark is warmed up briefly, then timed over an adaptively
+//! chosen iteration count and reported as median-of-batches ns/iter.
+//!
+//! Environment knobs:
+//! * `PWSR_BENCH_MS` — per-benchmark measurement budget in milliseconds
+//!   (default 100; set to 1 for smoke runs).
+
+pub use std::hint::black_box;
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+fn measure_budget() -> Duration {
+    let ms = std::env::var("PWSR_BENCH_MS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(100);
+    Duration::from_millis(ms.max(1))
+}
+
+/// Identifies one benchmark: a function name plus a parameter rendering.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self, group: &str) -> String {
+        let mut out = String::new();
+        if !group.is_empty() {
+            out.push_str(group);
+        }
+        if !self.name.is_empty() {
+            if !out.is_empty() {
+                out.push('/');
+            }
+            out.push_str(&self.name);
+        }
+        if let Some(p) = &self.parameter {
+            if !out.is_empty() {
+                out.push('/');
+            }
+            out.push_str(p);
+        }
+        out
+    }
+}
+
+/// Anything usable as a benchmark identifier (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            name: self.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            name: self,
+            parameter: None,
+        }
+    }
+}
+
+/// Timing context handed to benchmark closures.
+pub struct Bencher {
+    budget: Duration,
+    /// Median per-iteration time of the last `iter` call, in ns.
+    last_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, adaptively choosing an iteration count so the
+    /// whole measurement fits the budget, and records median-of-batches
+    /// nanoseconds per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate: run once to estimate cost.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+
+        let per_batch = self.budget.as_nanos() / 8;
+        let iters = ((per_batch / once.as_nanos().max(1)) as u64).clamp(1, 1_000_000);
+
+        let mut samples = Vec::with_capacity(8);
+        let deadline = Instant::now() + self.budget;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / iters as f64);
+            if Instant::now() >= deadline || samples.len() >= 8 {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.last_ns = samples[samples.len() / 2];
+    }
+}
+
+fn report(label: &str, ns: f64) {
+    let (value, unit) = if ns >= 1e9 {
+        (ns / 1e9, "s")
+    } else if ns >= 1e6 {
+        (ns / 1e6, "ms")
+    } else if ns >= 1e3 {
+        (ns / 1e3, "µs")
+    } else {
+        (ns, "ns")
+    };
+    println!("{label:<60} {value:>10.3} {unit}/iter");
+}
+
+fn run_bench(label: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        budget: measure_budget(),
+        last_ns: 0.0,
+    };
+    f(&mut b);
+    report(label, b.last_ns);
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_benchmark_id().render(&self.name);
+        let mut f = f;
+        run_bench(&label, |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.into_benchmark_id().render(&self.name);
+        let mut f = f;
+        run_bench(&label, |b| f(b, input));
+        self
+    }
+
+    /// Accepted for API compatibility; the stub's loop is already adaptive.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_benchmark_id().render("");
+        let mut f = f;
+        run_bench(&label, |b| f(b));
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

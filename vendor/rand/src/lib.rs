@@ -1,0 +1,191 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! provides exactly the subset of the rand 0.9 API the workspace uses:
+//!
+//! * [`rngs::StdRng`] — a deterministic 64-bit generator (SplitMix64 core
+//!   feeding an xorshift finalizer). Not cryptographic; statistically fine
+//!   for workload generation and property tests.
+//! * [`SeedableRng::seed_from_u64`] — the only constructor the workspace
+//!   calls.
+//! * [`Rng::random_range`] / [`Rng::random_bool`] — range sampling over
+//!   the primitive integer types and `f64`.
+//!
+//! Determinism contract: for a given seed, the stream of values is stable
+//! across runs and platforms (pure integer arithmetic, no HW entropy).
+
+/// Low-level source of randomness: a stream of `u64`s.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        // 53 high bits → uniform double in [0,1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable generators. Only `seed_from_u64` is provided.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly from a range by an [`Rng`].
+pub trait SampleRange<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                // Widen before subtracting: a span computed in a narrow
+                // type wraps for ranges wider than half its width, and
+                // `as u64` would then sign-extend the garbage. Casting
+                // through i64 first sign-extends signed types and
+                // zero-extends unsigned ones, so the difference is the
+                // true span mod 2^64 for every supported type.
+                let span = (self.end as i64 as u64).wrapping_sub(self.start as i64 as u64);
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range in random_range");
+                let span = (end as i64 as u64).wrapping_sub(start as i64 as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add((rng.next_u64() % (span + 1)) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> f64 {
+        assert!(self.start < self.end, "empty range in random_range");
+        self.start + (self.end - self.start) * rng.next_f64()
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p), "probability out of [0,1]");
+        self.next_f64() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic 64-bit generator (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014). Passes BigCrush when
+            // used as a stream; ample for test workload generation.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0u64..1 << 40), b.random_range(0u64..1 << 40));
+        }
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut r = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v = r.random_range(-5i64..7);
+            assert!((-5..7).contains(&v));
+            let u = r.random_range(3usize..=9);
+            assert!((3..=9).contains(&u));
+            let f = r.random_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn wide_narrow_type_ranges_stay_in_bounds() {
+        // Regression: spans wider than half the type's width used to be
+        // computed in the narrow type, wrap negative, and sign-extend.
+        let mut r = StdRng::seed_from_u64(3);
+        let mut seen_far_low = false;
+        let mut seen_far_high = false;
+        for _ in 0..2000 {
+            let v = r.random_range(-2_000_000_000i32..=2_000_000_000);
+            assert!((-2_000_000_000..=2_000_000_000).contains(&v));
+            seen_far_low |= v < -1_000_000_000;
+            seen_far_high |= v > 1_000_000_000;
+            let w = r.random_range(i64::MIN..=i64::MAX);
+            let _ = w; // full-domain special case must not panic
+            let b = r.random_range(-120i8..120);
+            assert!((-120..120).contains(&b));
+        }
+        assert!(seen_far_low && seen_far_high, "samples cover the range");
+    }
+
+    #[test]
+    fn bool_probability_extremes() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(!r.random_bool(0.0));
+            assert!(r.random_bool(1.0));
+        }
+    }
+}
