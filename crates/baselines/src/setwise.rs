@@ -21,7 +21,7 @@ use pwsr_core::error::{CoreError, Result};
 use pwsr_core::ids::TxnId;
 use pwsr_core::pwsr::is_pwsr;
 use pwsr_core::schedule::Schedule;
-use pwsr_core::serializability::serialization_order;
+use pwsr_core::serializability::serialization_order_proj;
 use pwsr_core::state::ItemSet;
 use std::collections::HashMap;
 
@@ -71,7 +71,7 @@ impl AtomicDataSets {
 pub fn is_setwise_serializable(schedule: &Schedule, ads: &AtomicDataSets) -> bool {
     ads.sets
         .iter()
-        .all(|d| serialization_order(&schedule.project(d)).is_some())
+        .all(|d| serialization_order_proj(schedule, d).is_some())
 }
 
 /// On conjunct-aligned atomic data sets, setwise serializability and
@@ -98,7 +98,7 @@ pub fn per_set_serialization_positions(
 ) -> Option<Vec<HashMap<TxnId, usize>>> {
     let mut out = Vec::with_capacity(ads.len());
     for d in &ads.sets {
-        let order = serialization_order(&schedule.project(d))?;
+        let order = serialization_order_proj(schedule, d)?;
         out.push(order.into_iter().enumerate().map(|(i, t)| (t, i)).collect());
     }
     Some(out)
@@ -115,7 +115,7 @@ pub fn per_set_orders_compatible(schedule: &Schedule, ads: &AtomicDataSets) -> O
     let index: HashMap<TxnId, usize> = txns.iter().enumerate().map(|(i, &t)| (t, i)).collect();
     let mut g = pwsr_core::graph::DiGraph::new(txns.len());
     for d in &ads.sets {
-        let order = serialization_order(&schedule.project(d))?;
+        let order = serialization_order_proj(schedule, d)?;
         for w in order.windows(2) {
             g.add_edge(index[&w[0]], index[&w[1]]);
         }

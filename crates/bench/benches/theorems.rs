@@ -13,7 +13,9 @@ use std::hint::black_box;
 
 fn bench_theorems(c: &mut Criterion) {
     let mut group = c.benchmark_group("theorems");
-    for target in [50usize, 200, 800] {
+    // 3200 is the new tier: impractical under the old O(n²) pairwise
+    // conflict scan inside `is_pwsr`/`classify`.
+    for target in [50usize, 200, 800, 3200] {
         let mut rng = StdRng::seed_from_u64(0xC0DE + target as u64);
         let w = sized_workload(&mut rng, target, 4);
         let s = random_execution(&w.programs, &w.catalog, &w.initial, &mut rng)

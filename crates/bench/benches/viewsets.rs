@@ -1,11 +1,17 @@
 //! FIG-2 / FIG-6 bench: Lemma 2 & Lemma 6 view-set computation and the
 //! full inclusion sweep over every operation of a schedule.
+//!
+//! The single-`p` benches measure the steady-state query cost against a
+//! prebuilt [`ScheduleIndex`] (built once per schedule, as the lemma
+//! experiments and the verdict engine use it); `index_build` prices
+//! that one-time construction so the amortization story is visible.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pwsr_bench::scale_exp::sized_workload;
 use pwsr_core::ids::OpIndex;
+use pwsr_core::index::ScheduleIndex;
 use pwsr_core::serializability::serialization_order;
-use pwsr_core::viewset::{inclusion_holds_everywhere, view_sets_dr, view_sets_general};
+use pwsr_core::viewset::inclusion_holds_everywhere;
 use pwsr_gen::chaos::random_execution;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -13,7 +19,9 @@ use std::hint::black_box;
 
 fn bench_viewsets(c: &mut Criterion) {
     let mut group = c.benchmark_group("viewsets");
-    for target in [50usize, 200] {
+    // 800 is the new tier: impractical under the old O(n²·|order|)
+    // projection-rescanning implementation.
+    for target in [50usize, 200, 800] {
         let mut rng = StdRng::seed_from_u64(0xAB + target as u64);
         let w = sized_workload(&mut rng, target, 2);
         let s = random_execution(&w.programs, &w.catalog, &w.initial, &mut rng)
@@ -25,17 +33,21 @@ fn bench_viewsets(c: &mut Criterion) {
         // so the measurement never silently drops out.
         let order = serialization_order(&proj).unwrap_or_else(|| proj.txn_ids().to_vec());
         let mid = OpIndex(s.len() / 2);
-        group.bench_with_input(BenchmarkId::new("lemma2_single_p", s.len()), &s, |b, s| {
-            b.iter(|| black_box(view_sets_general(s, &d, &order, mid)))
+        let ix = ScheduleIndex::new(&s);
+        group.bench_with_input(BenchmarkId::new("lemma2_single_p", s.len()), &s, |b, _| {
+            b.iter(|| black_box(ix.view_sets_general(&d, &order, mid)))
         });
-        group.bench_with_input(BenchmarkId::new("lemma6_single_p", s.len()), &s, |b, s| {
-            b.iter(|| black_box(view_sets_dr(s, &d, &order, mid)))
+        group.bench_with_input(BenchmarkId::new("lemma6_single_p", s.len()), &s, |b, _| {
+            b.iter(|| black_box(ix.view_sets_dr(&d, &order, mid)))
         });
         group.bench_with_input(
             BenchmarkId::new("lemma2_full_sweep", s.len()),
             &s,
             |b, s| b.iter(|| black_box(inclusion_holds_everywhere(s, &d, &order, false))),
         );
+        group.bench_with_input(BenchmarkId::new("index_build", s.len()), &s, |b, s| {
+            b.iter(|| black_box(ScheduleIndex::new(s)))
+        });
     }
     group.finish();
 }

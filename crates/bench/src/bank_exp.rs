@@ -171,9 +171,14 @@ pub fn bank1(trials: u64, seed: u64) -> (bool, String) {
 mod tests {
     use super::*;
 
+    /// Debug-mode cap: the full 120-trial run costs ~40 s unoptimized
+    /// and dominated the whole workspace test wall-time; 10 seeded
+    /// trials exercise every arm (including ≥1 non-PWSR violation in
+    /// the chaos population) deterministically in a few seconds. The
+    /// `experiments` binary still runs the full default in release.
     #[test]
     fn bank1_matches_prediction() {
-        let (ok, text) = bank1(120, 700);
+        let (ok, text) = bank1(10, 700);
         assert!(ok, "{text}");
     }
 }

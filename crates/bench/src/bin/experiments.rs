@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! experiments [all|examples|lemmas|theorems|perf|scale|base|bank|recovery|exhaustive|<id>]
-//!             [--trials N] [--smoke]
+//!             [--trials N] [--smoke] [--json PATH]
 //! ```
 //!
 //! `<id>` ∈ {ex1 … ex5, fig3, lemma1, viewsets, lemma3, lemma4, lemma7,
@@ -16,6 +16,12 @@
 //! point (`experiments all --smoke`) that keeps every experiment's code
 //! path *and* its shape check exercised without paying for full
 //! statistical power. An explicit `--trials` overrides the cap.
+//!
+//! `--json PATH` additionally writes a machine-readable record of the
+//! sweep — one entry per selected experiment with its verdict and
+//! wall-clock seconds — so successive PRs can track the perf
+//! trajectory (`BENCH_*.json` at the repo root) and CI can assert the
+//! format stays parseable.
 
 use pwsr_bench::{
     bank_exp, base_exp, examples_exp, exhaustive_exp, lemmas_exp, perf_exp, recovery_exp,
@@ -26,12 +32,14 @@ struct Opts {
     what: String,
     trials: u64,
     smoke: bool,
+    json: Option<String>,
 }
 
 fn parse_args() -> Opts {
     let mut what = "all".to_owned();
     let mut trials = 0u64; // 0 = per-experiment default
     let mut smoke = false;
+    let mut json = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -50,6 +58,13 @@ fn parse_args() -> Opts {
                 smoke = true;
                 i += 1;
             }
+            "--json" => {
+                json = Some(args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("--json needs a path");
+                    std::process::exit(2);
+                }));
+                i += 2;
+            }
             other => {
                 what = other.to_owned();
                 i += 1;
@@ -60,7 +75,41 @@ fn parse_args() -> Opts {
         what,
         trials,
         smoke,
+        json,
     }
+}
+
+/// One experiment's machine-readable record.
+struct JsonEntry {
+    id: &'static str,
+    group: &'static str,
+    ok: bool,
+    seconds: f64,
+}
+
+/// Render the sweep record as JSON (no external dependencies; every
+/// value is a bare identifier, bool or number, so no escaping needed).
+fn render_json(opts: &Opts, all_ok: bool, entries: &[JsonEntry]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"pwsr-experiments-v1\",\n");
+    out.push_str(&format!("  \"selection\": \"{}\",\n", opts.what));
+    out.push_str(&format!("  \"smoke\": {},\n", opts.smoke));
+    out.push_str(&format!("  \"trials_override\": {},\n", opts.trials));
+    out.push_str(&format!("  \"all_ok\": {all_ok},\n"));
+    out.push_str("  \"experiments\": [\n");
+    for (k, e) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"group\": \"{}\", \"ok\": {}, \"seconds\": {:.6}}}{}\n",
+            e.id,
+            e.group,
+            e.ok,
+            e.seconds,
+            if k + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// Trial cap applied by `--smoke` to every per-experiment default.
@@ -80,18 +129,27 @@ fn main() {
     };
     let mut all_ok = true;
     let mut matched = false;
+    let mut entries: Vec<JsonEntry> = Vec::new();
     {
-        let mut run = |id: &str, f: &dyn Fn(u64) -> (bool, String)| {
+        let mut run = |id: &'static str, f: &dyn Fn(u64) -> (bool, String)| {
             let selected =
                 matches!(opts.what.as_str(), "all") || opts.what == id || group_of(id) == opts.what;
             if selected {
                 matched = true;
+                let start = std::time::Instant::now();
                 let (ok, text) = f(opts.trials);
+                let seconds = start.elapsed().as_secs_f64();
                 println!("{text}");
                 if !ok {
                     eprintln!("!! {id}: deviation from the paper's predicted shape\n");
                 }
                 all_ok &= ok;
+                entries.push(JsonEntry {
+                    id,
+                    group: group_of(id),
+                    ok,
+                    seconds,
+                });
             }
         };
 
@@ -165,6 +223,14 @@ fn main() {
             opts.what
         );
         std::process::exit(2);
+    }
+    if let Some(path) = &opts.json {
+        let body = render_json(&opts, all_ok, &entries);
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("wrote {path} ({} experiments)", entries.len());
     }
     if !all_ok {
         std::process::exit(1);

@@ -64,18 +64,40 @@ impl DataAccessGraph {
 /// edge `(C_i, C_j)` appears if one transaction both reads from `d_i`
 /// and writes to `d_j` — regardless of the order of those two
 /// operations inside the transaction.
+///
+/// Read/write sets are accumulated as bitsets in one pass over the
+/// operation sequence (no per-transaction operation clones), and each
+/// conjunct-overlap test is a word-wise disjointness check.
 pub fn data_access_graph(schedule: &Schedule, ic: &IntegrityConstraint) -> DataAccessGraph {
+    use crate::state::ItemSet;
+    use std::collections::HashMap;
+
+    let n_txns = schedule.txn_ids().len();
+    let slot_of: HashMap<crate::ids::TxnId, usize> = schedule
+        .txn_ids()
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| (t, i))
+        .collect();
+    let mut rs: Vec<ItemSet> = vec![ItemSet::new(); n_txns];
+    let mut ws: Vec<ItemSet> = vec![ItemSet::new(); n_txns];
+    for o in schedule.ops() {
+        let k = slot_of[&o.txn];
+        if o.is_read() {
+            rs[k].insert(o.item);
+        } else {
+            ws[k].insert(o.item);
+        }
+    }
     let l = ic.len();
     let mut graph = DiGraph::new(l);
-    for txn in schedule.transactions() {
-        let rs = txn.read_set();
-        let ws = txn.write_set();
+    for k in 0..n_txns {
         for (i, ci) in ic.conjuncts().iter().enumerate() {
-            if rs.intersection(ci.items()).is_empty() {
+            if rs[k].is_disjoint(ci.items()) {
                 continue;
             }
             for (j, cj) in ic.conjuncts().iter().enumerate() {
-                if i != j && !ws.intersection(cj.items()).is_empty() {
+                if i != j && !ws[k].is_disjoint(cj.items()) {
                     graph.add_edge(i, j);
                 }
             }

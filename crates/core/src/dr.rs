@@ -59,11 +59,21 @@ pub fn is_delayed_read(schedule: &Schedule) -> bool {
 
 /// A witness that the schedule is not DR: `(reader, writer)` positions
 /// where the writer's transaction is still active at the read.
+///
+/// One pass over dense tables: track the latest writer position per
+/// item; the writer's completion is an O(1) lookup against the
+/// schedule's last-position table. `O(n)`, no hashing, no rescans.
 pub fn dr_violation(schedule: &Schedule) -> Option<(OpIndex, OpIndex)> {
-    for (reader, writer) in schedule.reads_from_pairs() {
-        let w_txn = schedule.op(writer).txn;
-        if !schedule.txn_finished_by(w_txn, reader) {
-            return Some((reader, writer));
+    const NONE: u32 = u32::MAX;
+    let mut last_write = vec![NONE; schedule.item_ub()];
+    for (p, o) in schedule.ops().iter().enumerate() {
+        if o.is_write() {
+            last_write[o.item.index()] = p as u32;
+        } else {
+            let w = last_write[o.item.index()];
+            if w != NONE && !schedule.op_txn_finished_by(OpIndex(w as usize), OpIndex(p)) {
+                return Some((OpIndex(p), OpIndex(w as usize)));
+            }
         }
     }
     None
@@ -93,27 +103,38 @@ pub fn is_aca(schedule: &Schedule) -> bool {
 /// read **or overwritten** while a preceding writer of it is
 /// uncommitted?
 pub fn is_strict_with(schedule: &Schedule, commits: &CommitPoints) -> bool {
-    let ops = schedule.ops();
-    for j in 0..ops.len() {
-        let oj = &ops[j];
-        // Find the latest preceding write to the same item by another txn.
-        let Some(i) = ops[..j]
-            .iter()
-            .rposition(|o| o.is_write() && o.item == oj.item && o.txn != oj.txn)
-        else {
-            continue;
-        };
-        // Only the *immediately* preceding write matters for reads; for
-        // overwrites, any uncommitted earlier writer breaks strictness.
-        let w_txn = ops[i].txn;
-        let relevant = if oj.is_read() {
-            // The read takes its value from the latest write.
-            schedule.reads_from(OpIndex(j)) == Some(OpIndex(i))
+    // Per item, the latest write (`mru1`) and the latest write by a
+    // transaction other than `mru1`'s (`mru2`): together they answer
+    // "latest preceding write by a transaction ≠ T" in O(1), replacing
+    // the old per-operation backwards rescan.
+    const NONE: (usize, TxnId) = (usize::MAX, TxnId(u32::MAX));
+    let mut mru: Vec<[(usize, TxnId); 2]> = vec![[NONE; 2]; schedule.item_ub()];
+    for (j, oj) in schedule.ops().iter().enumerate() {
+        let [mru1, mru2] = mru[oj.item.index()];
+        // The latest preceding write to the same item by another txn.
+        let prior = if mru1 != NONE && mru1.1 != oj.txn {
+            Some(mru1)
+        } else if mru2 != NONE && mru2.1 != oj.txn {
+            Some(mru2)
         } else {
-            true
+            None
         };
-        if relevant && !commits.committed_by(w_txn, OpIndex(j)) {
-            return false;
+        if let Some((_, w_txn)) = prior {
+            // Only the *immediately* preceding write matters for reads
+            // (the read takes its value from the latest write); for
+            // overwrites, any uncommitted earlier writer breaks
+            // strictness.
+            let relevant = !oj.is_read() || mru1.1 != oj.txn;
+            if relevant && !commits.committed_by(w_txn, OpIndex(j)) {
+                return false;
+            }
+        }
+        if oj.is_write() {
+            mru[oj.item.index()] = if mru1 != NONE && mru1.1 == oj.txn {
+                [(j, oj.txn), mru2]
+            } else {
+                [(j, oj.txn), mru1]
+            };
         }
     }
     true

@@ -1,0 +1,276 @@
+//! An indexed view of a [`Schedule`] for the operation-indexed lemmas.
+//!
+//! The paper's induction (Lemmas 2/6, Theorems 1–3) asks the same
+//! positional questions at every prefix of a schedule: *what has
+//! transaction `T` read up to operation `p`?*, *what will it still
+//! write after `p`?*, *has it finished by `p`?*. Answering them from
+//! the raw operation sequence costs a full scan (and an allocation)
+//! per `(txn, p)` query — `O(n)` each, `O(n²)` for a sweep.
+//!
+//! [`ScheduleIndex`] builds, in one pass over the schedule:
+//!
+//! * per-transaction operation position lists (ascending),
+//! * per-transaction **prefix read/write-set tables** — entry `k` is
+//!   the `RS`/`WS` of the transaction's first `k` operations as a
+//!   dense [`ItemSet`] bitset,
+//! * the *reads-from* source of every read position, and
+//! * last-operation positions (the `txn_finished_by` lookup).
+//!
+//! Because a transaction reads and writes each item at most once
+//! (§2.2), suffix sets are exact word-wise differences of totals and
+//! prefixes: `WS(after(T, p, S)) = WS(T) − WS(before(T, p, S))`. Every
+//! query is then a binary search over the transaction's own positions
+//! plus a few word operations — no rescans, no `Vec<Operation>`
+//! clones.
+
+use crate::ids::{OpIndex, TxnId};
+use crate::op::Action;
+use crate::schedule::Schedule;
+use crate::state::ItemSet;
+
+/// Positional lookup tables for one schedule, built once in `O(n)`.
+#[derive(Clone, Debug)]
+pub struct ScheduleIndex<'s> {
+    schedule: &'s Schedule,
+    /// Per slot: ascending positions of the transaction's operations.
+    positions: Vec<Vec<u32>>,
+    /// Per slot: `rs_prefix[k]` = items read by the first `k` ops.
+    rs_prefix: Vec<Vec<ItemSet>>,
+    /// Per slot: `ws_prefix[k]` = items written by the first `k` ops.
+    ws_prefix: Vec<Vec<ItemSet>>,
+    /// Per position: the write a read takes its value from.
+    reads_from: Vec<Option<u32>>,
+    /// Referenced when a query names a transaction not in the schedule.
+    empty: ItemSet,
+}
+
+impl<'s> ScheduleIndex<'s> {
+    /// Index `schedule` in one pass (slots come from the schedule's own
+    /// dense tables — no hashing here).
+    pub fn new(schedule: &'s Schedule) -> ScheduleIndex<'s> {
+        const NONE: u32 = u32::MAX;
+        let n_slots = schedule.txn_ids().len();
+        let mut positions: Vec<Vec<u32>> = vec![Vec::new(); n_slots];
+        let mut rs_prefix: Vec<Vec<ItemSet>> = vec![vec![ItemSet::new()]; n_slots];
+        let mut ws_prefix: Vec<Vec<ItemSet>> = vec![vec![ItemSet::new()]; n_slots];
+        let mut reads_from: Vec<Option<u32>> = vec![None; schedule.len()];
+        let mut last_write = vec![NONE; schedule.item_ub()];
+        for (p, o) in schedule.ops().iter().enumerate() {
+            let slot = schedule.slot_of_op(OpIndex(p));
+            positions[slot].push(p as u32);
+            let mut rs = rs_prefix[slot].last().expect("entry 0 exists").clone();
+            let mut ws = ws_prefix[slot].last().expect("entry 0 exists").clone();
+            match o.action {
+                Action::Read => {
+                    rs.insert(o.item);
+                    let w = last_write[o.item.index()];
+                    reads_from[p] = (w != NONE).then_some(w);
+                }
+                Action::Write => {
+                    ws.insert(o.item);
+                    last_write[o.item.index()] = p as u32;
+                }
+            }
+            rs_prefix[slot].push(rs);
+            ws_prefix[slot].push(ws);
+        }
+        ScheduleIndex {
+            schedule,
+            positions,
+            rs_prefix,
+            ws_prefix,
+            reads_from,
+            empty: ItemSet::new(),
+        }
+    }
+
+    /// The indexed schedule.
+    pub fn schedule(&self) -> &'s Schedule {
+        self.schedule
+    }
+
+    /// The dense slot of `txn` (its index in `schedule.txn_ids()`).
+    pub fn slot(&self, txn: TxnId) -> Option<usize> {
+        self.schedule.txn_slot(txn)
+    }
+
+    /// Ascending operation positions of `txn`.
+    pub fn positions_of(&self, txn: TxnId) -> &[u32] {
+        self.slot(txn)
+            .map_or(&[][..], |s| self.positions[s].as_slice())
+    }
+
+    /// How many of `txn`'s operations are at positions `≤ p` (the
+    /// paper's `before` convention includes `p` itself).
+    fn prefix_len(&self, slot: usize, p: OpIndex) -> usize {
+        self.positions[slot].partition_point(|&q| q as usize <= p.0)
+    }
+
+    /// `RS(before(T, p, S))`: items `txn` has read at or before `p`.
+    pub fn read_set_before(&self, txn: TxnId, p: OpIndex) -> &ItemSet {
+        match self.slot(txn) {
+            Some(s) => &self.rs_prefix[s][self.prefix_len(s, p)],
+            None => &self.empty,
+        }
+    }
+
+    /// `WS(before(T, p, S))`: items `txn` has written at or before `p`.
+    pub fn write_set_before(&self, txn: TxnId, p: OpIndex) -> &ItemSet {
+        match self.slot(txn) {
+            Some(s) => &self.ws_prefix[s][self.prefix_len(s, p)],
+            None => &self.empty,
+        }
+    }
+
+    /// `RS(T)`: everything `txn` reads in the whole schedule.
+    pub fn read_set_total(&self, txn: TxnId) -> &ItemSet {
+        match self.slot(txn) {
+            Some(s) => self.rs_prefix[s].last().expect("entry 0 exists"),
+            None => &self.empty,
+        }
+    }
+
+    /// `WS(T)`: everything `txn` writes in the whole schedule.
+    pub fn write_set_total(&self, txn: TxnId) -> &ItemSet {
+        match self.slot(txn) {
+            Some(s) => self.ws_prefix[s].last().expect("entry 0 exists"),
+            None => &self.empty,
+        }
+    }
+
+    /// `(WS(T), WS(before(T, p, S)))` as prefix-table references, when
+    /// the transaction appears in the schedule. The lemma updates fuse
+    /// these with the conjunct mask in one word-wise pass.
+    pub(crate) fn ws_total_and_before(
+        &self,
+        txn: TxnId,
+        p: OpIndex,
+    ) -> Option<(&ItemSet, &ItemSet)> {
+        let s = self.slot(txn)?;
+        Some((
+            self.ws_prefix[s].last().expect("entry 0 exists"),
+            &self.ws_prefix[s][self.prefix_len(s, p)],
+        ))
+    }
+
+    /// `WS(after(T^d, p, S))` into `out`: the items of `d` that `txn`
+    /// still writes strictly after `p`. Exact because a transaction
+    /// writes each item at most once (§2.2).
+    pub fn write_set_after_into(&self, txn: TxnId, p: OpIndex, d: &ItemSet, out: &mut ItemSet) {
+        let Some(s) = self.slot(txn) else {
+            out.clear();
+            return;
+        };
+        out.clone_from(self.ws_prefix[s].last().expect("entry 0 exists"));
+        out.difference_with(&self.ws_prefix[s][self.prefix_len(s, p)]);
+        out.intersect_with(d);
+    }
+
+    /// Has `txn` completed all its operations at or before `p`
+    /// (`after(T, p, S) = ε`)?
+    pub fn txn_finished_by(&self, txn: TxnId, p: OpIndex) -> bool {
+        self.positions_of(txn)
+            .last()
+            .is_none_or(|&last| last as usize <= p.0)
+    }
+
+    /// The position of `txn`'s last operation, if it has any.
+    pub fn last_op_of(&self, txn: TxnId) -> Option<OpIndex> {
+        self.positions_of(txn).last().map(|&q| OpIndex(q as usize))
+    }
+
+    /// The §3.2 reads-from source of position `p`, precomputed.
+    pub fn reads_from(&self, p: OpIndex) -> Option<OpIndex> {
+        self.reads_from[p.0].map(|q| OpIndex(q as usize))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ItemId;
+    use crate::op::Operation;
+    use crate::value::Value;
+
+    fn rd(t: u32, i: u32, v: i64) -> Operation {
+        Operation::read(TxnId(t), ItemId(i), Value::Int(v))
+    }
+
+    fn wr(t: u32, i: u32, v: i64) -> Operation {
+        Operation::write(TxnId(t), ItemId(i), Value::Int(v))
+    }
+
+    /// Example 1's schedule: r1(a,0), r2(a,0), w2(d,0), r1(c,5), w1(b,5).
+    fn example1() -> Schedule {
+        Schedule::new(vec![
+            rd(1, 0, 0),
+            rd(2, 0, 0),
+            wr(2, 3, 0),
+            rd(1, 2, 5),
+            wr(1, 1, 5),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn prefix_tables_match_scans() {
+        let s = example1();
+        let ix = ScheduleIndex::new(&s);
+        for &t in s.txn_ids() {
+            for p in s.positions() {
+                let before = s.before_txn(t, p);
+                assert_eq!(
+                    *ix.read_set_before(t, p),
+                    crate::op::read_set(&before),
+                    "rs_before({t}, {p:?})"
+                );
+                assert_eq!(
+                    *ix.write_set_before(t, p),
+                    crate::op::write_set(&before),
+                    "ws_before({t}, {p:?})"
+                );
+                assert_eq!(ix.txn_finished_by(t, p), s.txn_finished_by(t, p));
+            }
+            assert_eq!(ix.last_op_of(t), s.last_op_of(t));
+        }
+    }
+
+    #[test]
+    fn suffix_write_sets_match_projected_scans() {
+        let s = example1();
+        let ix = ScheduleIndex::new(&s);
+        let d = ItemSet::from_iter([ItemId(1), ItemId(2)]);
+        let mut out = ItemSet::new();
+        for &t in s.txn_ids() {
+            for p in s.positions() {
+                ix.write_set_after_into(t, p, &d, &mut out);
+                assert_eq!(
+                    out,
+                    crate::op::write_set(&s.after_txn_proj(t, &d, p)),
+                    "ws_after({t}, {p:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reads_from_table_matches_schedule() {
+        let s = Schedule::new(vec![wr(1, 0, 1), wr(2, 0, 2), rd(3, 0, 2), rd(3, 1, 0)]).unwrap();
+        let ix = ScheduleIndex::new(&s);
+        for p in s.positions() {
+            assert_eq!(ix.reads_from(p), s.reads_from(p));
+        }
+    }
+
+    #[test]
+    fn unknown_txn_is_empty_and_finished() {
+        let s = example1();
+        let ix = ScheduleIndex::new(&s);
+        let ghost = TxnId(99);
+        assert!(ix.read_set_before(ghost, OpIndex(4)).is_empty());
+        assert!(ix.write_set_total(ghost).is_empty());
+        assert!(ix.txn_finished_by(ghost, OpIndex(0)));
+        assert_eq!(ix.last_op_of(ghost), None);
+        assert_eq!(ix.positions_of(ghost), &[] as &[u32]);
+    }
+}

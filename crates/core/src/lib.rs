@@ -73,6 +73,7 @@ pub mod error;
 pub mod graph;
 pub mod history;
 pub mod ids;
+pub mod index;
 pub mod notation;
 pub mod op;
 pub mod pwsr;
@@ -96,12 +97,14 @@ pub mod prelude {
     pub use crate::error::CoreError;
     pub use crate::history::{Event, History, HistoryClass, Outcome};
     pub use crate::ids::{ConjunctId, ItemId, OpIndex, TxnId};
+    pub use crate::index::ScheduleIndex;
     pub use crate::notation::{parse_history, parse_schedule};
     pub use crate::op::{Action, OpStruct, Operation};
     pub use crate::pwsr::{is_pwsr, PwsrReport};
     pub use crate::schedule::Schedule;
     pub use crate::serializability::{
-        is_conflict_serializable, is_view_serializable, precedence_graph, serialization_order,
+        is_conflict_serializable, is_conflict_serializable_proj, is_view_serializable,
+        precedence_graph, serialization_order, serialization_order_proj,
     };
     pub use crate::solver::Solver;
     pub use crate::state::{DbState, ItemSet};

@@ -10,7 +10,7 @@
 use crate::constraint::IntegrityConstraint;
 use crate::ids::{ConjunctId, TxnId};
 use crate::schedule::Schedule;
-use crate::serializability::{conflict_cycle, is_view_serializable, serialization_order};
+use crate::serializability::{conflict_cycle_proj, is_view_serializable, serialization_order_proj};
 
 /// Per-conjunct outcome of the PWSR test.
 #[derive(Clone, Debug)]
@@ -55,15 +55,18 @@ impl PwsrReport {
 }
 
 /// Test Definition 2: is `S` predicate-wise serializable under `ic`?
+///
+/// Each conjunct's projection is checked without materializing it
+/// ([`serialization_order_proj`] works off per-item access lists), so
+/// the verdict engine's hot path clones no operations.
 pub fn is_pwsr(schedule: &Schedule, ic: &IntegrityConstraint) -> PwsrReport {
     let per_conjunct = ic
         .conjuncts()
         .iter()
         .map(|c| {
-            let proj = schedule.project(c.items());
-            let order = serialization_order(&proj);
+            let order = serialization_order_proj(schedule, c.items());
             let cycle = if order.is_none() {
-                conflict_cycle(&proj)
+                conflict_cycle_proj(schedule, c.items())
             } else {
                 None
             };
@@ -85,10 +88,12 @@ pub fn is_pwsr(schedule: &Schedule, ic: &IntegrityConstraint) -> PwsrReport {
 pub fn is_pw_view_serializable(schedule: &Schedule, ic: &IntegrityConstraint) -> Option<bool> {
     let mut ok = true;
     for c in ic.conjuncts() {
-        let proj = schedule.project(c.items());
-        if serialization_order(&proj).is_some() {
+        if serialization_order_proj(schedule, c.items()).is_some() {
             continue; // CSR ⇒ VSR
         }
+        // Only the rare non-CSR projection pays for materialization
+        // (the brute-force view test permutes actual transactions).
+        let proj = schedule.project(c.items());
         match is_view_serializable(&proj) {
             Some(true) => {}
             Some(false) => ok = false,

@@ -19,18 +19,60 @@ use crate::ids::{OpIndex, TxnId};
 use crate::op::{Action, Operation};
 use crate::state::{DbState, ItemSet};
 use crate::txn::Transaction;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 /// A schedule: the total order `≺_S` over all operations.
+///
+/// Alongside the operation sequence the schedule carries small
+/// positional tables built once at construction — each operation's
+/// dense transaction slot, each transaction's last position, and the
+/// item-id upper bound — so the checkers' positional queries
+/// (`txn_finished_by`, reads-from sweeps, conflict grouping) run
+/// without hashing or rescanning.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Schedule {
     ops: Vec<Operation>,
     /// Transaction ids in order of first appearance.
     txns: Vec<TxnId>,
+    /// Transaction id → dense slot (index into `txns`).
+    slot_of: HashMap<TxnId, u32>,
+    /// Per operation position: the dense slot of its transaction.
+    op_slot: Vec<u32>,
+    /// Per slot: the position of the transaction's last operation.
+    slot_last: Vec<u32>,
+    /// One past the largest item id accessed (0 when empty).
+    item_ub: usize,
 }
 
 impl Schedule {
+    /// Derive the positional tables from a validated operation
+    /// sequence plus its first-appearance transaction order.
+    fn finish(ops: Vec<Operation>, txns: Vec<TxnId>) -> Schedule {
+        let slot_of: HashMap<TxnId, u32> = txns
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, i as u32))
+            .collect();
+        let mut op_slot = Vec::with_capacity(ops.len());
+        let mut slot_last = vec![0u32; txns.len()];
+        let mut item_ub = 0usize;
+        for (p, o) in ops.iter().enumerate() {
+            let s = slot_of[&o.txn];
+            op_slot.push(s);
+            slot_last[s as usize] = p as u32;
+            item_ub = item_ub.max(o.item.index() + 1);
+        }
+        Schedule {
+            ops,
+            txns,
+            slot_of,
+            op_slot,
+            slot_last,
+            item_ub,
+        }
+    }
+
     /// Build a schedule from an interleaved operation sequence.
     ///
     /// Validates that every per-transaction subsequence satisfies the
@@ -49,7 +91,7 @@ impl Schedule {
             // Transaction::new re-runs the well-formedness rules.
             Transaction::new(id, seq)?;
         }
-        Ok(Schedule { ops, txns })
+        Ok(Schedule::finish(ops, txns))
     }
 
     /// Concatenate complete transactions serially, in the given order.
@@ -152,7 +194,7 @@ impl Schedule {
                 txns.push(o.txn);
             }
         }
-        Schedule { ops, txns }
+        Schedule::finish(ops, txns)
     }
 
     /// `before(T_i, p, S)`: the operations of transaction `txn` that
@@ -199,15 +241,40 @@ impl Schedule {
             .collect()
     }
 
+    /// The dense slot of `txn` (its index in [`Schedule::txn_ids`]).
+    pub fn txn_slot(&self, txn: TxnId) -> Option<usize> {
+        self.slot_of.get(&txn).map(|&s| s as usize)
+    }
+
+    /// The dense transaction slot of the operation at position `p`.
+    pub fn slot_of_op(&self, p: OpIndex) -> usize {
+        self.op_slot[p.0] as usize
+    }
+
+    /// One past the largest item id accessed by any operation (0 when
+    /// the schedule is empty) — sizes dense per-item scratch tables.
+    pub fn item_ub(&self) -> usize {
+        self.item_ub
+    }
+
     /// Has transaction `txn` completed all its operations at or before
-    /// position `p` (`after(T, p, S) = ε`)?
+    /// position `p` (`after(T, p, S) = ε`)? O(1) via the last-position
+    /// table.
     pub fn txn_finished_by(&self, txn: TxnId, p: OpIndex) -> bool {
-        !self.ops[p.0 + 1..].iter().any(|o| o.txn == txn)
+        self.txn_slot(txn)
+            .is_none_or(|s| self.slot_last[s] as usize <= p.0)
     }
 
     /// The position of `txn`'s last operation, if it has any.
     pub fn last_op_of(&self, txn: TxnId) -> Option<OpIndex> {
-        self.ops.iter().rposition(|o| o.txn == txn).map(OpIndex)
+        self.txn_slot(txn)
+            .map(|s| OpIndex(self.slot_last[s] as usize))
+    }
+
+    /// Has the transaction owning the operation at `op_pos` finished by
+    /// `p`? O(1) and hash-free (both positions index dense tables).
+    pub fn op_txn_finished_by(&self, op_pos: OpIndex, p: OpIndex) -> bool {
+        self.slot_last[self.op_slot[op_pos.0] as usize] as usize <= p.0
     }
 
     /// The §3.2 *reads-from* relation: the write operation that read
@@ -226,11 +293,26 @@ impl Schedule {
             .map(OpIndex)
     }
 
-    /// All `(reader, writer)` position pairs of the reads-from relation.
+    /// All `(reader, writer)` position pairs of the reads-from relation,
+    /// gathered in one pass tracking the latest writer per item.
     pub fn reads_from_pairs(&self) -> Vec<(OpIndex, OpIndex)> {
-        self.positions()
-            .filter_map(|p| self.reads_from(p).map(|w| (p, w)))
-            .collect()
+        const NONE: u32 = u32::MAX;
+        let mut last_write = vec![NONE; self.item_ub];
+        let mut out = Vec::new();
+        for (p, o) in self.ops.iter().enumerate() {
+            match o.action {
+                Action::Read => {
+                    let w = last_write[o.item.index()];
+                    if w != NONE {
+                        out.push((OpIndex(p), OpIndex(w as usize)));
+                    }
+                }
+                Action::Write => {
+                    last_write[o.item.index()] = p as u32;
+                }
+            }
+        }
+        out
     }
 
     /// Execute the schedule from `initial`: apply every write in order.

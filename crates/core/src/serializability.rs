@@ -12,37 +12,146 @@
 use crate::graph::DiGraph;
 use crate::ids::TxnId;
 use crate::schedule::Schedule;
+use crate::state::ItemSet;
 use std::collections::HashMap;
+
+const ABSENT: u32 = u32::MAX;
+
+/// The transactions of `S^d` in first-appearance order, plus the map
+/// from schedule transaction slots to projection slots (`ABSENT` when
+/// the transaction has no operation in `d`).
+fn proj_txns(schedule: &Schedule, d: Option<&ItemSet>) -> (Vec<TxnId>, Vec<u32>) {
+    let all = schedule.txn_ids();
+    let mut map = vec![ABSENT; all.len()];
+    let mut txns = Vec::new();
+    for (p, o) in schedule.ops().iter().enumerate() {
+        if d.is_some_and(|d| !d.contains(o.item)) {
+            continue;
+        }
+        let s = schedule.slot_of_op(crate::ids::OpIndex(p));
+        if map[s] == ABSENT {
+            map[s] = txns.len() as u32;
+            txns.push(all[s]);
+        }
+    }
+    (txns, map)
+}
+
+/// The **full** conflict graph restricted to items in `d` (`None` = no
+/// restriction): every conflicting operation pair contributes its edge,
+/// exactly as the classical definition reads. Operations are grouped
+/// per item (only same-item pairs can conflict), so the pairwise scan
+/// runs within each item's access list instead of over all `O(n²)`
+/// operation pairs.
+fn conflict_graph_full(schedule: &Schedule, d: Option<&ItemSet>) -> (DiGraph, Vec<TxnId>) {
+    let (txns, map) = proj_txns(schedule, d);
+    let mut per_item: Vec<Vec<(u32, bool)>> = vec![Vec::new(); schedule.item_ub()];
+    for (p, o) in schedule.ops().iter().enumerate() {
+        if d.is_some_and(|d| !d.contains(o.item)) {
+            continue;
+        }
+        let t = map[schedule.slot_of_op(crate::ids::OpIndex(p))];
+        per_item[o.item.index()].push((t, o.is_write()));
+    }
+    let mut g = DiGraph::new(txns.len());
+    for accesses in &per_item {
+        for (j, &(tj, wj)) in accesses.iter().enumerate() {
+            for &(ti, wi) in &accesses[..j] {
+                if ti != tj && (wi || wj) {
+                    g.add_edge(ti as usize, tj as usize);
+                }
+            }
+        }
+    }
+    (g, txns)
+}
+
+/// The **reduced** conflict graph: each operation only records edges
+/// from the latest writer of its item (and, for writes, from the
+/// readers since that write). The result has `O(n)` edges and the same
+/// transitive closure as the full graph — an earlier conflicting
+/// operation always reaches the later one through the intermediate
+/// writers — so acyclicity, `find_cycle`-existence and the
+/// smallest-index-first topological order all coincide with the full
+/// graph's. This is what the CSR deciders run on.
+fn conflict_graph_reduced(schedule: &Schedule, d: Option<&ItemSet>) -> (DiGraph, Vec<TxnId>) {
+    let (txns, map) = proj_txns(schedule, d);
+    let mut g = DiGraph::new(txns.len());
+    let mut last_writer: Vec<u32> = vec![ABSENT; schedule.item_ub()];
+    let mut readers: Vec<Vec<u32>> = vec![Vec::new(); schedule.item_ub()];
+    for (p, o) in schedule.ops().iter().enumerate() {
+        if d.is_some_and(|d| !d.contains(o.item)) {
+            continue;
+        }
+        let t = map[schedule.slot_of_op(crate::ids::OpIndex(p))];
+        let i = o.item.index();
+        let w = last_writer[i];
+        if w != ABSENT && w != t {
+            g.add_edge(w as usize, t as usize);
+        }
+        if o.is_read() {
+            readers[i].push(t);
+        } else {
+            for &r in &readers[i] {
+                if r != t {
+                    g.add_edge(r as usize, t as usize);
+                }
+            }
+            readers[i].clear();
+            last_writer[i] = t;
+        }
+    }
+    (g, txns)
+}
 
 /// The precedence (conflict) graph of a schedule, with node `k`
 /// representing `schedule.txn_ids()[k]`.
 pub fn precedence_graph(schedule: &Schedule) -> DiGraph {
-    let txns = schedule.txn_ids();
-    let index: HashMap<TxnId, usize> = txns.iter().enumerate().map(|(i, &t)| (t, i)).collect();
-    let mut g = DiGraph::new(txns.len());
-    let ops = schedule.ops();
-    for i in 0..ops.len() {
-        for j in (i + 1)..ops.len() {
-            if ops[i].conflicts_with(&ops[j]) {
-                g.add_edge(index[&ops[i].txn], index[&ops[j].txn]);
-            }
-        }
-    }
-    g
+    // Unrestricted first-appearance order coincides with txn_ids().
+    conflict_graph_full(schedule, None).0
+}
+
+/// The precedence graph of the projection `S^d`, without materializing
+/// the projected schedule. Node `k` of the graph represents the `k`-th
+/// returned transaction id (first-appearance order within `S^d`).
+pub fn precedence_graph_proj(schedule: &Schedule, d: &ItemSet) -> (DiGraph, Vec<TxnId>) {
+    conflict_graph_full(schedule, Some(d))
 }
 
 /// Is the schedule conflict-serializable?
 pub fn is_conflict_serializable(schedule: &Schedule) -> bool {
-    !precedence_graph(schedule).has_cycle()
+    !conflict_graph_reduced(schedule, None).0.has_cycle()
+}
+
+/// Is the projection `S^d` conflict-serializable? Equivalent to
+/// `is_conflict_serializable(&schedule.project(d))` without cloning the
+/// projected operations.
+pub fn is_conflict_serializable_proj(schedule: &Schedule, d: &ItemSet) -> bool {
+    !conflict_graph_reduced(schedule, Some(d)).0.has_cycle()
 }
 
 /// One (deterministic) serialization order of a conflict-serializable
 /// schedule, or `None` if it is not CSR.
 pub fn serialization_order(schedule: &Schedule) -> Option<Vec<TxnId>> {
-    let txns = schedule.txn_ids();
-    precedence_graph(schedule)
-        .topo_sort()
+    let (g, txns) = conflict_graph_reduced(schedule, None);
+    g.topo_sort()
         .map(|order| order.into_iter().map(|k| txns[k]).collect())
+}
+
+/// A serialization order of the projection `S^d`, or `None` if it is
+/// not CSR. Equivalent to `serialization_order(&schedule.project(d))`
+/// without materializing the projection.
+pub fn serialization_order_proj(schedule: &Schedule, d: &ItemSet) -> Option<Vec<TxnId>> {
+    let (g, txns) = conflict_graph_reduced(schedule, Some(d));
+    g.topo_sort()
+        .map(|order| order.into_iter().map(|k| txns[k]).collect())
+}
+
+/// A conflict cycle in the projection `S^d`, if any.
+pub fn conflict_cycle_proj(schedule: &Schedule, d: &ItemSet) -> Option<Vec<TxnId>> {
+    let (g, txns) = conflict_graph_reduced(schedule, Some(d));
+    g.find_cycle()
+        .map(|c| c.into_iter().map(|k| txns[k]).collect())
 }
 
 /// All serialization orders (up to `cap`), or `None` if not CSR.
@@ -64,9 +173,8 @@ pub fn all_serialization_orders(schedule: &Schedule, cap: usize) -> Option<Vec<V
 
 /// A conflict cycle witnessing non-serializability, as transaction ids.
 pub fn conflict_cycle(schedule: &Schedule) -> Option<Vec<TxnId>> {
-    let txns = schedule.txn_ids();
-    precedence_graph(schedule)
-        .find_cycle()
+    let (g, txns) = conflict_graph_reduced(schedule, None);
+    g.find_cycle()
         .map(|c| c.into_iter().map(|k| txns[k]).collect())
 }
 
@@ -232,6 +340,42 @@ mod tests {
         let s = Schedule::new(vec![]).unwrap();
         assert!(is_conflict_serializable(&s));
         assert_eq!(serialization_order(&s).unwrap(), Vec::<TxnId>::new());
+    }
+
+    #[test]
+    fn proj_variants_match_materialized_projection() {
+        use crate::state::ItemSet;
+        // Example 2's schedule: projection on {a,b} is CSR (T1,T2),
+        // on {c} is CSR (T2,T1), while S itself is not.
+        let s = Schedule::new(vec![
+            wr(1, 0, 1),
+            rd(2, 0, 1),
+            rd(2, 1, -1),
+            wr(2, 2, -1),
+            rd(1, 2, -1),
+        ])
+        .unwrap();
+        for d in [
+            ItemSet::from_iter([ItemId(0), ItemId(1)]),
+            ItemSet::from_iter([ItemId(2)]),
+            ItemSet::from_iter([ItemId(0), ItemId(1), ItemId(2)]),
+            ItemSet::new(),
+        ] {
+            let proj = s.project(&d);
+            assert_eq!(
+                serialization_order_proj(&s, &d),
+                serialization_order(&proj),
+                "order mismatch on {d:?}"
+            );
+            assert_eq!(
+                is_conflict_serializable_proj(&s, &d),
+                is_conflict_serializable(&proj)
+            );
+            assert_eq!(
+                conflict_cycle_proj(&s, &d).is_some(),
+                conflict_cycle(&proj).is_some()
+            );
+        }
     }
 
     #[test]

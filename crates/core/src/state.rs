@@ -14,15 +14,47 @@ use crate::error::{CoreError, Result};
 use crate::ids::ItemId;
 use crate::value::Value;
 use std::collections::btree_map::Entry;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// A set of data items `d ⊆ D` (a "data set" in the paper).
 ///
-/// Backed by a `BTreeSet` for deterministic iteration; these sets are
-/// small (conjunct scopes, read/write sets), so tree overhead is noise.
-#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct ItemSet(BTreeSet<ItemId>);
+/// Backed by a dense bitset indexed by [`ItemId`]: item ids are
+/// interned catalog indices (small and dense), so membership is a bit
+/// test and union/difference/subset are word-wise loops. The first 64
+/// ids live in an **inline** word; only ids ≥ 64 spill to a heap
+/// vector — so for the common case (conjunct scopes, per-transaction
+/// read/write sets over small catalogs) every set operation is
+/// allocation-free. Iteration remains in ascending id order, matching
+/// the previous `BTreeSet`-backed representation.
+///
+/// Invariant: the trailing spill word, when present, is nonzero — so
+/// the derived `PartialEq`/`Eq`/`Hash` see a canonical form.
+#[derive(Default, PartialEq, Eq, Hash)]
+pub struct ItemSet {
+    /// Bits for ids 0..64.
+    word0: u64,
+    /// Bits for ids ≥ 64: `rest[k]` covers ids `64(k+1)..64(k+2)`.
+    rest: Vec<u64>,
+}
+
+const WORD_BITS: usize = 64;
+
+impl Clone for ItemSet {
+    fn clone(&self) -> Self {
+        ItemSet {
+            word0: self.word0,
+            rest: self.rest.clone(),
+        }
+    }
+
+    /// Reuses the spill vector's allocation (hot-path `clone_from`s
+    /// into scratch sets never reallocate).
+    fn clone_from(&mut self, source: &Self) {
+        self.word0 = source.word0;
+        self.rest.clone_from(&source.rest);
+    }
+}
 
 impl ItemSet {
     /// The empty set.
@@ -33,67 +65,255 @@ impl ItemSet {
     /// Build from anything yielding [`ItemId`]s.
     #[allow(clippy::should_implement_trait)] // also provided via FromIterator
     pub fn from_iter<I: IntoIterator<Item = ItemId>>(iter: I) -> Self {
-        ItemSet(iter.into_iter().collect())
+        let mut out = ItemSet::new();
+        for id in iter {
+            out.insert(id);
+        }
+        out
+    }
+
+    /// Drop trailing zero spill words to keep the canonical form.
+    fn normalize(&mut self) {
+        while self.rest.last() == Some(&0) {
+            self.rest.pop();
+        }
+    }
+
+    /// The spill word covering `id`, or 0.
+    #[inline]
+    fn word(&self, w: usize) -> u64 {
+        if w == 0 {
+            self.word0
+        } else {
+            self.rest.get(w - 1).copied().unwrap_or(0)
+        }
     }
 
     /// Insert an item; returns whether it was newly inserted.
     pub fn insert(&mut self, id: ItemId) -> bool {
-        self.0.insert(id)
+        let (w, b) = (id.index() / WORD_BITS, id.index() % WORD_BITS);
+        let word = if w == 0 {
+            &mut self.word0
+        } else {
+            if w > self.rest.len() {
+                self.rest.resize(w, 0);
+            }
+            &mut self.rest[w - 1]
+        };
+        let fresh = *word & (1 << b) == 0;
+        *word |= 1 << b;
+        fresh
     }
 
     /// Remove an item; returns whether it was present.
     pub fn remove(&mut self, id: ItemId) -> bool {
-        self.0.remove(&id)
+        let (w, b) = (id.index() / WORD_BITS, id.index() % WORD_BITS);
+        if w == 0 {
+            let present = self.word0 & (1 << b) != 0;
+            self.word0 &= !(1 << b);
+            return present;
+        }
+        if w > self.rest.len() {
+            return false;
+        }
+        let present = self.rest[w - 1] & (1 << b) != 0;
+        self.rest[w - 1] &= !(1 << b);
+        self.normalize();
+        present
+    }
+
+    /// Remove every item (keeps the spill allocation for reuse).
+    pub fn clear(&mut self) {
+        self.word0 = 0;
+        self.rest.clear();
     }
 
     /// Membership test.
     pub fn contains(&self, id: ItemId) -> bool {
-        self.0.contains(&id)
+        let (w, b) = (id.index() / WORD_BITS, id.index() % WORD_BITS);
+        self.word(w) & (1 << b) != 0
     }
 
     /// Number of items.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.word0.count_ones() as usize
+            + self
+                .rest
+                .iter()
+                .map(|w| w.count_ones() as usize)
+                .sum::<usize>()
     }
 
     /// Is the set empty?
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.word0 == 0 && self.rest.is_empty()
     }
 
     /// Iterate items in ascending id order.
     pub fn iter(&self) -> impl Iterator<Item = ItemId> + '_ {
-        self.0.iter().copied()
+        std::iter::once(self.word0)
+            .chain(self.rest.iter().copied())
+            .enumerate()
+            .flat_map(|(wi, word)| {
+                let mut bits = word;
+                std::iter::from_fn(move || {
+                    if bits == 0 {
+                        return None;
+                    }
+                    let b = bits.trailing_zeros();
+                    bits &= bits - 1;
+                    Some(ItemId((wi * WORD_BITS) as u32 + b))
+                })
+            })
     }
 
     /// `self ∪ other`.
     pub fn union(&self, other: &ItemSet) -> ItemSet {
-        ItemSet(self.0.union(&other.0).copied().collect())
+        let mut out = self.clone();
+        out.union_with(other);
+        out
     }
 
     /// `self ∩ other`.
     pub fn intersection(&self, other: &ItemSet) -> ItemSet {
-        ItemSet(self.0.intersection(&other.0).copied().collect())
+        let mut out = self.clone();
+        out.intersect_with(other);
+        out
     }
 
     /// `self − other`.
     pub fn difference(&self, other: &ItemSet) -> ItemSet {
-        ItemSet(self.0.difference(&other.0).copied().collect())
+        let mut out = self.clone();
+        out.difference_with(other);
+        out
+    }
+
+    /// In-place `self ∪= other` (no allocation when capacity suffices).
+    pub fn union_with(&mut self, other: &ItemSet) {
+        self.word0 |= other.word0;
+        if other.rest.len() > self.rest.len() {
+            self.rest.resize(other.rest.len(), 0);
+        }
+        for (w, &o) in self.rest.iter_mut().zip(&other.rest) {
+            *w |= o;
+        }
+    }
+
+    /// In-place `self ∩= other`.
+    pub fn intersect_with(&mut self, other: &ItemSet) {
+        self.word0 &= other.word0;
+        self.rest.truncate(other.rest.len());
+        for (w, &o) in self.rest.iter_mut().zip(&other.rest) {
+            *w &= o;
+        }
+        self.normalize();
+    }
+
+    /// In-place `self −= other`.
+    pub fn difference_with(&mut self, other: &ItemSet) {
+        self.word0 &= !other.word0;
+        for (w, &o) in self.rest.iter_mut().zip(&other.rest) {
+            *w &= !o;
+        }
+        self.normalize();
     }
 
     /// Are the two sets disjoint (`self ∩ other = ∅`)?
     pub fn is_disjoint(&self, other: &ItemSet) -> bool {
-        self.0.is_disjoint(&other.0)
+        self.word0 & other.word0 == 0
+            && self.rest.iter().zip(&other.rest).all(|(&a, &b)| a & b == 0)
     }
 
     /// Is `self ⊆ other`?
     pub fn is_subset(&self, other: &ItemSet) -> bool {
-        self.0.is_subset(&other.0)
+        self.word0 & !other.word0 == 0
+            && self.rest.len() <= other.rest.len()
+            && self
+                .rest
+                .iter()
+                .zip(&other.rest)
+                .all(|(&a, &b)| a & !b == 0)
+    }
+
+    /// In-place `self ∪= other ∩ mask` in one word-wise pass (the
+    /// Lemma 6 update for a completed predecessor).
+    pub fn union_with_masked(&mut self, other: &ItemSet, mask: &ItemSet) {
+        self.word0 |= other.word0 & mask.word0;
+        let n = other.rest.len().min(mask.rest.len());
+        if n > self.rest.len() {
+            self.rest.resize(n, 0);
+        }
+        for i in 0..n {
+            self.rest[i] |= other.rest[i] & mask.rest[i];
+        }
+        self.normalize();
+    }
+
+    /// In-place `self −= other ∩ mask` in one word-wise pass (the
+    /// Lemma 6 update for an incomplete predecessor).
+    pub fn difference_with_masked(&mut self, other: &ItemSet, mask: &ItemSet) {
+        self.word0 &= !(other.word0 & mask.word0);
+        for (i, w) in self.rest.iter_mut().enumerate() {
+            let o = other.rest.get(i).copied().unwrap_or(0);
+            let m = mask.rest.get(i).copied().unwrap_or(0);
+            *w &= !(o & m);
+        }
+        self.normalize();
+    }
+
+    /// In-place `self −= (a − b) ∩ mask` in one word-wise pass — the
+    /// Lemma 2 update `VS −= WS(after(T^d, p, S))` with the suffix
+    /// write set expressed as total − prefix.
+    pub fn difference_with_masked_diff(&mut self, a: &ItemSet, b: &ItemSet, mask: &ItemSet) {
+        self.word0 &= !(a.word0 & !b.word0 & mask.word0);
+        for (i, w) in self.rest.iter_mut().enumerate() {
+            let aw = a.rest.get(i).copied().unwrap_or(0);
+            let bw = b.rest.get(i).copied().unwrap_or(0);
+            let m = mask.rest.get(i).copied().unwrap_or(0);
+            *w &= !(aw & !bw & m);
+        }
+        self.normalize();
+    }
+
+    /// Is `self ∩ mask ⊆ other`? The projected-subset test the lemma
+    /// checkers run on their hot path, fused into one word-wise pass.
+    pub fn masked_subset(&self, mask: &ItemSet, other: &ItemSet) -> bool {
+        self.word0 & mask.word0 & !other.word0 == 0
+            && self.rest.iter().enumerate().all(|(i, &a)| {
+                let m = mask.rest.get(i).copied().unwrap_or(0);
+                let o = other.rest.get(i).copied().unwrap_or(0);
+                a & m & !o == 0
+            })
     }
 
     /// An arbitrary element shared with `other`, if any.
     pub fn common_item(&self, other: &ItemSet) -> Option<ItemId> {
-        self.0.intersection(&other.0).next().copied()
+        let both0 = self.word0 & other.word0;
+        if both0 != 0 {
+            return Some(ItemId(both0.trailing_zeros()));
+        }
+        self.rest
+            .iter()
+            .zip(&other.rest)
+            .enumerate()
+            .find_map(|(wi, (&a, &b))| {
+                let both = a & b;
+                (both != 0).then(|| ItemId(((wi + 1) * WORD_BITS) as u32 + both.trailing_zeros()))
+            })
+    }
+}
+
+/// Order as element-lexicographic over ascending ids, matching the
+/// previous `BTreeSet` representation's derived `Ord`.
+impl PartialOrd for ItemSet {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ItemSet {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.iter().cmp(other.iter())
     }
 }
 
@@ -305,6 +525,82 @@ mod tests {
         assert!(!a.is_disjoint(&b));
         assert_eq!(a.common_item(&b), Some(id(3)));
         assert!(a.intersection(&b).is_subset(&a));
+    }
+
+    #[test]
+    fn itemset_canonical_after_removals() {
+        // Removing a high bit must not leave trailing zero words behind
+        // (Eq/Hash are derived over the canonical word vector).
+        let mut a = ItemSet::from_iter([id(1), id(200)]);
+        a.remove(id(200));
+        assert_eq!(a, ItemSet::from_iter([id(1)]));
+        let mut b = ItemSet::from_iter([id(300)]);
+        b.difference_with(&ItemSet::from_iter([id(300)]));
+        assert_eq!(b, ItemSet::new());
+        assert!(b.is_empty());
+        let mut c = ItemSet::from_iter([id(70)]);
+        c.intersect_with(&ItemSet::from_iter([id(1)]));
+        assert_eq!(c, ItemSet::new());
+    }
+
+    #[test]
+    fn itemset_inplace_ops_match_pure_ops() {
+        let a = ItemSet::from_iter([id(1), id(65), id(200)]);
+        let b = ItemSet::from_iter([id(65), id(3)]);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u, a.union(&b));
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i, a.intersection(&b));
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d, a.difference(&b));
+    }
+
+    #[test]
+    fn itemset_fused_masked_ops_match_composed_ops() {
+        let base = ItemSet::from_iter([id(0), id(2), id(70), id(200)]);
+        let other = ItemSet::from_iter([id(0), id(70), id(130)]);
+        let mask = ItemSet::from_iter([id(0), id(1), id(70), id(130), id(200)]);
+        let b = ItemSet::from_iter([id(0)]);
+
+        let mut fused = base.clone();
+        fused.union_with_masked(&other, &mask);
+        assert_eq!(fused, base.union(&other.intersection(&mask)));
+
+        let mut fused = base.clone();
+        fused.difference_with_masked(&other, &mask);
+        assert_eq!(fused, base.difference(&other.intersection(&mask)));
+
+        let mut fused = base.clone();
+        fused.difference_with_masked_diff(&other, &b, &mask);
+        assert_eq!(
+            fused,
+            base.difference(&other.difference(&b).intersection(&mask))
+        );
+    }
+
+    #[test]
+    fn itemset_masked_subset() {
+        let a = ItemSet::from_iter([id(1), id(2), id(80)]);
+        let mask = ItemSet::from_iter([id(1), id(80)]);
+        let big = ItemSet::from_iter([id(1), id(80), id(99)]);
+        let small = ItemSet::from_iter([id(1)]);
+        assert!(a.masked_subset(&mask, &big)); // {1,80} ⊆ {1,80,99}
+        assert!(!a.masked_subset(&mask, &small)); // 80 escapes
+        assert!(a.masked_subset(&ItemSet::new(), &ItemSet::new()));
+    }
+
+    #[test]
+    fn itemset_iter_ascending_and_ord() {
+        let a = ItemSet::from_iter([id(200), id(3), id(64)]);
+        let got: Vec<u32> = a.iter().map(|i| i.0).collect();
+        assert_eq!(got, vec![3, 64, 200]);
+        // Element-lexicographic order, as with the old BTreeSet backing.
+        let b = ItemSet::from_iter([id(3), id(65)]);
+        assert!(a < b); // [3,64,..] < [3,65]
+        assert!(ItemSet::new() < a);
     }
 
     #[test]

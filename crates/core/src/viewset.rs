@@ -18,11 +18,140 @@
 //! inclusion checkers below let tests and benches verify this on every
 //! schedule prefix, which is exactly how the paper's operation-indexed
 //! induction uses them.
+//!
+//! ## Hot path
+//!
+//! Every entry point reduces the schedule to four per-transaction
+//! quantities (all projected to `d`): `RS(before)`, `WS(after)`,
+//! `WS(T^d)` and whether the transaction has finished by `p`. The free
+//! functions gather them in **one** pass over the operation sequence;
+//! the [`ScheduleIndex`] methods answer the same queries from prefix
+//! tables built once per schedule; and
+//! [`inclusion_holds_everywhere`] maintains them **incrementally**
+//! while sweeping `p`, so the full induction sweep is `O(n·|order|)`
+//! word operations instead of the old `O(n²·|order|)` rescans.
 
 use crate::ids::{OpIndex, TxnId};
-use crate::op;
+use crate::index::ScheduleIndex;
 use crate::schedule::Schedule;
 use crate::state::ItemSet;
+use std::collections::HashMap;
+
+/// The per-transaction quantities (parallel to `order`, projected to
+/// `d`) that both lemmas consume.
+struct PerTxn {
+    /// `RS(before(T_i^d, p, S))`.
+    rs_before: Vec<ItemSet>,
+    /// `WS(after(T_i^d, p, S))`.
+    ws_after: Vec<ItemSet>,
+    /// `WS(T_i^d)` (prefix ∪ suffix).
+    ws_total: Vec<ItemSet>,
+    /// `after(T_i, p, S) = ε` (over *all* items, not just `d`).
+    finished: Vec<bool>,
+}
+
+impl PerTxn {
+    fn with_len(n: usize) -> PerTxn {
+        PerTxn {
+            rs_before: vec![ItemSet::new(); n],
+            ws_after: vec![ItemSet::new(); n],
+            ws_total: vec![ItemSet::new(); n],
+            finished: vec![true; n],
+        }
+    }
+
+    /// Gather everything in a single scan of the operation sequence.
+    fn by_scan(schedule: &Schedule, d: &ItemSet, order: &[TxnId], p: OpIndex) -> PerTxn {
+        let mut out = PerTxn::with_len(order.len());
+        let slot: HashMap<TxnId, usize> = order.iter().enumerate().map(|(k, &t)| (t, k)).collect();
+        for (i, o) in schedule.ops().iter().enumerate() {
+            let Some(&k) = slot.get(&o.txn) else {
+                continue;
+            };
+            if i > p.0 {
+                out.finished[k] = false;
+            }
+            if !d.contains(o.item) {
+                continue;
+            }
+            if o.is_read() {
+                if i <= p.0 {
+                    out.rs_before[k].insert(o.item);
+                }
+            } else {
+                out.ws_total[k].insert(o.item);
+                if i > p.0 {
+                    out.ws_after[k].insert(o.item);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Lemma 2's recurrence over precomputed `WS(after)` sets.
+fn fold_general(d: &ItemSet, ws_after: &[ItemSet]) -> Vec<ItemSet> {
+    let mut out = Vec::with_capacity(ws_after.len());
+    let mut current = d.clone();
+    for (i, _) in ws_after.iter().enumerate() {
+        if i > 0 {
+            current.difference_with(&ws_after[i - 1]);
+        }
+        out.push(current.clone());
+    }
+    out
+}
+
+/// Lemma 6's recurrence over precomputed `WS(T^d)`/completion flags.
+fn fold_dr(d: &ItemSet, ws_total: &[ItemSet], finished: &[bool]) -> Vec<ItemSet> {
+    let mut out = Vec::with_capacity(ws_total.len());
+    let mut current = d.clone();
+    for i in 0..ws_total.len() {
+        if i > 0 {
+            if finished[i - 1] {
+                current.union_with(&ws_total[i - 1]);
+            } else {
+                current.difference_with(&ws_total[i - 1]);
+            }
+        }
+        out.push(current.clone());
+    }
+    out
+}
+
+/// Lemma 2's inclusion, checked against the running view set without
+/// materializing the `Vec<ItemSet>`. `current` is caller-provided
+/// scratch so sweeps stay allocation-free.
+fn check_general(d: &ItemSet, per: &PerTxn, current: &mut ItemSet) -> bool {
+    current.clone_from(d);
+    for i in 0..per.rs_before.len() {
+        if i > 0 {
+            current.difference_with(&per.ws_after[i - 1]);
+        }
+        if !per.rs_before[i].is_subset(current) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Lemma 6's inclusion, same shape.
+fn check_dr(d: &ItemSet, per: &PerTxn, current: &mut ItemSet) -> bool {
+    current.clone_from(d);
+    for i in 0..per.rs_before.len() {
+        if i > 0 {
+            if per.finished[i - 1] {
+                current.union_with(&per.ws_total[i - 1]);
+            } else {
+                current.difference_with(&per.ws_total[i - 1]);
+            }
+        }
+        if !per.rs_before[i].is_subset(current) {
+            return false;
+        }
+    }
+    true
+}
 
 /// Lemma 2's view sets, one per transaction of `order` (a serialization
 /// order of `S^d`), all relative to operation `p`.
@@ -32,40 +161,14 @@ pub fn view_sets_general(
     order: &[TxnId],
     p: OpIndex,
 ) -> Vec<ItemSet> {
-    let mut out = Vec::with_capacity(order.len());
-    let mut current = d.clone();
-    for (i, &t) in order.iter().enumerate() {
-        if i > 0 {
-            let prev = order[i - 1];
-            let written_after = op::write_set(&schedule.after_txn_proj(prev, d, p));
-            current = current.difference(&written_after);
-        }
-        out.push(current.clone());
-        let _ = t;
-    }
-    out
+    let per = PerTxn::by_scan(schedule, d, order, p);
+    fold_general(d, &per.ws_after)
 }
 
 /// Lemma 6's view sets for DR schedules.
 pub fn view_sets_dr(schedule: &Schedule, d: &ItemSet, order: &[TxnId], p: OpIndex) -> Vec<ItemSet> {
-    let mut out = Vec::with_capacity(order.len());
-    let mut current = d.clone();
-    for (i, &t) in order.iter().enumerate() {
-        if i > 0 {
-            let prev = order[i - 1];
-            let ws_prev = op::write_set(&schedule.before_txn_proj(prev, d, p))
-                .union(&op::write_set(&schedule.after_txn_proj(prev, d, p)));
-            if schedule.txn_finished_by(prev, p) {
-                // after(T_{i-1}, p, S) = ε: its writes become readable.
-                current = current.union(&ws_prev);
-            } else {
-                current = current.difference(&ws_prev);
-            }
-        }
-        out.push(current.clone());
-        let _ = t;
-    }
-    out
+    let per = PerTxn::by_scan(schedule, d, order, p);
+    fold_dr(d, &per.ws_total, &per.finished)
 }
 
 /// Check Lemma 2's inclusion `RS(before(T^d_i, p, S)) ⊆ VS(T_i, p, d, S)`
@@ -76,11 +179,8 @@ pub fn lemma2_inclusion_holds(
     order: &[TxnId],
     p: OpIndex,
 ) -> bool {
-    let vs = view_sets_general(schedule, d, order, p);
-    order
-        .iter()
-        .zip(&vs)
-        .all(|(&t, v)| op::read_set(&schedule.before_txn_proj(t, d, p)).is_subset(v))
+    let mut current = ItemSet::new();
+    check_general(d, &PerTxn::by_scan(schedule, d, order, p), &mut current)
 }
 
 /// Check Lemma 6's inclusion for DR schedules at operation `p`.
@@ -90,28 +190,140 @@ pub fn lemma6_inclusion_holds(
     order: &[TxnId],
     p: OpIndex,
 ) -> bool {
-    let vs = view_sets_dr(schedule, d, order, p);
-    order
-        .iter()
-        .zip(&vs)
-        .all(|(&t, v)| op::read_set(&schedule.before_txn_proj(t, d, p)).is_subset(v))
+    let mut current = ItemSet::new();
+    check_dr(d, &PerTxn::by_scan(schedule, d, order, p), &mut current)
+}
+
+impl ScheduleIndex<'_> {
+    /// [`view_sets_general`] answered from the prefix tables:
+    /// `O(|order|)` word operations and exactly one allocation (the
+    /// returned vector) for small item universes — no schedule rescan.
+    pub fn view_sets_general(&self, d: &ItemSet, order: &[TxnId], p: OpIndex) -> Vec<ItemSet> {
+        let mut out = Vec::with_capacity(order.len());
+        let mut current = d.clone();
+        for (i, _) in order.iter().enumerate() {
+            if i > 0 {
+                if let Some((total, before)) = self.ws_total_and_before(order[i - 1], p) {
+                    current.difference_with_masked_diff(total, before, d);
+                }
+            }
+            out.push(current.clone());
+        }
+        out
+    }
+
+    /// [`view_sets_dr`] answered from the prefix tables.
+    pub fn view_sets_dr(&self, d: &ItemSet, order: &[TxnId], p: OpIndex) -> Vec<ItemSet> {
+        let mut out = Vec::with_capacity(order.len());
+        let mut current = d.clone();
+        for (i, _) in order.iter().enumerate() {
+            if i > 0 {
+                let prev = order[i - 1];
+                let total = self.write_set_total(prev);
+                if self.txn_finished_by(prev, p) {
+                    current.union_with_masked(total, d);
+                } else {
+                    current.difference_with_masked(total, d);
+                }
+            }
+            out.push(current.clone());
+        }
+        out
+    }
+
+    /// [`lemma2_inclusion_holds`] answered from the prefix tables —
+    /// allocation-free for small item universes.
+    pub fn lemma2_inclusion_holds(&self, d: &ItemSet, order: &[TxnId], p: OpIndex) -> bool {
+        let mut current = d.clone();
+        for (i, &t) in order.iter().enumerate() {
+            if i > 0 {
+                if let Some((total, before)) = self.ws_total_and_before(order[i - 1], p) {
+                    current.difference_with_masked_diff(total, before, d);
+                }
+            }
+            if !self.read_set_before(t, p).masked_subset(d, &current) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// [`lemma6_inclusion_holds`] answered from the prefix tables.
+    pub fn lemma6_inclusion_holds(&self, d: &ItemSet, order: &[TxnId], p: OpIndex) -> bool {
+        let mut current = d.clone();
+        for (i, &t) in order.iter().enumerate() {
+            if i > 0 {
+                let prev = order[i - 1];
+                let total = self.write_set_total(prev);
+                if self.txn_finished_by(prev, p) {
+                    current.union_with_masked(total, d);
+                } else {
+                    current.difference_with_masked(total, d);
+                }
+            }
+            if !self.read_set_before(t, p).masked_subset(d, &current) {
+                return false;
+            }
+        }
+        true
+    }
 }
 
 /// Check a lemma's inclusion at **every** operation of the schedule —
 /// the full sweep the induction performs.
+///
+/// The per-transaction sets are maintained incrementally while `p`
+/// advances: each operation moves exactly one item between a
+/// before/after set, so the whole sweep costs `O(n·|order|)` word
+/// operations rather than `O(n²·|order|)` rescans.
 pub fn inclusion_holds_everywhere(
     schedule: &Schedule,
     d: &ItemSet,
     order: &[TxnId],
     dr: bool,
 ) -> bool {
-    schedule.positions().all(|p| {
-        if dr {
-            lemma6_inclusion_holds(schedule, d, order, p)
-        } else {
-            lemma2_inclusion_holds(schedule, d, order, p)
+    let n = order.len();
+    let slot: HashMap<TxnId, usize> = order.iter().enumerate().map(|(k, &t)| (t, k)).collect();
+    // Initial state "before position 0": nothing read yet, everything
+    // still ahead.
+    let mut per = PerTxn::with_len(n);
+    let mut last_pos: Vec<Option<usize>> = vec![None; n];
+    for (i, o) in schedule.ops().iter().enumerate() {
+        if let Some(&k) = slot.get(&o.txn) {
+            last_pos[k] = Some(i);
+            // Transactions that never appear keep finished = true.
+            per.finished[k] = false;
+            if o.is_write() && d.contains(o.item) {
+                per.ws_total[k].insert(o.item);
+                per.ws_after[k].insert(o.item);
+            }
         }
-    })
+    }
+    let mut current = ItemSet::new();
+    for (i, o) in schedule.ops().iter().enumerate() {
+        // Move the operation at position i into `before(·, p=i, S)`.
+        if let Some(&k) = slot.get(&o.txn) {
+            if d.contains(o.item) {
+                if o.is_read() {
+                    per.rs_before[k].insert(o.item);
+                } else {
+                    per.ws_after[k].remove(o.item);
+                }
+            }
+            if last_pos[k] == Some(i) {
+                per.finished[k] = true;
+            }
+        }
+        let ok = if dr {
+            check_dr(d, &per, &mut current)
+        } else {
+            check_general(d, &per, &mut current)
+        };
+        if !ok {
+            return false;
+        }
+    }
+    true
 }
 
 #[cfg(test)]
@@ -253,5 +465,60 @@ mod tests {
         let order = serialization_order(&s).unwrap();
         assert!(inclusion_holds_everywhere(&s, &d, &order, false));
         assert!(inclusion_holds_everywhere(&s, &d, &order, true));
+    }
+
+    #[test]
+    fn indexed_lemmas_match_scan_implementations() {
+        let s = example2();
+        let ix = ScheduleIndex::new(&s);
+        let orders = [
+            vec![TxnId(1), TxnId(2)],
+            vec![TxnId(2), TxnId(1)],
+            vec![TxnId(2)],
+        ];
+        for d in [
+            ItemSet::from_iter([ItemId(0), ItemId(1)]),
+            ItemSet::from_iter([ItemId(2)]),
+            ItemSet::from_iter([ItemId(0), ItemId(1), ItemId(2)]),
+        ] {
+            for order in &orders {
+                for p in s.positions() {
+                    assert_eq!(
+                        ix.view_sets_general(&d, order, p),
+                        view_sets_general(&s, &d, order, p)
+                    );
+                    assert_eq!(
+                        ix.view_sets_dr(&d, order, p),
+                        view_sets_dr(&s, &d, order, p)
+                    );
+                    assert_eq!(
+                        ix.lemma2_inclusion_holds(&d, order, p),
+                        lemma2_inclusion_holds(&s, &d, order, p)
+                    );
+                    assert_eq!(
+                        ix.lemma6_inclusion_holds(&d, order, p),
+                        lemma6_inclusion_holds(&s, &d, order, p)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_sweep_matches_per_p_checks() {
+        let s = example2();
+        let d = ItemSet::from_iter([ItemId(0), ItemId(1)]);
+        for order in [vec![TxnId(1), TxnId(2)], vec![TxnId(2), TxnId(1)]] {
+            for dr in [false, true] {
+                let per_p = s.positions().all(|p| {
+                    if dr {
+                        lemma6_inclusion_holds(&s, &d, &order, p)
+                    } else {
+                        lemma2_inclusion_holds(&s, &d, &order, p)
+                    }
+                });
+                assert_eq!(inclusion_holds_everywhere(&s, &d, &order, dr), per_p);
+            }
+        }
     }
 }

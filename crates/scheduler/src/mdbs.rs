@@ -19,7 +19,7 @@ use crate::policy::PolicySpec;
 use pwsr_core::catalog::Catalog;
 use pwsr_core::constraint::IntegrityConstraint;
 use pwsr_core::ids::ItemId;
-use pwsr_core::serializability::is_conflict_serializable;
+use pwsr_core::serializability::{is_conflict_serializable, is_conflict_serializable_proj};
 use pwsr_core::state::{DbState, ItemSet};
 use pwsr_tplang::ast::Program;
 use std::collections::HashMap;
@@ -86,7 +86,7 @@ pub fn run_mdbs(
     let exec = run_workload(programs, catalog, initial, &policy, cfg)?;
     let local_serializable = sites
         .iter()
-        .map(|site| is_conflict_serializable(&exec.schedule.project(&site.items)))
+        .map(|site| is_conflict_serializable_proj(&exec.schedule, &site.items))
         .collect();
     let globally_serializable = is_conflict_serializable(&exec.schedule);
     Ok(MdbsOutcome {
