@@ -1,0 +1,56 @@
+//! Online-monitor bench: amortized per-operation cost of the live
+//! verdict path vs full batch re-verification, at the PR-2 tiers
+//! (571 ops / 2 conjuncts, 2488 ops / 4 conjuncts).
+//!
+//! `push_replay/N` streams all N operations through an
+//! [`OnlineMonitor`] — divide by N for the per-op cost a scheduler
+//! pays. `index_replay/N` is the same stream through the bare
+//! [`OnlineIndex`] (prefix tables only, no graphs), pricing the table
+//! half. `batch_reverify/N` is ONE batch verification of the full
+//! prefix (schedule build + serializability + PWSR + DR) — the cost a
+//! naive design pays per arriving operation. The acceptance bar for
+//! the online path: `push_replay/N ÷ N` at least 10× below
+//! `batch_reverify/N` at the 2488-op tier.
+//!
+//! Tiers, workloads and the batch-verdict body are shared with the
+//! `mon1` experiment (`pwsr_bench::monitor_exp`) so the numbers line
+//! up by construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pwsr_bench::monitor_exp::{batch_verdict, tier_workload, TIERS};
+use pwsr_core::monitor::{OnlineIndex, OnlineMonitor};
+use std::hint::black_box;
+
+fn bench_monitor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monitor");
+    for (target, conjuncts, seed_base) in TIERS {
+        let (s, scopes) = tier_workload(target, conjuncts, seed_base).expect("workload executes");
+        let n = s.len();
+
+        group.bench_with_input(BenchmarkId::new("push_replay", n), &s, |b, s| {
+            b.iter(|| {
+                let mut m = OnlineMonitor::new(scopes.clone());
+                for op in s.ops() {
+                    black_box(m.push(op.clone()).expect("valid schedule"));
+                }
+                black_box(m.verdict())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("index_replay", n), &s, |b, s| {
+            b.iter(|| {
+                let mut ix = OnlineIndex::new();
+                for op in s.ops() {
+                    black_box(ix.push(op.clone()).expect("valid schedule"));
+                }
+                ix.len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("batch_reverify", n), &s, |b, s| {
+            b.iter(|| black_box(batch_verdict(s.ops(), &scopes)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_monitor);
+criterion_main!(benches);

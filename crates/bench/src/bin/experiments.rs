@@ -1,13 +1,13 @@
 //! Regenerate every example, figure and theorem of the paper.
 //!
 //! ```text
-//! experiments [all|examples|lemmas|theorems|perf|scale|base|bank|recovery|exhaustive|<id>]
+//! experiments [all|examples|lemmas|theorems|perf|scale|base|bank|recovery|exhaustive|monitor|<id>]
 //!             [--trials N] [--smoke] [--json PATH]
 //! ```
 //!
 //! `<id>` ∈ {ex1 … ex5, fig3, lemma1, viewsets, lemma3, lemma4, lemma7,
 //! thm1, thm2, thm3, perf1 … perf5, scale1, scale2, base1, bank1, rec1,
-//! exh1}.
+//! exh1, mon1}.
 //! Every experiment prints a paper-vs-measured table; the exit code is
 //! nonzero if any run deviates from the paper's predicted shape.
 //!
@@ -18,14 +18,17 @@
 //! statistical power. An explicit `--trials` overrides the cap.
 //!
 //! `--json PATH` additionally writes a machine-readable record of the
-//! sweep — one entry per selected experiment with its verdict and
-//! wall-clock seconds — so successive PRs can track the perf
-//! trajectory (`BENCH_*.json` at the repo root) and CI can assert the
-//! format stays parseable.
+//! sweep — schema `pwsr-experiments-v2`: one entry per selected
+//! experiment with its verdict, wall-clock seconds, and (where the
+//! experiment measures them) processed-operation counts and the online
+//! monitor's per-op timings — so successive PRs can track the perf
+//! trajectory (`BENCH_*.json` at the repo root) and CI can gate on
+//! both the format and the monitor's per-op cost staying sub-linear.
 
+use pwsr_bench::monitor_exp::MonitorStats;
 use pwsr_bench::{
-    bank_exp, base_exp, examples_exp, exhaustive_exp, lemmas_exp, perf_exp, recovery_exp,
-    scale_exp, theorems_exp,
+    bank_exp, base_exp, examples_exp, exhaustive_exp, lemmas_exp, monitor_exp, perf_exp,
+    recovery_exp, scale_exp, theorems_exp,
 };
 
 struct Opts {
@@ -79,32 +82,95 @@ fn parse_args() -> Opts {
     }
 }
 
+/// One experiment's outcome, as the registry consumes it.
+struct ExpRun {
+    ok: bool,
+    text: String,
+    /// Operations the experiment processed, when it counts them.
+    ops: Option<u64>,
+    /// The online monitor's worst amortized per-op cost, when measured.
+    monitor_ns_per_op: Option<f64>,
+    /// Full per-tier monitor stats (only `mon1` produces them); the
+    /// registry lifts them into the JSON document's `monitor` block.
+    monitor: Option<MonitorStats>,
+}
+
+impl From<(bool, String)> for ExpRun {
+    fn from((ok, text): (bool, String)) -> ExpRun {
+        ExpRun {
+            ok,
+            text,
+            ops: None,
+            monitor_ns_per_op: None,
+            monitor: None,
+        }
+    }
+}
+
 /// One experiment's machine-readable record.
 struct JsonEntry {
     id: &'static str,
     group: &'static str,
     ok: bool,
     seconds: f64,
+    ops: Option<u64>,
+    monitor_ns_per_op: Option<f64>,
+}
+
+fn fmt_opt_u64(v: Option<u64>) -> String {
+    v.map_or("null".to_owned(), |x| x.to_string())
+}
+
+fn fmt_opt_f64(v: Option<f64>) -> String {
+    v.map_or("null".to_owned(), |x| format!("{x:.1}"))
 }
 
 /// Render the sweep record as JSON (no external dependencies; every
-/// value is a bare identifier, bool or number, so no escaping needed).
-fn render_json(opts: &Opts, all_ok: bool, entries: &[JsonEntry]) -> String {
+/// value is a bare identifier, bool, number or null, so no escaping is
+/// needed).
+fn render_json(
+    opts: &Opts,
+    all_ok: bool,
+    entries: &[JsonEntry],
+    monitor: &Option<MonitorStats>,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"pwsr-experiments-v1\",\n");
+    out.push_str("  \"schema\": \"pwsr-experiments-v2\",\n");
     out.push_str(&format!("  \"selection\": \"{}\",\n", opts.what));
     out.push_str(&format!("  \"smoke\": {},\n", opts.smoke));
     out.push_str(&format!("  \"trials_override\": {},\n", opts.trials));
     out.push_str(&format!("  \"all_ok\": {all_ok},\n"));
+    match monitor {
+        Some(stats) => {
+            out.push_str("  \"monitor\": {\"tiers\": [\n");
+            for (k, t) in stats.tiers.iter().enumerate() {
+                out.push_str(&format!(
+                    "    {{\"ops\": {}, \"conjuncts\": {}, \"monitor_ns_per_op\": {:.1}, \
+                     \"batch_ns_per_op\": {:.1}, \"speedup\": {:.2}}}{}\n",
+                    t.ops,
+                    t.conjuncts,
+                    t.monitor_ns_per_op,
+                    t.batch_ns_per_op,
+                    t.speedup(),
+                    if k + 1 < stats.tiers.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("  ]},\n");
+        }
+        None => out.push_str("  \"monitor\": null,\n"),
+    }
     out.push_str("  \"experiments\": [\n");
     for (k, e) in entries.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"id\": \"{}\", \"group\": \"{}\", \"ok\": {}, \"seconds\": {:.6}}}{}\n",
+            "    {{\"id\": \"{}\", \"group\": \"{}\", \"ok\": {}, \"seconds\": {:.6}, \
+             \"ops\": {}, \"monitor_ns_per_op\": {}}}{}\n",
             e.id,
             e.group,
             e.ok,
             e.seconds,
+            fmt_opt_u64(e.ops),
+            fmt_opt_f64(e.monitor_ns_per_op),
             if k + 1 < entries.len() { "," } else { "" }
         ));
     }
@@ -130,39 +196,46 @@ fn main() {
     let mut all_ok = true;
     let mut matched = false;
     let mut entries: Vec<JsonEntry> = Vec::new();
+    let mut monitor_stats: Option<MonitorStats> = None;
     {
-        let mut run = |id: &'static str, f: &dyn Fn(u64) -> (bool, String)| {
+        let monitor_out = &mut monitor_stats;
+        let mut run = |id: &'static str, f: &dyn Fn(u64) -> ExpRun| {
             let selected =
                 matches!(opts.what.as_str(), "all") || opts.what == id || group_of(id) == opts.what;
             if selected {
                 matched = true;
                 let start = std::time::Instant::now();
-                let (ok, text) = f(opts.trials);
+                let r = f(opts.trials);
                 let seconds = start.elapsed().as_secs_f64();
-                println!("{text}");
-                if !ok {
+                println!("{}", r.text);
+                if !r.ok {
                     eprintln!("!! {id}: deviation from the paper's predicted shape\n");
                 }
-                all_ok &= ok;
+                all_ok &= r.ok;
                 entries.push(JsonEntry {
                     id,
                     group: group_of(id),
-                    ok,
+                    ok: r.ok,
                     seconds,
+                    ops: r.ops,
+                    monitor_ns_per_op: r.monitor_ns_per_op,
                 });
+                if r.monitor.is_some() {
+                    *monitor_out = r.monitor;
+                }
             }
         };
 
-        run("ex1", &|_| examples_exp::ex1());
-        run("ex2", &|_| examples_exp::ex2());
-        run("ex3", &|_| examples_exp::ex3());
-        run("ex4", &|_| examples_exp::ex4());
-        run("ex5", &|_| examples_exp::ex5());
-        run("fig3", &|_| examples_exp::fig3());
+        run("ex1", &|_| examples_exp::ex1().into());
+        run("ex2", &|_| examples_exp::ex2().into());
+        run("ex3", &|_| examples_exp::ex3().into());
+        run("ex4", &|_| examples_exp::ex4().into());
+        run("ex5", &|_| examples_exp::ex5().into());
+        run("fig3", &|_| examples_exp::fig3().into());
 
         run("lemma1", &|n| {
             let (o, t) = lemmas_exp::lemma1(pick(n, 2_000), 11);
-            (o.clean(), t)
+            (o.clean(), t).into()
         });
         run("viewsets", &|n| {
             let (l2, l6, t) = lemmas_exp::viewset_lemmas(pick(n, 150), 12);
@@ -170,10 +243,11 @@ fn main() {
                 l2.clean() && l6.clean() && l2.checks > 0 && l6.checks > 0,
                 t,
             )
+                .into()
         });
         run("lemma3", &|n| {
             let (fixed, _ctrl, t) = lemmas_exp::lemma3(pick(n, 200), 13);
-            (fixed.clean() && fixed.checks > 0, t)
+            (fixed.clean() && fixed.checks > 0, t).into()
         });
         run("lemma4", &|n| {
             let (l4, l8, t) = lemmas_exp::lemma4_and_8(pick(n, 60), 14);
@@ -181,51 +255,63 @@ fn main() {
                 l4.clean() && l8.clean() && l4.checks > 0 && l8.checks > 0,
                 t,
             )
+                .into()
         });
         run("lemma7", &|n| {
             let (o, t) = lemmas_exp::lemma7(pick(n, 500), 15);
-            (o.clean() && o.checks > 0, t)
+            (o.clean() && o.checks > 0, t).into()
         });
 
         run("thm1", &|n| {
             let (o, t) = theorems_exp::theorem(1, pick(n, 30), 8, 101);
-            (o.matches_paper(), t)
+            (o.matches_paper(), t).into()
         });
         run("thm2", &|n| {
             let (o, t) = theorems_exp::theorem(2, pick(n, 30), 8, 102);
-            (o.matches_paper(), t)
+            (o.matches_paper(), t).into()
         });
         run("thm3", &|n| {
             let (o, t) = theorems_exp::theorem(3, pick(n, 30), 8, 103);
-            (o.matches_paper(), t)
+            (o.matches_paper(), t).into()
         });
 
-        run("perf1", &|n| perf_exp::perf1(pick(n, 24), 400));
-        run("perf2", &|_| perf_exp::perf2(401));
-        run("perf3", &|n| perf_exp::perf3(pick(n, 5), 402));
-        run("perf4", &|n| perf_exp::perf4(pick(n, 8), 403));
-        run("perf5", &|n| perf_exp::perf5(pick(n, 10), 404));
+        run("perf1", &|n| perf_exp::perf1(pick(n, 24), 400).into());
+        run("perf2", &|_| perf_exp::perf2(401).into());
+        run("perf3", &|n| perf_exp::perf3(pick(n, 5), 402).into());
+        run("perf4", &|n| perf_exp::perf4(pick(n, 8), 403).into());
+        run("perf5", &|n| perf_exp::perf5(pick(n, 10), 404).into());
 
-        run("scale1", &|_| scale_exp::scale1(500));
-        run("scale2", &|_| scale_exp::scale2(501));
+        run("scale1", &|_| scale_exp::scale1(500).into());
+        run("scale2", &|_| scale_exp::scale2(501).into());
 
-        run("base1", &|n| base_exp::base1(pick(n, 80), 600));
+        run("base1", &|n| base_exp::base1(pick(n, 80), 600).into());
 
-        run("bank1", &|n| bank_exp::bank1(pick(n, 200), 700));
-        run("rec1", &|n| recovery_exp::rec1(pick(n, 600), 800));
-        run("exh1", &|_| exhaustive_exp::exh1());
+        run("bank1", &|n| bank_exp::bank1(pick(n, 200), 700).into());
+        run("rec1", &|n| recovery_exp::rec1(pick(n, 600), 800).into());
+        run("exh1", &|_| exhaustive_exp::exh1().into());
+
+        run("mon1", &|n| {
+            let (ok, text, stats) = monitor_exp::mon1(pick(n, 5), 900);
+            ExpRun {
+                ok,
+                text,
+                ops: Some(stats.total_ops()),
+                monitor_ns_per_op: Some(stats.worst_monitor_ns_per_op()),
+                monitor: Some(stats),
+            }
+        });
     }
 
     if !matched {
         eprintln!(
             "unknown experiment {:?}; try: all, examples, lemmas, theorems, perf, scale, base, \
-             or an id like ex2 / thm1 / perf2",
+             monitor, or an id like ex2 / thm1 / perf2 / mon1",
             opts.what
         );
         std::process::exit(2);
     }
     if let Some(path) = &opts.json {
-        let body = render_json(&opts, all_ok, &entries);
+        let body = render_json(&opts, all_ok, &entries, &monitor_stats);
         if let Err(e) = std::fs::write(path, body) {
             eprintln!("failed to write {path}: {e}");
             std::process::exit(2);
@@ -248,6 +334,7 @@ fn group_of(id: &str) -> &'static str {
         "bank1" => "bank",
         "rec1" => "recovery",
         "exh1" => "exhaustive",
+        "mon1" => "monitor",
         _ => "",
     }
 }

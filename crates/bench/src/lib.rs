@@ -12,6 +12,7 @@ pub mod base_exp;
 pub mod examples_exp;
 pub mod exhaustive_exp;
 pub mod lemmas_exp;
+pub mod monitor_exp;
 pub mod perf_exp;
 pub mod recovery_exp;
 pub mod report;

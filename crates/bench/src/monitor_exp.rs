@@ -1,0 +1,199 @@
+//! MON-1: per-operation cost of the online verdict monitor vs full
+//! batch re-verification.
+//!
+//! A scheduler that wants a live verdict after every emitted operation
+//! has two options: re-run the batch pipeline on the grown prefix
+//! (`Schedule::new` + `ScheduleIndex` + the serializability / PWSR /
+//! DR checkers — `O(n)` *per operation*), or maintain the
+//! [`OnlineMonitor`] incrementally (`O(words)` amortized per push).
+//! This experiment replays the PR-2 bench tiers (571 ops / 2 conjuncts
+//! and 2488 ops / 4 conjuncts) through both and reports ns/op; the
+//! shape check asserts the two paths agree — the monitor's final
+//! verdict must match the batch checkers, and its incremental Lemma
+//! 2/6 certificates must survive the `certify_prefix` audit.
+
+use crate::report::Table;
+use pwsr_core::dr::is_delayed_read;
+use pwsr_core::monitor::OnlineMonitor;
+use pwsr_core::schedule::Schedule;
+use pwsr_core::serializability::{is_conflict_serializable, is_conflict_serializable_proj};
+use pwsr_core::state::ItemSet;
+use pwsr_gen::chaos::random_execution;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One tier's measurements.
+#[derive(Clone, Copy, Debug)]
+pub struct TierStats {
+    /// Schedule length.
+    pub ops: u64,
+    /// Conjunct count.
+    pub conjuncts: u64,
+    /// Amortized monitor cost per pushed operation.
+    pub monitor_ns_per_op: f64,
+    /// One full batch re-verification of the grown prefix — the cost a
+    /// naive online checker pays per arriving operation.
+    pub batch_ns_per_op: f64,
+}
+
+impl TierStats {
+    /// Batch-per-op over monitor-per-op.
+    pub fn speedup(&self) -> f64 {
+        if self.monitor_ns_per_op > 0.0 {
+            self.batch_ns_per_op / self.monitor_ns_per_op
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// The machine-readable record the experiments binary embeds in the
+/// `pwsr-experiments-v2` JSON.
+#[derive(Clone, Debug, Default)]
+pub struct MonitorStats {
+    /// Per-tier measurements, ascending op count.
+    pub tiers: Vec<TierStats>,
+}
+
+impl MonitorStats {
+    /// Total operations pushed across tiers.
+    pub fn total_ops(&self) -> u64 {
+        self.tiers.iter().map(|t| t.ops).sum()
+    }
+
+    /// The slowest tier's monitor per-op cost (what the CI ceiling
+    /// gates on).
+    pub fn worst_monitor_ns_per_op(&self) -> f64 {
+        self.tiers
+            .iter()
+            .map(|t| t.monitor_ns_per_op)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// The measured tiers, shared with `benches/monitor.rs` so the
+/// experiment and the criterion numbers line up: the PR-2 bench tiers
+/// `(sized_workload target, conjuncts, seed base)` — (800, 2, 0xAB)
+/// yields the 571-op schedule of the `viewsets` bench, (3200, 4,
+/// 0xC0DE) the 2488-op schedule of the `theorems` bench.
+pub const TIERS: [(usize, usize, u64); 2] = [(800, 2, 0xAB), (3200, 4, 0xC0DE)];
+
+/// Build one tier's schedule and conjunct scopes (same construction
+/// and seeds as the criterion benches). `None` if the random workload
+/// fails to execute (it does not, for the fixed seeds).
+pub fn tier_workload(
+    target: usize,
+    conjuncts: usize,
+    seed_base: u64,
+) -> Option<(Schedule, Vec<ItemSet>)> {
+    let mut rng = StdRng::seed_from_u64(seed_base + target as u64);
+    let w = crate::scale_exp::sized_workload(&mut rng, target, conjuncts);
+    let s = random_execution(&w.programs, &w.catalog, &w.initial, &mut rng).ok()?;
+    let scopes = w.ic.conjuncts().iter().map(|c| c.items().clone()).collect();
+    Some((s, scopes))
+}
+
+/// One full batch verification of the grown prefix — what each
+/// arriving operation costs without the monitor. Returns
+/// `(serializable, pwsr, dr)`.
+pub fn batch_verdict(ops: &[pwsr_core::op::Operation], scopes: &[ItemSet]) -> (bool, bool, bool) {
+    let prefix = Schedule::new(ops.to_vec()).expect("valid schedule");
+    let csr = is_conflict_serializable(&prefix);
+    let pwsr = scopes
+        .iter()
+        .all(|d| is_conflict_serializable_proj(&prefix, d));
+    let dr = is_delayed_read(&prefix);
+    (csr, pwsr, dr)
+}
+
+/// Run the comparison. `trials` controls timing repetitions (0 = 5).
+pub fn mon1(trials: u64, _seed: u64) -> (bool, String, MonitorStats) {
+    let reps = if trials == 0 { 5 } else { trials };
+    let mut ok = true;
+    let mut stats = MonitorStats::default();
+    let mut t = Table::new(
+        "MON-1  Online monitor per-op cost vs batch re-verification",
+        &[
+            "ops",
+            "conjuncts",
+            "monitor ns/op",
+            "batch ns/op",
+            "speedup",
+            "verdict parity",
+        ],
+    );
+    for (target, conjuncts, seed_base) in TIERS {
+        let Some((s, scopes)) = tier_workload(target, conjuncts, seed_base) else {
+            ok = false;
+            continue;
+        };
+        let n = s.len();
+
+        // Online path: replay the whole schedule through the monitor.
+        let start = Instant::now();
+        let mut final_monitor = None;
+        for _ in 0..reps {
+            let mut m = OnlineMonitor::new(scopes.clone());
+            for op in s.ops() {
+                black_box(m.push(op.clone()).expect("valid schedule"));
+            }
+            final_monitor = Some(m);
+        }
+        let monitor_ns_per_op = start.elapsed().as_nanos() as f64 / (reps as usize * n) as f64;
+        let monitor = final_monitor.expect("reps >= 1");
+
+        // Batch path: ONE full re-verification of the grown prefix —
+        // what each arriving operation costs without the monitor.
+        let start = Instant::now();
+        let mut batch = (false, false, false);
+        for _ in 0..reps {
+            batch = black_box(batch_verdict(s.ops(), &scopes));
+        }
+        let batch_ns_per_op = start.elapsed().as_nanos() as f64 / reps as f64;
+
+        // Parity: the incremental verdict equals the batch verdict, and
+        // the Lemma 2/6 certificates survive the audit.
+        let v = monitor.verdict();
+        let parity = (v.serializable, v.pwsr(), v.dr) == batch && monitor.certify_prefix();
+        ok &= parity;
+
+        let tier = TierStats {
+            ops: n as u64,
+            conjuncts: conjuncts as u64,
+            monitor_ns_per_op,
+            batch_ns_per_op,
+        };
+        t.row(&[
+            n.to_string(),
+            conjuncts.to_string(),
+            format!("{monitor_ns_per_op:.0}"),
+            format!("{batch_ns_per_op:.0}"),
+            format!("{:.1}x", tier.speedup()),
+            parity.to_string(),
+        ]);
+        stats.tiers.push(tier);
+    }
+    ok &= !stats.tiers.is_empty();
+    (ok, t.render(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Shape only (parity); timing ratios are not asserted here — the
+    /// CI perf gate checks the release-mode JSON record instead, and
+    /// the criterion bench (`benches/monitor.rs`) carries the
+    /// statistics.
+    #[test]
+    fn mon1_verdicts_agree_across_paths() {
+        let (ok, text, stats) = mon1(1, 900);
+        assert!(ok, "{text}");
+        assert_eq!(stats.tiers.len(), 2);
+        assert!(stats.total_ops() > 0);
+        assert!(stats.worst_monitor_ns_per_op() > 0.0);
+        assert!(text.contains("MON-1"));
+    }
+}

@@ -22,65 +22,132 @@
 //! query is then a binary search over the transaction's own positions
 //! plus a few word operations — no rescans, no `Vec<Operation>`
 //! clones.
+//!
+//! The tables themselves live in the crate-private `PrefixTables` and are extended one
+//! operation at a time — the *same* `O(words)`-per-operation update
+//! that [`OnlineIndex`](crate::monitor::OnlineIndex) applies as a
+//! scheduler emits operations. The batch `ScheduleIndex` is a thin
+//! freeze of that incremental construction: `ScheduleIndex::new`
+//! replays the schedule through `PrefixTables::push`, and
+//! `OnlineIndex::index` borrows its live tables into a `ScheduleIndex`
+//! without copying, so there is exactly one table-building
+//! implementation.
 
 use crate::ids::{OpIndex, TxnId};
-use crate::op::Action;
+use crate::op::{Action, Operation};
 use crate::schedule::Schedule;
 use crate::state::ItemSet;
+use std::borrow::Cow;
 
-/// Positional lookup tables for one schedule, built once in `O(n)`.
+const NONE: u32 = u32::MAX;
+
+/// The positional/prefix tables shared by the batch [`ScheduleIndex`]
+/// and the incremental [`OnlineIndex`](crate::monitor::OnlineIndex).
+/// Grown one operation at a time via [`PrefixTables::push`]; every
+/// query is answered from the tables without rescanning operations.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct PrefixTables {
+    /// Per slot: ascending positions of the transaction's operations.
+    pub(crate) positions: Vec<Vec<u32>>,
+    /// Per slot: `rs_prefix[k]` = items read by the first `k` ops.
+    pub(crate) rs_prefix: Vec<Vec<ItemSet>>,
+    /// Per slot: `ws_prefix[k]` = items written by the first `k` ops.
+    pub(crate) ws_prefix: Vec<Vec<ItemSet>>,
+    /// Per position: the write a read takes its value from.
+    pub(crate) reads_from: Vec<Option<u32>>,
+    /// Per item: position of the latest write seen so far.
+    last_write: Vec<u32>,
+    /// Referenced when a query names a transaction not in the schedule.
+    empty: ItemSet,
+}
+
+impl PrefixTables {
+    /// Empty tables (no slots, no operations).
+    pub(crate) fn new() -> PrefixTables {
+        PrefixTables::default()
+    }
+
+    /// Make slot `slot` exist (entry 0 of each prefix table is the
+    /// empty set: "nothing read/written before the first operation").
+    fn ensure_slot(&mut self, slot: usize) {
+        while self.positions.len() <= slot {
+            self.positions.push(Vec::new());
+            self.rs_prefix.push(vec![ItemSet::new()]);
+            self.ws_prefix.push(vec![ItemSet::new()]);
+        }
+    }
+
+    /// Append the operation at position `self.len()` for transaction
+    /// slot `slot`: one prefix-table row per op, `O(words)`.
+    pub(crate) fn push(&mut self, slot: usize, op: &Operation) {
+        let p = self.reads_from.len();
+        self.ensure_slot(slot);
+        if self.last_write.len() <= op.item.index() {
+            self.last_write.resize(op.item.index() + 1, NONE);
+        }
+        self.positions[slot].push(p as u32);
+        let mut rs = self.rs_prefix[slot].last().expect("entry 0 exists").clone();
+        let mut ws = self.ws_prefix[slot].last().expect("entry 0 exists").clone();
+        match op.action {
+            Action::Read => {
+                rs.insert(op.item);
+                let w = self.last_write[op.item.index()];
+                self.reads_from.push((w != NONE).then_some(w));
+            }
+            Action::Write => {
+                ws.insert(op.item);
+                self.last_write[op.item.index()] = p as u32;
+                self.reads_from.push(None);
+            }
+        }
+        self.rs_prefix[slot].push(rs);
+        self.ws_prefix[slot].push(ws);
+    }
+
+    /// Build the tables for a complete schedule by replaying it through
+    /// [`PrefixTables::push`] — the single table-building path.
+    pub(crate) fn build(schedule: &Schedule) -> PrefixTables {
+        let mut t = PrefixTables::new();
+        if let Some(last_slot) = schedule.txn_ids().len().checked_sub(1) {
+            t.ensure_slot(last_slot);
+        }
+        for (p, o) in schedule.ops().iter().enumerate() {
+            t.push(schedule.slot_of_op(OpIndex(p)), o);
+        }
+        t
+    }
+
+    /// How many of the slot's operations are at positions `≤ p` (the
+    /// paper's `before` convention includes `p` itself).
+    fn prefix_len(&self, slot: usize, p: OpIndex) -> usize {
+        self.positions[slot].partition_point(|&q| q as usize <= p.0)
+    }
+}
+
+/// Positional lookup tables for one schedule, built once in `O(n)` —
+/// or borrowed, fully built, from a live
+/// [`OnlineIndex`](crate::monitor::OnlineIndex).
 #[derive(Clone, Debug)]
 pub struct ScheduleIndex<'s> {
     schedule: &'s Schedule,
-    /// Per slot: ascending positions of the transaction's operations.
-    positions: Vec<Vec<u32>>,
-    /// Per slot: `rs_prefix[k]` = items read by the first `k` ops.
-    rs_prefix: Vec<Vec<ItemSet>>,
-    /// Per slot: `ws_prefix[k]` = items written by the first `k` ops.
-    ws_prefix: Vec<Vec<ItemSet>>,
-    /// Per position: the write a read takes its value from.
-    reads_from: Vec<Option<u32>>,
-    /// Referenced when a query names a transaction not in the schedule.
-    empty: ItemSet,
+    tables: Cow<'s, PrefixTables>,
 }
 
 impl<'s> ScheduleIndex<'s> {
     /// Index `schedule` in one pass (slots come from the schedule's own
     /// dense tables — no hashing here).
     pub fn new(schedule: &'s Schedule) -> ScheduleIndex<'s> {
-        const NONE: u32 = u32::MAX;
-        let n_slots = schedule.txn_ids().len();
-        let mut positions: Vec<Vec<u32>> = vec![Vec::new(); n_slots];
-        let mut rs_prefix: Vec<Vec<ItemSet>> = vec![vec![ItemSet::new()]; n_slots];
-        let mut ws_prefix: Vec<Vec<ItemSet>> = vec![vec![ItemSet::new()]; n_slots];
-        let mut reads_from: Vec<Option<u32>> = vec![None; schedule.len()];
-        let mut last_write = vec![NONE; schedule.item_ub()];
-        for (p, o) in schedule.ops().iter().enumerate() {
-            let slot = schedule.slot_of_op(OpIndex(p));
-            positions[slot].push(p as u32);
-            let mut rs = rs_prefix[slot].last().expect("entry 0 exists").clone();
-            let mut ws = ws_prefix[slot].last().expect("entry 0 exists").clone();
-            match o.action {
-                Action::Read => {
-                    rs.insert(o.item);
-                    let w = last_write[o.item.index()];
-                    reads_from[p] = (w != NONE).then_some(w);
-                }
-                Action::Write => {
-                    ws.insert(o.item);
-                    last_write[o.item.index()] = p as u32;
-                }
-            }
-            rs_prefix[slot].push(rs);
-            ws_prefix[slot].push(ws);
-        }
         ScheduleIndex {
             schedule,
-            positions,
-            rs_prefix,
-            ws_prefix,
-            reads_from,
-            empty: ItemSet::new(),
+            tables: Cow::Owned(PrefixTables::build(schedule)),
+        }
+    }
+
+    /// A zero-copy view over tables an `OnlineIndex` maintains live.
+    pub(crate) fn borrowed(schedule: &'s Schedule, tables: &'s PrefixTables) -> ScheduleIndex<'s> {
+        ScheduleIndex {
+            schedule,
+            tables: Cow::Borrowed(tables),
         }
     }
 
@@ -97,44 +164,38 @@ impl<'s> ScheduleIndex<'s> {
     /// Ascending operation positions of `txn`.
     pub fn positions_of(&self, txn: TxnId) -> &[u32] {
         self.slot(txn)
-            .map_or(&[][..], |s| self.positions[s].as_slice())
-    }
-
-    /// How many of `txn`'s operations are at positions `≤ p` (the
-    /// paper's `before` convention includes `p` itself).
-    fn prefix_len(&self, slot: usize, p: OpIndex) -> usize {
-        self.positions[slot].partition_point(|&q| q as usize <= p.0)
+            .map_or(&[][..], |s| self.tables.positions[s].as_slice())
     }
 
     /// `RS(before(T, p, S))`: items `txn` has read at or before `p`.
     pub fn read_set_before(&self, txn: TxnId, p: OpIndex) -> &ItemSet {
         match self.slot(txn) {
-            Some(s) => &self.rs_prefix[s][self.prefix_len(s, p)],
-            None => &self.empty,
+            Some(s) => &self.tables.rs_prefix[s][self.tables.prefix_len(s, p)],
+            None => &self.tables.empty,
         }
     }
 
     /// `WS(before(T, p, S))`: items `txn` has written at or before `p`.
     pub fn write_set_before(&self, txn: TxnId, p: OpIndex) -> &ItemSet {
         match self.slot(txn) {
-            Some(s) => &self.ws_prefix[s][self.prefix_len(s, p)],
-            None => &self.empty,
+            Some(s) => &self.tables.ws_prefix[s][self.tables.prefix_len(s, p)],
+            None => &self.tables.empty,
         }
     }
 
     /// `RS(T)`: everything `txn` reads in the whole schedule.
     pub fn read_set_total(&self, txn: TxnId) -> &ItemSet {
         match self.slot(txn) {
-            Some(s) => self.rs_prefix[s].last().expect("entry 0 exists"),
-            None => &self.empty,
+            Some(s) => self.tables.rs_prefix[s].last().expect("entry 0 exists"),
+            None => &self.tables.empty,
         }
     }
 
     /// `WS(T)`: everything `txn` writes in the whole schedule.
     pub fn write_set_total(&self, txn: TxnId) -> &ItemSet {
         match self.slot(txn) {
-            Some(s) => self.ws_prefix[s].last().expect("entry 0 exists"),
-            None => &self.empty,
+            Some(s) => self.tables.ws_prefix[s].last().expect("entry 0 exists"),
+            None => &self.tables.empty,
         }
     }
 
@@ -148,8 +209,8 @@ impl<'s> ScheduleIndex<'s> {
     ) -> Option<(&ItemSet, &ItemSet)> {
         let s = self.slot(txn)?;
         Some((
-            self.ws_prefix[s].last().expect("entry 0 exists"),
-            &self.ws_prefix[s][self.prefix_len(s, p)],
+            self.tables.ws_prefix[s].last().expect("entry 0 exists"),
+            &self.tables.ws_prefix[s][self.tables.prefix_len(s, p)],
         ))
     }
 
@@ -161,8 +222,8 @@ impl<'s> ScheduleIndex<'s> {
             out.clear();
             return;
         };
-        out.clone_from(self.ws_prefix[s].last().expect("entry 0 exists"));
-        out.difference_with(&self.ws_prefix[s][self.prefix_len(s, p)]);
+        out.clone_from(self.tables.ws_prefix[s].last().expect("entry 0 exists"));
+        out.difference_with(&self.tables.ws_prefix[s][self.tables.prefix_len(s, p)]);
         out.intersect_with(d);
     }
 
@@ -181,7 +242,7 @@ impl<'s> ScheduleIndex<'s> {
 
     /// The §3.2 reads-from source of position `p`, precomputed.
     pub fn reads_from(&self, p: OpIndex) -> Option<OpIndex> {
-        self.reads_from[p.0].map(|q| OpIndex(q as usize))
+        self.tables.reads_from[p.0].map(|q| OpIndex(q as usize))
     }
 }
 

@@ -26,6 +26,10 @@
 //!   ([`txstate`]) are first-class, so the paper's operation-indexed
 //!   induction can be *checked* on any schedule.
 //! * **Theorems 1–3** as a verdict engine ([`theorems`]).
+//! * **Online certification** ([`monitor`]): a growing indexed schedule
+//!   whose serializability / PWSR / delayed-read verdicts and Lemma 2/6
+//!   certificates are maintained incrementally per appended operation,
+//!   with admission-time rejection of verdict-breaking operations.
 //!
 //! The crate is deliberately self-contained (no external dependencies) so
 //! that the substrate crates (`pwsr-tplang`, `pwsr-scheduler`, …) can
@@ -74,6 +78,7 @@ pub mod graph;
 pub mod history;
 pub mod ids;
 pub mod index;
+pub mod monitor;
 pub mod notation;
 pub mod op;
 pub mod pwsr;
@@ -98,6 +103,7 @@ pub mod prelude {
     pub use crate::history::{Event, History, HistoryClass, Outcome};
     pub use crate::ids::{ConjunctId, ItemId, OpIndex, TxnId};
     pub use crate::index::ScheduleIndex;
+    pub use crate::monitor::{AdmissionLevel, OnlineIndex, OnlineMonitor, VerdictLevel};
     pub use crate::notation::{parse_history, parse_schedule};
     pub use crate::op::{Action, OpStruct, Operation};
     pub use crate::pwsr::{is_pwsr, PwsrReport};

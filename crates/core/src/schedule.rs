@@ -30,7 +30,7 @@ use std::fmt;
 /// item-id upper bound — so the checkers' positional queries
 /// (`txn_finished_by`, reads-from sweeps, conflict grouping) run
 /// without hashing or rescanning.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Schedule {
     ops: Vec<Operation>,
     /// Transaction ids in order of first appearance.
@@ -71,6 +71,28 @@ impl Schedule {
             slot_last,
             item_ub,
         }
+    }
+
+    /// Append one operation, maintaining every positional table in
+    /// `O(1)` amortized. The caller (the online index) has already
+    /// enforced the §2.2 per-transaction rules — this is the growth
+    /// step behind [`crate::monitor::OnlineIndex::push`].
+    pub(crate) fn push_op_unchecked(&mut self, op: Operation) {
+        let p = self.ops.len() as u32;
+        let slot = match self.slot_of.get(&op.txn) {
+            Some(&s) => s,
+            None => {
+                let s = self.txns.len() as u32;
+                self.txns.push(op.txn);
+                self.slot_of.insert(op.txn, s);
+                self.slot_last.push(p);
+                s
+            }
+        };
+        self.op_slot.push(slot);
+        self.slot_last[slot as usize] = p;
+        self.item_ub = self.item_ub.max(op.item.index() + 1);
+        self.ops.push(op);
     }
 
     /// Build a schedule from an interleaved operation sequence.

@@ -17,6 +17,12 @@ use crate::error::Result;
 use crate::ids::ItemId;
 use crate::state::DbState;
 use crate::value::{Domain, Value};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Memo key: a conjunct's index plus the queried state's restriction
+/// to its scope, in ascending item order.
+type RestrictionKey = (u32, Vec<(ItemId, Value)>);
 
 /// Three-valued evaluation: `Some(b)` when the partial assignment
 /// already determines the formula, `None` when unknown.
@@ -72,12 +78,29 @@ pub fn eval3(formula: &Formula, state: &DbState) -> Option<bool> {
 pub struct Solver<'a> {
     catalog: &'a Catalog,
     ic: &'a IntegrityConstraint,
+    /// Restriction-consistency memo: (conjunct, its restriction of the
+    /// queried state) → consistent? The strong-correctness checker asks
+    /// the same per-conjunct subproblem over and over (every
+    /// transaction's read state restricts to the *same* few
+    /// assignments per conjunct — usually the empty one for scopes the
+    /// transaction never touched), so the disjoint decomposition path
+    /// caches its verdicts. The constraint and domains are borrowed
+    /// immutably for the solver's lifetime, so entries never go stale.
+    memo: RefCell<HashMap<RestrictionKey, bool>>,
 }
+
+/// Memo-size guard: drop the cache rather than grow without bound on
+/// adversarial query streams (each entry is one restriction).
+const MEMO_CAP: usize = 1 << 20;
 
 impl<'a> Solver<'a> {
     /// A solver for `ic` over `catalog`'s domains.
     pub fn new(catalog: &'a Catalog, ic: &'a IntegrityConstraint) -> Solver<'a> {
-        Solver { catalog, ic }
+        Solver {
+            catalog,
+            ic,
+            memo: RefCell::new(HashMap::new()),
+        }
     }
 
     /// The constraint being decided.
@@ -182,13 +205,19 @@ impl<'a> Solver<'a> {
             DbState::new()
         };
         if self.ic.is_disjoint() {
-            for c in self.ic.conjuncts() {
-                let sub = self.solve_conjuncts(std::slice::from_ref(c), partial)?;
-                if build {
-                    witness = witness
-                        .union(&sub)
-                        .expect("conjunct scopes are disjoint from witness additions");
+            for (k, c) in self.ic.conjuncts().iter().enumerate() {
+                if !build {
+                    // Decision-only query: answer per (conjunct,
+                    // restriction) from the memo.
+                    if !self.conjunct_consistent_memo(k as u32, c, partial) {
+                        return None;
+                    }
+                    continue;
                 }
+                let sub = self.solve_conjuncts(std::slice::from_ref(c), partial)?;
+                witness = witness
+                    .union(&sub)
+                    .expect("conjunct scopes are disjoint from witness additions");
             }
             Some(witness)
         } else {
@@ -201,6 +230,31 @@ impl<'a> Solver<'a> {
             }
             Some(witness)
         }
+    }
+
+    /// Is `partial`'s restriction to conjunct `k`'s scope consistent?
+    /// Memoized per `(conjunct, restriction)` — the repeated
+    /// subproblems of `check_strong_correctness` (initial/final states
+    /// and every transaction's read state against every conjunct) hit
+    /// the cache instead of re-running the backtracking search.
+    fn conjunct_consistent_memo(&self, k: u32, conjunct: &Conjunct, partial: &DbState) -> bool {
+        let key: Vec<(ItemId, Value)> = conjunct
+            .items()
+            .iter()
+            .filter_map(|item| partial.get(item).map(|v| (item, v.clone())))
+            .collect();
+        if let Some(&hit) = self.memo.borrow().get(&(k, key.clone())) {
+            return hit;
+        }
+        let ok = self
+            .solve_conjuncts(std::slice::from_ref(conjunct), partial)
+            .is_some();
+        let mut memo = self.memo.borrow_mut();
+        if memo.len() >= MEMO_CAP {
+            memo.clear();
+        }
+        memo.insert((k, key), ok);
+        ok
     }
 
     /// Find values for the unassigned items of the given conjuncts'
@@ -698,6 +752,31 @@ mod tests {
                 brute,
                 "disagreement at a={av}"
             );
+        }
+    }
+
+    #[test]
+    fn memoized_queries_agree_with_fresh_solvers() {
+        // Same queries against one long-lived (memo-warm) solver and
+        // fresh solvers must agree, including repeats and mutations of
+        // the queried state between calls.
+        let (cat, ic) = setup();
+        let warm = Solver::new(&cat, &ic);
+        let a = cat.lookup("a").unwrap();
+        let b = cat.lookup("b").unwrap();
+        let c = cat.lookup("c").unwrap();
+        let states = [
+            DbState::new(),
+            DbState::from_pairs([(a, Value::Int(3))]),
+            DbState::from_pairs([(a, Value::Int(3)), (b, Value::Int(4))]),
+            DbState::from_pairs([(a, Value::Int(3)), (b, Value::Int(3)), (c, Value::Int(1))]),
+            DbState::from_pairs([(c, Value::Int(-2))]),
+        ];
+        for _ in 0..3 {
+            for s in &states {
+                let fresh = Solver::new(&cat, &ic);
+                assert_eq!(warm.is_consistent(s), fresh.is_consistent(s), "{s:?}");
+            }
         }
     }
 

@@ -16,20 +16,26 @@ use crate::policy::PolicySpec;
 use parking_lot::Mutex;
 use pwsr_core::catalog::Catalog;
 use pwsr_core::ids::TxnId;
+use pwsr_core::monitor::{OnlineMonitor, Verdict};
 use pwsr_core::op::Operation;
 use pwsr_core::schedule::Schedule;
-use pwsr_core::state::DbState;
+use pwsr_core::state::{DbState, ItemSet};
 use pwsr_tplang::ast::Program;
 use pwsr_tplang::interp::{run_with_reads, RunOutcome};
 use pwsr_tplang::session::{Pending, ProgramSession};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-/// Shared execution state behind one mutex (the database and trace are
-/// updated together; contention here is irrelevant to the semantics).
+/// Shared execution state behind one mutex (the database, trace and
+/// live monitor are updated together; contention here is irrelevant to
+/// the semantics).
 struct Shared {
     db: DbState,
     trace: Vec<Operation>,
+    /// When present, every recorded operation is pushed through the
+    /// online monitor *inside* the critical section, so the verdict
+    /// evolves in exactly the recorded interleaving.
+    monitor: Option<OnlineMonitor>,
 }
 
 /// Run each program on its own OS thread under conservative per-space
@@ -42,6 +48,34 @@ pub fn run_threaded(
     initial: &DbState,
     policy: &PolicySpec,
 ) -> Result<(Schedule, DbState)> {
+    let (schedule, db, _) = run_threaded_inner(programs, catalog, initial, policy, None)?;
+    Ok((schedule, db))
+}
+
+/// [`run_threaded`] with an [`OnlineMonitor`] certifying the verdict
+/// live, operation by operation, under real OS-thread parallelism.
+/// Returns the schedule, final state, and the monitor's final verdict
+/// over exactly the interleaving the threads produced.
+pub fn run_threaded_certified(
+    programs: &[Program],
+    catalog: &Catalog,
+    initial: &DbState,
+    policy: &PolicySpec,
+    scopes: Vec<ItemSet>,
+) -> Result<(Schedule, DbState, Verdict)> {
+    let monitor = OnlineMonitor::new(scopes);
+    let (schedule, db, verdict) =
+        run_threaded_inner(programs, catalog, initial, policy, Some(monitor))?;
+    Ok((schedule, db, verdict.expect("monitor was supplied")))
+}
+
+fn run_threaded_inner(
+    programs: &[Program],
+    catalog: &Catalog,
+    initial: &DbState,
+    policy: &PolicySpec,
+    monitor: Option<OnlineMonitor>,
+) -> Result<(Schedule, DbState, Option<Verdict>)> {
     let n_spaces = programs
         .iter()
         .flat_map(|p| {
@@ -59,6 +93,7 @@ pub fn run_threaded(
     let shared = Arc::new(Mutex::new(Shared {
         db: initial.clone(),
         trace: Vec::new(),
+        monitor,
     }));
 
     std::thread::scope(|scope| -> Result<()> {
@@ -84,11 +119,17 @@ pub fn run_threaded(
                             let mut sh = shared.lock();
                             let v = sh.db.require(item)?.clone();
                             let op = session.feed_read(v)?;
+                            if let Some(m) = sh.monitor.as_mut() {
+                                m.push(op.clone())?;
+                            }
                             sh.trace.push(op);
                         }
                         Pending::Write(op) => {
                             let mut sh = shared.lock();
                             sh.db.set(op.item, op.value.clone());
+                            if let Some(m) = sh.monitor.as_mut() {
+                                m.push(op.clone())?;
+                            }
                             sh.trace.push(op);
                             session.advance_write()?;
                         }
@@ -110,8 +151,9 @@ pub fn run_threaded(
     let shared = Arc::try_unwrap(shared)
         .map_err(|_| SchedError::Stalled)?
         .into_inner();
+    let verdict = shared.monitor.as_ref().map(OnlineMonitor::verdict);
     let schedule = Schedule::new(shared.trace)?;
-    Ok((schedule, shared.db))
+    Ok((schedule, shared.db, verdict))
 }
 
 /// Sanity helper for tests: replay a program against the values its
@@ -180,6 +222,33 @@ mod tests {
                 final_state.get(cat.lookup("a1").unwrap()),
                 Some(&Value::Int(3))
             );
+        }
+    }
+
+    #[test]
+    fn certified_threaded_run_reports_live_verdict() {
+        use pwsr_core::monitor::VerdictLevel;
+        let (cat, ic, initial) = setup();
+        let programs = vec![
+            parse_program("T1", "a0 := a0 + 1; a1 := a1 + 1;").unwrap(),
+            parse_program("T2", "b0 := b0 + 1;").unwrap(),
+            parse_program("T3", "b1 := b1 + 1; a1 := a1 + 2;").unwrap(),
+        ];
+        let policy = PolicySpec::predicate_wise_2pl(&ic);
+        let scopes: Vec<ItemSet> = ic.conjuncts().iter().map(|c| c.items().clone()).collect();
+        for _ in 0..5 {
+            let (schedule, _, verdict) =
+                run_threaded_certified(&programs, &cat, &initial, &policy, scopes.clone()).unwrap();
+            // Conservative per-space 2PL holds every touched space for
+            // the transaction's lifetime: the live verdict must land at
+            // PWSR-or-better with DR preserved, and agree with the
+            // batch checkers on the recorded schedule.
+            assert_ne!(verdict.level, VerdictLevel::Violation);
+            assert!(verdict.dr, "{schedule}");
+            assert!(verdict.pwsr());
+            assert_eq!(verdict.len, schedule.len());
+            assert!(is_pwsr(&schedule, &ic).ok());
+            assert!(pwsr_core::dr::is_delayed_read(&schedule));
         }
     }
 

@@ -3,7 +3,7 @@
 //! Drives a set of transaction programs against one database under a
 //! [`PolicySpec`]: each step, a seeded RNG picks a runnable transaction
 //! and attempts its next operation (via
-//! [`ProgramSession`](pwsr_tplang::session::ProgramSession)); lock
+//! [`ProgramSession`]); lock
 //! conflicts and delayed-read conflicts block; blocking triggers
 //! waits-for deadlock detection; deadlock victims are aborted with
 //! transitive *cascading* aborts (any transaction that read from an
@@ -18,7 +18,7 @@ use crate::error::{Result, SchedError};
 use crate::lock::{LockMode, LockTable, SpaceId};
 use crate::metrics::Metrics;
 use crate::plan::{access_plan, PlanMode};
-use crate::policy::PolicySpec;
+use crate::policy::{MonitorAdmission, PolicySpec};
 use pwsr_core::catalog::Catalog;
 use pwsr_core::graph::DiGraph;
 use pwsr_core::ids::{ItemId, TxnId};
@@ -147,6 +147,10 @@ pub fn run_workload(
     let mut dirty: HashMap<ItemId, TxnId> = HashMap::new();
     let mut metrics = Metrics::default();
     let mut rejected: Vec<TxnId> = Vec::new();
+    let mut admission: Option<MonitorAdmission> = policy
+        .monitor
+        .as_ref()
+        .map(|m| MonitorAdmission::new(m.scopes.clone(), m.level));
 
     loop {
         if rts.iter().all(|rt| rt.done) {
@@ -206,6 +210,7 @@ pub fn run_workload(
             initial,
             cfg,
             &mut rejected,
+            &mut admission,
         )?;
         metrics.lock_acquisitions = locks.acquisitions();
     }
@@ -279,9 +284,30 @@ fn step(
     initial: &DbState,
     cfg: &ExecConfig,
     rejected: &mut Vec<TxnId>,
+    admission: &mut Option<MonitorAdmission>,
 ) -> Result<()> {
     let txn = rts[pick].txn;
     let pending = rts[pick].session.pending()?;
+    // Online verdict-monitor admission: reject (abort for restart) an
+    // operation whose admission would sink the verdict below the
+    // policy's configured level. The speculative test never mutates;
+    // `sync` rebuilds the monitor only after an abort rewrote the
+    // trace.
+    if let Some(mon) = admission.as_mut() {
+        mon.sync(trace);
+        let intent = match &pending {
+            Pending::NeedRead(item) => Some((*item, false)),
+            Pending::Write(op) => Some((op.item, true)),
+            Pending::Done => None,
+        };
+        if let Some((item, is_write)) = intent {
+            if !mon.would_admit(txn, item, is_write) {
+                metrics.monitor_rejections += 1;
+                abort_cascading(pick, rts, locks, trace, dirty, db, initial, metrics, cfg)?;
+                return Ok(());
+            }
+        }
+    }
     // Runtime Theorem-3 guard: refuse the access that would close a
     // conjunct cycle, rejecting the transaction outright (a retry
     // could never commit — committed edges persist in DAG(S, IC)).
@@ -352,6 +378,9 @@ fn step(
             }
             let value = db.require(item)?.clone();
             let op = rts[pick].session.feed_read(value)?;
+            if let Some(mon) = admission.as_mut() {
+                mon.push(&op);
+            }
             trace.push(op);
             after_op(pick, policy, rts, locks);
             Ok(())
@@ -380,6 +409,9 @@ fn step(
             db.set(op.item, op.value.clone());
             dirty.insert(op.item, txn);
             rts[pick].session.advance_write()?;
+            if let Some(mon) = admission.as_mut() {
+                mon.push(&op);
+            }
             trace.push(op);
             after_op(pick, policy, rts, locks);
             Ok(())
@@ -986,6 +1018,93 @@ mod tests {
             let out = run_workload(&mix, &sc.catalog, &sc.initial, &policy, &cfg).unwrap();
             assert!(out.rejected.is_empty(), "seed {seed}");
             assert_eq!(out.schedule.txn_ids().len(), 2);
+        }
+    }
+
+    #[test]
+    fn monitor_admission_keeps_weak_policies_serializable() {
+        // Per-item lock spaces with early release are NOT two-phase
+        // globally: anomalies commit. The online monitor at level
+        // Serializable is then the only guard — it must reject the
+        // cycle-closing operations and keep every committed schedule
+        // conflict-serializable.
+        use pwsr_core::monitor::AdmissionLevel;
+        let (cat, ic, initial) = setup();
+        let programs = vec![
+            parse_program("T1", "a0 := b0 + 1;").unwrap(),
+            parse_program("T2", "b0 := a0 + 1;").unwrap(),
+            parse_program("T3", "a0 := a0 + 1;").unwrap(),
+        ];
+        let weak = || {
+            let mut p = PolicySpec::from_table("item-2PL", HashMap::new(), 0);
+            p.early_release = true;
+            p
+        };
+        let mut anomalies = 0u64;
+        let mut rejections = 0u64;
+        for seed in 0..30 {
+            let cfg = ExecConfig {
+                seed,
+                ..ExecConfig::default()
+            };
+            let out = run_workload(&programs, &cat, &initial, &weak(), &cfg).unwrap();
+            anomalies += u64::from(!is_conflict_serializable(&out.schedule));
+            let guarded = weak().monitor_admission(&ic, AdmissionLevel::Serializable);
+            let out = run_workload(&programs, &cat, &initial, &guarded, &cfg).unwrap();
+            assert!(
+                is_conflict_serializable(&out.schedule),
+                "seed {seed}: {}",
+                out.schedule
+            );
+            out.schedule.check_read_coherence(&initial).unwrap();
+            rejections += out.metrics.monitor_rejections;
+        }
+        assert!(anomalies > 0, "the weak policy must exhibit anomalies");
+        assert!(rejections > 0, "the monitor must have intervened");
+    }
+
+    #[test]
+    fn monitor_admission_is_transparent_under_hold_to_end_pw_2pl() {
+        // Hold-to-end PW-2PL already commits PWSR + DR schedules: the
+        // live certifier rides along without a single rejection.
+        use pwsr_core::monitor::AdmissionLevel;
+        let (cat, ic, initial) = setup();
+        let programs = cross_conjunct_programs();
+        for seed in 0..15 {
+            let cfg = ExecConfig {
+                seed,
+                ..ExecConfig::default()
+            };
+            let policy =
+                PolicySpec::predicate_wise_2pl(&ic).monitor_admission(&ic, AdmissionLevel::PwsrDr);
+            let out = run_workload(&programs, &cat, &initial, &policy, &cfg).unwrap();
+            assert_eq!(out.metrics.monitor_rejections, 0, "seed {seed}");
+            assert!(is_pwsr(&out.schedule, &ic).ok());
+            assert!(pwsr_core::dr::is_delayed_read(&out.schedule));
+        }
+    }
+
+    #[test]
+    fn monitor_admission_enforces_dr_with_early_release() {
+        // PW-2PL-early can commit non-DR schedules; the PwsrDr floor
+        // must forbid them while keeping the workload completable.
+        use pwsr_core::monitor::AdmissionLevel;
+        let (cat, ic, initial) = setup();
+        let programs = cross_conjunct_programs();
+        for seed in 0..15 {
+            let cfg = ExecConfig {
+                seed,
+                ..ExecConfig::default()
+            };
+            let policy = PolicySpec::predicate_wise_2pl_early(&ic)
+                .monitor_admission(&ic, AdmissionLevel::PwsrDr);
+            let out = run_workload(&programs, &cat, &initial, &policy, &cfg).unwrap();
+            assert!(
+                pwsr_core::dr::is_delayed_read(&out.schedule),
+                "seed {seed}: {}",
+                out.schedule
+            );
+            assert!(is_pwsr(&out.schedule, &ic).ok());
         }
     }
 

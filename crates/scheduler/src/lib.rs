@@ -50,6 +50,7 @@ pub mod prelude {
     pub use crate::metrics::Metrics;
     pub use crate::occ::{run_occ, OccOutcome, OccStats};
     pub use crate::plan::{access_plan, PlanMode};
-    pub use crate::policy::PolicySpec;
+    pub use crate::policy::{MonitorAdmission, MonitorSpec, PolicySpec};
     pub use crate::sgt::{run_sgt, SgtOutcome, SgtStats};
+    pub use pwsr_core::monitor::AdmissionLevel;
 }

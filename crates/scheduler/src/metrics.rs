@@ -19,6 +19,9 @@ pub struct Metrics {
     pub restarts: u64,
     /// Lock acquisitions granted.
     pub lock_acquisitions: u64,
+    /// Operations rejected by the online verdict monitor (each rejection
+    /// aborts and restarts the requesting transaction).
+    pub monitor_rejections: u64,
 }
 
 impl Metrics {
@@ -45,7 +48,7 @@ impl fmt::Display for Metrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "steps={} ops={} waits={} deadlocks={} aborts={} restarts={} locks={} goodput={:.3}",
+            "steps={} ops={} waits={} deadlocks={} aborts={} restarts={} locks={} monrej={} goodput={:.3}",
             self.steps,
             self.committed_ops,
             self.waits,
@@ -53,6 +56,7 @@ impl fmt::Display for Metrics {
             self.aborts,
             self.restarts,
             self.lock_acquisitions,
+            self.monitor_rejections,
             self.goodput()
         )
     }

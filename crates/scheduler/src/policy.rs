@@ -15,10 +15,135 @@
 //! | [`PolicySpec::dr_blocking`] (wrapper) | unchanged | + delayed-read |
 
 use crate::lock::SpaceId;
+use pwsr_core::catalog::Catalog;
 use pwsr_core::constraint::IntegrityConstraint;
-use pwsr_core::ids::ItemId;
+use pwsr_core::ids::{ItemId, TxnId};
+use pwsr_core::monitor::{AdmissionLevel, OnlineMonitor, Verdict};
+use pwsr_core::op::Operation;
+use pwsr_core::state::ItemSet;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Monitor-backed admission control: an [`OnlineMonitor`] tracking the
+/// executor's trace, consulted before every operation. An operation
+/// whose admission would sink the verdict below the configured
+/// [`AdmissionLevel`] is rejected — the paper's verdicts driving
+/// scheduling decisions instead of describing finished histories.
+///
+/// The speculative test ([`MonitorAdmission::would_admit`]) never
+/// mutates; after an abort rewrites the trace,
+/// [`MonitorAdmission::sync`] rebuilds the monitor from the surviving
+/// operations (aborts are rare; every per-operation step stays on the
+/// incremental path).
+#[derive(Clone, Debug)]
+pub struct MonitorAdmission {
+    monitor: OnlineMonitor,
+    scopes: Vec<ItemSet>,
+    level: AdmissionLevel,
+}
+
+impl MonitorAdmission {
+    /// Admission over explicit projection scopes.
+    pub fn new(scopes: Vec<ItemSet>, level: AdmissionLevel) -> MonitorAdmission {
+        MonitorAdmission {
+            monitor: OnlineMonitor::new(scopes.clone()),
+            scopes,
+            level,
+        }
+    }
+
+    /// Admission over an integrity constraint's conjunct scopes.
+    pub fn for_constraint(ic: &IntegrityConstraint, level: AdmissionLevel) -> MonitorAdmission {
+        MonitorAdmission::new(
+            ic.conjuncts().iter().map(|c| c.items().clone()).collect(),
+            level,
+        )
+    }
+
+    /// Admission over a policy's lock-space partition of `catalog` —
+    /// one scope per space, so per-space SGT certification and the
+    /// monitor agree on what "serializable per unit" means.
+    pub fn for_spaces(
+        catalog: &Catalog,
+        policy: &PolicySpec,
+        level: AdmissionLevel,
+    ) -> MonitorAdmission {
+        let mut by_space: HashMap<u32, ItemSet> = HashMap::new();
+        for item in catalog.items() {
+            by_space
+                .entry(policy.space_of(item).0)
+                .or_default()
+                .insert(item);
+        }
+        let mut spaces: Vec<(u32, ItemSet)> = by_space.into_iter().collect();
+        spaces.sort_by_key(|(s, _)| *s);
+        MonitorAdmission::new(spaces.into_iter().map(|(_, d)| d).collect(), level)
+    }
+
+    /// The configured verdict floor.
+    pub fn level(&self) -> AdmissionLevel {
+        self.level
+    }
+
+    /// Operations recorded so far.
+    pub fn len(&self) -> usize {
+        self.monitor.len()
+    }
+
+    /// Has nothing been recorded?
+    pub fn is_empty(&self) -> bool {
+        self.monitor.is_empty()
+    }
+
+    /// Would this access keep the configured verdict level? Read-only.
+    pub fn would_admit(&self, txn: TxnId, item: ItemId, is_write: bool) -> bool {
+        self.monitor.admits(txn, item, is_write, self.level)
+    }
+
+    /// Record an admitted (or already-committed) operation.
+    pub fn push(&mut self, op: &Operation) -> Verdict {
+        self.monitor
+            .push(op.clone())
+            .expect("executor traces satisfy the §2.2 transaction rules")
+    }
+
+    /// The current verdict over the recorded trace.
+    pub fn verdict(&self) -> Verdict {
+        self.monitor.verdict()
+    }
+
+    /// The underlying monitor (orders, certificates, index queries).
+    pub fn monitor(&self) -> &OnlineMonitor {
+        &self.monitor
+    }
+
+    /// Rebuild from scratch over `trace` (after a rollback).
+    pub fn rebuild(&mut self, trace: &[Operation]) {
+        self.monitor = OnlineMonitor::new(self.scopes.clone());
+        for op in trace {
+            self.push(op);
+        }
+    }
+
+    /// Cheap re-sync: rebuild only when `trace` has been rewritten
+    /// under us (an abort filtered it); in the steady state the
+    /// incremental monitor is already exactly `trace`.
+    pub fn sync(&mut self, trace: &[Operation]) {
+        if self.monitor.len() != trace.len() {
+            self.rebuild(trace);
+        }
+    }
+}
+
+/// The monitor-admission half of a policy: which projection scopes to
+/// certify and the verdict floor to hold.
+#[derive(Clone, Debug)]
+pub struct MonitorSpec {
+    /// Projection scopes (conjunct data sets).
+    pub scopes: Vec<ItemSet>,
+    /// The verdict floor admitted operations must preserve.
+    pub level: AdmissionLevel,
+}
 
 /// A policy: item→space map plus behavioural flags.
 #[derive(Clone)]
@@ -38,6 +163,10 @@ pub struct PolicySpec {
     /// ordering as runtime admission). Only meaningful for
     /// conjunct-aligned policies.
     pub dag_guard: Option<u32>,
+    /// When set, the executor keeps a [`MonitorAdmission`] over its
+    /// trace and aborts (for restart) any transaction whose next
+    /// operation would sink the verdict below `level`.
+    pub monitor: Option<MonitorSpec>,
 }
 
 impl std::fmt::Debug for PolicySpec {
@@ -65,6 +194,7 @@ impl PolicySpec {
             early_release: false,
             dr_block: false,
             dag_guard: None,
+            monitor: None,
         }
     }
 
@@ -78,6 +208,7 @@ impl PolicySpec {
             early_release: false,
             dr_block: false,
             dag_guard: None,
+            monitor: None,
         }
     }
 
@@ -94,6 +225,7 @@ impl PolicySpec {
             early_release: true,
             dr_block: false,
             dag_guard: None,
+            monitor: None,
         }
     }
 
@@ -110,6 +242,34 @@ impl PolicySpec {
     pub fn dr_blocking(mut self) -> PolicySpec {
         self.dr_block = true;
         self.name = format!("{}+DR", self.name);
+        self
+    }
+
+    /// Wrap a policy with online verdict-monitor admission over `ic`'s
+    /// conjunct scopes: before every operation the executor consults a
+    /// live [`MonitorAdmission`] and aborts (for restart) a transaction
+    /// whose next access would sink the verdict below `level`. This is
+    /// certification, not blocking — it composes with any lock layout,
+    /// and is the only guard when the lock layout itself is too weak
+    /// (e.g. per-item spaces with early release).
+    pub fn monitor_admission(
+        mut self,
+        ic: &IntegrityConstraint,
+        level: AdmissionLevel,
+    ) -> PolicySpec {
+        self.monitor = Some(MonitorSpec {
+            scopes: ic.conjuncts().iter().map(|c| c.items().clone()).collect(),
+            level,
+        });
+        self.name = format!(
+            "{}+MON({})",
+            self.name,
+            match level {
+                AdmissionLevel::Serializable => "CSR",
+                AdmissionLevel::Pwsr => "PWSR",
+                AdmissionLevel::PwsrDr => "PWSR+DR",
+            }
+        );
         self
     }
 
@@ -131,6 +291,7 @@ impl PolicySpec {
             early_release: false,
             dr_block: false,
             dag_guard: None,
+            monitor: None,
         }
     }
 }
@@ -191,6 +352,103 @@ mod tests {
         let p = p.dr_blocking();
         assert!(p.dr_block);
         assert_eq!(p.name, "PW-2PL-early+DR");
+    }
+
+    #[test]
+    fn monitor_builder_sets_spec_and_name() {
+        let ic = two_conjunct_ic();
+        let p = PolicySpec::predicate_wise_2pl_early(&ic)
+            .monitor_admission(&ic, AdmissionLevel::PwsrDr);
+        let spec = p.monitor.as_ref().unwrap();
+        assert_eq!(spec.scopes.len(), 2);
+        assert_eq!(spec.level, AdmissionLevel::PwsrDr);
+        assert_eq!(p.name, "PW-2PL-early+MON(PWSR+DR)");
+    }
+
+    #[test]
+    fn for_spaces_partitions_the_catalog() {
+        use pwsr_core::value::Domain;
+        let ic = two_conjunct_ic();
+        let mut cat = pwsr_core::catalog::Catalog::new();
+        for name in ["a", "b", "c", "z"] {
+            cat.add_item(name, Domain::int_range(0, 1));
+        }
+        let adm = MonitorAdmission::for_spaces(
+            &cat,
+            &PolicySpec::predicate_wise_2pl(&ic),
+            AdmissionLevel::Pwsr,
+        );
+        // Conjunct spaces {a,b} and {c}, plus z's private space.
+        assert_eq!(adm.monitor().scopes().len(), 3);
+        assert!(adm.is_empty());
+        assert_eq!(adm.level(), AdmissionLevel::Pwsr);
+    }
+
+    #[test]
+    fn admission_rejects_then_syncs_after_rollback() {
+        use pwsr_core::value::Value;
+        let ic = two_conjunct_ic();
+        let mut adm = MonitorAdmission::for_constraint(&ic, AdmissionLevel::Pwsr);
+        let ops = [
+            Operation::write(TxnId(1), ItemId(0), Value::Int(1)),
+            Operation::read(TxnId(2), ItemId(0), Value::Int(1)),
+            Operation::write(TxnId(2), ItemId(1), Value::Int(2)),
+        ];
+        for op in &ops {
+            assert!(adm.would_admit(op.txn, op.item, op.is_write()));
+            adm.push(op);
+        }
+        // r1(b) closes the {a,b} cycle: rejected.
+        assert!(!adm.would_admit(TxnId(1), ItemId(1), false));
+        // Roll T2 back: the trace shrinks; sync rebuilds, and the
+        // previously rejected access becomes admissible.
+        let trace = vec![ops[0].clone()];
+        adm.sync(&trace);
+        assert_eq!(adm.len(), 1);
+        assert!(adm.would_admit(TxnId(1), ItemId(1), false));
+    }
+
+    /// §3.1's canonical non-PWSR interleaving: Example 2's schedule
+    /// with fixed-structure TP1′ writing `b` on the else branch. The
+    /// projection on d1 = {a, b} becomes w1(a), r2(a), r2(b), w1(b) —
+    /// a cycle that closes exactly at the final write. Admission at
+    /// level Pwsr must accept everything before it and reject it.
+    #[test]
+    fn admission_rejects_canonical_non_pwsr_at_first_offending_op() {
+        use pwsr_core::constraint::{Conjunct, Formula, Term};
+        use pwsr_core::value::Value;
+        let (a, b, c) = (ItemId(0), ItemId(1), ItemId(2));
+        let ic = IntegrityConstraint::new(vec![
+            Conjunct::new(
+                0,
+                Formula::implies(
+                    Formula::gt(Term::var(a), Term::int(0)),
+                    Formula::gt(Term::var(b), Term::int(0)),
+                ),
+            ),
+            Conjunct::new(1, Formula::gt(Term::var(c), Term::int(0))),
+        ])
+        .unwrap();
+        let ops = [
+            Operation::write(TxnId(1), a, Value::Int(1)),
+            Operation::read(TxnId(2), a, Value::Int(1)),
+            Operation::read(TxnId(2), b, Value::Int(-1)),
+            Operation::write(TxnId(2), c, Value::Int(-1)),
+            Operation::read(TxnId(1), c, Value::Int(-1)),
+            Operation::write(TxnId(1), b, Value::Int(-1)), // TP1′'s else-branch write
+        ];
+        let mut adm = MonitorAdmission::for_constraint(&ic, AdmissionLevel::Pwsr);
+        for (k, op) in ops.iter().enumerate() {
+            let admitted = adm.would_admit(op.txn, op.item, op.is_write());
+            if k < 5 {
+                assert!(admitted, "op {k} is still PWSR-safe");
+                adm.push(op);
+            } else {
+                assert!(!admitted, "w1(b) closes the d1 cycle and must be rejected");
+            }
+        }
+        assert_eq!(adm.len(), 5);
+        assert!(adm.verdict().pwsr());
     }
 
     #[test]

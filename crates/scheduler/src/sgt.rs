@@ -2,26 +2,32 @@
 //!
 //! The third concurrency-control mechanism (after locking and OCC):
 //! transactions execute freely against the shared store; the scheduler
-//! maintains one *conflict graph per space* online and aborts a
-//! transaction the moment its next operation would close a cycle in
-//! any space's graph. Committed schedules therefore have acyclic
-//! per-space conflict graphs **by construction** — with conjunct-
-//! aligned spaces this is a *maximal* PWSR generator: any interleaving
-//! whose projections stay acyclic is admitted, which neither 2PL
-//! (blocks conservatively) nor OCC (validates read versions, stricter
-//! than conflict order) achieves.
+//! keeps one *conflict graph per space* live and aborts a transaction
+//! the moment its next operation would close a cycle in any space's
+//! graph. Committed schedules therefore have acyclic per-space
+//! conflict graphs **by construction** — with conjunct-aligned spaces
+//! this is a *maximal* PWSR generator: any interleaving whose
+//! projections stay acyclic is admitted, which neither 2PL (blocks
+//! conservatively) nor OCC (validates read versions, stricter than
+//! conflict order) achieves.
 //!
-//! Aborts cascade through dirty readers exactly as in the other
-//! executors; restarts are capped. With a single global space this is
-//! classical SGT and certifies conflict-serializability.
+//! Certification runs on the online verdict monitor
+//! ([`MonitorAdmission`] over the policy's space partition): each
+//! operation is a read-only admission probe plus an `O(words)`
+//! incremental push, replacing the old per-operation `O(n²)`
+//! rebuild-all-graphs scan. Aborts cascade through dirty readers
+//! exactly as in the other executors (the monitor is rebuilt from the
+//! surviving trace — aborts are rare, steps are not); restarts are
+//! capped. With a single global space this is classical SGT and
+//! certifies conflict-serializability.
 
 use crate::error::{Result, SchedError};
 use crate::exec::{ExecConfig, ExecOutcome};
 use crate::metrics::Metrics;
-use crate::policy::PolicySpec;
+use crate::policy::{MonitorAdmission, PolicySpec};
 use pwsr_core::catalog::Catalog;
-use pwsr_core::graph::DiGraph;
 use pwsr_core::ids::TxnId;
+use pwsr_core::monitor::AdmissionLevel;
 use pwsr_core::op::Operation;
 use pwsr_core::schedule::Schedule;
 use pwsr_core::state::DbState;
@@ -29,7 +35,7 @@ use pwsr_tplang::ast::Program;
 use pwsr_tplang::session::{Pending, ProgramSession};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 /// SGT statistics.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -45,48 +51,6 @@ pub struct SgtOutcome {
     pub exec: ExecOutcome,
     /// SGT counters.
     pub sgt: SgtStats,
-}
-
-/// Would appending `op` to `trace` create a cycle in any per-space
-/// conflict graph? Graphs are rebuilt from the trace (plus the
-/// tentative op) — O(n²) per check, fine at experiment scale.
-fn creates_cycle(trace: &[Operation], tentative: &Operation, policy: &PolicySpec) -> bool {
-    // Collect transactions and spaces involved.
-    let mut txns: Vec<TxnId> = Vec::new();
-    let mut index: HashMap<TxnId, usize> = HashMap::new();
-    for op in trace.iter().chain(std::iter::once(tentative)) {
-        if let std::collections::hash_map::Entry::Vacant(e) = index.entry(op.txn) {
-            e.insert(txns.len());
-            txns.push(op.txn);
-        }
-    }
-    // One graph per space, but cycles cannot span spaces (edges are
-    // within-space), so a single graph keyed by (space-aware) conflict
-    // detection suffices per space. Build per-space graphs.
-    let spaces: BTreeSet<u32> = trace
-        .iter()
-        .chain(std::iter::once(tentative))
-        .map(|o| policy.space_of(o.item).0)
-        .collect();
-    for space in spaces {
-        let mut g = DiGraph::new(txns.len());
-        let ops: Vec<&Operation> = trace
-            .iter()
-            .chain(std::iter::once(tentative))
-            .filter(|o| policy.space_of(o.item).0 == space)
-            .collect();
-        for i in 0..ops.len() {
-            for j in (i + 1)..ops.len() {
-                if ops[i].conflicts_with(ops[j]) {
-                    g.add_edge(index[&ops[i].txn], index[&ops[j].txn]);
-                }
-            }
-        }
-        if g.has_cycle() {
-            return true;
-        }
-    }
-    false
 }
 
 /// Run the programs under per-space SGT certification. Only the
@@ -125,6 +89,9 @@ pub fn run_sgt(
     let mut trace: Vec<Operation> = Vec::new();
     let mut metrics = Metrics::default();
     let mut sgt = SgtStats::default();
+    // Per-space acyclicity is exactly the monitor's PWSR floor over
+    // the space partition of the catalog.
+    let mut certifier = MonitorAdmission::for_spaces(catalog, policy, AdmissionLevel::Pwsr);
 
     while !rts.iter().all(|rt| rt.done) {
         if metrics.steps >= cfg.max_steps {
@@ -153,7 +120,7 @@ pub fn run_sgt(
             }
             Pending::Write(op) => op,
         };
-        if creates_cycle(&trace, &tentative, policy) {
+        if !certifier.would_admit(tentative.txn, tentative.item, tentative.is_write()) {
             // Certification failure: cascade-abort this transaction.
             sgt.certification_failures += 1;
             let mut aborted: BTreeSet<TxnId> = BTreeSet::new();
@@ -180,6 +147,7 @@ pub fn run_sgt(
                 }
             }
             trace.retain(|o| !aborted.contains(&o.txn));
+            certifier.sync(&trace);
             db = initial.clone();
             for op in &trace {
                 if op.is_write() {
@@ -203,15 +171,19 @@ pub fn run_sgt(
             }
             continue;
         }
-        // Certified: perform the operation.
+        // Certified: perform the operation (and record it with the
+        // incremental certifier, keeping it exactly in step with the
+        // trace).
         match &tentative {
             op if op.is_read() => {
                 let emitted = rts[pick].session.feed_read(op.value.clone())?;
+                certifier.push(&emitted);
                 trace.push(emitted);
             }
             op => {
                 db.set(op.item, op.value.clone());
                 rts[pick].session.advance_write()?;
+                certifier.push(op);
                 trace.push(op.clone());
             }
         }
