@@ -48,6 +48,35 @@ fn bench_monitor(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("batch_reverify", n), &s, |b, s| {
             b.iter(|| black_box(batch_verdict(s.ops(), &scopes)))
         });
+        // Abort re-sync, the undo-log way: retract the last 16 ops
+        // through `truncate_to` and re-push them — the steady-state
+        // cost of an abort that rewrote a short suffix. Compare with
+        // `abort_resync_rebuild`, the old path: a full from-scratch
+        // replay of all N ops. The gap is the O(n) → O(ops undone)
+        // claim, measured.
+        const UNDONE: usize = 16;
+        group.bench_with_input(BenchmarkId::new("abort_resync_undo", n), &s, |b, s| {
+            let mut m = OnlineMonitor::new(scopes.clone());
+            for op in s.ops() {
+                m.push_logged(op.clone()).expect("valid schedule");
+            }
+            let tail: Vec<_> = s.ops()[s.len() - UNDONE..].to_vec();
+            b.iter(|| {
+                m.truncate_to(s.len() - UNDONE);
+                for op in &tail {
+                    black_box(m.push_logged(op.clone()).expect("valid tail"));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("abort_resync_rebuild", n), &s, |b, s| {
+            b.iter(|| {
+                let mut m = OnlineMonitor::new(scopes.clone());
+                for op in s.ops() {
+                    black_box(m.push(op.clone()).expect("valid schedule"));
+                }
+                m.len()
+            })
+        });
     }
     group.finish();
 }

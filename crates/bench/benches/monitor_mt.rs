@@ -1,0 +1,78 @@
+//! Multi-thread scaling bench for the sharded monitor.
+//!
+//! `sharded_push/T` streams the 2488-op / 4-conjunct tier through a
+//! [`ShardedMonitor`] from `T` pushing threads (transactions
+//! partitioned round-robin, program order preserved per transaction) —
+//! the wall time is the certified-throughput number the `mon2`
+//! experiment reports. `single_writer/N` is the same stream through
+//! an [`OnlineMonitor`] behind nothing at all (the 1-thread ideal),
+//! and `single_writer_mutexed/N` through a `Mutex<OnlineMonitor>` —
+//! what the pre-sharding threaded executor paid per operation even
+//! with one thread.
+//!
+//! Scaling interpretation requires the host's parallelism: on a
+//! multi-core box `sharded_push/4 ÷ sharded_push/1` is the speedup
+//! the `monitor_mt` tier records; on a 1-core box every T > 1 number
+//! only measures coordination overhead (the run prints the host's
+//! `available_parallelism` for exactly this reason).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pwsr_bench::monitor_exp::{partition_by_txn, tier_workload, MT_THREADS, TIERS};
+use pwsr_core::monitor::sharded::ShardedMonitor;
+use pwsr_core::monitor::OnlineMonitor;
+use std::hint::black_box;
+
+fn bench_monitor_mt(c: &mut Criterion) {
+    let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!("monitor_mt: available_parallelism = {parallelism}");
+    let (target, conjuncts, seed_base) = TIERS[1];
+    let (s, scopes) = tier_workload(target, conjuncts, seed_base).expect("workload executes");
+    let n = s.len();
+
+    let mut group = c.benchmark_group("monitor_mt");
+    group.bench_with_input(BenchmarkId::new("single_writer", n), &s, |b, s| {
+        b.iter(|| {
+            let mut m = OnlineMonitor::new(scopes.clone());
+            for op in s.ops() {
+                black_box(m.push(op.clone()).expect("valid schedule"));
+            }
+            m.verdict()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("single_writer_mutexed", n), &s, |b, s| {
+        b.iter(|| {
+            let m = parking_lot::Mutex::new(OnlineMonitor::new(scopes.clone()));
+            for op in s.ops() {
+                black_box(m.lock().push(op.clone()).expect("valid schedule"));
+            }
+            m.into_inner().verdict()
+        })
+    });
+    for threads in MT_THREADS {
+        let streams = partition_by_txn(&s, threads);
+        group.bench_with_input(
+            BenchmarkId::new("sharded_push", threads),
+            &streams,
+            |b, streams| {
+                b.iter(|| {
+                    let monitor = ShardedMonitor::new(scopes.clone());
+                    std::thread::scope(|scope| {
+                        for stream in streams.iter().filter(|s| !s.is_empty()) {
+                            let monitor = &monitor;
+                            scope.spawn(move || {
+                                for op in stream {
+                                    black_box(monitor.push(op.clone()).expect("valid stream"));
+                                }
+                            });
+                        }
+                    });
+                    monitor.verdict()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_monitor_mt);
+criterion_main!(benches);

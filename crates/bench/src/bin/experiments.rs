@@ -7,7 +7,7 @@
 //!
 //! `<id>` ∈ {ex1 … ex5, fig3, lemma1, viewsets, lemma3, lemma4, lemma7,
 //! thm1, thm2, thm3, perf1 … perf5, scale1, scale2, base1, bank1, rec1,
-//! exh1, mon1}.
+//! exh1, mon1, mon2}.
 //! Every experiment prints a paper-vs-measured table; the exit code is
 //! nonzero if any run deviates from the paper's predicted shape.
 //!
@@ -18,14 +18,17 @@
 //! statistical power. An explicit `--trials` overrides the cap.
 //!
 //! `--json PATH` additionally writes a machine-readable record of the
-//! sweep — schema `pwsr-experiments-v2`: one entry per selected
+//! sweep — schema `pwsr-experiments-v3`: one entry per selected
 //! experiment with its verdict, wall-clock seconds, and (where the
 //! experiment measures them) processed-operation counts and the online
-//! monitor's per-op timings — so successive PRs can track the perf
+//! monitor's per-op timings, plus a `monitor_mt` block recording the
+//! sharded monitor's certified throughput at 1/2/4/8 pushing threads
+//! (with the host's `available_parallelism`, without which scaling
+//! numbers are uninterpretable) — so successive PRs can track the perf
 //! trajectory (`BENCH_*.json` at the repo root) and CI can gate on
-//! both the format and the monitor's per-op cost staying sub-linear.
+//! both the format and the monitors' per-op cost staying sub-linear.
 
-use pwsr_bench::monitor_exp::MonitorStats;
+use pwsr_bench::monitor_exp::{MonitorMtStats, MonitorStats};
 use pwsr_bench::{
     bank_exp, base_exp, examples_exp, exhaustive_exp, lemmas_exp, monitor_exp, perf_exp,
     recovery_exp, scale_exp, theorems_exp,
@@ -93,6 +96,9 @@ struct ExpRun {
     /// Full per-tier monitor stats (only `mon1` produces them); the
     /// registry lifts them into the JSON document's `monitor` block.
     monitor: Option<MonitorStats>,
+    /// Sharded-monitor thread-scaling stats (only `mon2`); lifted into
+    /// the JSON document's `monitor_mt` block.
+    monitor_mt: Option<MonitorMtStats>,
 }
 
 impl From<(bool, String)> for ExpRun {
@@ -103,6 +109,7 @@ impl From<(bool, String)> for ExpRun {
             ops: None,
             monitor_ns_per_op: None,
             monitor: None,
+            monitor_mt: None,
         }
     }
 }
@@ -133,10 +140,11 @@ fn render_json(
     all_ok: bool,
     entries: &[JsonEntry],
     monitor: &Option<MonitorStats>,
+    monitor_mt: &Option<MonitorMtStats>,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"pwsr-experiments-v2\",\n");
+    out.push_str("  \"schema\": \"pwsr-experiments-v3\",\n");
     out.push_str(&format!("  \"selection\": \"{}\",\n", opts.what));
     out.push_str(&format!("  \"smoke\": {},\n", opts.smoke));
     out.push_str(&format!("  \"trials_override\": {},\n", opts.trials));
@@ -159,6 +167,28 @@ fn render_json(
             out.push_str("  ]},\n");
         }
         None => out.push_str("  \"monitor\": null,\n"),
+    }
+    match monitor_mt {
+        Some(stats) => {
+            out.push_str(&format!(
+                "  \"monitor_mt\": {{\"parallelism\": {}, \"tiers\": [\n",
+                stats.parallelism
+            ));
+            for (k, t) in stats.tiers.iter().enumerate() {
+                out.push_str(&format!(
+                    "    {{\"threads\": {}, \"ops\": {}, \"ops_per_s\": {:.1}, \
+                     \"ns_per_op\": {:.1}, \"speedup\": {:.3}}}{}\n",
+                    t.threads,
+                    t.ops,
+                    t.ops_per_s,
+                    t.ns_per_op(),
+                    t.speedup,
+                    if k + 1 < stats.tiers.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("  ]},\n");
+        }
+        None => out.push_str("  \"monitor_mt\": null,\n"),
     }
     out.push_str("  \"experiments\": [\n");
     for (k, e) in entries.iter().enumerate() {
@@ -197,8 +227,10 @@ fn main() {
     let mut matched = false;
     let mut entries: Vec<JsonEntry> = Vec::new();
     let mut monitor_stats: Option<MonitorStats> = None;
+    let mut monitor_mt_stats: Option<MonitorMtStats> = None;
     {
         let monitor_out = &mut monitor_stats;
+        let monitor_mt_out = &mut monitor_mt_stats;
         let mut run = |id: &'static str, f: &dyn Fn(u64) -> ExpRun| {
             let selected =
                 matches!(opts.what.as_str(), "all") || opts.what == id || group_of(id) == opts.what;
@@ -222,6 +254,9 @@ fn main() {
                 });
                 if r.monitor.is_some() {
                     *monitor_out = r.monitor;
+                }
+                if r.monitor_mt.is_some() {
+                    *monitor_mt_out = r.monitor_mt;
                 }
             }
         };
@@ -298,6 +333,19 @@ fn main() {
                 ops: Some(stats.total_ops()),
                 monitor_ns_per_op: Some(stats.worst_monitor_ns_per_op()),
                 monitor: Some(stats),
+                monitor_mt: None,
+            }
+        });
+
+        run("mon2", &|n| {
+            let (ok, text, stats) = monitor_exp::mon2(pick(n, 5), 901);
+            ExpRun {
+                ok,
+                text,
+                ops: Some(stats.tiers.iter().map(|t| t.ops).sum()),
+                monitor_ns_per_op: Some(stats.worst_ns_per_op()),
+                monitor: None,
+                monitor_mt: Some(stats),
             }
         });
     }
@@ -305,13 +353,13 @@ fn main() {
     if !matched {
         eprintln!(
             "unknown experiment {:?}; try: all, examples, lemmas, theorems, perf, scale, base, \
-             monitor, or an id like ex2 / thm1 / perf2 / mon1",
+             monitor, or an id like ex2 / thm1 / perf2 / mon2",
             opts.what
         );
         std::process::exit(2);
     }
     if let Some(path) = &opts.json {
-        let body = render_json(&opts, all_ok, &entries, &monitor_stats);
+        let body = render_json(&opts, all_ok, &entries, &monitor_stats, &monitor_mt_stats);
         if let Err(e) = std::fs::write(path, body) {
             eprintln!("failed to write {path}: {e}");
             std::process::exit(2);
@@ -334,7 +382,7 @@ fn group_of(id: &str) -> &'static str {
         "bank1" => "bank",
         "rec1" => "recovery",
         "exh1" => "exhaustive",
-        "mon1" => "monitor",
+        "mon1" | "mon2" => "monitor",
         _ => "",
     }
 }

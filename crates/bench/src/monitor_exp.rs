@@ -1,5 +1,7 @@
 //! MON-1: per-operation cost of the online verdict monitor vs full
-//! batch re-verification.
+//! batch re-verification. MON-2: certified throughput of the sharded
+//! concurrent monitor at 1/2/4/8 pushing threads, verdicts pinned to
+//! a single-writer replay of the recorded interleaving.
 //!
 //! A scheduler that wants a live verdict after every emitted operation
 //! has two options: re-run the batch pipeline on the grown prefix
@@ -14,6 +16,7 @@
 
 use crate::report::Table;
 use pwsr_core::dr::is_delayed_read;
+use pwsr_core::monitor::sharded::ShardedMonitor;
 use pwsr_core::monitor::OnlineMonitor;
 use pwsr_core::schedule::Schedule;
 use pwsr_core::serializability::{is_conflict_serializable, is_conflict_serializable_proj};
@@ -179,6 +182,178 @@ pub fn mon1(trials: u64, _seed: u64) -> (bool, String, MonitorStats) {
     (ok, t.render(), stats)
 }
 
+/// One thread-count measurement of the sharded monitor.
+#[derive(Clone, Copy, Debug)]
+pub struct MtTier {
+    /// Pushing threads.
+    pub threads: u64,
+    /// Operations certified per run.
+    pub ops: u64,
+    /// Certified throughput (best of the timed repetitions).
+    pub ops_per_s: f64,
+    /// Throughput relative to the 1-thread run of the same sweep.
+    pub speedup: f64,
+}
+
+impl MtTier {
+    /// Amortized cost per certified operation.
+    pub fn ns_per_op(&self) -> f64 {
+        if self.ops_per_s > 0.0 {
+            1e9 / self.ops_per_s
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// The `monitor_mt` record the experiments binary embeds in the
+/// `pwsr-experiments-v3` JSON.
+#[derive(Clone, Debug, Default)]
+pub struct MonitorMtStats {
+    /// `std::thread::available_parallelism()` on the measuring host —
+    /// scaling numbers are only meaningful relative to this (a 1-core
+    /// host cannot exhibit parallel speedup, only overhead).
+    pub parallelism: u64,
+    /// Per-thread-count measurements.
+    pub tiers: Vec<MtTier>,
+}
+
+impl MonitorMtStats {
+    /// The worst per-op cost across tiers (what the CI ceiling gates).
+    pub fn worst_ns_per_op(&self) -> f64 {
+        self.tiers.iter().map(|t| t.ns_per_op()).fold(0.0, f64::max)
+    }
+
+    /// Speedup of the `threads == n` tier, if measured.
+    pub fn speedup_at(&self, n: u64) -> Option<f64> {
+        self.tiers
+            .iter()
+            .find(|t| t.threads == n)
+            .map(|t| t.speedup)
+    }
+}
+
+/// Thread counts the MT sweep measures.
+pub const MT_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Partition a schedule's transactions round-robin over `n` threads;
+/// each thread's stream is the schedule subsequence of its own
+/// transactions — program order per transaction is preserved, which
+/// is all [`ShardedMonitor`] requires.
+pub fn partition_by_txn(s: &Schedule, n: usize) -> Vec<Vec<pwsr_core::op::Operation>> {
+    let mut streams: Vec<Vec<pwsr_core::op::Operation>> = vec![Vec::new(); n];
+    for (p, op) in s.ops().iter().enumerate() {
+        let slot = s.slot_of_op(pwsr_core::ids::OpIndex(p));
+        streams[slot % n].push(op.clone());
+    }
+    streams
+}
+
+/// One timed threaded run: `streams[w]` pushed by thread `w`. Returns
+/// (elapsed, recorded schedule, verdict).
+fn mt_run(
+    scopes: &[ItemSet],
+    streams: &[Vec<pwsr_core::op::Operation>],
+) -> (std::time::Duration, Schedule, pwsr_core::monitor::Verdict) {
+    let monitor = ShardedMonitor::new(scopes.to_vec());
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for stream in streams.iter().filter(|s| !s.is_empty()) {
+            let monitor = &monitor;
+            scope.spawn(move || {
+                for op in stream {
+                    black_box(monitor.push(op.clone()).expect("valid partitioned stream"));
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    let (schedule, verdict) = monitor.into_parts();
+    (elapsed, schedule, verdict)
+}
+
+/// MON-2: certified throughput of the sharded monitor at 1/2/4/8
+/// pushing threads, on the multi-conjunct (2488-op / 4-conjunct)
+/// tier. Shape check: at every thread count the verdict must be
+/// byte-identical to a single-writer [`OnlineMonitor`] replay of the
+/// exact interleaving the threads produced (the scaling numbers are
+/// reported, and asserted nowhere — they are a property of the host's
+/// parallelism, which the record carries).
+pub fn mon2(trials: u64, _seed: u64) -> (bool, String, MonitorMtStats) {
+    let reps = if trials == 0 { 5 } else { trials };
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1);
+    let mut ok = true;
+    let mut stats = MonitorMtStats {
+        parallelism,
+        ..MonitorMtStats::default()
+    };
+    let mut t = Table::new(
+        &format!(
+            "MON-2  Sharded monitor certified throughput ({} host cores)",
+            parallelism
+        ),
+        &[
+            "threads",
+            "ops",
+            "Mops/s",
+            "ns/op",
+            "speedup vs 1T",
+            "verdict parity",
+        ],
+    );
+    let (target, conjuncts, seed_base) = TIERS[1];
+    let Some((s, scopes)) = tier_workload(target, conjuncts, seed_base) else {
+        return (false, t.render(), stats);
+    };
+    let n = s.len() as u64;
+    let mut base_ops_per_s = 0.0f64;
+    for threads in MT_THREADS {
+        let streams = partition_by_txn(&s, threads);
+        let mut best = std::time::Duration::MAX;
+        let mut parity = true;
+        for _ in 0..reps {
+            let (elapsed, recorded, verdict) = mt_run(&scopes, &streams);
+            best = best.min(elapsed);
+            // Pin the verdict to the single-writer monitor on the SAME
+            // interleaving the threads produced.
+            let mut replay = OnlineMonitor::new(scopes.clone());
+            let mut last = replay.verdict();
+            for op in recorded.ops() {
+                last = replay.push(op.clone()).expect("recorded schedule is valid");
+            }
+            parity &= last == verdict && recorded.len() == s.len() && replay.certify_prefix();
+        }
+        ok &= parity;
+        let ops_per_s = n as f64 / best.as_secs_f64();
+        if threads == 1 {
+            base_ops_per_s = ops_per_s;
+        }
+        let tier = MtTier {
+            threads: threads as u64,
+            ops: n,
+            ops_per_s,
+            speedup: if base_ops_per_s > 0.0 {
+                ops_per_s / base_ops_per_s
+            } else {
+                0.0
+            },
+        };
+        t.row(&[
+            threads.to_string(),
+            n.to_string(),
+            format!("{:.2}", ops_per_s / 1e6),
+            format!("{:.0}", tier.ns_per_op()),
+            format!("{:.2}x", tier.speedup),
+            parity.to_string(),
+        ]);
+        stats.tiers.push(tier);
+    }
+    ok &= stats.tiers.len() == MT_THREADS.len();
+    (ok, t.render(), stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,5 +370,45 @@ mod tests {
         assert!(stats.total_ops() > 0);
         assert!(stats.worst_monitor_ns_per_op() > 0.0);
         assert!(text.contains("MON-1"));
+    }
+
+    /// Parity at every thread count; scaling is a host property, not a
+    /// debug-mode test assertion.
+    #[test]
+    fn mon2_threaded_verdicts_pin_to_single_writer() {
+        let (ok, text, stats) = mon2(1, 901);
+        assert!(ok, "{text}");
+        assert_eq!(stats.tiers.len(), MT_THREADS.len());
+        assert!(stats.parallelism >= 1);
+        assert!(stats.worst_ns_per_op() > 0.0);
+        assert_eq!(stats.speedup_at(1), Some(1.0));
+        assert!(text.contains("MON-2"));
+    }
+
+    #[test]
+    fn partition_preserves_program_order() {
+        let (s, _) = tier_workload(TIERS[0].0, TIERS[0].1, TIERS[0].2).unwrap();
+        for n in [1, 3, 8] {
+            let streams = partition_by_txn(&s, n);
+            assert_eq!(streams.iter().map(Vec::len).sum::<usize>(), s.len());
+            for stream in streams {
+                // Within a stream, each transaction's ops appear in
+                // schedule (= program) order.
+                let mut seen: std::collections::HashMap<u32, usize> = Default::default();
+                for op in &stream {
+                    let pos = s
+                        .ops()
+                        .iter()
+                        .enumerate()
+                        .position(|(p, o)| {
+                            o == op && p >= seen.get(&op.txn.0).copied().unwrap_or(0)
+                        })
+                        .unwrap();
+                    let last = seen.entry(op.txn.0).or_insert(0);
+                    assert!(pos >= *last);
+                    *last = pos + 1;
+                }
+            }
+        }
     }
 }

@@ -9,9 +9,10 @@
 //! `pwsr-scheduler::dag_order`).
 
 use crate::constraint::IntegrityConstraint;
-use crate::graph::DiGraph;
-use crate::ids::ConjunctId;
+use crate::graph::{DiGraph, IncrementalDag};
+use crate::ids::{ConjunctId, OpIndex};
 use crate::schedule::Schedule;
+use crate::state::ItemSet;
 
 /// The data access graph over conjuncts.
 #[derive(Clone, Debug)]
@@ -104,6 +105,226 @@ pub fn data_access_graph(schedule: &Schedule, ic: &IntegrityConstraint) -> DataA
         }
     }
     DataAccessGraph { graph }
+}
+
+/// The deltas one [`OnlineAccessDag::record_logged`] call applied —
+/// enough to retract it exactly, in LIFO (journal) order.
+#[derive(Clone, Debug, Default)]
+pub struct AccessDagDelta {
+    /// The entity's read- or write-unit bit was freshly set.
+    fresh_bit: bool,
+    /// Unit edges freshly inserted, in insertion order.
+    edges: Vec<(u32, u32)>,
+    /// This access froze the graph (first cycle observed here).
+    froze: bool,
+}
+
+/// `DAG(S, IC)` maintained **incrementally**, one access at a time.
+///
+/// Nodes are `l` fixed *units* (conjuncts here; the scheduler reuses
+/// this with guarded lock spaces as units). Per accessing entity
+/// (transaction slot) the unit read/write sets are kept as bitsets;
+/// a new access adds exactly the §3.3 edges it induces — read of unit
+/// `i` by an entity that writes units `J` adds `i → j` for `j ∈ J`,
+/// write of `j` by an entity that reads `I` adds `i → j` for `i ∈ I`
+/// — into an [`IncrementalDag`], so Theorem 3's hypothesis is decided
+/// per access instead of by an `O(n)` rebuild from the trace.
+///
+/// Two modes share the structure:
+///
+/// * **observational** ([`OnlineAccessDag::record`]): accesses are
+///   always recorded; the first cycle-closing edge *freezes* the
+///   graph (`DAG` cyclicity is monotone — edges are never removed by
+///   forward execution) and pins [`OnlineAccessDag::first_cycle`];
+/// * **preventive** ([`OnlineAccessDag::admits`]): a probe inserts
+///   the candidate edges and retracts them LIFO, deciding whether the
+///   access would keep the graph acyclic without committing it — the
+///   scheduler's runtime Theorem-3 guard.
+#[derive(Clone, Debug, Default)]
+pub struct OnlineAccessDag {
+    dag: IncrementalDag,
+    /// Per entity: units it has read / written (as ItemSet bitsets
+    /// over unit indices).
+    rs: Vec<ItemSet>,
+    ws: Vec<ItemSet>,
+    /// Tag of the access that first made the graph cyclic.
+    cyclic_at: Option<OpIndex>,
+}
+
+impl OnlineAccessDag {
+    /// An access DAG over `l` units.
+    pub fn new(l: usize) -> OnlineAccessDag {
+        let mut dag = IncrementalDag::new();
+        for _ in 0..l {
+            dag.add_node();
+        }
+        OnlineAccessDag {
+            dag,
+            rs: Vec::new(),
+            ws: Vec::new(),
+            cyclic_at: None,
+        }
+    }
+
+    /// Number of units.
+    pub fn units(&self) -> usize {
+        self.dag.len()
+    }
+
+    /// Is the maintained graph still acyclic?
+    pub fn is_acyclic(&self) -> bool {
+        self.cyclic_at.is_none()
+    }
+
+    /// Tag of the access that first closed a cycle, if any.
+    pub fn first_cycle(&self) -> Option<OpIndex> {
+        self.cyclic_at
+    }
+
+    /// A topological order of the units while acyclic (Theorem 3's
+    /// induction order), `None` once cyclic.
+    pub fn unit_order(&self) -> Option<Vec<ConjunctId>> {
+        self.is_acyclic()
+            .then(|| self.dag.order().iter().map(|&u| ConjunctId(u)).collect())
+    }
+
+    /// Drop all recorded accesses (the scheduler resyncs after an
+    /// abort rewrote its trace).
+    pub fn clear(&mut self) {
+        *self = OnlineAccessDag::new(self.units());
+    }
+
+    fn grow(&mut self, entity: usize) {
+        if self.rs.len() <= entity {
+            self.rs.resize_with(entity + 1, ItemSet::new);
+            self.ws.resize_with(entity + 1, ItemSet::new);
+        }
+    }
+
+    /// The edges a fresh `(entity, unit, is_write)` access would add.
+    fn new_edges(&self, entity: usize, unit: u32, is_write: bool, out: &mut Vec<(u32, u32)>) {
+        out.clear();
+        let (Some(rs), Some(ws)) = (self.rs.get(entity), self.ws.get(entity)) else {
+            return;
+        };
+        let bit = crate::ids::ItemId(unit);
+        if is_write {
+            if ws.contains(bit) {
+                return; // unit already written: edges already present
+            }
+            out.extend(
+                rs.iter()
+                    .map(|i| i.0)
+                    .filter(|&i| i != unit)
+                    .map(|i| (i, unit)),
+            );
+        } else {
+            if rs.contains(bit) {
+                return;
+            }
+            out.extend(
+                ws.iter()
+                    .map(|j| j.0)
+                    .filter(|&j| j != unit)
+                    .map(|j| (unit, j)),
+            );
+        }
+    }
+
+    /// Would recording this access keep the graph acyclic? The probe
+    /// inserts the induced edges and retracts them in LIFO order —
+    /// nothing is committed. `false` once the graph is frozen.
+    pub fn admits(&mut self, entity: usize, unit: u32, is_write: bool) -> bool {
+        if self.cyclic_at.is_some() {
+            return false;
+        }
+        let mut candidate = Vec::new();
+        self.new_edges(entity, unit, is_write, &mut candidate);
+        let mut inserted: Vec<(u32, u32)> = Vec::new();
+        let mut ok = true;
+        for (u, v) in candidate {
+            if self.dag.has_edge(u, v) {
+                continue;
+            }
+            match self.dag.add_edge(u, v) {
+                Ok(()) => inserted.push((u, v)),
+                Err(_) => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        for &(u, v) in inserted.iter().rev() {
+            self.dag.remove_edge(u, v);
+        }
+        ok
+    }
+
+    /// Record one access (observational mode): induced edges are
+    /// inserted; the first cycle-closing edge freezes the graph with
+    /// `tag` as the witness. Returns whether the graph is still
+    /// acyclic afterwards.
+    pub fn record(&mut self, entity: usize, unit: u32, is_write: bool, tag: OpIndex) -> bool {
+        self.record_logged(entity, unit, is_write, tag);
+        self.is_acyclic()
+    }
+
+    /// [`OnlineAccessDag::record`] returning the exact deltas applied,
+    /// for LIFO retraction by [`OnlineAccessDag::undo`].
+    pub fn record_logged(
+        &mut self,
+        entity: usize,
+        unit: u32,
+        is_write: bool,
+        tag: OpIndex,
+    ) -> AccessDagDelta {
+        let mut delta = AccessDagDelta::default();
+        if self.cyclic_at.is_some() {
+            return delta; // frozen: cyclicity is monotone
+        }
+        let mut edges = Vec::new();
+        self.new_edges(entity, unit, is_write, &mut edges);
+        self.grow(entity);
+        let set = if is_write {
+            &mut self.ws[entity]
+        } else {
+            &mut self.rs[entity]
+        };
+        delta.fresh_bit = set.insert(crate::ids::ItemId(unit));
+        for (u, v) in edges {
+            if self.dag.has_edge(u, v) {
+                continue;
+            }
+            match self.dag.add_edge(u, v) {
+                Ok(()) => delta.edges.push((u, v)),
+                Err(_) => {
+                    self.cyclic_at = Some(tag);
+                    delta.froze = true;
+                    break;
+                }
+            }
+        }
+        delta
+    }
+
+    /// Retract one recorded access. Sound only in LIFO (journal)
+    /// order relative to other `record_logged` calls.
+    pub fn undo(&mut self, entity: usize, unit: u32, is_write: bool, delta: &AccessDagDelta) {
+        if delta.froze {
+            self.cyclic_at = None;
+        }
+        for &(u, v) in delta.edges.iter().rev() {
+            self.dag.remove_edge(u, v);
+        }
+        if delta.fresh_bit {
+            let set = if is_write {
+                &mut self.ws[entity]
+            } else {
+                &mut self.rs[entity]
+            };
+            set.remove(crate::ids::ItemId(unit));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -199,5 +420,96 @@ mod tests {
         let s = Schedule::new(vec![rd(1, 9, 0), wr(1, 9, 1)]).unwrap();
         let dag = data_access_graph(&s, &ic);
         assert_eq!(dag.edge_count(), 0);
+    }
+
+    /// Replay `ops` through an [`OnlineAccessDag`] (entity = dense
+    /// transaction slot, one record per containing conjunct).
+    fn replay_online(ops: &[Operation], ic: &IntegrityConstraint) -> OnlineAccessDag {
+        let mut online = OnlineAccessDag::new(ic.len());
+        let mut slots: std::collections::HashMap<TxnId, usize> = std::collections::HashMap::new();
+        for (p, o) in ops.iter().enumerate() {
+            let next = slots.len();
+            let slot = *slots.entry(o.txn).or_insert(next);
+            for (k, c) in ic.conjuncts().iter().enumerate() {
+                if c.items().contains(o.item) {
+                    online.record(slot, k as u32, o.is_write(), crate::ids::OpIndex(p));
+                }
+            }
+        }
+        online
+    }
+
+    #[test]
+    fn online_access_dag_matches_batch_at_every_prefix() {
+        let ic = example2_ic();
+        let runs = [
+            // Example 2's cyclic pattern.
+            vec![
+                wr(1, 0, 1),
+                rd(2, 0, 1),
+                rd(2, 1, -1),
+                wr(2, 2, -1),
+                rd(1, 2, -1),
+            ],
+            // One-directional: stays acyclic.
+            vec![rd(1, 0, 1), wr(1, 2, 1), rd(2, 1, 1), wr(2, 2, 2)],
+            // Intra-transaction order irrelevant.
+            vec![wr(1, 0, 1), rd(1, 2, 1), rd(2, 0, 1), wr(2, 2, 2)],
+        ];
+        for ops in runs {
+            for k in 1..=ops.len() {
+                let online = replay_online(&ops[..k], &ic);
+                let prefix = Schedule::new(ops[..k].to_vec()).unwrap();
+                let batch = data_access_graph(&prefix, &ic);
+                assert_eq!(online.is_acyclic(), batch.is_acyclic(), "prefix {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn online_access_dag_pins_the_closing_access() {
+        let ic = example2_ic();
+        // T1 reads C2 then writes C1; T2 reads C1 then writes C2. The
+        // DAG cycle closes at T2's write of c (position 3).
+        let ops = vec![rd(1, 2, 1), wr(1, 0, 1), rd(2, 0, 1), wr(2, 2, 1)];
+        let online = replay_online(&ops, &ic);
+        assert!(!online.is_acyclic());
+        assert_eq!(online.first_cycle(), Some(OpIndex(3)));
+        assert!(online.unit_order().is_none());
+    }
+
+    #[test]
+    fn online_access_dag_probe_is_exact_and_non_committing() {
+        let ic = example2_ic();
+        let ops = vec![rd(1, 2, 1), wr(1, 0, 1), rd(2, 0, 1)];
+        let mut online = replay_online(&ops, &ic);
+        // T2 (entity 1) writing c (unit 1) would close the cycle.
+        assert!(!online.admits(1, 1, true));
+        // The probe committed nothing: the same graph still admits
+        // T2 writing into C1 (no new edge at all) and a third entity
+        // writing anywhere.
+        assert!(online.admits(1, 0, true));
+        assert!(online.admits(2, 1, true));
+        assert!(online.is_acyclic());
+    }
+
+    #[test]
+    fn online_access_dag_undo_roundtrip() {
+        let ic = example2_ic();
+        let mut online = OnlineAccessDag::new(ic.len());
+        online.record(0, 1, false, OpIndex(0)); // T1 reads C2
+        online.record(0, 0, true, OpIndex(1)); // T1 writes C1 → edge 1→0
+        let d2 = online.record_logged(1, 0, false, OpIndex(2)); // T2 reads C1
+        let d3 = online.record_logged(1, 1, true, OpIndex(3)); // closes the cycle
+        assert!(!online.is_acyclic());
+        // LIFO retraction restores acyclicity and admissibility.
+        online.undo(1, 1, true, &d3);
+        online.undo(1, 0, false, &d2);
+        assert!(online.is_acyclic());
+        assert!(online.admits(1, 0, false));
+        // Re-recording reproduces the cycle at the new tag.
+        online.record(1, 0, false, OpIndex(7));
+        online.record(1, 1, true, OpIndex(8));
+        assert_eq!(online.first_cycle(), Some(OpIndex(8)));
     }
 }

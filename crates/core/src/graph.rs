@@ -204,7 +204,7 @@ impl DiGraph {
 /// serialization-graph certifier needs: conflict edges stream in as
 /// operations arrive, and the first edge whose insertion fails
 /// pinpoints the offending operation.
-#[derive(Clone, Debug, Default)]
+#[derive(Debug, Default)]
 pub struct IncrementalDag {
     /// `succ[u]` = ordered successor set of `u` (deduplicated).
     succ: Vec<BTreeSet<u32>>,
@@ -217,8 +217,24 @@ pub struct IncrementalDag {
     /// Epoch-marked visited scratch for the traversals: `mark[x] ==
     /// epoch` means visited in the current search, so each search is
     /// O(1)-membership without clearing or reallocating. Behind a
-    /// `RefCell` so the read-only admission probe can use it too.
-    scratch: std::cell::RefCell<VisitMark>,
+    /// `Mutex` (uncontended in single-writer use) so the read-only
+    /// admission probe can use it too *and* the DAG stays `Sync` —
+    /// the sharded monitor probes shard graphs under shared read
+    /// locks from several threads.
+    scratch: std::sync::Mutex<VisitMark>,
+}
+
+impl Clone for IncrementalDag {
+    fn clone(&self) -> IncrementalDag {
+        IncrementalDag {
+            succ: self.succ.clone(),
+            pred: self.pred.clone(),
+            ord: self.ord.clone(),
+            node_at: self.node_at.clone(),
+            // Scratch is per-search state; a clone starts fresh.
+            scratch: std::sync::Mutex::new(VisitMark::default()),
+        }
+    }
 }
 
 /// Reusable visited marks (see [`IncrementalDag::scratch`]).
@@ -330,6 +346,46 @@ impl IncrementalDag {
         Ok(())
     }
 
+    /// Remove the edge `u → v`.
+    ///
+    /// Sound only in **LIFO (journal) order**: the undo-log replays a
+    /// push's freshly-inserted edges in reverse insertion order, so at
+    /// removal time the maintained topological order satisfies a
+    /// superset of the remaining constraints and *stays valid* — no
+    /// reordering is needed, which is what keeps Pearce–Kelly sound
+    /// under retraction. Removing an arbitrary edge out of order is
+    /// also safe for the order invariant (fewer constraints), but the
+    /// affected-region bookkeeping of future insertions would then be
+    /// conservative rather than tight; the monitor only ever removes
+    /// in LIFO order.
+    ///
+    /// Panics if the edge is absent (the journal guarantees presence).
+    pub fn remove_edge(&mut self, u: u32, v: u32) {
+        let removed = self.succ[u as usize].remove(&v) && self.pred[v as usize].remove(&u);
+        assert!(removed, "remove_edge({u}, {v}): edge not present");
+    }
+
+    /// Remove the most recently added node, which must be edgeless
+    /// (the undo-log removes a push's edges first) and must be the
+    /// highest-numbered node (LIFO again). Its slot in the maintained
+    /// order is compacted away in `O(n)`; every other node keeps its
+    /// relative position, so the order stays topological.
+    pub fn remove_last_node(&mut self) {
+        let u = (self.succ.len() - 1) as u32;
+        assert!(
+            self.succ[u as usize].is_empty() && self.pred[u as usize].is_empty(),
+            "remove_last_node: node {u} still has edges"
+        );
+        let pos = self.ord[u as usize];
+        self.node_at.remove(pos as usize);
+        for (k, &x) in self.node_at.iter().enumerate().skip(pos as usize) {
+            self.ord[x as usize] = k as u32;
+        }
+        self.succ.pop();
+        self.pred.pop();
+        self.ord.pop();
+    }
+
     /// Would inserting every edge `s → target` (for `s` in `sources`)
     /// keep the graph acyclic? Since all candidate edges end at the
     /// same node, a cycle can only arise if `target` already reaches
@@ -353,7 +409,7 @@ impl IncrementalDag {
     /// collecting visits into `delta`. Returns `false` if `forbidden`
     /// is reached (a cycle witness).
     fn forward(&self, start: u32, limit: u32, delta: &mut Vec<u32>, forbidden: u32) -> bool {
-        let mut seen = self.scratch.borrow_mut();
+        let mut seen = self.scratch.lock().unwrap_or_else(|e| e.into_inner());
         seen.begin(self.len());
         let mut stack = vec![start];
         while let Some(x) = stack.pop() {
@@ -376,7 +432,7 @@ impl IncrementalDag {
     /// DFS forward from `start` over nodes with `ord ≤ limit`; returns
     /// `false` the moment any member of `targets` is reached.
     fn forward_until(&self, start: u32, limit: u32, targets: &[u32]) -> bool {
-        let mut seen = self.scratch.borrow_mut();
+        let mut seen = self.scratch.lock().unwrap_or_else(|e| e.into_inner());
         seen.begin(self.len());
         let mut stack = vec![start];
         while let Some(x) = stack.pop() {
@@ -397,7 +453,7 @@ impl IncrementalDag {
 
     /// DFS backward from `start` over nodes with `ord ≥ limit`.
     fn backward(&self, start: u32, limit: u32, delta: &mut Vec<u32>) {
-        let mut seen = self.scratch.borrow_mut();
+        let mut seen = self.scratch.lock().unwrap_or_else(|e| e.into_inner());
         seen.begin(self.len());
         let mut stack = vec![start];
         while let Some(x) = stack.pop() {
@@ -568,6 +624,101 @@ mod tests {
         // target=0, sources={2}: edge 2→0 closes a cycle iff 0 reaches 2.
         assert!(!g.admits_edges_into(&[2], 0));
         assert!(g.admits_edges_into(&[], 0), "no edges, nothing to do");
+    }
+
+    #[test]
+    fn lifo_edge_removal_keeps_order_valid() {
+        let mut g = IncrementalDag::new();
+        for _ in 0..4 {
+            g.add_node();
+        }
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(3, 0).unwrap(); // forces a reorder
+        g.add_edge(2, 3).unwrap();
+        // Undo in LIFO order; after removing 2→3 and 3→0 the once
+        // cycle-closing edge 1→2 becomes insertable.
+        g.remove_edge(2, 3);
+        g.remove_edge(3, 0);
+        assert!(order_valid(&g));
+        g.add_edge(1, 2).unwrap();
+        g.add_edge(2, 3).unwrap();
+        assert!(order_valid(&g));
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn remove_last_node_compacts_the_order() {
+        let mut g = IncrementalDag::new();
+        for _ in 0..3 {
+            g.add_node();
+        }
+        // Reorder so node 2 is NOT last in the maintained order.
+        g.add_edge(2, 0).unwrap();
+        assert_eq!(g.position(2), 0);
+        g.remove_edge(2, 0);
+        g.remove_last_node();
+        assert_eq!(g.len(), 2);
+        assert!(order_valid(&g));
+        // Remaining nodes occupy positions 0..2.
+        let mut pos: Vec<u32> = (0..2).map(|u| g.position(u)).collect();
+        pos.sort_unstable();
+        assert_eq!(pos, vec![0, 1]);
+        // The graph is fully usable afterwards.
+        let n = g.add_node();
+        g.add_edge(n, 0).unwrap();
+        assert!(order_valid(&g));
+    }
+
+    /// Model test: journaled insertions undone in LIFO order restore
+    /// cycle-detection behaviour exactly (parity with a batch DiGraph
+    /// rebuilt from the surviving edges).
+    #[test]
+    fn lifo_undo_matches_batch_model() {
+        let mut state = 0xDEADBEEFCAFEBABEu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..40 {
+            let n = 3 + (next() % 6) as usize;
+            let mut inc = IncrementalDag::new();
+            for _ in 0..n {
+                inc.add_node();
+            }
+            let mut journal: Vec<(u32, u32)> = Vec::new();
+            for _ in 0..(4 * n) {
+                let u = (next() % n as u64) as u32;
+                let v = (next() % n as u64) as u32;
+                if !inc.has_edge(u, v) && inc.add_edge(u, v).is_ok() {
+                    journal.push((u, v));
+                }
+            }
+            // Undo a random suffix in LIFO order.
+            let keep = (next() % (journal.len() as u64 + 1)) as usize;
+            for &(u, v) in journal[keep..].iter().rev() {
+                inc.remove_edge(u, v);
+            }
+            journal.truncate(keep);
+            assert!(order_valid(&inc), "round {round}: order broken after undo");
+            // Parity with a batch graph over the surviving edges.
+            let mut batch = DiGraph::new(n);
+            for &(u, v) in &journal {
+                batch.add_edge(u as usize, v as usize);
+            }
+            for u in 0..n as u32 {
+                for v in 0..n as u32 {
+                    let mut probe = batch.clone();
+                    probe.add_edge(u as usize, v as usize);
+                    assert_eq!(
+                        inc.admits_edges_into(&[u], v),
+                        !probe.has_cycle(),
+                        "round {round}: admissibility diverged on {u}→{v}"
+                    );
+                }
+            }
+        }
     }
 
     /// Model test: random edge insertions agree with the batch DiGraph

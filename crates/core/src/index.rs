@@ -56,7 +56,7 @@ pub(crate) struct PrefixTables {
     /// Per position: the write a read takes its value from.
     pub(crate) reads_from: Vec<Option<u32>>,
     /// Per item: position of the latest write seen so far.
-    last_write: Vec<u32>,
+    pub(crate) last_write: Vec<u32>,
     /// Referenced when a query names a transaction not in the schedule.
     empty: ItemSet,
 }
@@ -115,6 +115,39 @@ impl PrefixTables {
             t.push(schedule.slot_of_op(OpIndex(p)), o);
         }
         t
+    }
+
+    /// The latest-write position of `item`, `NONE` if never written.
+    pub(crate) fn last_write_raw(&self, item: usize) -> u32 {
+        self.last_write.get(item).copied().unwrap_or(NONE)
+    }
+
+    /// Retract the most recent [`PrefixTables::push`] — the undo-log's
+    /// table half. `prev_last_write` is the `last_write` entry the
+    /// caller captured before the push (only consulted for writes);
+    /// `new_slot` says the push created the slot, whose now-pristine
+    /// rows are dropped so the tables equal a fresh build of the
+    /// shortened schedule.
+    pub(crate) fn pop(
+        &mut self,
+        slot: usize,
+        op: &Operation,
+        prev_last_write: u32,
+        new_slot: bool,
+    ) {
+        self.positions[slot].pop();
+        self.rs_prefix[slot].pop();
+        self.ws_prefix[slot].pop();
+        self.reads_from.pop();
+        if op.action == Action::Write {
+            self.last_write[op.item.index()] = prev_last_write;
+        }
+        if new_slot {
+            debug_assert!(self.positions[slot].is_empty());
+            self.positions.pop();
+            self.rs_prefix.pop();
+            self.ws_prefix.pop();
+        }
     }
 
     /// How many of the slot's operations are at positions `≤ p` (the

@@ -29,11 +29,16 @@
 //! * **Online certification** ([`monitor`]): a growing indexed schedule
 //!   whose serializability / PWSR / delayed-read verdicts and Lemma 2/6
 //!   certificates are maintained incrementally per appended operation,
-//!   with admission-time rejection of verdict-breaking operations.
+//!   with admission-time rejection of verdict-breaking operations, an
+//!   undo-log for `O(ops undone)` abort re-sync, live Theorem 1/3
+//!   hypotheses, and a sharded concurrent variant
+//!   ([`monitor::sharded`]) that certifies under real OS-thread
+//!   parallelism.
 //!
-//! The crate is deliberately self-contained (no external dependencies) so
-//! that the substrate crates (`pwsr-tplang`, `pwsr-scheduler`, …) can
-//! build on a small, well-tested kernel.
+//! The crate is deliberately minimal — its only dependency is the
+//! workspace's vendored `parking_lot` stand-in (the sharded monitor's
+//! locks) — so that the substrate crates (`pwsr-tplang`,
+//! `pwsr-scheduler`, …) can build on a small, well-tested kernel.
 //!
 //! ## Quick start
 //!

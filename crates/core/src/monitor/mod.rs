@@ -63,8 +63,35 @@
 //! and by the prefix-parity property tests in
 //! `tests/monitor_props.rs` — the expensive recomputation is the
 //! test oracle, not the runtime path.
+//!
+//! ## Beyond the single writer
+//!
+//! Three layers added on top of the per-push core:
+//!
+//! * an **undo-log** ([`OnlineMonitor::push_logged`] /
+//!   [`OnlineMonitor::truncate_to`]): every logged push records the
+//!   exact graph-edge and table deltas it applied, so a scheduler
+//!   abort that rewrote its trace re-syncs in `O(ops undone)` instead
+//!   of an `O(n)` rebuild — [`IncrementalDag`] retraction is
+//!   restricted to LIFO (journal) order, which keeps Pearce–Kelly's
+//!   maintained topological order valid without any reordering (the
+//!   surviving constraints are a subset of those the order already
+//!   satisfies);
+//! * the **Theorem 1/3 hypotheses live**
+//!   ([`OnlineMonitor::guarantees`]): fixed structure is a property of
+//!   the *programs* ([`ProgramTraits`], supplied once at
+//!   construction), scope disjointness is checked once at
+//!   construction, and `DAG(S, IC)` acyclicity rides an incremental
+//!   [`OnlineAccessDag`] instead of being
+//!   rebuilt from the trace;
+//! * a **sharded concurrent monitor** ([`sharded::ShardedMonitor`]):
+//!   per-conjunct shards behind their own locks with a ticketed
+//!   pipeline, for certification under real OS-thread parallelism.
+
+pub mod sharded;
 
 use crate::constraint::IntegrityConstraint;
+use crate::dag::{AccessDagDelta, OnlineAccessDag};
 use crate::error::{CoreError, MalformedKind, Result};
 use crate::graph::IncrementalDag;
 use crate::ids::{ItemId, OpIndex, TxnId};
@@ -72,6 +99,7 @@ use crate::index::{PrefixTables, ScheduleIndex};
 use crate::op::{Action, Operation};
 use crate::schedule::Schedule;
 use crate::state::ItemSet;
+use crate::theorems::{Guarantee, ProgramTraits};
 use crate::viewset::inclusion_holds_everywhere;
 
 const ABSENT: u32 = u32::MAX;
@@ -106,19 +134,7 @@ impl OnlineIndex {
             Some(s) => {
                 let rs = self.tables.rs_prefix[s].last().expect("entry 0 exists");
                 let ws = self.tables.ws_prefix[s].last().expect("entry 0 exists");
-                let reason = match op.action {
-                    Action::Read if rs.contains(op.item) => Some(MalformedKind::DuplicateRead),
-                    Action::Read if ws.contains(op.item) => Some(MalformedKind::ReadAfterWrite),
-                    Action::Write if ws.contains(op.item) => Some(MalformedKind::DuplicateWrite),
-                    _ => None,
-                };
-                if let Some(reason) = reason {
-                    return Err(CoreError::MalformedTransaction {
-                        txn: op.txn,
-                        reason,
-                        item: op.item,
-                    });
-                }
+                validate_22(rs, ws, &op)?;
                 s
             }
             None => self.schedule.txn_ids().len(),
@@ -158,6 +174,54 @@ impl OnlineIndex {
     pub fn into_schedule(self) -> Schedule {
         self.schedule
     }
+
+    /// The latest-write position of `item` (`u32::MAX` if none) — the
+    /// one table entry a push overwrites destructively, captured by
+    /// the undo-log before the push.
+    pub(crate) fn last_write_raw(&self, item: ItemId) -> u32 {
+        self.tables.last_write_raw(item.index())
+    }
+
+    /// Retract the most recent push. `new_slot` and the two captured
+    /// previous values come from the undo-log entry of that push.
+    pub(crate) fn pop_for_undo(
+        &mut self,
+        new_slot: bool,
+        prev_last_write: u32,
+        prev_item_ub: usize,
+    ) {
+        let p = OpIndex(self.schedule.len() - 1);
+        let slot = self.schedule.slot_of_op(p);
+        let op = self.schedule.op(p).clone();
+        self.tables.pop(slot, &op, prev_last_write, new_slot);
+        let prev_slot_last = if new_slot {
+            0
+        } else {
+            *self.tables.positions[slot].last().expect("older op exists")
+        };
+        self.schedule
+            .pop_op_unchecked(new_slot, prev_slot_last, prev_item_ub);
+    }
+}
+
+/// The deltas one [`ProjGraph`] access applied — enough to retract it
+/// exactly in LIFO (journal) order. Default = "nothing applied" (the
+/// graph was already frozen), which makes frozen-period retraction a
+/// no-op for free.
+#[derive(Clone, Debug, Default)]
+struct GraphDelta {
+    /// A node was created for the accessing transaction's slot.
+    added_node: bool,
+    /// Conflict edges freshly inserted, in insertion order.
+    edges: Vec<(u32, u32)>,
+    /// This access set `cyclic_at` (the projection froze here).
+    froze: bool,
+    /// Write access: the displaced `last_writer` and the drained
+    /// reader list (moved here rather than cloned — the apply path
+    /// takes it anyway).
+    write_undo: Option<(u32, Vec<u32>)>,
+    /// Read access: the node was pushed onto the item's reader list.
+    read_pushed: bool,
 }
 
 /// One projection's reduced conflict graph, maintained incrementally.
@@ -237,29 +301,115 @@ impl ProjGraph {
 
     /// Record one access, adding its reduced conflict edges.
     fn apply(&mut self, slot: usize, item: usize, is_write: bool, p: OpIndex) {
+        self.apply_inner(slot, item, is_write, p, None);
+    }
+
+    /// [`ProjGraph::apply`] recording the exact deltas applied, for
+    /// LIFO retraction by [`ProjGraph::undo`].
+    fn apply_logged(&mut self, slot: usize, item: usize, is_write: bool, p: OpIndex) -> GraphDelta {
+        let mut delta = GraphDelta::default();
+        self.apply_inner(slot, item, is_write, p, Some(&mut delta));
+        delta
+    }
+
+    fn apply_inner(
+        &mut self,
+        slot: usize,
+        item: usize,
+        is_write: bool,
+        p: OpIndex,
+        mut log: Option<&mut GraphDelta>,
+    ) {
         if self.cyclic_at.is_some() {
             return; // frozen: non-serializability is monotone
         }
         self.grow(slot, item);
+        let created = self.node_of_slot[slot] == ABSENT;
         let t = self.node(slot);
+        if created {
+            if let Some(d) = log.as_deref_mut() {
+                d.added_node = true;
+            }
+        }
+        // Insert one conflict edge, journaling fresh insertions.
+        fn insert(
+            dag: &mut IncrementalDag,
+            from: u32,
+            to: u32,
+            log: &mut Option<&mut GraphDelta>,
+        ) -> bool {
+            match log {
+                Some(d) => {
+                    if dag.has_edge(from, to) {
+                        return false;
+                    }
+                    match dag.add_edge(from, to) {
+                        Ok(()) => {
+                            d.edges.push((from, to));
+                            false
+                        }
+                        Err(_) => true,
+                    }
+                }
+                None => dag.add_edge(from, to).is_err(),
+            }
+        }
         let w = self.last_writer[item];
         let mut closed = false;
         if w != ABSENT && w != t {
-            closed |= self.dag.add_edge(w, t).is_err();
+            closed |= insert(&mut self.dag, w, t, &mut log);
         }
         if is_write {
             let readers = std::mem::take(&mut self.readers[item]);
-            for r in readers {
+            for &r in &readers {
                 if r != t {
-                    closed |= self.dag.add_edge(r, t).is_err();
+                    closed |= insert(&mut self.dag, r, t, &mut log);
                 }
             }
             self.last_writer[item] = t;
+            if let Some(d) = log.as_deref_mut() {
+                // The drained reader list and the displaced writer are
+                // exactly what retraction must put back.
+                d.write_undo = Some((w, readers));
+            }
         } else {
             self.readers[item].push(t);
+            if let Some(d) = log.as_deref_mut() {
+                d.read_pushed = true;
+            }
         }
         if closed {
             self.cyclic_at = Some(p);
+            if let Some(d) = log {
+                d.froze = true;
+            }
+        }
+    }
+
+    /// Retract one logged access. Sound only in LIFO (journal) order:
+    /// the maintained Pearce–Kelly order then satisfies a superset of
+    /// the surviving constraints, so no reordering is needed.
+    fn undo(&mut self, slot: usize, item: usize, is_write: bool, delta: GraphDelta) {
+        if delta.froze {
+            self.cyclic_at = None;
+        }
+        if is_write {
+            if let Some((prev_writer, readers)) = delta.write_undo {
+                self.last_writer[item] = prev_writer;
+                debug_assert!(self.readers[item].is_empty());
+                self.readers[item] = readers;
+            }
+        } else if delta.read_pushed {
+            let popped = self.readers[item].pop();
+            debug_assert_eq!(popped, Some(self.node_of_slot[slot]));
+        }
+        for &(u, v) in delta.edges.iter().rev() {
+            self.dag.remove_edge(u, v);
+        }
+        if delta.added_node {
+            self.dag.remove_last_node();
+            self.slot_of_node.pop();
+            self.node_of_slot[slot] = ABSENT;
         }
     }
 
@@ -294,9 +444,49 @@ pub enum VerdictLevel {
     Violation,
 }
 
+impl VerdictLevel {
+    /// Compose the ladder from its three (monotonically worsening)
+    /// components. This is the **only** composition point — shared by
+    /// the single-writer verdict, the sharded verdict and the sharded
+    /// lock-free floor — so the byte-parity contract between the two
+    /// monitors cannot drift through a divergent re-implementation.
+    pub(crate) fn compose(serializable: bool, dr: bool, pwsr: bool) -> VerdictLevel {
+        if !pwsr {
+            VerdictLevel::Violation
+        } else if serializable {
+            VerdictLevel::Serializable
+        } else if dr {
+            VerdictLevel::DrPreserving
+        } else {
+            VerdictLevel::Pwsr
+        }
+    }
+}
+
+/// The §2.2 admissibility of `op` against its transaction's current
+/// read/write totals — the one validation both the single-writer
+/// index and the sharded monitor's sequence stage apply (shared so
+/// the error precedence cannot diverge between the two paths).
+fn validate_22(rs: &ItemSet, ws: &ItemSet, op: &Operation) -> Result<()> {
+    let reason = match op.action {
+        Action::Read if rs.contains(op.item) => Some(MalformedKind::DuplicateRead),
+        Action::Read if ws.contains(op.item) => Some(MalformedKind::ReadAfterWrite),
+        Action::Write if ws.contains(op.item) => Some(MalformedKind::DuplicateWrite),
+        _ => None,
+    };
+    match reason {
+        Some(reason) => Err(CoreError::MalformedTransaction {
+            txn: op.txn,
+            reason,
+            item: op.item,
+        }),
+        None => Ok(()),
+    }
+}
+
 /// The monitor's state after a push — cheap to copy, produced by every
 /// [`OnlineMonitor::push`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Verdict {
     /// Prefix length this verdict describes.
     pub len: usize,
@@ -327,6 +517,33 @@ impl Verdict {
     }
 }
 
+/// Everything one [`OnlineMonitor::push_logged`] applied, captured so
+/// [`OnlineMonitor::truncate_to`] can retract it exactly. One entry
+/// per logged push; retraction walks entries in reverse.
+#[derive(Clone, Debug, Default)]
+struct PushDelta {
+    /// The push created its transaction's slot.
+    new_slot: bool,
+    /// `item_ub` before the push (monotone, not recomputable).
+    prev_item_ub: usize,
+    /// `last_write[item]` before the push (consulted for writes).
+    prev_last_write: u32,
+    /// A dirty-read mark `(writer slot, fresh)` was freshly set.
+    dr_mark: Option<usize>,
+    /// The push set `first_non_dr`.
+    set_first_non_dr: bool,
+    /// Conjuncts whose `conjunct_non_dr` the push set.
+    conjunct_non_dr_set: Vec<u32>,
+    /// The push set `first_violation`.
+    set_first_violation: bool,
+    /// Global conflict-graph deltas.
+    global: GraphDelta,
+    /// Per touched conjunct: conflict-graph deltas.
+    conjuncts: Vec<(u32, GraphDelta)>,
+    /// Per touched conjunct: live-`DAG(S, IC)` deltas.
+    dag_deltas: Vec<(u32, AccessDagDelta)>,
+}
+
 /// Live verdicts over a growing schedule: per-conjunct and global
 /// conflict graphs under incremental cycle detection, delayed-read
 /// tracking, and the Lemma 2/6 inclusion certificates — all updated in
@@ -346,12 +563,38 @@ pub struct OnlineMonitor {
     /// materialized (kills the Lemma 6 certificate for that scope).
     conjunct_non_dr: Vec<Option<OpIndex>>,
     first_violation: Option<OpIndex>,
+    /// What is known about the generating programs (Theorem 1 input;
+    /// static, supplied at construction).
+    traits: ProgramTraits,
+    /// Are the scopes pairwise disjoint? Every theorem requires it;
+    /// checked once at construction — it never changes.
+    scopes_disjoint: bool,
+    /// `DAG(S, IC)` maintained live (Theorem 3's hypothesis).
+    access_dag: OnlineAccessDag,
+    /// Per-push retraction deltas since `log_base`, when logging.
+    log: Option<Vec<PushDelta>>,
+    /// Prefix length below which no deltas exist (unlogged pushes).
+    log_base: usize,
 }
 
 impl OnlineMonitor {
-    /// A monitor over explicit projection scopes.
+    /// A monitor over explicit projection scopes, with nothing assumed
+    /// about the generating programs.
     pub fn new(scopes: Vec<ItemSet>) -> OnlineMonitor {
+        OnlineMonitor::with_traits(scopes, ProgramTraits::unknown())
+    }
+
+    /// A monitor over explicit projection scopes, given what is known
+    /// about the generating programs (Theorem 1's hypothesis is a
+    /// property of programs, not schedules — it is prechecked here,
+    /// once, rather than per push). Scope disjointness — required by
+    /// every theorem — is also decided here: both inputs are static.
+    pub fn with_traits(scopes: Vec<ItemSet>, traits: ProgramTraits) -> OnlineMonitor {
         let n = scopes.len();
+        let scopes_disjoint = scopes
+            .iter()
+            .enumerate()
+            .all(|(i, a)| scopes[i + 1..].iter().all(|b| a.is_disjoint(b)));
         OnlineMonitor {
             index: OnlineIndex::new(),
             scopes,
@@ -361,6 +604,11 @@ impl OnlineMonitor {
             first_non_dr: None,
             conjunct_non_dr: vec![None; n],
             first_violation: None,
+            traits,
+            scopes_disjoint,
+            access_dag: OnlineAccessDag::new(n),
+            log: None,
+            log_base: 0,
         }
     }
 
@@ -375,8 +623,36 @@ impl OnlineMonitor {
     /// Cost: the `O(words)` index update, the touched graphs' edge
     /// insertions (amortized near-constant under Pearce–Kelly), and an
     /// `O(|scopes|)` scan — no table rebuild, no schedule rescan.
+    ///
+    /// An unlogged push is permanent: it raises the floor below which
+    /// [`OnlineMonitor::truncate_to`] can retract.
     pub fn push(&mut self, op: Operation) -> Result<Verdict> {
+        let v = self.push_inner(op, false)?;
+        if let Some(log) = &mut self.log {
+            log.clear();
+        }
+        self.log_base = self.index.len();
+        Ok(v)
+    }
+
+    /// [`OnlineMonitor::push`] recording an undo-log entry, so the
+    /// push can later be retracted by [`OnlineMonitor::truncate_to`].
+    pub fn push_logged(&mut self, op: Operation) -> Result<Verdict> {
+        if self.log.is_none() {
+            self.log = Some(Vec::new());
+            self.log_base = self.index.len();
+        }
+        self.push_inner(op, true)
+    }
+
+    fn push_inner(&mut self, op: Operation, logged: bool) -> Result<Verdict> {
         let (item, is_read) = (op.item, op.is_read());
+        let mut delta = PushDelta {
+            prev_item_ub: self.index.schedule().item_ub(),
+            prev_last_write: self.index.last_write_raw(item),
+            new_slot: self.index.schedule().txn_slot(op.txn).is_none(),
+            ..PushDelta::default()
+        };
         let p = self.index.push(op)?;
         let slot = self.index.schedule().slot_of_op(p);
         if self.dirty_reads.len() <= slot {
@@ -387,11 +663,13 @@ impl OnlineMonitor {
         if !self.dirty_reads[slot].is_empty() {
             if self.first_non_dr.is_none() {
                 self.first_non_dr = Some(p);
+                delta.set_first_non_dr = true;
             }
             for (k, scope) in self.scopes.iter().enumerate() {
                 if self.conjunct_non_dr[k].is_none() && !scope.is_disjoint(&self.dirty_reads[slot])
                 {
                     self.conjunct_non_dr[k] = Some(p);
+                    delta.conjunct_non_dr_set.push(k as u32);
                 }
             }
         }
@@ -400,23 +678,105 @@ impl OnlineMonitor {
         if is_read {
             if let Some(w) = self.index.reads_from(p) {
                 let w_slot = self.index.schedule().slot_of_op(w);
-                if w_slot != slot {
-                    self.dirty_reads[w_slot].insert(item);
+                if w_slot != slot && self.dirty_reads[w_slot].insert(item) {
+                    delta.dr_mark = Some(w_slot);
                 }
             }
         }
         // 3. Conflict graphs: global plus every scope containing the
-        //    item (this is where serializability / PWSR flip).
-        self.global.apply(slot, item.index(), !is_read, p);
+        //    item (this is where serializability / PWSR flip), and the
+        //    live data access graph (Theorem 3's hypothesis).
+        if logged {
+            delta.global = self.global.apply_logged(slot, item.index(), !is_read, p);
+        } else {
+            self.global.apply(slot, item.index(), !is_read, p);
+        }
         for (k, scope) in self.scopes.iter().enumerate() {
             if scope.contains(item) {
-                self.conjuncts[k].apply(slot, item.index(), !is_read, p);
+                if logged {
+                    let d = self.conjuncts[k].apply_logged(slot, item.index(), !is_read, p);
+                    delta.conjuncts.push((k as u32, d));
+                    let d = self.access_dag.record_logged(slot, k as u32, !is_read, p);
+                    delta.dag_deltas.push((k as u32, d));
+                } else {
+                    self.conjuncts[k].apply(slot, item.index(), !is_read, p);
+                    self.access_dag.record(slot, k as u32, !is_read, p);
+                }
                 if self.first_violation.is_none() && self.conjuncts[k].cyclic_at == Some(p) {
                     self.first_violation = Some(p);
+                    delta.set_first_violation = true;
                 }
             }
         }
+        if logged {
+            self.log.as_mut().expect("log enabled").push(delta);
+        }
         Ok(self.verdict())
+    }
+
+    /// Retract logged pushes until the prefix is `n` operations long,
+    /// in `O(ops undone)` — the undo-log alternative to rebuilding
+    /// after a scheduler abort rewrote the trace. Returns the number
+    /// of operations undone.
+    ///
+    /// Panics if `n` exceeds the current length or undercuts the
+    /// logged floor (unlogged pushes are permanent).
+    pub fn truncate_to(&mut self, n: usize) -> usize {
+        assert!(
+            n <= self.index.len(),
+            "truncate_to({n}) beyond length {}",
+            self.index.len()
+        );
+        assert!(
+            n >= self.log_base,
+            "truncate_to({n}) undercuts the undo-log floor {}",
+            self.log_base
+        );
+        let undone = self.index.len() - n;
+        for _ in 0..undone {
+            let delta = self
+                .log
+                .as_mut()
+                .expect("logged pushes exist above the floor")
+                .pop()
+                .expect("one log entry per logged push");
+            let p = OpIndex(self.index.len() - 1);
+            let slot = self.index.schedule().slot_of_op(p);
+            let op = self.index.schedule().op(p).clone();
+            let (item, is_write) = (op.item, op.is_write());
+            // Reverse application order: graphs first, then tables.
+            for (k, d) in delta.dag_deltas.into_iter().rev() {
+                self.access_dag.undo(slot, k, is_write, &d);
+            }
+            for (k, d) in delta.conjuncts.into_iter().rev() {
+                self.conjuncts[k as usize].undo(slot, item.index(), is_write, d);
+            }
+            self.global.undo(slot, item.index(), is_write, delta.global);
+            if delta.set_first_violation {
+                self.first_violation = None;
+            }
+            for k in delta.conjunct_non_dr_set {
+                self.conjunct_non_dr[k as usize] = None;
+            }
+            if delta.set_first_non_dr {
+                self.first_non_dr = None;
+            }
+            if let Some(w_slot) = delta.dr_mark {
+                self.dirty_reads[w_slot].remove(item);
+            }
+            self.index
+                .pop_for_undo(delta.new_slot, delta.prev_last_write, delta.prev_item_ub);
+            if delta.new_slot {
+                self.dirty_reads
+                    .truncate(self.index.schedule().txn_ids().len());
+            }
+        }
+        undone
+    }
+
+    /// Operations retractable by [`OnlineMonitor::truncate_to`].
+    pub fn logged_len(&self) -> usize {
+        self.index.len() - self.log_base
     }
 
     /// Would admitting this access keep `level`? Read-only — the
@@ -454,15 +814,7 @@ impl OnlineMonitor {
         let serializable = self.global.serializable();
         let pwsr = self.first_violation.is_none();
         let dr = self.first_non_dr.is_none();
-        let level = if !pwsr {
-            VerdictLevel::Violation
-        } else if serializable {
-            VerdictLevel::Serializable
-        } else if dr {
-            VerdictLevel::DrPreserving
-        } else {
-            VerdictLevel::Pwsr
-        };
+        let level = VerdictLevel::compose(serializable, dr, pwsr);
         Verdict {
             len: self.index.len(),
             level,
@@ -548,6 +900,57 @@ impl OnlineMonitor {
             }
         }
         true
+    }
+
+    /// What is known about the generating programs (Theorem 1 input).
+    pub fn program_traits(&self) -> ProgramTraits {
+        self.traits
+    }
+
+    /// Are the projection scopes pairwise disjoint? Required by every
+    /// theorem (Example 5); decided once at construction.
+    pub fn scopes_disjoint(&self) -> bool {
+        self.scopes_disjoint
+    }
+
+    /// Is the live `DAG(S, IC)` still acyclic (Theorem 3's
+    /// hypothesis)? Maintained incrementally per push — no trace
+    /// rebuild.
+    pub fn dag_acyclic(&self) -> bool {
+        self.access_dag.is_acyclic()
+    }
+
+    /// First position whose access closed a `DAG(S, IC)` cycle.
+    pub fn first_dag_cycle(&self) -> Option<OpIndex> {
+        self.access_dag.first_cycle()
+    }
+
+    /// The theorems whose hypotheses hold **live** on the current
+    /// prefix — the incremental counterpart of
+    /// [`classify`](crate::theorems::classify): Theorem 1 from the
+    /// static program traits, Theorem 2 from the maintained
+    /// delayed-read flag, Theorem 3 from the live access DAG; all
+    /// void unless the prefix is PWSR over disjoint scopes.
+    pub fn guarantees(&self) -> Vec<Guarantee> {
+        let mut out = Vec::new();
+        if self.scopes_disjoint && self.first_violation.is_none() {
+            if self.traits.all_fixed_structure == Some(true) {
+                out.push(Guarantee::Theorem1FixedStructure);
+            }
+            if self.first_non_dr.is_none() {
+                out.push(Guarantee::Theorem2DelayedRead);
+            }
+            if self.access_dag.is_acyclic() {
+                out.push(Guarantee::Theorem3AcyclicDag);
+            }
+        }
+        out
+    }
+
+    /// Does some theorem certify strong correctness of the current
+    /// prefix, live?
+    pub fn strongly_correct_guaranteed(&self) -> bool {
+        !self.guarantees().is_empty()
     }
 }
 
@@ -782,5 +1185,149 @@ mod tests {
         assert!(v.dr && v.lemma2_certified && v.lemma6_certified);
         assert!(m.is_empty());
         assert!(m.certify_prefix());
+    }
+
+    /// Push every op logged, truncate back to every length, and check
+    /// the monitor equals a fresh replay of the shortened prefix —
+    /// verdict, certificates, admission behaviour and audit.
+    #[test]
+    fn truncate_to_equals_fresh_replay() {
+        let runs = [
+            example2_ops(),
+            vec![wr(1, 0, 1), rd(2, 0, 1), wr(2, 1, 2), rd(1, 1, 2)],
+            vec![
+                wr(1, 1, 1),
+                wr(2, 1, 2),
+                rd(2, 0, 0),
+                rd(3, 1, 2),
+                rd(1, 0, 0),
+            ],
+        ];
+        for ops in runs {
+            for cut in 0..=ops.len() {
+                let mut m = OnlineMonitor::new(example2_scopes());
+                for op in &ops {
+                    m.push_logged(op.clone()).unwrap();
+                }
+                assert_eq!(m.logged_len(), ops.len());
+                assert_eq!(m.truncate_to(cut), ops.len() - cut);
+                let mut fresh = OnlineMonitor::new(example2_scopes());
+                for op in &ops[..cut] {
+                    fresh.push(op.clone()).unwrap();
+                }
+                assert_eq!(m.verdict(), fresh.verdict(), "cut {cut}");
+                assert_eq!(m.schedule(), fresh.schedule());
+                assert_eq!(m.guarantees(), fresh.guarantees());
+                assert!(m.certify_prefix());
+                // The truncated monitor keeps working: admission and
+                // further pushes agree with the fresh monitor.
+                for op in &ops[cut..] {
+                    assert_eq!(
+                        m.admits(op.txn, op.item, op.is_write(), AdmissionLevel::Pwsr),
+                        fresh.admits(op.txn, op.item, op.is_write(), AdmissionLevel::Pwsr)
+                    );
+                    assert_eq!(
+                        m.push_logged(op.clone()).unwrap(),
+                        fresh.push(op.clone()).unwrap()
+                    );
+                }
+                assert_eq!(m.verdict(), fresh.verdict());
+            }
+        }
+    }
+
+    #[test]
+    fn unlogged_pushes_raise_the_undo_floor() {
+        let mut m = OnlineMonitor::new(example2_scopes());
+        m.push(wr(1, 0, 1)).unwrap(); // permanent
+        m.push_logged(rd(2, 0, 1)).unwrap();
+        m.push_logged(rd(2, 1, -1)).unwrap();
+        assert_eq!(m.logged_len(), 2);
+        assert_eq!(m.truncate_to(1), 2);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "undercuts the undo-log floor")]
+    fn truncate_below_floor_panics() {
+        let mut m = OnlineMonitor::new(example2_scopes());
+        m.push(wr(1, 0, 1)).unwrap();
+        m.push_logged(rd(2, 0, 1)).unwrap();
+        m.truncate_to(0);
+    }
+
+    /// The live Theorem 1/2/3 hypotheses equal the batch classifier at
+    /// every prefix, for each program-trait assumption.
+    #[test]
+    fn live_guarantees_match_batch_classify() {
+        use crate::theorems::classify;
+        let ic = {
+            use crate::constraint::{Conjunct, Formula, Term};
+            IntegrityConstraint::new(vec![
+                Conjunct::new(
+                    0,
+                    Formula::implies(
+                        Formula::gt(Term::var(ItemId(0)), Term::int(0)),
+                        Formula::gt(Term::var(ItemId(1)), Term::int(0)),
+                    ),
+                ),
+                Conjunct::new(1, Formula::gt(Term::var(ItemId(2)), Term::int(0))),
+            ])
+            .unwrap()
+        };
+        let runs = [
+            example2_ops(),                                           // cyclic DAG, non-DR
+            vec![rd(1, 0, 1), wr(1, 2, 1), rd(2, 1, 1), wr(2, 2, 2)], // acyclic DAG
+            vec![wr(1, 0, 1), rd(2, 0, 1), wr(2, 1, 2), rd(1, 1, 2)], // non-PWSR
+        ];
+        for traits in [
+            ProgramTraits::unknown(),
+            ProgramTraits::fixed_structure(),
+            ProgramTraits::not_fixed_structure(),
+        ] {
+            for ops in &runs {
+                let scopes: Vec<ItemSet> =
+                    ic.conjuncts().iter().map(|c| c.items().clone()).collect();
+                let mut m = OnlineMonitor::with_traits(scopes, traits);
+                assert!(m.scopes_disjoint());
+                for k in 0..ops.len() {
+                    m.push(ops[k].clone()).unwrap();
+                    let prefix = Schedule::new(ops[..=k].to_vec()).unwrap();
+                    let batch = classify(&prefix, &ic, traits);
+                    assert_eq!(
+                        m.dag_acyclic(),
+                        batch.dag.is_acyclic(),
+                        "DAG acyclicity diverged at prefix {k}"
+                    );
+                    assert_eq!(
+                        m.guarantees(),
+                        batch.guarantees,
+                        "guarantees diverged at prefix {k}"
+                    );
+                    assert_eq!(
+                        m.strongly_correct_guaranteed(),
+                        batch.strongly_correct_guaranteed()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overlapping_scopes_void_every_guarantee() {
+        // Example 5's lesson, live: non-disjoint scopes yield no
+        // guarantee regardless of the other hypotheses.
+        let scopes = vec![
+            ItemSet::from_iter([ItemId(0), ItemId(1)]),
+            ItemSet::from_iter([ItemId(1), ItemId(2)]),
+        ];
+        let mut m = OnlineMonitor::with_traits(scopes, ProgramTraits::fixed_structure());
+        assert!(!m.scopes_disjoint());
+        m.push(rd(1, 0, 10)).unwrap();
+        m.push(wr(1, 1, 0)).unwrap();
+        let v = m.verdict();
+        assert!(v.pwsr() && v.dr && m.dag_acyclic());
+        assert!(m.guarantees().is_empty());
+        assert!(!m.strongly_correct_guaranteed());
     }
 }

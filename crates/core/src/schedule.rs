@@ -95,6 +95,33 @@ impl Schedule {
         self.ops.push(op);
     }
 
+    /// Retract the most recent [`Schedule::push_op_unchecked`] — the
+    /// undo-log's schedule half. `new_txn` says the popped operation
+    /// was its transaction's first (the transaction disappears);
+    /// otherwise `prev_slot_last` restores the transaction's previous
+    /// last-operation position. `prev_item_ub` restores the item
+    /// bound captured before the push (it is monotone, so it cannot
+    /// be recomputed locally).
+    pub(crate) fn pop_op_unchecked(
+        &mut self,
+        new_txn: bool,
+        prev_slot_last: u32,
+        prev_item_ub: usize,
+    ) {
+        let op = self.ops.pop().expect("pop on empty schedule");
+        let slot = self.op_slot.pop().expect("op_slot in step") as usize;
+        if new_txn {
+            debug_assert_eq!(slot + 1, self.txns.len());
+            let t = self.txns.pop().expect("txn in step");
+            debug_assert_eq!(t, op.txn);
+            self.slot_of.remove(&t);
+            self.slot_last.pop();
+        } else {
+            self.slot_last[slot] = prev_slot_last;
+        }
+        self.item_ub = prev_item_ub;
+    }
+
     /// Build a schedule from an interleaved operation sequence.
     ///
     /// Validates that every per-transaction subsequence satisfies the

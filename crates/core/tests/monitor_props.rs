@@ -182,6 +182,46 @@ proptest! {
         }
     }
 
+    /// The undo-log is exact: logged pushes truncated to any cut equal
+    /// a fresh replay of the shortened prefix — verdict, schedule,
+    /// certificates — and re-pushing the tail converges to the same
+    /// final state as never having truncated.
+    #[test]
+    fn undo_log_truncation_equals_fresh_replay(
+        txns in arb_transactions(3),
+        mix in proptest::collection::vec(any::<u8>(), 0..48),
+        d1_bits in 0u32..64,
+        d2_bits in 0u32..64,
+        cut_pick in any::<u16>(),
+    ) {
+        let ops = interleave_random(&txns, &mix);
+        let scopes = scopes_from_bits(d1_bits, d2_bits);
+        let mut logged = OnlineMonitor::new(scopes.clone());
+        for op in &ops {
+            logged.push_logged(op.clone()).expect("valid interleaving");
+        }
+        let full_verdict = logged.verdict();
+        let cut = (cut_pick as usize) % (ops.len() + 1);
+        prop_assert_eq!(logged.truncate_to(cut), ops.len() - cut);
+        let mut fresh = OnlineMonitor::new(scopes);
+        for op in &ops[..cut] {
+            fresh.push(op.clone()).expect("valid prefix");
+        }
+        prop_assert_eq!(logged.verdict(), fresh.verdict(), "cut {}", cut);
+        prop_assert_eq!(logged.schedule(), fresh.schedule());
+        for k in 0..2 {
+            prop_assert_eq!(logged.lemma2_holds(k), fresh.lemma2_holds(k));
+            prop_assert_eq!(logged.lemma6_holds(k), fresh.lemma6_holds(k));
+        }
+        prop_assert!(logged.certify_prefix());
+        // Re-push the undone tail: everything converges again.
+        for op in &ops[cut..] {
+            logged.push_logged(op.clone()).expect("valid tail");
+        }
+        prop_assert_eq!(logged.verdict(), full_verdict);
+        prop_assert!(logged.certify_prefix());
+    }
+
     /// Admission is exact: an operation is rejected at level Pwsr iff
     /// actually pushing it would break some scope's serializability —
     /// checked by replaying the accepted prefix plus the candidate

@@ -1,0 +1,244 @@
+//! Stress and interleaving properties for the sharded concurrent
+//! monitor.
+//!
+//! Two oracles pin [`ShardedMonitor`]:
+//!
+//! * **single-writer replay** — the interleaving the sharded monitor
+//!   recorded, replayed through an [`OnlineMonitor`], must produce a
+//!   byte-identical final [`Verdict`] and identical per-conjunct
+//!   Lemma 2/6 certificates (and, for sequential pushes, identical
+//!   verdicts at *every* prefix);
+//! * **batch re-verification** — the recorded schedule must get the
+//!   same serializability / PWSR / delayed-read answers from the
+//!   batch checkers, and the replayed monitor must survive the
+//!   `certify_prefix` audit (the full Lemma 2/6 inclusion sweeps).
+//!
+//! The threaded cases run real OS threads, each pushing its own
+//! transactions' operations in program order — the interleaving is
+//! whatever the scheduler produced, which is exactly the situation
+//! the sharded monitor exists for.
+
+use proptest::prelude::*;
+use pwsr_core::dr::is_delayed_read;
+use pwsr_core::ids::{ItemId, TxnId};
+use pwsr_core::monitor::sharded::ShardedMonitor;
+use pwsr_core::monitor::OnlineMonitor;
+use pwsr_core::op::Operation;
+use pwsr_core::schedule::Schedule;
+use pwsr_core::serializability::{is_conflict_serializable, is_conflict_serializable_proj};
+use pwsr_core::state::ItemSet;
+use pwsr_core::txn::Transaction;
+use pwsr_core::value::Value;
+use std::sync::Arc;
+
+const MAX_ITEMS: u32 = 6;
+
+/// Random well-formed transactions over items `0..MAX_ITEMS` (same
+/// construction as `monitor_props.rs`).
+fn arb_transactions(n_txns: u32) -> impl Strategy<Value = Vec<Transaction>> {
+    let per_txn = proptest::collection::btree_map(
+        0..MAX_ITEMS,
+        (any::<bool>(), any::<bool>(), -20i64..20),
+        1..=MAX_ITEMS as usize,
+    );
+    proptest::collection::vec(per_txn, n_txns as usize).prop_map(move |txn_specs| {
+        txn_specs
+            .into_iter()
+            .enumerate()
+            .map(|(k, spec)| {
+                let txn = TxnId(k as u32 + 1);
+                let mut ops = Vec::new();
+                for (item, (do_read, do_write, v)) in spec {
+                    if do_read {
+                        ops.push(Operation::read(txn, ItemId(item), Value::Int(v)));
+                    }
+                    if do_write || !do_read {
+                        ops.push(Operation::write(txn, ItemId(item), Value::Int(v + 1)));
+                    }
+                }
+                Transaction::new(txn, ops).expect("respects §2.2")
+            })
+            .collect()
+    })
+}
+
+/// Interleave complete transactions by a byte stream of picks.
+fn interleave_random(txns: &[Transaction], mix: &[u8]) -> Vec<Operation> {
+    let mut cursors: Vec<usize> = vec![0; txns.len()];
+    let mut ops = Vec::new();
+    let total: usize = txns.iter().map(Transaction::len).sum();
+    let mut mi = 0;
+    while ops.len() < total {
+        let pick = (mix.get(mi).copied().unwrap_or(0) as usize) % txns.len();
+        mi += 1;
+        for off in 0..txns.len() {
+            let k = (pick + off) % txns.len();
+            if cursors[k] < txns[k].len() {
+                ops.push(txns[k].ops()[cursors[k]].clone());
+                cursors[k] += 1;
+                break;
+            }
+        }
+    }
+    ops
+}
+
+/// Two scopes carved out of the item universe by bitmasks.
+fn scopes_from_bits(d1_bits: u32, d2_bits: u32) -> Vec<ItemSet> {
+    let d1: ItemSet = (0..MAX_ITEMS)
+        .filter(|i| d1_bits & (1 << i) != 0)
+        .map(ItemId)
+        .collect();
+    let d2: ItemSet = (0..MAX_ITEMS)
+        .filter(|i| d2_bits & (1 << i) != 0 && d1_bits & (1 << i) == 0)
+        .map(ItemId)
+        .collect();
+    vec![d1, d2]
+}
+
+/// The full oracle battery over a recorded schedule: single-writer
+/// replay parity (final verdict + per-conjunct certificates) and
+/// batch re-verification.
+fn check_against_oracles(
+    schedule: &Schedule,
+    scopes: &[ItemSet],
+    sharded: &ShardedMonitor,
+) -> std::result::Result<(), TestCaseError> {
+    let verdict = sharded.verdict();
+    let mut replay = OnlineMonitor::new(scopes.to_vec());
+    let mut last = replay.verdict();
+    for op in schedule.ops() {
+        last = replay.push(op.clone()).expect("recorded schedule is valid");
+    }
+    prop_assert_eq!(last, verdict, "sharded verdict != single-writer replay");
+    for k in 0..scopes.len() {
+        prop_assert_eq!(
+            sharded.lemma2_holds(k),
+            replay.lemma2_holds(k),
+            "Lemma 2, scope {}",
+            k
+        );
+        prop_assert_eq!(
+            sharded.lemma6_holds(k),
+            replay.lemma6_holds(k),
+            "Lemma 6, scope {}",
+            k
+        );
+    }
+    prop_assert!(replay.certify_prefix(), "Lemma 2/6 audit failed");
+    // Batch re-verification of the recorded schedule.
+    prop_assert_eq!(verdict.serializable, is_conflict_serializable(schedule));
+    prop_assert_eq!(verdict.dr, is_delayed_read(schedule));
+    prop_assert_eq!(
+        verdict.pwsr(),
+        scopes
+            .iter()
+            .all(|d| is_conflict_serializable_proj(schedule, d))
+    );
+    Ok(())
+}
+
+proptest! {
+    /// N real threads, each pushing its own transactions in program
+    /// order: whatever interleaving the OS produced, the recorded
+    /// schedule's sharded verdict equals the single-writer replay and
+    /// the batch checkers.
+    #[test]
+    fn threaded_runs_match_replay_and_batch(
+        txns in arb_transactions(4),
+        d1_bits in 0u32..64,
+        d2_bits in 0u32..64,
+        n_threads in 2usize..4,
+    ) {
+        let scopes = scopes_from_bits(d1_bits, d2_bits);
+        let monitor = Arc::new(ShardedMonitor::new(scopes.clone()));
+        std::thread::scope(|scope| {
+            for (w, chunk) in txns.chunks(txns.len().div_ceil(n_threads)).enumerate() {
+                let monitor = Arc::clone(&monitor);
+                scope.spawn(move || {
+                    for t in chunk {
+                        for op in t.ops() {
+                            monitor.push(op.clone()).expect("well-formed transactions");
+                        }
+                        // Encourage cross-thread interleaving.
+                        if w % 2 == 0 {
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+        });
+        let monitor = Arc::try_unwrap(monitor).expect("threads joined");
+        let schedule = monitor.snapshot_schedule();
+        prop_assert_eq!(schedule.len(), txns.iter().map(Transaction::len).sum::<usize>());
+        check_against_oracles(&schedule, &scopes, &monitor)?;
+    }
+
+    /// Sequential pushes (small cases): the sharded verdict equals the
+    /// single-writer verdict at EVERY prefix, and the lock-free floor
+    /// never claims a better rung than the truth.
+    #[test]
+    fn sequential_pushes_match_at_every_prefix(
+        txns in arb_transactions(3),
+        mix in proptest::collection::vec(any::<u8>(), 0..48),
+        d1_bits in 0u32..64,
+        d2_bits in 0u32..64,
+    ) {
+        let ops = interleave_random(&txns, &mix);
+        let scopes = scopes_from_bits(d1_bits, d2_bits);
+        let sharded = ShardedMonitor::new(scopes.clone());
+        let mut single = OnlineMonitor::new(scopes.clone());
+        for op in ops {
+            let floor = sharded.push(op.clone()).expect("valid interleaving");
+            let v = single.push(op).expect("valid interleaving");
+            prop_assert_eq!(sharded.verdict(), v, "prefix verdict diverged");
+            // Floors only worsen and never overstate the guarantee.
+            prop_assert!(floor_rank(floor) >= floor_rank(v.level));
+        }
+        check_against_oracles(single.schedule(), &scopes, &sharded)?;
+    }
+
+    /// Admission probes agree with the single-writer monitor when the
+    /// monitor is quiescent (the binding situation for executors).
+    #[test]
+    fn quiescent_probes_match_single_writer(
+        txns in arb_transactions(3),
+        mix in proptest::collection::vec(any::<u8>(), 0..32),
+        d1_bits in 0u32..64,
+        d2_bits in 0u32..64,
+        probe_item in 0..MAX_ITEMS,
+        probe_txn in 1u32..5,
+        probe_write in any::<bool>(),
+    ) {
+        use pwsr_core::monitor::AdmissionLevel;
+        let ops = interleave_random(&txns, &mix);
+        let scopes = scopes_from_bits(d1_bits, d2_bits);
+        let sharded = ShardedMonitor::new(scopes.clone());
+        let mut single = OnlineMonitor::new(scopes);
+        for op in ops {
+            sharded.push(op.clone()).expect("valid");
+            single.push(op).expect("valid");
+        }
+        for level in [
+            AdmissionLevel::Serializable,
+            AdmissionLevel::Pwsr,
+            AdmissionLevel::PwsrDr,
+        ] {
+            prop_assert_eq!(
+                sharded.would_admit(TxnId(probe_txn), ItemId(probe_item), probe_write, level),
+                single.admits(TxnId(probe_txn), ItemId(probe_item), probe_write, level),
+                "probe diverged at {:?}", level
+            );
+        }
+    }
+}
+
+fn floor_rank(level: pwsr_core::monitor::VerdictLevel) -> u8 {
+    use pwsr_core::monitor::VerdictLevel::*;
+    match level {
+        Serializable => 0,
+        DrPreserving => 1,
+        Pwsr => 2,
+        Violation => 3,
+    }
+}

@@ -2,11 +2,24 @@
 //!
 //! The discrete-event executor in [`crate::exec`] is the measurement
 //! instrument; this module shows the same policies working under real
-//! OS-thread parallelism with `parking_lot` mutexes. Each transaction
+//! OS-thread parallelism with `parking_lot` locks. Each transaction
 //! runs on its own thread; per-conjunct space mutexes are acquired in
 //! ascending space order for a transaction's whole lifetime
-//! (conservative per-space 2PL — deadlock-free by lock ordering), and
-//! the produced interleaving is recorded through a shared trace.
+//! (conservative per-space 2PL — deadlock-free by lock ordering).
+//!
+//! Two recording paths:
+//!
+//! * [`run_threaded`] — uncertified: the database and trace live
+//!   behind one mutex (contention there is irrelevant to semantics);
+//! * [`run_threaded_certified`] — certified **without the big shared
+//!   mutex**: the database is striped by item, and the interleaving
+//!   is recorded *by* the sharded monitor
+//!   ([`ShardedMonitor`]) whose ticketed pipeline
+//!   defines the total order. Conservative per-space 2PL already
+//!   serializes conflicting accesses for entire transaction
+//!   lifetimes, so a thread's `db access → push` pair cannot be split
+//!   by a conflicting pair — the recorded schedule is read-coherent
+//!   by construction, and the monitor certifies it live, in parallel.
 //!
 //! The output schedule is PWSR by construction; tests verify it with
 //! the checker rather than trusting the construction.
@@ -15,27 +28,89 @@ use crate::error::{Result, SchedError};
 use crate::policy::PolicySpec;
 use parking_lot::Mutex;
 use pwsr_core::catalog::Catalog;
-use pwsr_core::ids::TxnId;
-use pwsr_core::monitor::{OnlineMonitor, Verdict};
+use pwsr_core::ids::{ItemId, TxnId};
+use pwsr_core::monitor::sharded::ShardedMonitor;
+use pwsr_core::monitor::Verdict;
 use pwsr_core::op::Operation;
 use pwsr_core::schedule::Schedule;
 use pwsr_core::state::{DbState, ItemSet};
+use pwsr_core::value::Value;
 use pwsr_tplang::ast::Program;
 use pwsr_tplang::interp::{run_with_reads, RunOutcome};
 use pwsr_tplang::session::{Pending, ProgramSession};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-/// Shared execution state behind one mutex (the database, trace and
-/// live monitor are updated together; contention here is irrelevant to
-/// the semantics).
+/// Shared execution state behind one mutex (uncertified path: the
+/// database and trace are updated together; contention here is
+/// irrelevant to the semantics).
 struct Shared {
     db: DbState,
     trace: Vec<Operation>,
-    /// When present, every recorded operation is pushed through the
-    /// online monitor *inside* the critical section, so the verdict
-    /// evolves in exactly the recorded interleaving.
-    monitor: Option<OnlineMonitor>,
+}
+
+/// The database striped by item for the certified path: stripe
+/// `item.index() % n` owns the item, so threads touching different
+/// items contend only `1/n` of the time and there is no global
+/// database lock. Conservative per-space 2PL (held around entire
+/// transactions by the caller) makes each stripe access race-free in
+/// the schedule-semantics sense; the stripe mutex provides the memory
+/// safety.
+struct StripedDb {
+    stripes: Vec<Mutex<DbState>>,
+}
+
+impl StripedDb {
+    fn new(initial: &DbState, n: usize) -> StripedDb {
+        let n = n.max(1);
+        let mut parts: Vec<DbState> = (0..n).map(|_| DbState::new()).collect();
+        for (item, value) in initial.iter() {
+            parts[item.index() % n].set(item, value.clone());
+        }
+        StripedDb {
+            stripes: parts.into_iter().map(Mutex::new).collect(),
+        }
+    }
+
+    fn read(&self, item: ItemId) -> Result<Value> {
+        let stripe = self.stripes[item.index() % self.stripes.len()].lock();
+        Ok(stripe.require(item)?.clone())
+    }
+
+    fn write(&self, item: ItemId, value: Value) {
+        let mut stripe = self.stripes[item.index() % self.stripes.len()].lock();
+        stripe.set(item, value);
+    }
+
+    fn into_state(self) -> DbState {
+        let mut out = DbState::new();
+        for stripe in self.stripes {
+            for (item, value) in stripe.into_inner().iter() {
+                out.set(item, value.clone());
+            }
+        }
+        out
+    }
+}
+
+/// The per-space lock set a conservative transaction must hold.
+fn space_set(program: &Program, catalog: &Catalog, policy: &PolicySpec) -> BTreeSet<u32> {
+    let (r, w) = crate::dag_admission::may_access_sets(program, catalog);
+    r.union(&w).iter().map(|i| policy.space_of(i).0).collect()
+}
+
+fn space_lock_table(
+    programs: &[Program],
+    catalog: &Catalog,
+    policy: &PolicySpec,
+) -> Vec<Mutex<()>> {
+    let n_spaces = programs
+        .iter()
+        .flat_map(|p| space_set(p, catalog, policy))
+        .max()
+        .map(|m| m as usize + 1)
+        .unwrap_or(1);
+    (0..n_spaces).map(|_| Mutex::new(())).collect()
 }
 
 /// Run each program on its own OS thread under conservative per-space
@@ -48,52 +123,10 @@ pub fn run_threaded(
     initial: &DbState,
     policy: &PolicySpec,
 ) -> Result<(Schedule, DbState)> {
-    let (schedule, db, _) = run_threaded_inner(programs, catalog, initial, policy, None)?;
-    Ok((schedule, db))
-}
-
-/// [`run_threaded`] with an [`OnlineMonitor`] certifying the verdict
-/// live, operation by operation, under real OS-thread parallelism.
-/// Returns the schedule, final state, and the monitor's final verdict
-/// over exactly the interleaving the threads produced.
-pub fn run_threaded_certified(
-    programs: &[Program],
-    catalog: &Catalog,
-    initial: &DbState,
-    policy: &PolicySpec,
-    scopes: Vec<ItemSet>,
-) -> Result<(Schedule, DbState, Verdict)> {
-    let monitor = OnlineMonitor::new(scopes);
-    let (schedule, db, verdict) =
-        run_threaded_inner(programs, catalog, initial, policy, Some(monitor))?;
-    Ok((schedule, db, verdict.expect("monitor was supplied")))
-}
-
-fn run_threaded_inner(
-    programs: &[Program],
-    catalog: &Catalog,
-    initial: &DbState,
-    policy: &PolicySpec,
-    monitor: Option<OnlineMonitor>,
-) -> Result<(Schedule, DbState, Option<Verdict>)> {
-    let n_spaces = programs
-        .iter()
-        .flat_map(|p| {
-            let (r, w) = crate::dag_admission::may_access_sets(p, catalog);
-            r.union(&w)
-                .iter()
-                .map(|i| policy.space_of(i).0)
-                .collect::<Vec<_>>()
-        })
-        .max()
-        .map(|m| m as usize + 1)
-        .unwrap_or(1);
-    let space_locks: Arc<Vec<Mutex<()>>> =
-        Arc::new((0..n_spaces).map(|_| Mutex::new(())).collect());
+    let space_locks = space_lock_table(programs, catalog, policy);
     let shared = Arc::new(Mutex::new(Shared {
         db: initial.clone(),
         trace: Vec::new(),
-        monitor,
     }));
 
     std::thread::scope(|scope| -> Result<()> {
@@ -101,13 +134,11 @@ fn run_threaded_inner(
         for (k, program) in programs.iter().enumerate() {
             let txn = TxnId(k as u32 + 1);
             let shared = Arc::clone(&shared);
-            let space_locks = Arc::clone(&space_locks);
+            let space_locks = &space_locks;
             handles.push(scope.spawn(move || -> Result<()> {
                 // Conservative: lock every space the program may touch,
                 // in ascending order (global order ⇒ no deadlock).
-                let (r, w) = crate::dag_admission::may_access_sets(program, catalog);
-                let spaces: BTreeSet<u32> =
-                    r.union(&w).iter().map(|i| policy.space_of(i).0).collect();
+                let spaces = space_set(program, catalog, policy);
                 let guards: Vec<_> = spaces
                     .iter()
                     .map(|&s| space_locks[s as usize].lock())
@@ -119,17 +150,11 @@ fn run_threaded_inner(
                             let mut sh = shared.lock();
                             let v = sh.db.require(item)?.clone();
                             let op = session.feed_read(v)?;
-                            if let Some(m) = sh.monitor.as_mut() {
-                                m.push(op.clone())?;
-                            }
                             sh.trace.push(op);
                         }
                         Pending::Write(op) => {
                             let mut sh = shared.lock();
                             sh.db.set(op.item, op.value.clone());
-                            if let Some(m) = sh.monitor.as_mut() {
-                                m.push(op.clone())?;
-                            }
                             sh.trace.push(op);
                             session.advance_write()?;
                         }
@@ -151,9 +176,73 @@ fn run_threaded_inner(
     let shared = Arc::try_unwrap(shared)
         .map_err(|_| SchedError::Stalled)?
         .into_inner();
-    let verdict = shared.monitor.as_ref().map(OnlineMonitor::verdict);
     let schedule = Schedule::new(shared.trace)?;
-    Ok((schedule, shared.db, verdict))
+    Ok((schedule, shared.db))
+}
+
+/// [`run_threaded`] with a [`ShardedMonitor`] certifying the verdict
+/// live, operation by operation, under real OS-thread parallelism —
+/// and **without the big shared mutex** the pre-sharding version
+/// funnelled every operation through. The database is striped by
+/// item; the interleaving is whatever order the threads' pushes claim
+/// inside the monitor's sequence stage, and the returned verdict is
+/// the monitor's exact (quiescent) verdict over exactly that
+/// interleaving.
+pub fn run_threaded_certified(
+    programs: &[Program],
+    catalog: &Catalog,
+    initial: &DbState,
+    policy: &PolicySpec,
+    scopes: Vec<ItemSet>,
+) -> Result<(Schedule, DbState, Verdict)> {
+    let space_locks = space_lock_table(programs, catalog, policy);
+    let monitor = ShardedMonitor::new(scopes);
+    let db = StripedDb::new(initial, 16);
+
+    std::thread::scope(|scope| -> Result<()> {
+        let mut handles = Vec::new();
+        for (k, program) in programs.iter().enumerate() {
+            let txn = TxnId(k as u32 + 1);
+            let (monitor, db, space_locks) = (&monitor, &db, &space_locks);
+            handles.push(scope.spawn(move || -> Result<()> {
+                let spaces = space_set(program, catalog, policy);
+                let guards: Vec<_> = spaces
+                    .iter()
+                    .map(|&s| space_locks[s as usize].lock())
+                    .collect();
+                let mut session = ProgramSession::new(program, catalog, txn);
+                loop {
+                    match session.pending()? {
+                        Pending::NeedRead(item) => {
+                            // Per-space 2PL holds every conflicting
+                            // transaction out for our whole lifetime,
+                            // so value and claimed position cannot be
+                            // split by a conflicting access.
+                            let v = db.read(item)?;
+                            let op = session.feed_read(v)?;
+                            monitor.push(op)?;
+                        }
+                        Pending::Write(op) => {
+                            db.write(op.item, op.value.clone());
+                            monitor.push(op)?;
+                            session.advance_write()?;
+                        }
+                        Pending::Done => break,
+                    }
+                    std::thread::yield_now();
+                }
+                drop(guards);
+                Ok(())
+            }));
+        }
+        for h in handles {
+            h.join().map_err(|_| SchedError::Stalled)??;
+        }
+        Ok(())
+    })?;
+
+    let (schedule, verdict) = monitor.into_parts();
+    Ok((schedule, db.into_state(), verdict))
 }
 
 /// Sanity helper for tests: replay a program against the values its
@@ -175,6 +264,7 @@ mod tests {
     use super::*;
     use pwsr_core::constraint::{Conjunct, Formula, IntegrityConstraint, Term};
     use pwsr_core::ids::ItemId;
+    use pwsr_core::monitor::OnlineMonitor;
     use pwsr_core::pwsr::is_pwsr;
     use pwsr_core::value::{Domain, Value};
     use pwsr_tplang::parser::parse_program;
@@ -253,6 +343,36 @@ mod tests {
     }
 
     #[test]
+    fn certified_threaded_run_is_coherent_and_replay_parities() {
+        // The sharded path has no big mutex: the recorded schedule
+        // must still be read-coherent against the initial state, the
+        // final striped state must equal applying the schedule, and
+        // the verdict must equal a single-writer replay.
+        let (cat, ic, initial) = setup();
+        let programs = vec![
+            parse_program("T1", "a0 := a0 + 1; b0 := b0 - 1;").unwrap(),
+            parse_program("T2", "a1 := a1 + 5;").unwrap(),
+            parse_program("T3", "b1 := b1 + 7; a1 := a1 + 1;").unwrap(),
+            parse_program("T4", "a0 := a0 + 2;").unwrap(),
+        ];
+        let policy = PolicySpec::predicate_wise_2pl(&ic);
+        let scopes: Vec<ItemSet> = ic.conjuncts().iter().map(|c| c.items().clone()).collect();
+        for _ in 0..10 {
+            let (schedule, final_state, verdict) =
+                run_threaded_certified(&programs, &cat, &initial, &policy, scopes.clone()).unwrap();
+            schedule.check_read_coherence(&initial).unwrap();
+            assert_eq!(schedule.apply(&initial), final_state);
+            let mut replay = OnlineMonitor::new(scopes.clone());
+            let mut last = replay.verdict();
+            for op in schedule.ops() {
+                last = replay.push(op.clone()).unwrap();
+            }
+            assert_eq!(last, verdict, "sharded verdict != single-writer replay");
+            assert!(replay.certify_prefix());
+        }
+    }
+
+    #[test]
     fn per_transaction_traces_replay() {
         let (cat, ic, initial) = setup();
         let programs = vec![
@@ -275,6 +395,12 @@ mod tests {
             run_threaded(&[], &cat, &initial, &PolicySpec::global_2pl()).unwrap();
         assert!(schedule.is_empty());
         assert_eq!(final_state, initial);
+        let (schedule, final_state, verdict) =
+            run_threaded_certified(&[], &cat, &initial, &PolicySpec::global_2pl(), Vec::new())
+                .unwrap();
+        assert!(schedule.is_empty());
+        assert_eq!(final_state, initial);
+        assert_eq!(verdict.len, 0);
         let _ = ItemId(0);
     }
 }

@@ -20,8 +20,9 @@ use crate::metrics::Metrics;
 use crate::plan::{access_plan, PlanMode};
 use crate::policy::{MonitorAdmission, PolicySpec};
 use pwsr_core::catalog::Catalog;
+use pwsr_core::dag::OnlineAccessDag;
 use pwsr_core::graph::DiGraph;
-use pwsr_core::ids::{ItemId, TxnId};
+use pwsr_core::ids::{ItemId, OpIndex, TxnId};
 use pwsr_core::op::{OpStruct, Operation};
 use pwsr_core::schedule::Schedule;
 use pwsr_core::state::DbState;
@@ -151,6 +152,7 @@ pub fn run_workload(
         .monitor
         .as_ref()
         .map(|m| MonitorAdmission::new(m.scopes.clone(), m.level));
+    let mut dag_guard: Option<DagGuard> = policy.dag_guard.map(DagGuard::new);
 
     loop {
         if rts.iter().all(|rt| rt.done) {
@@ -211,10 +213,15 @@ pub fn run_workload(
             cfg,
             &mut rejected,
             &mut admission,
+            &mut dag_guard,
         )?;
         metrics.lock_acquisitions = locks.acquisitions();
     }
 
+    if let Some(mon) = &admission {
+        metrics.monitor_resyncs = mon.resyncs();
+        metrics.monitor_undone_ops = mon.undone_ops();
+    }
     metrics.committed_ops = trace.len() as u64;
     let schedule = Schedule::new(trace)?;
     Ok(ExecOutcome {
@@ -225,50 +232,61 @@ pub fn run_workload(
     })
 }
 
-/// Would granting `txn` an access of `is_write` kind in conjunct
-/// `space` close a cycle in the conjunct access graph over the current
-/// trace? (Spaces ≥ `l` are not conjuncts and never participate.)
-fn dag_guard_rejects(
-    trace: &[Operation],
-    policy: &PolicySpec,
+/// The runtime Theorem-3 guard, incremental: the conjunct access
+/// graph (`DAG(S, IC)` with lock spaces `0..l` as units) rides
+/// [`OnlineAccessDag`] instead of being rebuilt from the trace on
+/// every step — `O(new ops)` catch-up per step, a probe per intent,
+/// and a full replay only when an abort rewrote the trace.
+struct DagGuard {
     l: u32,
-    txn: TxnId,
-    space: u32,
-    is_write: bool,
-) -> bool {
-    use std::collections::BTreeSet;
-    let mut rs: HashMap<TxnId, BTreeSet<u32>> = HashMap::new();
-    let mut ws: HashMap<TxnId, BTreeSet<u32>> = HashMap::new();
-    for op in trace {
-        let sp = policy.space_of(op.item).0;
-        if sp >= l {
-            continue;
-        }
-        if op.is_read() {
-            rs.entry(op.txn).or_default().insert(sp);
-        } else {
-            ws.entry(op.txn).or_default().insert(sp);
+    dag: OnlineAccessDag,
+    /// Transaction → dense entity slot for the access DAG.
+    slots: HashMap<TxnId, usize>,
+    /// Trace length already folded into the graph.
+    synced: usize,
+}
+
+impl DagGuard {
+    fn new(l: u32) -> DagGuard {
+        DagGuard {
+            l,
+            dag: OnlineAccessDag::new(l as usize),
+            slots: HashMap::new(),
+            synced: 0,
         }
     }
-    if is_write {
-        ws.entry(txn).or_default().insert(space);
-    } else {
-        rs.entry(txn).or_default().insert(space);
+
+    fn slot(&mut self, txn: TxnId) -> usize {
+        let next = self.slots.len();
+        *self.slots.entry(txn).or_insert(next)
     }
-    let mut g = DiGraph::new(l as usize);
-    let txns: BTreeSet<TxnId> = rs.keys().chain(ws.keys()).copied().collect();
-    for t in txns {
-        if let (Some(r), Some(w)) = (rs.get(&t), ws.get(&t)) {
-            for &i in r {
-                for &j in w {
-                    if i != j {
-                        g.add_edge(i as usize, j as usize);
-                    }
-                }
+
+    /// Fold trace growth into the graph; a shrunken trace (abort) is
+    /// the only case that replays from scratch. Every append in the
+    /// executor is preceded by a guard consultation in the same step,
+    /// so a rewrite can never masquerade as pure growth.
+    fn sync(&mut self, trace: &[Operation], policy: &PolicySpec) {
+        if trace.len() < self.synced {
+            self.dag.clear();
+            self.slots.clear();
+            self.synced = 0;
+        }
+        for (k, op) in trace.iter().enumerate().skip(self.synced) {
+            let sp = policy.space_of(op.item).0;
+            if sp < self.l {
+                let slot = self.slot(op.txn);
+                self.dag.record(slot, sp, op.is_write(), OpIndex(k));
             }
         }
+        self.synced = trace.len();
     }
-    g.has_cycle()
+
+    /// Would this access close a conjunct cycle? (Read-only in
+    /// effect: the probe retracts its tentative edges.)
+    fn rejects(&mut self, txn: TxnId, space: u32, is_write: bool) -> bool {
+        let slot = self.slot(txn);
+        !self.dag.admits(slot, space, is_write)
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -285,13 +303,14 @@ fn step(
     cfg: &ExecConfig,
     rejected: &mut Vec<TxnId>,
     admission: &mut Option<MonitorAdmission>,
+    dag_guard: &mut Option<DagGuard>,
 ) -> Result<()> {
     let txn = rts[pick].txn;
     let pending = rts[pick].session.pending()?;
     // Online verdict-monitor admission: reject (abort for restart) an
     // operation whose admission would sink the verdict below the
     // policy's configured level. The speculative test never mutates;
-    // `sync` rebuilds the monitor only after an abort rewrote the
+    // `sync` walks the undo-log back only when an abort rewrote the
     // trace.
     if let Some(mon) = admission.as_mut() {
         mon.sync(trace);
@@ -311,7 +330,10 @@ fn step(
     // Runtime Theorem-3 guard: refuse the access that would close a
     // conjunct cycle, rejecting the transaction outright (a retry
     // could never commit — committed edges persist in DAG(S, IC)).
-    if let Some(l) = policy.dag_guard {
+    // Incremental: the guard folds trace growth into a live access
+    // DAG and answers with a retracting probe — no per-step rebuild.
+    if let Some(guard) = dag_guard.as_mut() {
+        guard.sync(trace, policy);
         let intent = match &pending {
             Pending::NeedRead(item) => Some((*item, false)),
             Pending::Write(op) => Some((op.item, true)),
@@ -319,7 +341,7 @@ fn step(
         };
         if let Some((item, is_write)) = intent {
             let space = policy.space_of(item).0;
-            if space < l && dag_guard_rejects(trace, policy, l, txn, space, is_write) {
+            if space < guard.l && guard.rejects(txn, space, is_write) {
                 abort_cascading(pick, rts, locks, trace, dirty, db, initial, metrics, cfg)?;
                 rts[pick].done = true;
                 rejected.push(txn);

@@ -26,7 +26,8 @@
 //!   PWSR over the site partition.
 //! * [`concurrent`] — a genuinely threaded executor (parking_lot) for
 //!   demonstration that the discrete-event results are not an artifact
-//!   of simulation.
+//!   of simulation; its certified path runs on the sharded concurrent
+//!   monitor with an item-striped database — no global mutex.
 
 pub mod concurrent;
 pub mod dag_admission;

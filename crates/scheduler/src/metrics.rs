@@ -22,6 +22,11 @@ pub struct Metrics {
     /// Operations rejected by the online verdict monitor (each rejection
     /// aborts and restarts the requesting transaction).
     pub monitor_rejections: u64,
+    /// Monitor re-syncs that found the trace rewritten by an abort.
+    pub monitor_resyncs: u64,
+    /// Operations the monitor's undo-log retracted across all re-syncs
+    /// (the abort cost that used to be an `O(n)` rebuild each time).
+    pub monitor_undone_ops: u64,
 }
 
 impl Metrics {
@@ -48,7 +53,8 @@ impl fmt::Display for Metrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "steps={} ops={} waits={} deadlocks={} aborts={} restarts={} locks={} monrej={} goodput={:.3}",
+            "steps={} ops={} waits={} deadlocks={} aborts={} restarts={} locks={} monrej={} \
+             monresync={} monundo={} goodput={:.3}",
             self.steps,
             self.committed_ops,
             self.waits,
@@ -57,6 +63,8 @@ impl fmt::Display for Metrics {
             self.restarts,
             self.lock_acquisitions,
             self.monitor_rejections,
+            self.monitor_resyncs,
+            self.monitor_undone_ops,
             self.goodput()
         )
     }

@@ -32,14 +32,29 @@ use std::sync::Arc;
 ///
 /// The speculative test ([`MonitorAdmission::would_admit`]) never
 /// mutates; after an abort rewrites the trace,
-/// [`MonitorAdmission::sync`] rebuilds the monitor from the surviving
-/// operations (aborts are rare; every per-operation step stays on the
-/// incremental path).
+/// [`MonitorAdmission::sync`] walks the monitor's undo-log back to the
+/// longest surviving prefix and re-pushes the filtered tail —
+/// `O(ops undone + ops re-pushed)` graph work instead of the old
+/// `O(n)` full rebuild (every per-operation step stays on the
+/// incremental path either way).
 #[derive(Clone, Debug)]
 pub struct MonitorAdmission {
     monitor: OnlineMonitor,
     scopes: Vec<ItemSet>,
     level: AdmissionLevel,
+    /// Re-syncs that found the trace rewritten.
+    resyncs: u64,
+    /// Operations retracted via the undo-log across all re-syncs.
+    undone_ops: u64,
+}
+
+/// What one [`MonitorAdmission::sync`] call did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SyncStats {
+    /// Operations retracted through the undo-log.
+    pub undone: u64,
+    /// Surviving operations re-pushed after the divergence point.
+    pub repushed: u64,
 }
 
 impl MonitorAdmission {
@@ -49,6 +64,8 @@ impl MonitorAdmission {
             monitor: OnlineMonitor::new(scopes.clone()),
             scopes,
             level,
+            resyncs: 0,
+            undone_ops: 0,
         }
     }
 
@@ -100,10 +117,11 @@ impl MonitorAdmission {
         self.monitor.admits(txn, item, is_write, self.level)
     }
 
-    /// Record an admitted (or already-committed) operation.
+    /// Record an admitted (or already-committed) operation. Logged, so
+    /// an abort can retract it through the undo-log.
     pub fn push(&mut self, op: &Operation) -> Verdict {
         self.monitor
-            .push(op.clone())
+            .push_logged(op.clone())
             .expect("executor traces satisfy the §2.2 transaction rules")
     }
 
@@ -117,7 +135,8 @@ impl MonitorAdmission {
         &self.monitor
     }
 
-    /// Rebuild from scratch over `trace` (after a rollback).
+    /// Rebuild from scratch over `trace` — the old `O(n)` abort path,
+    /// kept as the fallback oracle (tests pin `sync` against it).
     pub fn rebuild(&mut self, trace: &[Operation]) {
         self.monitor = OnlineMonitor::new(self.scopes.clone());
         for op in trace {
@@ -125,13 +144,46 @@ impl MonitorAdmission {
         }
     }
 
-    /// Cheap re-sync: rebuild only when `trace` has been rewritten
-    /// under us (an abort filtered it); in the steady state the
-    /// incremental monitor is already exactly `trace`.
-    pub fn sync(&mut self, trace: &[Operation]) {
-        if self.monitor.len() != trace.len() {
-            self.rebuild(trace);
+    /// Cheap re-sync: in the steady state (`len` unchanged) the
+    /// incremental monitor is already exactly `trace` and this is
+    /// `O(1)`. After an abort *filtered* the trace, retract through
+    /// the undo-log to the longest common prefix and re-push the
+    /// surviving tail — `O(ops undone + ops re-pushed)`, not `O(n)`:
+    /// an abort of a late-starting transaction leaves the long head
+    /// untouched.
+    pub fn sync(&mut self, trace: &[Operation]) -> SyncStats {
+        if self.monitor.len() == trace.len() {
+            return SyncStats::default();
         }
+        self.resyncs += 1;
+        // Longest common prefix of the recorded schedule and the
+        // rewritten trace (an abort removes operations, so divergence
+        // starts at the first removed position).
+        let recorded = self.monitor.schedule().ops();
+        let common = recorded
+            .iter()
+            .zip(trace.iter())
+            .take_while(|(a, b)| a == b)
+            .count();
+        let undone = self.monitor.truncate_to(common) as u64;
+        self.undone_ops += undone;
+        let mut repushed = 0u64;
+        for op in &trace[common..] {
+            self.push(op);
+            repushed += 1;
+        }
+        debug_assert_eq!(self.monitor.len(), trace.len());
+        SyncStats { undone, repushed }
+    }
+
+    /// Re-syncs that found the trace rewritten by an abort.
+    pub fn resyncs(&self) -> u64 {
+        self.resyncs
+    }
+
+    /// Operations retracted through the undo-log across all re-syncs.
+    pub fn undone_ops(&self) -> u64 {
+        self.undone_ops
     }
 }
 
@@ -406,6 +458,84 @@ mod tests {
         adm.sync(&trace);
         assert_eq!(adm.len(), 1);
         assert!(adm.would_admit(TxnId(1), ItemId(1), false));
+    }
+
+    /// The undo-log sync equals a from-scratch rebuild on every
+    /// observable, and its cost is proportional to the rewritten
+    /// suffix, not the trace: aborting the last-arriving transaction
+    /// of a long trace undoes only the ops at/after its first op.
+    #[test]
+    fn sync_touches_only_the_rewritten_suffix() {
+        use pwsr_core::value::Value;
+        let ic = two_conjunct_ic();
+        // A long head of committed single-op transactions, then a
+        // late transaction interleaved near the end.
+        let mut trace: Vec<Operation> = Vec::new();
+        for k in 0..200u32 {
+            let txn = TxnId(k + 10);
+            let item = ItemId(k % 3);
+            trace.push(Operation::read(txn, item, Value::Int(0)));
+            trace.push(Operation::write(txn, item, Value::Int(1)));
+        }
+        let victim = TxnId(1);
+        trace.push(Operation::write(victim, ItemId(0), Value::Int(7)));
+        trace.push(Operation::read(TxnId(500), ItemId(1), Value::Int(1)));
+        trace.push(Operation::write(victim, ItemId(2), Value::Int(7)));
+        let n = trace.len();
+
+        let mut adm = MonitorAdmission::for_constraint(&ic, AdmissionLevel::Pwsr);
+        for op in &trace {
+            adm.push(op);
+        }
+        // Abort the victim: filter its ops out, as the executor does.
+        let filtered: Vec<Operation> = trace.iter().filter(|o| o.txn != victim).cloned().collect();
+        let stats = adm.sync(&filtered);
+        // Only the suffix from the victim's first op was touched.
+        assert_eq!(
+            stats.undone, 3,
+            "undone must be the rewritten suffix, not O(n)"
+        );
+        assert_eq!(stats.repushed, 1);
+        assert!((stats.undone + stats.repushed) as usize * 10 < n);
+        assert_eq!(adm.resyncs(), 1);
+        assert_eq!(adm.undone_ops(), 3);
+        // Observable parity with the O(n) rebuild oracle.
+        let mut oracle = MonitorAdmission::for_constraint(&ic, AdmissionLevel::Pwsr);
+        oracle.rebuild(&filtered);
+        assert_eq!(adm.verdict(), oracle.verdict());
+        assert_eq!(adm.monitor().schedule(), oracle.monitor().schedule());
+        // Steady state: same-length sync is a no-op.
+        assert_eq!(adm.sync(&filtered), SyncStats::default());
+        assert_eq!(adm.resyncs(), 1);
+    }
+
+    #[test]
+    fn sync_equals_rebuild_across_random_abort_points() {
+        use pwsr_core::value::Value;
+        let ic = two_conjunct_ic();
+        let ops: Vec<Operation> = vec![
+            Operation::write(TxnId(1), ItemId(0), Value::Int(1)),
+            Operation::read(TxnId(2), ItemId(0), Value::Int(1)),
+            Operation::write(TxnId(3), ItemId(2), Value::Int(2)),
+            Operation::write(TxnId(2), ItemId(1), Value::Int(2)),
+            Operation::read(TxnId(3), ItemId(1), Value::Int(2)),
+            Operation::read(TxnId(1), ItemId(2), Value::Int(2)),
+        ];
+        for victim in 1..=3u32 {
+            let mut adm = MonitorAdmission::for_constraint(&ic, AdmissionLevel::PwsrDr);
+            for op in &ops {
+                adm.push(op);
+            }
+            let filtered: Vec<Operation> =
+                ops.iter().filter(|o| o.txn.0 != victim).cloned().collect();
+            adm.sync(&filtered);
+            let mut oracle = MonitorAdmission::for_constraint(&ic, AdmissionLevel::PwsrDr);
+            oracle.rebuild(&filtered);
+            assert_eq!(adm.verdict(), oracle.verdict(), "victim {victim}");
+            assert_eq!(adm.len(), filtered.len());
+            // The synced monitor keeps certifying correctly.
+            assert!(adm.monitor().certify_prefix());
+        }
     }
 
     /// §3.1's canonical non-PWSR interleaving: Example 2's schedule

@@ -147,7 +147,8 @@ pub fn run_sgt(
                 }
             }
             trace.retain(|o| !aborted.contains(&o.txn));
-            certifier.sync(&trace);
+            // Undo-log re-sync: O(ops undone + re-pushed), not O(n).
+            let _stats = certifier.sync(&trace);
             db = initial.clone();
             for op in &trace {
                 if op.is_write() {
@@ -189,6 +190,8 @@ pub fn run_sgt(
         }
     }
 
+    metrics.monitor_resyncs = certifier.resyncs();
+    metrics.monitor_undone_ops = certifier.undone_ops();
     metrics.committed_ops = trace.len() as u64;
     let schedule = Schedule::new(trace)?;
     Ok(SgtOutcome {
