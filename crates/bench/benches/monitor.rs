@@ -12,12 +12,21 @@
 //! the online path: `push_replay/N ÷ N` at least 10× below
 //! `batch_reverify/N` at the 2488-op tier.
 //!
+//! `abort_resync_undo` / `abort_resync_rebuild` price the
+//! single-writer undo-log against the full-replay abort path, and
+//! `occ_abort_retract` / `occ_abort_txn` price the *sharded*
+//! retraction (`truncate_to` / `retract_txn` + re-push) behind the
+//! OCC-certified threaded executor — the acceptance shape for both is
+//! flat across tiers: suffix-length-proportional, not
+//! schedule-length-proportional.
+//!
 //! Tiers, workloads and the batch-verdict body are shared with the
 //! `mon1` experiment (`pwsr_bench::monitor_exp`) so the numbers line
 //! up by construction.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pwsr_bench::monitor_exp::{batch_verdict, tier_workload, TIERS};
+use pwsr_core::monitor::sharded::ShardedMonitor;
 use pwsr_core::monitor::{OnlineIndex, OnlineMonitor};
 use std::hint::black_box;
 
@@ -75,6 +84,43 @@ fn bench_monitor(c: &mut Criterion) {
                     black_box(m.push(op.clone()).expect("valid schedule"));
                 }
                 m.len()
+            })
+        });
+        // OCC abort on the *sharded* monitor: retract a 16-op suffix
+        // through the per-stage undo journals (`truncate_to`) and
+        // re-push it — the per-abort retraction cost the optimistic
+        // threaded executor pays. The acceptance shape: flat across
+        // tiers (suffix-length-proportional, NOT schedule-length-
+        // proportional), like `abort_resync_undo` vs `_rebuild` above.
+        group.bench_with_input(BenchmarkId::new("occ_abort_retract", n), &s, |b, s| {
+            let m = ShardedMonitor::new_logged(scopes.clone());
+            for op in s.ops() {
+                m.push(op.clone()).expect("valid schedule");
+            }
+            let tail: Vec<_> = s.ops()[s.len() - UNDONE..].to_vec();
+            b.iter(|| {
+                m.truncate_to(s.len() - UNDONE);
+                for op in &tail {
+                    black_box(m.push(op.clone()).expect("valid tail"));
+                }
+            })
+        });
+        // The full abort primitive: `retract_txn` of the transaction
+        // owning the schedule's last operation, then re-push its ops.
+        // After the first round the victim's operations sit at the
+        // tail, so the steady-state cost is again suffix-proportional.
+        group.bench_with_input(BenchmarkId::new("occ_abort_txn", n), &s, |b, s| {
+            let m = ShardedMonitor::new_logged(scopes.clone());
+            for op in s.ops() {
+                m.push(op.clone()).expect("valid schedule");
+            }
+            let victim = s.ops().last().expect("nonempty").txn;
+            let mine: Vec<_> = s.transaction(victim).ops().to_vec();
+            b.iter(|| {
+                black_box(m.retract_txn(victim));
+                for op in &mine {
+                    black_box(m.push(op.clone()).expect("valid re-push"));
+                }
             })
         });
     }

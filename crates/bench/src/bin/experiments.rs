@@ -7,7 +7,7 @@
 //!
 //! `<id>` ∈ {ex1 … ex5, fig3, lemma1, viewsets, lemma3, lemma4, lemma7,
 //! thm1, thm2, thm3, perf1 … perf5, scale1, scale2, base1, bank1, rec1,
-//! exh1, mon1, mon2}.
+//! exh1, mon1, mon2, mon3}.
 //! Every experiment prints a paper-vs-measured table; the exit code is
 //! nonzero if any run deviates from the paper's predicted shape.
 //!
@@ -18,17 +18,21 @@
 //! statistical power. An explicit `--trials` overrides the cap.
 //!
 //! `--json PATH` additionally writes a machine-readable record of the
-//! sweep — schema `pwsr-experiments-v3`: one entry per selected
+//! sweep — schema `pwsr-experiments-v4`: one entry per selected
 //! experiment with its verdict, wall-clock seconds, and (where the
 //! experiment measures them) processed-operation counts and the online
-//! monitor's per-op timings, plus a `monitor_mt` block recording the
+//! monitor's per-op timings; a `monitor_mt` block recording the
 //! sharded monitor's certified throughput at 1/2/4/8 pushing threads
 //! (with the host's `available_parallelism`, without which scaling
-//! numbers are uninterpretable) — so successive PRs can track the perf
-//! trajectory (`BENCH_*.json` at the repo root) and CI can gate on
-//! both the format and the monitors' per-op cost staying sub-linear.
+//! numbers are uninterpretable, and the measured serial-stage ns per
+//! op); and an `occ_mt` block recording the OCC-certified threaded
+//! executor (threads, commits, aborts, retries, ns per committed op)
+//! plus the sharded-retraction cost entries — so successive PRs can
+//! track the perf trajectory (`BENCH_*.json` at the repo root) and CI
+//! can gate on the format, the monitors' per-op cost and the
+//! retraction cost staying sub-linear.
 
-use pwsr_bench::monitor_exp::{MonitorMtStats, MonitorStats};
+use pwsr_bench::monitor_exp::{MonitorMtStats, MonitorStats, OccMtStats};
 use pwsr_bench::{
     bank_exp, base_exp, examples_exp, exhaustive_exp, lemmas_exp, monitor_exp, perf_exp,
     recovery_exp, scale_exp, theorems_exp,
@@ -99,6 +103,9 @@ struct ExpRun {
     /// Sharded-monitor thread-scaling stats (only `mon2`); lifted into
     /// the JSON document's `monitor_mt` block.
     monitor_mt: Option<MonitorMtStats>,
+    /// OCC-certified executor stats (only `mon3`); lifted into the
+    /// JSON document's `occ_mt` block.
+    occ_mt: Option<OccMtStats>,
 }
 
 impl From<(bool, String)> for ExpRun {
@@ -110,6 +117,7 @@ impl From<(bool, String)> for ExpRun {
             monitor_ns_per_op: None,
             monitor: None,
             monitor_mt: None,
+            occ_mt: None,
         }
     }
 }
@@ -141,10 +149,11 @@ fn render_json(
     entries: &[JsonEntry],
     monitor: &Option<MonitorStats>,
     monitor_mt: &Option<MonitorMtStats>,
+    occ_mt: &Option<OccMtStats>,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"pwsr-experiments-v3\",\n");
+    out.push_str("  \"schema\": \"pwsr-experiments-v4\",\n");
     out.push_str(&format!("  \"selection\": \"{}\",\n", opts.what));
     out.push_str(&format!("  \"smoke\": {},\n", opts.smoke));
     out.push_str(&format!("  \"trials_override\": {},\n", opts.trials));
@@ -177,18 +186,55 @@ fn render_json(
             for (k, t) in stats.tiers.iter().enumerate() {
                 out.push_str(&format!(
                     "    {{\"threads\": {}, \"ops\": {}, \"ops_per_s\": {:.1}, \
-                     \"ns_per_op\": {:.1}, \"speedup\": {:.3}}}{}\n",
+                     \"ns_per_op\": {:.1}, \"speedup\": {:.3}, \"serial_ns_per_op\": {:.1}}}{}\n",
                     t.threads,
                     t.ops,
                     t.ops_per_s,
                     t.ns_per_op(),
                     t.speedup,
+                    t.serial_ns_per_op,
                     if k + 1 < stats.tiers.len() { "," } else { "" }
                 ));
             }
             out.push_str("  ]},\n");
         }
         None => out.push_str("  \"monitor_mt\": null,\n"),
+    }
+    match occ_mt {
+        Some(stats) => {
+            out.push_str(&format!(
+                "  \"occ_mt\": {{\"parallelism\": {}, \"tiers\": [\n",
+                stats.parallelism
+            ));
+            for (k, t) in stats.tiers.iter().enumerate() {
+                out.push_str(&format!(
+                    "    {{\"threads\": {}, \"commits\": {}, \"aborts\": {}, \"retries\": {}, \
+                     \"ns_per_committed_op\": {:.1}}}{}\n",
+                    t.threads,
+                    t.commits,
+                    t.aborts,
+                    t.retries,
+                    t.ns_per_committed_op,
+                    if k + 1 < stats.tiers.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("  ], \"retraction\": [\n");
+            for (k, t) in stats.retraction.iter().enumerate() {
+                out.push_str(&format!(
+                    "    {{\"ops\": {}, \"suffix_ops\": {}, \"ns_per_undone_op\": {:.1}}}{}\n",
+                    t.ops,
+                    t.suffix_ops,
+                    t.ns_per_undone_op,
+                    if k + 1 < stats.retraction.len() {
+                        ","
+                    } else {
+                        ""
+                    }
+                ));
+            }
+            out.push_str("  ]},\n");
+        }
+        None => out.push_str("  \"occ_mt\": null,\n"),
     }
     out.push_str("  \"experiments\": [\n");
     for (k, e) in entries.iter().enumerate() {
@@ -228,9 +274,11 @@ fn main() {
     let mut entries: Vec<JsonEntry> = Vec::new();
     let mut monitor_stats: Option<MonitorStats> = None;
     let mut monitor_mt_stats: Option<MonitorMtStats> = None;
+    let mut occ_mt_stats: Option<OccMtStats> = None;
     {
         let monitor_out = &mut monitor_stats;
         let monitor_mt_out = &mut monitor_mt_stats;
+        let occ_mt_out = &mut occ_mt_stats;
         let mut run = |id: &'static str, f: &dyn Fn(u64) -> ExpRun| {
             let selected =
                 matches!(opts.what.as_str(), "all") || opts.what == id || group_of(id) == opts.what;
@@ -257,6 +305,9 @@ fn main() {
                 }
                 if r.monitor_mt.is_some() {
                     *monitor_mt_out = r.monitor_mt;
+                }
+                if r.occ_mt.is_some() {
+                    *occ_mt_out = r.occ_mt;
                 }
             }
         };
@@ -334,6 +385,7 @@ fn main() {
                 monitor_ns_per_op: Some(stats.worst_monitor_ns_per_op()),
                 monitor: Some(stats),
                 monitor_mt: None,
+                occ_mt: None,
             }
         });
 
@@ -346,6 +398,20 @@ fn main() {
                 monitor_ns_per_op: Some(stats.worst_ns_per_op()),
                 monitor: None,
                 monitor_mt: Some(stats),
+                occ_mt: None,
+            }
+        });
+
+        run("mon3", &|n| {
+            let (ok, text, stats) = monitor_exp::mon3(pick(n, 5), 902);
+            ExpRun {
+                ok,
+                text,
+                ops: None,
+                monitor_ns_per_op: Some(stats.worst_ns_per_committed_op()),
+                monitor: None,
+                monitor_mt: None,
+                occ_mt: Some(stats),
             }
         });
     }
@@ -353,13 +419,20 @@ fn main() {
     if !matched {
         eprintln!(
             "unknown experiment {:?}; try: all, examples, lemmas, theorems, perf, scale, base, \
-             monitor, or an id like ex2 / thm1 / perf2 / mon2",
+             monitor, or an id like ex2 / thm1 / perf2 / mon3",
             opts.what
         );
         std::process::exit(2);
     }
     if let Some(path) = &opts.json {
-        let body = render_json(&opts, all_ok, &entries, &monitor_stats, &monitor_mt_stats);
+        let body = render_json(
+            &opts,
+            all_ok,
+            &entries,
+            &monitor_stats,
+            &monitor_mt_stats,
+            &occ_mt_stats,
+        );
         if let Err(e) = std::fs::write(path, body) {
             eprintln!("failed to write {path}: {e}");
             std::process::exit(2);
@@ -382,7 +455,7 @@ fn group_of(id: &str) -> &'static str {
         "bank1" => "bank",
         "rec1" => "recovery",
         "exh1" => "exhaustive",
-        "mon1" | "mon2" => "monitor",
+        "mon1" | "mon2" | "mon3" => "monitor",
         _ => "",
     }
 }

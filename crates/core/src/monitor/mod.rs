@@ -72,11 +72,12 @@
 //!   [`OnlineMonitor::truncate_to`]): every logged push records the
 //!   exact graph-edge and table deltas it applied, so a scheduler
 //!   abort that rewrote its trace re-syncs in `O(ops undone)` instead
-//!   of an `O(n)` rebuild — [`IncrementalDag`] retraction is
-//!   restricted to LIFO (journal) order, which keeps Pearce–Kelly's
-//!   maintained topological order valid without any reordering (the
-//!   surviving constraints are a subset of those the order already
-//!   satisfies);
+//!   of an `O(n)` rebuild. The delta records and the LIFO retraction
+//!   contract live in the shared [`undo`] layer (see its module docs
+//!   for the invariant), which the sharded monitor consumes too;
+//!   [`OnlineMonitor::checkpoint`] raises the log's floor once no
+//!   live transaction can force a retraction that deep, bounding the
+//!   log's memory over a long run;
 //! * the **Theorem 1/3 hypotheses live**
 //!   ([`OnlineMonitor::guarantees`]): fixed structure is a property of
 //!   the *programs* ([`ProgramTraits`], supplied once at
@@ -89,9 +90,10 @@
 //!   pipeline, for certification under real OS-thread parallelism.
 
 pub mod sharded;
+pub mod undo;
 
 use crate::constraint::IntegrityConstraint;
-use crate::dag::{AccessDagDelta, OnlineAccessDag};
+use crate::dag::OnlineAccessDag;
 use crate::error::{CoreError, MalformedKind, Result};
 use crate::graph::IncrementalDag;
 use crate::ids::{ItemId, OpIndex, TxnId};
@@ -101,6 +103,7 @@ use crate::schedule::Schedule;
 use crate::state::ItemSet;
 use crate::theorems::{Guarantee, ProgramTraits};
 use crate::viewset::inclusion_holds_everywhere;
+use undo::{GraphDelta, PushDelta, SeqDelta, UndoLog};
 
 const ABSENT: u32 = u32::MAX;
 
@@ -182,46 +185,17 @@ impl OnlineIndex {
         self.tables.last_write_raw(item.index())
     }
 
-    /// Retract the most recent push. `new_slot` and the two captured
-    /// previous values come from the undo-log entry of that push.
-    pub(crate) fn pop_for_undo(
-        &mut self,
-        new_slot: bool,
-        prev_last_write: u32,
-        prev_item_ub: usize,
-    ) {
+    /// Retract the most recent push. The [`SeqDelta`] is the captured
+    /// sequence half of that push's undo-log entry.
+    pub(crate) fn pop_for_undo(&mut self, seq: &SeqDelta) {
         let p = OpIndex(self.schedule.len() - 1);
         let slot = self.schedule.slot_of_op(p);
         let op = self.schedule.op(p).clone();
-        self.tables.pop(slot, &op, prev_last_write, new_slot);
-        let prev_slot_last = if new_slot {
-            0
-        } else {
-            *self.tables.positions[slot].last().expect("older op exists")
-        };
+        self.tables
+            .pop(slot, &op, seq.prev_last_write, seq.new_slot);
         self.schedule
-            .pop_op_unchecked(new_slot, prev_slot_last, prev_item_ub);
+            .pop_op_unchecked(seq.new_slot, seq.prev_slot_last, seq.prev_item_ub);
     }
-}
-
-/// The deltas one [`ProjGraph`] access applied — enough to retract it
-/// exactly in LIFO (journal) order. Default = "nothing applied" (the
-/// graph was already frozen), which makes frozen-period retraction a
-/// no-op for free.
-#[derive(Clone, Debug, Default)]
-struct GraphDelta {
-    /// A node was created for the accessing transaction's slot.
-    added_node: bool,
-    /// Conflict edges freshly inserted, in insertion order.
-    edges: Vec<(u32, u32)>,
-    /// This access set `cyclic_at` (the projection froze here).
-    froze: bool,
-    /// Write access: the displaced `last_writer` and the drained
-    /// reader list (moved here rather than cloned — the apply path
-    /// takes it anyway).
-    write_undo: Option<(u32, Vec<u32>)>,
-    /// Read access: the node was pushed onto the item's reader list.
-    read_pushed: bool,
 }
 
 /// One projection's reduced conflict graph, maintained incrementally.
@@ -517,33 +491,6 @@ impl Verdict {
     }
 }
 
-/// Everything one [`OnlineMonitor::push_logged`] applied, captured so
-/// [`OnlineMonitor::truncate_to`] can retract it exactly. One entry
-/// per logged push; retraction walks entries in reverse.
-#[derive(Clone, Debug, Default)]
-struct PushDelta {
-    /// The push created its transaction's slot.
-    new_slot: bool,
-    /// `item_ub` before the push (monotone, not recomputable).
-    prev_item_ub: usize,
-    /// `last_write[item]` before the push (consulted for writes).
-    prev_last_write: u32,
-    /// A dirty-read mark `(writer slot, fresh)` was freshly set.
-    dr_mark: Option<usize>,
-    /// The push set `first_non_dr`.
-    set_first_non_dr: bool,
-    /// Conjuncts whose `conjunct_non_dr` the push set.
-    conjunct_non_dr_set: Vec<u32>,
-    /// The push set `first_violation`.
-    set_first_violation: bool,
-    /// Global conflict-graph deltas.
-    global: GraphDelta,
-    /// Per touched conjunct: conflict-graph deltas.
-    conjuncts: Vec<(u32, GraphDelta)>,
-    /// Per touched conjunct: live-`DAG(S, IC)` deltas.
-    dag_deltas: Vec<(u32, AccessDagDelta)>,
-}
-
 /// Live verdicts over a growing schedule: per-conjunct and global
 /// conflict graphs under incremental cycle detection, delayed-read
 /// tracking, and the Lemma 2/6 inclusion certificates — all updated in
@@ -571,10 +518,9 @@ pub struct OnlineMonitor {
     scopes_disjoint: bool,
     /// `DAG(S, IC)` maintained live (Theorem 3's hypothesis).
     access_dag: OnlineAccessDag,
-    /// Per-push retraction deltas since `log_base`, when logging.
-    log: Option<Vec<PushDelta>>,
-    /// Prefix length below which no deltas exist (unlogged pushes).
-    log_base: usize,
+    /// Per-push retraction deltas above the log's floor, when logging
+    /// (the shared [`undo`] layer; unlogged pushes raise the floor).
+    log: Option<UndoLog<PushDelta>>,
 }
 
 impl OnlineMonitor {
@@ -608,7 +554,6 @@ impl OnlineMonitor {
             scopes_disjoint,
             access_dag: OnlineAccessDag::new(n),
             log: None,
-            log_base: 0,
         }
     }
 
@@ -629,9 +574,8 @@ impl OnlineMonitor {
     pub fn push(&mut self, op: Operation) -> Result<Verdict> {
         let v = self.push_inner(op, false)?;
         if let Some(log) = &mut self.log {
-            log.clear();
+            log.reset(self.index.len());
         }
-        self.log_base = self.index.len();
         Ok(v)
     }
 
@@ -639,18 +583,25 @@ impl OnlineMonitor {
     /// push can later be retracted by [`OnlineMonitor::truncate_to`].
     pub fn push_logged(&mut self, op: Operation) -> Result<Verdict> {
         if self.log.is_none() {
-            self.log = Some(Vec::new());
-            self.log_base = self.index.len();
+            self.log = Some(UndoLog::new(self.index.len()));
         }
         self.push_inner(op, true)
     }
 
     fn push_inner(&mut self, op: Operation, logged: bool) -> Result<Verdict> {
         let (item, is_read) = (op.item, op.is_read());
+        let existing_slot = self.index.schedule().txn_slot(op.txn);
         let mut delta = PushDelta {
-            prev_item_ub: self.index.schedule().item_ub(),
-            prev_last_write: self.index.last_write_raw(item),
-            new_slot: self.index.schedule().txn_slot(op.txn).is_none(),
+            seq: SeqDelta {
+                new_slot: existing_slot.is_none(),
+                prev_item_ub: self.index.schedule().item_ub(),
+                prev_last_write: self.index.last_write_raw(item),
+                prev_slot_last: existing_slot.map_or(0, |s| {
+                    *self.index.tables.positions[s]
+                        .last()
+                        .expect("older op exists")
+                }),
+            },
             ..PushDelta::default()
         };
         let p = self.index.push(op)?;
@@ -663,13 +614,13 @@ impl OnlineMonitor {
         if !self.dirty_reads[slot].is_empty() {
             if self.first_non_dr.is_none() {
                 self.first_non_dr = Some(p);
-                delta.set_first_non_dr = true;
+                delta.global.set_first_non_dr = true;
             }
             for (k, scope) in self.scopes.iter().enumerate() {
                 if self.conjunct_non_dr[k].is_none() && !scope.is_disjoint(&self.dirty_reads[slot])
                 {
                     self.conjunct_non_dr[k] = Some(p);
-                    delta.conjunct_non_dr_set.push(k as u32);
+                    delta.global.conjunct_non_dr_set.push(k as u32);
                 }
             }
         }
@@ -679,7 +630,7 @@ impl OnlineMonitor {
             if let Some(w) = self.index.reads_from(p) {
                 let w_slot = self.index.schedule().slot_of_op(w);
                 if w_slot != slot && self.dirty_reads[w_slot].insert(item) {
-                    delta.dr_mark = Some(w_slot);
+                    delta.global.dr_mark = Some(w_slot as u32);
                 }
             }
         }
@@ -687,7 +638,7 @@ impl OnlineMonitor {
         //    item (this is where serializability / PWSR flip), and the
         //    live data access graph (Theorem 3's hypothesis).
         if logged {
-            delta.global = self.global.apply_logged(slot, item.index(), !is_read, p);
+            delta.global.graph = self.global.apply_logged(slot, item.index(), !is_read, p);
         } else {
             self.global.apply(slot, item.index(), !is_read, p);
         }
@@ -709,7 +660,7 @@ impl OnlineMonitor {
             }
         }
         if logged {
-            self.log.as_mut().expect("log enabled").push(delta);
+            self.log.as_mut().expect("log enabled").record(delta);
         }
         Ok(self.verdict())
     }
@@ -728,9 +679,9 @@ impl OnlineMonitor {
             self.index.len()
         );
         assert!(
-            n >= self.log_base,
+            n >= self.log_floor(),
             "truncate_to({n}) undercuts the undo-log floor {}",
-            self.log_base
+            self.log_floor()
         );
         let undone = self.index.len() - n;
         for _ in 0..undone {
@@ -751,22 +702,22 @@ impl OnlineMonitor {
             for (k, d) in delta.conjuncts.into_iter().rev() {
                 self.conjuncts[k as usize].undo(slot, item.index(), is_write, d);
             }
-            self.global.undo(slot, item.index(), is_write, delta.global);
+            self.global
+                .undo(slot, item.index(), is_write, delta.global.graph);
             if delta.set_first_violation {
                 self.first_violation = None;
             }
-            for k in delta.conjunct_non_dr_set {
+            for k in delta.global.conjunct_non_dr_set {
                 self.conjunct_non_dr[k as usize] = None;
             }
-            if delta.set_first_non_dr {
+            if delta.global.set_first_non_dr {
                 self.first_non_dr = None;
             }
-            if let Some(w_slot) = delta.dr_mark {
-                self.dirty_reads[w_slot].remove(item);
+            if let Some(w_slot) = delta.global.dr_mark {
+                self.dirty_reads[w_slot as usize].remove(item);
             }
-            self.index
-                .pop_for_undo(delta.new_slot, delta.prev_last_write, delta.prev_item_ub);
-            if delta.new_slot {
+            self.index.pop_for_undo(&delta.seq);
+            if delta.seq.new_slot {
                 self.dirty_reads
                     .truncate(self.index.schedule().txn_ids().len());
             }
@@ -774,9 +725,30 @@ impl OnlineMonitor {
         undone
     }
 
-    /// Operations retractable by [`OnlineMonitor::truncate_to`].
+    /// Operations retractable by [`OnlineMonitor::truncate_to`]
+    /// (equivalently, undo-log entries held: `len() - log_floor()`).
     pub fn logged_len(&self) -> usize {
-        self.index.len() - self.log_base
+        self.log.as_ref().map_or(0, UndoLog::len)
+    }
+
+    /// The undo-log floor: the prefix length below which pushes are
+    /// permanent (equals [`OnlineMonitor::len`] when nothing is
+    /// logged).
+    pub fn log_floor(&self) -> usize {
+        self.log.as_ref().map_or(self.index.len(), UndoLog::base)
+    }
+
+    /// Raise the undo-log floor to `floor` (clamped to the currently
+    /// logged range), making the pushes below it permanent and
+    /// reclaiming their delta memory — the long-run memory bound for
+    /// admission logs: once every transaction that started before
+    /// `floor` has settled, nothing can force a retraction below it.
+    /// Returns the new floor.
+    pub fn checkpoint(&mut self, floor: usize) -> usize {
+        match &mut self.log {
+            Some(log) => log.checkpoint(floor),
+            None => self.index.len(),
+        }
     }
 
     /// Would admitting this access keep `level`? Read-only — the

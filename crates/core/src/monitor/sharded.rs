@@ -1,5 +1,7 @@
 //! The **sharded concurrent monitor**: live certification under real
-//! OS-thread parallelism, without a single big mutex.
+//! OS-thread parallelism, without a single big mutex — and, when
+//! logging is enabled, with **speculative-suffix retraction** so an
+//! optimistic executor can abort.
 //!
 //! [`OnlineMonitor`](super::OnlineMonitor) is single-writer: a
 //! threaded executor certifying through it serializes every operation
@@ -17,12 +19,15 @@
 //! [`ShardedMonitor::push`] splits each operation into three stages:
 //!
 //! 1. **sequence** (one short mutex): append to the growing
-//!    [`Schedule`], validate §2.2 from per-transaction running
-//!    read/write totals, update the `last_write`/reads-from entry, and
+//!    [`Schedule`], update the `last_write`/reads-from entry, and
 //!    claim *tickets* — one for the global stage and one per conjunct
 //!    shard whose scope contains the item. This section is `O(words)`
-//!    with **no graph work and no prefix-table row clones** — it is
-//!    deliberately the thinnest possible order-defining region.
+//!    with **no graph work, no prefix-table row clones and no §2.2
+//!    scans** — the per-transaction read/write totals that back the
+//!    §2.2 validation live *outside* the mutex (each transaction's
+//!    totals cell is touched only by the thread pushing that
+//!    transaction, per the program-order contract), so the
+//!    order-claiming region is the thinnest it can be.
 //! 2. **global** (ticketed, own lock): delayed-read tracking
 //!    (Definition 5 marks, the first-non-DR prefix, the per-conjunct
 //!    Lemma-6 kills) and the global reduced conflict graph under
@@ -48,8 +53,40 @@
 //! first-violation positions): `push` returns the floor without
 //! taking any further lock, and readers get a sound "no better than"
 //! answer mid-flight; the exact `Verdict` is assembled by
-//! [`ShardedMonitor::verdict`] (exact at quiescence).
+//! [`ShardedMonitor::verdict`] (exact at quiescence). The floor only
+//! worsens between retractions; [`ShardedMonitor::truncate_to`] and
+//! [`ShardedMonitor::retract_txn`] recompute it exactly.
+//!
+//! ## Retraction (the undo layer, sharded)
+//!
+//! A monitor built with [`ShardedMonitor::new_logged`] journals every
+//! push through the shared [`undo`](super::undo) layer, split by
+//! pipeline stage: the sequence mutex owns an `UndoLog<SeqDelta>`
+//! (table rows), the global stage an `UndoLog<GlobalDelta>` (DR
+//! marks plus the global graph), and each shard its own
+//! `(position, GraphDelta)`
+//! journal *behind the shard's existing lock*. Because each stage
+//! serves tickets in claimed order, each journal is automatically in
+//! position order — the LIFO retraction invariant holds per stage
+//! without any cross-stage coordination.
+//!
+//! [`ShardedMonitor::truncate_to`] retracts a speculative suffix: it
+//! holds the sequence mutex (no new positions can be claimed), waits
+//! for the in-flight pipeline to drain (bounded by the ops already
+//! ticketed — they complete without needing the sequence mutex), then
+//! pops each stage's journal in reverse position order. A shard is
+//! locked only while *its own* entries pop — a shard untouched by the
+//! suffix is never locked at all — so the cost is `O(ops undone)`
+//! counted per shard, not `O(schedule)`.
+//! [`ShardedMonitor::retract_txn`] is the abort primitive on top:
+//! truncate to the aborting transaction's first operation, then
+//! re-push the surviving interleaving (which can never introduce a
+//! new violation: removing operations only removes conflict edges and
+//! DR marks). Both leave the monitor byte-identical to a single-writer
+//! replay of the surviving schedule — pinned under real-thread abort
+//! storms by `tests/sharded_props.rs`.
 
+use super::undo::{GlobalDelta, GraphDelta, SeqDelta, UndoLog};
 use super::{AdmissionLevel, ProjGraph, Verdict, VerdictLevel};
 use crate::error::Result;
 use crate::ids::{ItemId, OpIndex, TxnId};
@@ -58,24 +95,40 @@ use crate::op::Operation;
 use crate::schedule::Schedule;
 use crate::state::ItemSet;
 use parking_lot::{Mutex, RwLock};
-use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 const NO_POS: u32 = u32::MAX;
 
-/// Stage-1 state: the order-defining serial section.
+/// One transaction's running §2.2 read/write totals. Lives *outside*
+/// the sequence mutex: the push contract (one thread pushes a given
+/// transaction's operations, in program order) makes each cell
+/// effectively thread-private, so validating against it costs no
+/// shared serial time.
 #[derive(Debug, Default)]
+struct TxnTotals {
+    rs: ItemSet,
+    ws: ItemSet,
+}
+
+/// Stage-1 state: the order-defining serial section.
+#[derive(Debug)]
 struct SeqState {
     /// The growing schedule — the interleaving being certified.
     schedule: Schedule,
-    /// Per slot: running read/write totals (§2.2 validation).
-    rs: Vec<ItemSet>,
-    ws: Vec<ItemSet>,
     /// Per item: position of the latest write (`NO_POS` if none).
     last_write: Vec<u32>,
+    /// Per slot: position of the transaction's first operation (the
+    /// `O(1)` lookup behind [`ShardedMonitor::retract_txn`]).
+    first_op: Vec<u32>,
     /// Next global-stage ticket.
     gticket: u32,
     /// Next ticket per conjunct shard.
     tickets: Vec<u32>,
+    /// Sequence-half undo journal (entries only when logging).
+    log: UndoLog<SeqDelta>,
 }
 
 /// Stage-2 state: everything that needs the full total order.
@@ -89,12 +142,17 @@ struct GlobalState {
     first_non_dr: Option<OpIndex>,
     /// Per conjunct: first in-scope dirty-read materialization.
     conjunct_non_dr: Vec<Option<OpIndex>>,
+    /// Global-half undo journal (entries only when logging).
+    log: UndoLog<GlobalDelta>,
 }
 
-/// Stage-3 state: one conjunct's reduced conflict graph.
+/// Stage-3 state: one conjunct's reduced conflict graph plus its own
+/// undo journal (position-tagged, automatically in position order
+/// because the shard serves tickets in claimed order).
 #[derive(Debug, Default)]
 struct ShardState {
     graph: ProjGraph,
+    log: Vec<(u32, GraphDelta)>,
 }
 
 /// One conjunct shard: a ticket turnstile plus the guarded state.
@@ -106,8 +164,8 @@ struct Shard {
     state: RwLock<ShardState>,
 }
 
-/// Ladder rank for the lock-free floor (higher = worse; the ladder
-/// only ever worsens, so `fetch_max` is exact).
+/// Ladder rank for the lock-free floor (higher = worse; between
+/// retractions the ladder only ever worsens, so `fetch_max` is exact).
 fn rank(level: VerdictLevel) -> u8 {
     match level {
         VerdictLevel::Serializable => 0,
@@ -141,9 +199,47 @@ fn wait_turn(serving: &AtomicU32, ticket: u32) {
     }
 }
 
+/// What one [`ShardedMonitor::push_outcome`] observed — the lock-free
+/// floor plus *causality* flags: whether **this** push was the
+/// operation that broke each rung. An optimistic executor aborts the
+/// pushing transaction exactly when its own operation breached the
+/// configured admission floor ([`PushOutcome::breaches`]); a floor
+/// worsened by some *other* transaction's concurrent push is that
+/// transaction's to repair (its own `PushOutcome` reports the breach
+/// to the thread that pushed it).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PushOutcome {
+    /// The claimed position of the pushed operation.
+    pub pos: OpIndex,
+    /// The lock-free verdict floor after this push.
+    pub floor: VerdictLevel,
+    /// This push closed the first global conflict-graph cycle.
+    pub caused_non_serializable: bool,
+    /// This push closed the first cycle of some conjunct projection.
+    pub caused_violation: bool,
+    /// This push was the first to materialize a dirty read.
+    pub caused_non_dr: bool,
+}
+
+impl PushOutcome {
+    /// Did this push break the verdict rung `level` protects? (A
+    /// conjunct cycle uses edges the global graph also contains, so a
+    /// violation always breaches the `Serializable` floor too.)
+    pub fn breaches(&self, level: AdmissionLevel) -> bool {
+        match level {
+            AdmissionLevel::Serializable => self.caused_non_serializable || self.caused_violation,
+            AdmissionLevel::Pwsr => self.caused_violation,
+            AdmissionLevel::PwsrDr => self.caused_violation || self.caused_non_dr,
+        }
+    }
+}
+
 /// A concurrent [`OnlineMonitor`](super::OnlineMonitor): per-conjunct
 /// certification shards behind their own locks, a ticketed pipeline
-/// defining the total order, and a lock-free verdict floor. See the
+/// defining the total order, a lock-free verdict floor — and, when
+/// constructed with [`ShardedMonitor::new_logged`], per-stage undo
+/// journals enabling suffix retraction ([`ShardedMonitor::truncate_to`])
+/// and transaction aborts ([`ShardedMonitor::retract_txn`]). See the
 /// module docs for the stage layout and the parity argument.
 ///
 /// `push` takes `&self` — threads share the monitor behind an `Arc`
@@ -154,25 +250,56 @@ fn wait_turn(serving: &AtomicU32, ticket: u32) {
 #[derive(Debug)]
 pub struct ShardedMonitor {
     scopes: Vec<ItemSet>,
+    /// Per transaction: §2.2 running totals, outside the serial
+    /// section (see [`TxnTotals`]).
+    totals: RwLock<HashMap<TxnId, Arc<Mutex<TxnTotals>>>>,
     seq: Mutex<SeqState>,
     gserving: AtomicU32,
     gstate: RwLock<GlobalState>,
     shards: Vec<Shard>,
-    /// Lock-free verdict floor: worst ladder rank any push computed.
+    /// Lock-free verdict floor: worst ladder rank any push computed
+    /// (recomputed exactly by retraction).
     floor: AtomicU8,
     /// Lock-free min over conjunct cycle positions (`NO_POS` = none).
     first_violation: AtomicU32,
+    /// Pushes past the sequence stage that have not yet published
+    /// their floor rank — the drain waits on this as well as the
+    /// ticket turnstiles, so a retraction's exact floor recompute can
+    /// never be clobbered by a stale in-flight `fetch_max`.
+    inflight: AtomicU32,
+    /// Journal pushes for retraction?
+    logging: bool,
+    /// Measure time spent inside the order-claiming mutex?
+    time_serial: bool,
+    serial_ns: AtomicU64,
+    serial_ops: AtomicU64,
 }
 
 impl ShardedMonitor {
-    /// A sharded monitor over explicit projection scopes.
+    /// A sharded monitor over explicit projection scopes, without undo
+    /// journals (pushes are permanent; zero logging overhead).
     pub fn new(scopes: Vec<ItemSet>) -> ShardedMonitor {
+        ShardedMonitor::build(scopes, false)
+    }
+
+    /// A sharded monitor that journals every push for retraction —
+    /// the optimistic executors' constructor.
+    pub fn new_logged(scopes: Vec<ItemSet>) -> ShardedMonitor {
+        ShardedMonitor::build(scopes, true)
+    }
+
+    fn build(scopes: Vec<ItemSet>, logging: bool) -> ShardedMonitor {
         let n = scopes.len();
         ShardedMonitor {
             scopes,
+            totals: RwLock::new(HashMap::new()),
             seq: Mutex::new(SeqState {
+                schedule: Schedule::default(),
+                last_write: Vec::new(),
+                first_op: Vec::new(),
+                gticket: 0,
                 tickets: vec![0; n],
-                ..SeqState::default()
+                log: UndoLog::new(0),
             }),
             gserving: AtomicU32::new(0),
             gstate: RwLock::new(GlobalState {
@@ -180,6 +307,7 @@ impl ShardedMonitor {
                 dirty_reads: Vec::new(),
                 first_non_dr: None,
                 conjunct_non_dr: vec![None; n],
+                log: UndoLog::new(0),
             }),
             shards: (0..n)
                 .map(|_| Shard {
@@ -189,12 +317,42 @@ impl ShardedMonitor {
                 .collect(),
             floor: AtomicU8::new(0),
             first_violation: AtomicU32::new(NO_POS),
+            inflight: AtomicU32::new(0),
+            logging,
+            time_serial: false,
+            serial_ns: AtomicU64::new(0),
+            serial_ops: AtomicU64::new(0),
         }
     }
 
     /// A sharded monitor over an integrity constraint's conjuncts.
     pub fn for_constraint(ic: &crate::constraint::IntegrityConstraint) -> ShardedMonitor {
         ShardedMonitor::new(ic.conjuncts().iter().map(|c| c.items().clone()).collect())
+    }
+
+    /// Enable serial-stage timing: every push accumulates the
+    /// nanoseconds it spent inside the order-claiming mutex, read back
+    /// by [`ShardedMonitor::serial_ns_per_op`]. Costs two clock reads
+    /// per push — a measurement mode, not the deployment default.
+    pub fn with_serial_timing(mut self) -> ShardedMonitor {
+        self.time_serial = true;
+        self
+    }
+
+    /// Mean nanoseconds per push spent inside the order-claiming
+    /// mutex (0.0 unless built [`ShardedMonitor::with_serial_timing`]).
+    pub fn serial_ns_per_op(&self) -> f64 {
+        let ops = self.serial_ops.load(Ordering::Relaxed);
+        if ops == 0 {
+            0.0
+        } else {
+            self.serial_ns.load(Ordering::Relaxed) as f64 / ops as f64
+        }
+    }
+
+    /// Does this monitor journal pushes for retraction?
+    pub fn logging(&self) -> bool {
+        self.logging
     }
 
     /// The projection scopes.
@@ -212,6 +370,14 @@ impl ShardedMonitor {
         self.len() == 0
     }
 
+    /// The §2.2 totals cell of `txn` (created on first use).
+    fn totals_cell(&self, txn: TxnId) -> Arc<Mutex<TxnTotals>> {
+        if let Some(cell) = self.totals.read().get(&txn) {
+            return Arc::clone(cell);
+        }
+        Arc::clone(self.totals.write().entry(txn).or_default())
+    }
+
     /// Append one operation from any thread; returns the lock-free
     /// verdict floor after this push (a sound "no better than" rung —
     /// the exact [`Verdict`] is [`ShardedMonitor::verdict`]'s, at
@@ -220,6 +386,14 @@ impl ShardedMonitor {
     /// Errors (leaving the monitor untouched) if the operation
     /// violates its transaction's §2.2 well-formedness.
     pub fn push(&self, op: Operation) -> Result<VerdictLevel> {
+        self.push_outcome(op).map(|o| o.floor)
+    }
+
+    /// [`ShardedMonitor::push`] returning the full [`PushOutcome`]:
+    /// the floor plus the flags saying whether *this* operation broke
+    /// a verdict rung — what an optimistic executor's abort decision
+    /// keys on.
+    pub fn push_outcome(&self, op: Operation) -> Result<PushOutcome> {
         let (txn, item, action) = (op.txn, op.item, op.action);
         let is_write = action == Action::Write;
         // Touched conjuncts, gathered outside every lock (tickets are
@@ -233,82 +407,54 @@ impl ShardedMonitor {
             .map(|(k, _)| (k, 0))
             .collect();
 
+        // --- §2.2 validation: outside the serial section ---------------
+        // The same check, by the same code, as the single-writer index
+        // — parity by construction. The totals cell belongs to this
+        // thread by the program-order contract, so no ordering is lost
+        // by validating before the position is claimed.
+        let cell = self.totals_cell(txn);
+        {
+            let mut t = cell.lock();
+            super::validate_22(&t.rs, &t.ws, &op)?;
+            if is_write {
+                t.ws.insert(item);
+            } else {
+                t.rs.insert(item);
+            }
+        }
+
         // --- stage 1: claim the position -------------------------------
         let (p, slot, rf_slot, gticket) = {
             let mut s = self.seq.lock();
-            if let Some(sl) = s.schedule.txn_slot(txn) {
-                // The same §2.2 check, by the same code, as the
-                // single-writer index — parity by construction.
-                super::validate_22(&s.rs[sl], &s.ws[sl], &op)?;
+            let t0 = self.time_serial.then(Instant::now);
+            let claimed = self.stage_seq(&mut s, op, &mut turns);
+            // Claimed under the sequence lock, released after the
+            // floor publication below: a retraction's drain waits for
+            // this to reach zero, so it can never interleave between
+            // a push's stage work and its (stale-state) `fetch_max`.
+            self.inflight.fetch_add(1, Ordering::AcqRel);
+            if let Some(t0) = t0 {
+                self.serial_ns
+                    .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                self.serial_ops.fetch_add(1, Ordering::Relaxed);
             }
-            let p = OpIndex(s.schedule.len());
-            s.schedule.push_op_unchecked(op);
-            let slot = s.schedule.slot_of_op(p);
-            if s.rs.len() <= slot {
-                s.rs.resize_with(slot + 1, ItemSet::new);
-                s.ws.resize_with(slot + 1, ItemSet::new);
-            }
-            let rf_slot = if is_write {
-                if s.last_write.len() <= item.index() {
-                    s.last_write.resize(item.index() + 1, NO_POS);
-                }
-                s.last_write[item.index()] = p.0 as u32;
-                s.ws[slot].insert(item);
-                None
-            } else {
-                s.rs[slot].insert(item);
-                let w = s.last_write.get(item.index()).copied().unwrap_or(NO_POS);
-                (w != NO_POS).then(|| s.schedule.slot_of_op(OpIndex(w as usize)))
-            };
-            let gticket = s.gticket;
-            s.gticket += 1;
-            for (k, ticket) in turns.iter_mut() {
-                *ticket = s.tickets[*k];
-                s.tickets[*k] += 1;
-            }
-            (p, slot, rf_slot, gticket)
+            claimed
         };
 
         // --- stage 2: global graph + delayed-read, in position order ---
         wait_turn(&self.gserving, gticket);
-        let (ser_now, dr_now) = {
+        let (ser_now, dr_now, caused_non_serializable, caused_non_dr) = {
             let mut g = self.gstate.write();
-            if g.dirty_reads.len() <= slot {
-                g.dirty_reads.resize_with(slot + 1, ItemSet::new);
-            }
-            if !g.dirty_reads[slot].is_empty() {
-                if g.first_non_dr.is_none() {
-                    g.first_non_dr = Some(p);
-                }
-                for (k, scope) in self.scopes.iter().enumerate() {
-                    if g.conjunct_non_dr[k].is_none() && !scope.is_disjoint(&g.dirty_reads[slot]) {
-                        g.conjunct_non_dr[k] = Some(p);
-                    }
-                }
-            }
-            if !is_write {
-                if let Some(w_slot) = rf_slot {
-                    if w_slot != slot {
-                        g.dirty_reads[w_slot].insert(item);
-                    }
-                }
-            }
-            g.graph.apply(slot, item.index(), is_write, p);
-            (g.graph.serializable(), g.first_non_dr.is_none())
+            self.stage_global(&mut g, slot, item, is_write, rf_slot, p)
         };
         self.gserving.store(gticket + 1, Ordering::Release);
 
         // --- stage 3: touched conjunct shards, per-shard order ---------
+        let mut caused_violation = false;
         for &(k, t) in &turns {
             let shard = &self.shards[k];
             wait_turn(&shard.serving, t);
-            {
-                let mut sh = shard.state.write();
-                sh.graph.apply(slot, item.index(), is_write, p);
-                if sh.graph.cyclic_at == Some(p) {
-                    self.first_violation.fetch_min(p.0 as u32, Ordering::AcqRel);
-                }
-            }
+            caused_violation |= self.stage_shard(k, slot, item, is_write, p);
             shard.serving.store(t + 1, Ordering::Release);
         }
 
@@ -317,7 +463,358 @@ impl ShardedMonitor {
         let level = VerdictLevel::compose(ser_now, dr_now, !violation);
         let mine = rank(level);
         let prev = self.floor.fetch_max(mine, Ordering::AcqRel);
-        Ok(level_of(prev.max(mine)))
+        self.inflight.fetch_sub(1, Ordering::AcqRel);
+        Ok(PushOutcome {
+            pos: p,
+            floor: level_of(prev.max(mine)),
+            caused_non_serializable,
+            caused_violation,
+            caused_non_dr,
+        })
+    }
+
+    /// Stage 1 under the (held) sequence lock: append, maintain the
+    /// order tables, claim tickets, journal the sequence half.
+    fn stage_seq(
+        &self,
+        s: &mut SeqState,
+        op: Operation,
+        turns: &mut [(usize, u32)],
+    ) -> (OpIndex, usize, Option<usize>, u32) {
+        let (item, is_write) = (op.item, op.is_write());
+        let existing = s.schedule.txn_slot(op.txn);
+        let delta = SeqDelta {
+            new_slot: existing.is_none(),
+            prev_item_ub: s.schedule.item_ub(),
+            prev_last_write: s.last_write.get(item.index()).copied().unwrap_or(NO_POS),
+            prev_slot_last: existing.map_or(0, |sl| s.schedule.slot_last_raw(sl)),
+        };
+        let p = OpIndex(s.schedule.len());
+        s.schedule.push_op_unchecked(op);
+        let slot = s.schedule.slot_of_op(p);
+        if slot == s.first_op.len() {
+            s.first_op.push(p.0 as u32);
+        }
+        let rf_slot = if is_write {
+            if s.last_write.len() <= item.index() {
+                s.last_write.resize(item.index() + 1, NO_POS);
+            }
+            s.last_write[item.index()] = p.0 as u32;
+            None
+        } else {
+            let w = s.last_write.get(item.index()).copied().unwrap_or(NO_POS);
+            (w != NO_POS).then(|| s.schedule.slot_of_op(OpIndex(w as usize)))
+        };
+        let gticket = s.gticket;
+        s.gticket += 1;
+        for (k, ticket) in turns.iter_mut() {
+            *ticket = s.tickets[*k];
+            s.tickets[*k] += 1;
+        }
+        if self.logging {
+            s.log.record(delta);
+        }
+        (p, slot, rf_slot, gticket)
+    }
+
+    /// Stage 2 under the (held) global lock. Returns `(serializable,
+    /// dr, caused_non_serializable, caused_non_dr)` for the prefix
+    /// ending at `p` — exact, because tickets serve in position order.
+    fn stage_global(
+        &self,
+        g: &mut GlobalState,
+        slot: usize,
+        item: ItemId,
+        is_write: bool,
+        rf_slot: Option<usize>,
+        p: OpIndex,
+    ) -> (bool, bool, bool, bool) {
+        let mut delta = GlobalDelta::default();
+        if g.dirty_reads.len() <= slot {
+            g.dirty_reads.resize_with(slot + 1, ItemSet::new);
+        }
+        let mut caused_non_dr = false;
+        if !g.dirty_reads[slot].is_empty() {
+            if g.first_non_dr.is_none() {
+                g.first_non_dr = Some(p);
+                delta.set_first_non_dr = true;
+                caused_non_dr = true;
+            }
+            for (k, scope) in self.scopes.iter().enumerate() {
+                if g.conjunct_non_dr[k].is_none() && !scope.is_disjoint(&g.dirty_reads[slot]) {
+                    g.conjunct_non_dr[k] = Some(p);
+                    delta.conjunct_non_dr_set.push(k as u32);
+                }
+            }
+        }
+        if !is_write {
+            if let Some(w_slot) = rf_slot {
+                if w_slot != slot && g.dirty_reads[w_slot].insert(item) {
+                    delta.dr_mark = Some(w_slot as u32);
+                }
+            }
+        }
+        if self.logging {
+            delta.graph = g.graph.apply_logged(slot, item.index(), is_write, p);
+        } else {
+            g.graph.apply(slot, item.index(), is_write, p);
+        }
+        let caused_non_serializable = g.graph.cyclic_at == Some(p);
+        let out = (
+            g.graph.serializable(),
+            g.first_non_dr.is_none(),
+            caused_non_serializable,
+            caused_non_dr,
+        );
+        if self.logging {
+            g.log.record(delta);
+        }
+        out
+    }
+
+    /// Stage 3 for shard `k` (takes the shard's write lock; the caller
+    /// holds its ticket). Returns whether this access closed the
+    /// conjunct's first cycle.
+    fn stage_shard(&self, k: usize, slot: usize, item: ItemId, is_write: bool, p: OpIndex) -> bool {
+        let mut sh = self.shards[k].state.write();
+        if self.logging {
+            let d = sh.graph.apply_logged(slot, item.index(), is_write, p);
+            sh.log.push((p.0 as u32, d));
+        } else {
+            sh.graph.apply(slot, item.index(), is_write, p);
+        }
+        let closed = sh.graph.cyclic_at == Some(p);
+        if closed {
+            self.first_violation.fetch_min(p.0 as u32, Ordering::AcqRel);
+        }
+        closed
+    }
+
+    /// Wait for every in-flight push to clear the pipeline *and*
+    /// publish its floor rank. Must be called with the sequence lock
+    /// held (no new positions can be claimed, and the in-flight count
+    /// cannot grow); the already-ticketed pushes finish without
+    /// needing that lock, so this terminates after at most `threads`
+    /// turns.
+    fn drain(&self, s: &SeqState) {
+        wait_turn(&self.gserving, s.gticket);
+        for (k, shard) in self.shards.iter().enumerate() {
+            wait_turn(&shard.serving, s.tickets[k]);
+        }
+        wait_turn(&self.inflight, 0);
+    }
+
+    /// Retract the logged suffix until `n` operations remain, in
+    /// `O(ops undone)` — each stage's journal pops in reverse position
+    /// order (the per-stage LIFO the undo layer requires), and a shard
+    /// is locked only while its own entries pop. Concurrent pushes
+    /// stall at the sequence stage for the duration; however, because
+    /// the §2.2 totals are owner-maintained, the transactions whose
+    /// operations fall in the truncated suffix must have no push in
+    /// flight (coordinated rollback / bench use). The concurrent-safe
+    /// abort primitive is [`ShardedMonitor::retract_txn`], which only
+    /// ever rewrites the calling thread's own totals. Returns the
+    /// number of operations undone.
+    ///
+    /// Panics if the monitor does not journal
+    /// ([`ShardedMonitor::new_logged`]) or `n` exceeds the current
+    /// length.
+    pub fn truncate_to(&self, n: usize) -> usize {
+        let mut s = self.seq.lock();
+        self.drain(&s);
+        self.truncate_locked(&mut s, n, None)
+    }
+
+    /// The truncation body, under the held sequence lock after a
+    /// drain. `victim` selects whose §2.2 totals to strip: `None`
+    /// (plain [`ShardedMonitor::truncate_to`]) strips every popped
+    /// operation's bit — correct only when the affected transactions'
+    /// pushers are quiescent; `Some(txn)` ([`ShardedMonitor::retract_txn`])
+    /// strips only the victim's, leaving survivors' totals untouched
+    /// because their operations are re-pushed immediately *and* their
+    /// owning threads may hold already-validated bits for in-flight
+    /// pushes parked at the sequence mutex (the totals cells are
+    /// owner-maintained; a retraction must not rewrite another
+    /// thread's cell under it).
+    fn truncate_locked(&self, s: &mut SeqState, n: usize, victim: Option<TxnId>) -> usize {
+        assert!(self.logging, "truncate_to on an unlogged ShardedMonitor");
+        assert!(
+            n <= s.schedule.len(),
+            "truncate_to({n}) beyond length {}",
+            s.schedule.len()
+        );
+        let undone = s.schedule.len() - n;
+        for _ in 0..undone {
+            let p = s.schedule.len() - 1;
+            let op = s.schedule.op(OpIndex(p)).clone();
+            let slot = s.schedule.slot_of_op(OpIndex(p));
+            let (item, is_write) = (op.item, op.is_write());
+            let sd = s.log.pop().expect("one sequence entry per logged push");
+            // Shards first (reverse of push order); ticket turnstiles
+            // roll back one step so re-claimed tickets line up.
+            for (k, scope) in self.scopes.iter().enumerate().rev() {
+                if !scope.contains(item) {
+                    continue;
+                }
+                {
+                    let mut sh = self.shards[k].state.write();
+                    let (pos, d) = sh.log.pop().expect("one shard entry per touched push");
+                    debug_assert_eq!(pos as usize, p);
+                    sh.graph.undo(slot, item.index(), is_write, d);
+                }
+                s.tickets[k] -= 1;
+                self.shards[k]
+                    .serving
+                    .store(s.tickets[k], Ordering::Release);
+            }
+            // Global stage.
+            {
+                let mut g = self.gstate.write();
+                let gd = g.log.pop().expect("one global entry per logged push");
+                g.graph.undo(slot, item.index(), is_write, gd.graph);
+                if let Some(w_slot) = gd.dr_mark {
+                    g.dirty_reads[w_slot as usize].remove(item);
+                }
+                for k in gd.conjunct_non_dr_set {
+                    g.conjunct_non_dr[k as usize] = None;
+                }
+                if gd.set_first_non_dr {
+                    g.first_non_dr = None;
+                }
+                if sd.new_slot {
+                    g.dirty_reads.truncate(slot);
+                }
+            }
+            s.gticket -= 1;
+            self.gserving.store(s.gticket, Ordering::Release);
+            // Sequence tables and §2.2 totals (see the `victim`
+            // contract above).
+            if is_write {
+                s.last_write[item.index()] = sd.prev_last_write;
+            }
+            s.schedule
+                .pop_op_unchecked(sd.new_slot, sd.prev_slot_last, sd.prev_item_ub);
+            if sd.new_slot {
+                s.first_op.pop();
+            }
+            let strip_totals = victim.is_none_or(|v| v == op.txn);
+            if strip_totals {
+                if sd.new_slot {
+                    self.totals.write().remove(&op.txn);
+                } else {
+                    let cell = self
+                        .totals
+                        .read()
+                        .get(&op.txn)
+                        .map(Arc::clone)
+                        .expect("totals cell exists for a pushed transaction");
+                    let mut t = cell.lock();
+                    if is_write {
+                        t.ws.remove(item);
+                    } else {
+                        t.rs.remove(item);
+                    }
+                }
+            }
+        }
+        if undone > 0 {
+            self.recompute_floor();
+        }
+        undone
+    }
+
+    /// Recompute the lock-free floor and first-violation mirror from
+    /// the per-stage state (retraction can *improve* the verdict, so
+    /// the monotone `fetch_max`/`fetch_min` floors must be reset).
+    /// Requires the pipeline to be quiescent under the sequence lock.
+    fn recompute_floor(&self) {
+        let mut fv = NO_POS;
+        for shard in &self.shards {
+            if let Some(c) = shard.state.read().graph.cyclic_at {
+                fv = fv.min(c.0 as u32);
+            }
+        }
+        self.first_violation.store(fv, Ordering::Release);
+        let g = self.gstate.read();
+        let level = VerdictLevel::compose(
+            g.graph.serializable(),
+            g.first_non_dr.is_none(),
+            fv == NO_POS,
+        );
+        self.floor.store(rank(level), Ordering::Release);
+    }
+
+    /// Abort `txn`: truncate to its first operation and re-push the
+    /// surviving interleaving (every retracted operation of another
+    /// transaction, in its original order). No new *cycle* can appear
+    /// — the survivors' conflict edges are a subset of those already
+    /// certified. Delayed-read marks, however, can be **reassigned**:
+    /// a survivor read that took its value from the victim's write is
+    /// re-recorded as reading from the earlier writer, which can mint
+    /// a DR break that no [`PushOutcome`] ever reported (the verdict
+    /// and floor reflect it exactly; only the per-push causality is
+    /// gone). An executor holding a DR-sensitive floor must therefore
+    /// prevent reads of the victim's writes from being admitted at
+    /// all — the OCC executor does so by keeping written items dirty
+    /// (reader-blocking) until the writer commits, and by retracting
+    /// *before* rolling the store back. Atomic with respect to
+    /// concurrent pushes (they stall at the sequence stage). Returns
+    /// `(ops undone, ops re-pushed)` — the abort's cost, proportional
+    /// to the suffix after the transaction's first operation, not to
+    /// the schedule.
+    ///
+    /// A transaction the monitor has never seen retracts nothing.
+    pub fn retract_txn(&self, txn: TxnId) -> (usize, usize) {
+        let mut s = self.seq.lock();
+        self.drain(&s);
+        let Some(slot) = s.schedule.txn_slot(txn) else {
+            return (0, 0);
+        };
+        let first = s.first_op[slot] as usize;
+        let survivors: Vec<Operation> = (first..s.schedule.len())
+            .map(|p| s.schedule.op(OpIndex(p)).clone())
+            .filter(|o| o.txn != txn)
+            .collect();
+        let undone = self.truncate_locked(&mut s, first, Some(txn));
+        let repushed = survivors.len();
+        for op in survivors {
+            self.push_locked(&mut s, op);
+        }
+        if repushed > 0 {
+            // One exact recompute after the whole re-push (the
+            // truncation already recomputed; per-op floors would be
+            // overwritten anyway and cost O(shards) locks each).
+            self.recompute_floor();
+        }
+        (undone, repushed)
+    }
+
+    /// Run the whole pipeline inline for one operation while the
+    /// sequence lock is held and the pipeline is quiescent (the
+    /// re-push half of [`ShardedMonitor::retract_txn`]): every ticket
+    /// is claimed and served immediately, so the journals stay in
+    /// position order. Does **not** touch the §2.2 totals: the
+    /// truncation it follows left the survivors' bits in place (their
+    /// owning threads may be mid-push against those very cells).
+    fn push_locked(&self, s: &mut SeqState, op: Operation) {
+        let (item, is_write) = (op.item, op.is_write());
+        let mut turns: Vec<(usize, u32)> = self
+            .scopes
+            .iter()
+            .enumerate()
+            .filter(|(_, scope)| scope.contains(item))
+            .map(|(k, _)| (k, 0))
+            .collect();
+        let (p, slot, rf_slot, gticket) = self.stage_seq(s, op, &mut turns);
+        {
+            let mut g = self.gstate.write();
+            self.stage_global(&mut g, slot, item, is_write, rf_slot, p);
+        }
+        self.gserving.store(gticket + 1, Ordering::Release);
+        for &(k, t) in &turns {
+            self.stage_shard(k, slot, item, is_write, p);
+            self.shards[k].serving.store(t + 1, Ordering::Release);
+        }
     }
 
     /// The current lock-free verdict floor — no locks taken.
@@ -463,22 +960,29 @@ mod tests {
     }
 
     /// Sequential pushes: the sharded verdict equals the single-writer
-    /// verdict at every prefix (same interleaving by construction).
+    /// verdict at every prefix (same interleaving by construction) —
+    /// with and without logging.
     #[test]
     fn sequential_parity_at_every_prefix() {
-        for ops in [
-            example2_ops(),
-            vec![wr(1, 0, 1), rd(2, 0, 1), wr(2, 1, 2), rd(1, 1, 2)],
-            vec![wr(1, 0, 1), rd(1, 2, 1), rd(2, 0, 1), wr(2, 2, 2)],
-        ] {
-            let sharded = ShardedMonitor::new(example2_scopes());
-            let mut single = OnlineMonitor::new(example2_scopes());
-            for op in ops {
-                let floor = sharded.push(op.clone()).unwrap();
-                let v = single.push(op).unwrap();
-                assert_eq!(sharded.verdict(), v);
-                // The floor is sound: never better than the truth.
-                assert!(rank(floor) >= rank(v.level));
+        for logged in [false, true] {
+            for ops in [
+                example2_ops(),
+                vec![wr(1, 0, 1), rd(2, 0, 1), wr(2, 1, 2), rd(1, 1, 2)],
+                vec![wr(1, 0, 1), rd(1, 2, 1), rd(2, 0, 1), wr(2, 2, 2)],
+            ] {
+                let sharded = if logged {
+                    ShardedMonitor::new_logged(example2_scopes())
+                } else {
+                    ShardedMonitor::new(example2_scopes())
+                };
+                let mut single = OnlineMonitor::new(example2_scopes());
+                for op in ops {
+                    let floor = sharded.push(op.clone()).unwrap();
+                    let v = single.push(op).unwrap();
+                    assert_eq!(sharded.verdict(), v);
+                    // The floor is sound: never better than the truth.
+                    assert!(rank(floor) >= rank(v.level));
+                }
             }
         }
     }
@@ -579,5 +1083,142 @@ mod tests {
         assert!(v.dr && v.lemma2_certified && v.lemma6_certified);
         assert!(m.lemma2_holds(0) && m.lemma6_holds(1));
         assert!(m.snapshot_schedule().is_empty());
+    }
+
+    /// Push every op logged, truncate back to every length, and check
+    /// the monitor equals a fresh single-writer replay of the
+    /// shortened prefix — verdict, certificates, and future behaviour.
+    #[test]
+    fn truncate_to_equals_fresh_replay() {
+        let runs = [
+            example2_ops(),
+            vec![wr(1, 0, 1), rd(2, 0, 1), wr(2, 1, 2), rd(1, 1, 2)],
+            vec![
+                wr(1, 1, 1),
+                wr(2, 1, 2),
+                rd(2, 0, 0),
+                rd(3, 1, 2),
+                rd(1, 0, 0),
+            ],
+        ];
+        for ops in runs {
+            for cut in 0..=ops.len() {
+                let m = ShardedMonitor::new_logged(example2_scopes());
+                for op in &ops {
+                    m.push(op.clone()).unwrap();
+                }
+                assert_eq!(m.truncate_to(cut), ops.len() - cut);
+                let mut fresh = OnlineMonitor::new(example2_scopes());
+                for op in &ops[..cut] {
+                    fresh.push(op.clone()).unwrap();
+                }
+                assert_eq!(m.verdict(), fresh.verdict(), "cut {cut}");
+                assert_eq!(m.snapshot_schedule(), *fresh.schedule());
+                for k in 0..2 {
+                    assert_eq!(m.lemma2_holds(k), fresh.lemma2_holds(k));
+                    assert_eq!(m.lemma6_holds(k), fresh.lemma6_holds(k));
+                }
+                // The truncated monitor keeps working: floor resets
+                // and further pushes agree with the fresh monitor.
+                assert_eq!(m.floor(), fresh.verdict().level);
+                for op in &ops[cut..] {
+                    m.push(op.clone()).unwrap();
+                    fresh.push(op.clone()).unwrap();
+                }
+                assert_eq!(m.verdict(), fresh.verdict());
+            }
+        }
+    }
+
+    /// Aborting a transaction removes exactly its operations; the
+    /// surviving interleaving certifies identically to a single-writer
+    /// replay, and the previously-broken rung heals when the aborted
+    /// transaction caused the break.
+    #[test]
+    fn retract_txn_filters_and_heals() {
+        // The canonical non-PWSR interleaving: r1(b) closes the {a,b}
+        // cycle. Retract T1 — the survivor (T2 alone) is serializable.
+        let ops = [wr(1, 0, 1), rd(2, 0, 1), wr(2, 1, 2), rd(1, 1, 2)];
+        let m = ShardedMonitor::new_logged(example2_scopes());
+        let mut last = None;
+        for op in &ops {
+            last = Some(m.push_outcome(op.clone()).unwrap());
+        }
+        let out = last.unwrap();
+        assert!(out.caused_violation && out.breaches(AdmissionLevel::Pwsr));
+        assert_eq!(m.verdict().level, VerdictLevel::Violation);
+        let (undone, repushed) = m.retract_txn(TxnId(1));
+        assert_eq!((undone, repushed), (4, 2));
+        let schedule = m.snapshot_schedule();
+        assert!(schedule.ops().iter().all(|o| o.txn == TxnId(2)));
+        let mut replay = OnlineMonitor::new(example2_scopes());
+        for op in schedule.ops() {
+            replay.push(op.clone()).unwrap();
+        }
+        assert_eq!(m.verdict(), replay.verdict());
+        assert_eq!(m.verdict().level, VerdictLevel::Serializable);
+        assert_eq!(m.floor(), VerdictLevel::Serializable);
+        // An unknown transaction retracts nothing.
+        assert_eq!(m.retract_txn(TxnId(99)), (0, 0));
+        // T2 can be retracted too, emptying the monitor.
+        let (undone, repushed) = m.retract_txn(TxnId(2));
+        assert_eq!((undone, repushed), (2, 0));
+        assert!(m.is_empty());
+        assert_eq!(m.verdict().level, VerdictLevel::Serializable);
+    }
+
+    /// After a retraction, the §2.2 totals are restored: the aborted
+    /// transaction can re-push the same accesses, and survivors'
+    /// duplicate protections still hold.
+    #[test]
+    fn retraction_restores_totals() {
+        let m = ShardedMonitor::new_logged(example2_scopes());
+        m.push(rd(1, 0, 0)).unwrap();
+        m.push(wr(2, 1, 1)).unwrap();
+        m.push(wr(1, 2, 2)).unwrap();
+        m.retract_txn(TxnId(1));
+        // T1's totals are gone: the same accesses are valid again.
+        m.push(rd(1, 0, 0)).unwrap();
+        m.push(wr(1, 2, 2)).unwrap();
+        // T2 survived with its totals intact.
+        assert!(m.push(wr(2, 1, 9)).is_err(), "duplicate write kept");
+        assert_eq!(m.len(), 3);
+    }
+
+    /// The non-DR causality flag: the writer's next operation
+    /// materializes the dirty read and reports `caused_non_dr`.
+    #[test]
+    fn push_outcome_reports_dr_causality() {
+        let m = ShardedMonitor::new_logged(example2_scopes());
+        m.push(wr(1, 0, 1)).unwrap();
+        m.push(rd(2, 0, 1)).unwrap();
+        let out = m.push_outcome(rd(1, 2, 0)).unwrap();
+        assert!(out.caused_non_dr && !out.caused_violation);
+        assert!(out.breaches(AdmissionLevel::PwsrDr));
+        assert!(!out.breaches(AdmissionLevel::Pwsr));
+        // Retract the materializing transaction: DR is restored.
+        m.retract_txn(TxnId(1));
+        assert!(m.verdict().dr);
+        assert_eq!(m.floor(), VerdictLevel::Serializable);
+    }
+
+    #[test]
+    fn serial_timing_accumulates() {
+        let m = ShardedMonitor::new(example2_scopes()).with_serial_timing();
+        for op in example2_ops() {
+            m.push(op).unwrap();
+        }
+        assert!(m.serial_ns_per_op() > 0.0);
+        let untimed = ShardedMonitor::new(example2_scopes());
+        untimed.push(wr(1, 0, 1)).unwrap();
+        assert_eq!(untimed.serial_ns_per_op(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unlogged ShardedMonitor")]
+    fn truncate_unlogged_panics() {
+        let m = ShardedMonitor::new(example2_scopes());
+        m.push(wr(1, 0, 1)).unwrap();
+        m.truncate_to(0);
     }
 }

@@ -95,6 +95,13 @@ impl Schedule {
         self.ops.push(op);
     }
 
+    /// The position of slot `slot`'s last operation — the value a
+    /// sequence-stage undo-log entry captures before a push displaces
+    /// it.
+    pub(crate) fn slot_last_raw(&self, slot: usize) -> u32 {
+        self.slot_last[slot]
+    }
+
     /// Retract the most recent [`Schedule::push_op_unchecked`] — the
     /// undo-log's schedule half. `new_txn` says the popped operation
     /// was its transaction's first (the transaction disappears);

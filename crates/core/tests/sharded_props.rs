@@ -139,6 +139,97 @@ fn check_against_oracles(
 }
 
 proptest! {
+    /// The **abort storm**: N real threads interleave pushes and
+    /// per-transaction retractions (`retract_txn`) on a *logged*
+    /// sharded monitor. Whatever interleaving of pushes and truncates
+    /// the OS produced, the surviving schedule must contain exactly
+    /// the non-aborted transactions' operations in program order, and
+    /// the monitor must be byte-identical to a single-writer replay
+    /// of that surviving schedule — verdict, per-conjunct Lemma 2/6
+    /// certificates, and the batch checkers.
+    #[test]
+    fn threaded_abort_storms_match_replay_and_batch(
+        txns in arb_transactions(6),
+        abort_mask in 0u32..64,
+        d1_bits in 0u32..64,
+        d2_bits in 0u32..64,
+        n_threads in 2usize..4,
+    ) {
+        let scopes = scopes_from_bits(d1_bits, d2_bits);
+        let monitor = Arc::new(ShardedMonitor::new_logged(scopes.clone()));
+        std::thread::scope(|scope| {
+            for (w, chunk) in txns.chunks(txns.len().div_ceil(n_threads)).enumerate() {
+                let monitor = Arc::clone(&monitor);
+                scope.spawn(move || {
+                    for t in chunk {
+                        for op in t.ops() {
+                            monitor.push(op.clone()).expect("well-formed transactions");
+                        }
+                        // Abort the masked transactions after their
+                        // last push — a retraction racing against the
+                        // other threads' pushes.
+                        if abort_mask & (1 << (t.id().0 - 1)) != 0 {
+                            let (undone, _) = monitor.retract_txn(t.id());
+                            assert!(undone >= t.len(), "at least its own ops undone");
+                        }
+                        if w % 2 == 0 {
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+        });
+        let monitor = Arc::try_unwrap(monitor).expect("threads joined");
+        let schedule = monitor.snapshot_schedule();
+        // Exactly the survivors' operations, in program order.
+        let survivors: Vec<&Transaction> = txns
+            .iter()
+            .filter(|t| abort_mask & (1 << (t.id().0 - 1)) == 0)
+            .collect();
+        prop_assert_eq!(
+            schedule.len(),
+            survivors.iter().map(|t| t.len()).sum::<usize>()
+        );
+        for t in survivors {
+            let recorded = schedule.transaction(t.id());
+            prop_assert_eq!(recorded.ops(), t.ops());
+        }
+        check_against_oracles(&schedule, &scopes, &monitor)?;
+    }
+
+    /// Sequential truncation parity: push everything logged, truncate
+    /// to a random cut, keep pushing — at the cut and at the end the
+    /// sharded monitor equals a single-writer monitor that never saw
+    /// the truncated suffix at all.
+    #[test]
+    fn sequential_truncate_matches_fresh_replay(
+        txns in arb_transactions(3),
+        mix in proptest::collection::vec(any::<u8>(), 0..32),
+        d1_bits in 0u32..64,
+        d2_bits in 0u32..64,
+        cut_pct in 0usize..=100,
+    ) {
+        let ops = interleave_random(&txns, &mix);
+        let scopes = scopes_from_bits(d1_bits, d2_bits);
+        let sharded = ShardedMonitor::new_logged(scopes.clone());
+        for op in &ops {
+            sharded.push(op.clone()).expect("valid interleaving");
+        }
+        let cut = cut_pct * ops.len() / 100;
+        prop_assert_eq!(sharded.truncate_to(cut), ops.len() - cut);
+        let mut single = OnlineMonitor::new(scopes.clone());
+        for op in &ops[..cut] {
+            single.push(op.clone()).expect("valid");
+        }
+        prop_assert_eq!(sharded.verdict(), single.verdict(), "post-cut verdict");
+        // The truncated monitor keeps certifying: replay the suffix.
+        for op in &ops[cut..] {
+            sharded.push(op.clone()).expect("valid");
+            single.push(op.clone()).expect("valid");
+        }
+        check_against_oracles(single.schedule(), &scopes, &sharded)?;
+    }
+
     /// N real threads, each pushing its own transactions in program
     /// order: whatever interleaving the OS produced, the recorded
     /// schedule's sharded verdict equals the single-writer replay and

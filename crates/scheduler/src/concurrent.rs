@@ -7,7 +7,7 @@
 //! ascending space order for a transaction's whole lifetime
 //! (conservative per-space 2PL — deadlock-free by lock ordering).
 //!
-//! Two recording paths:
+//! Three recording paths:
 //!
 //! * [`run_threaded`] — uncertified: the database and trace live
 //!   behind one mutex (contention there is irrelevant to semantics);
@@ -19,18 +19,35 @@
 //!   serializes conflicting accesses for entire transaction
 //!   lifetimes, so a thread's `db access → push` pair cannot be split
 //!   by a conflicting pair — the recorded schedule is read-coherent
-//!   by construction, and the monitor certifies it live, in parallel.
+//!   by construction, and the monitor certifies it live, in parallel;
+//! * [`run_threaded_occ_certified`] — **optimistic**: no spaces are
+//!   ever locked. A worker pool executes transactions speculatively
+//!   against the same item-striped database, every access is pushed
+//!   through a *logged* sharded monitor at a configured
+//!   [`AdmissionLevel`] floor, and a push whose [`PushOutcome`] says
+//!   *this operation broke the floor* aborts the transaction: its
+//!   store writes roll back (invisible — dirty items block readers
+//!   until commit), its monitor suffix retracts per shard
+//!   ([`ShardedMonitor::retract_txn`], `O(ops undone)`), and the
+//!   transaction retries with backoff. This is the executor shape
+//!   backward-validation OCC pioneered, with the paper's verdict
+//!   ladder as the validation test — non-serializable-but-PWSR
+//!   interleavings 2PL would forbid are *committed*, and exactly the
+//!   accesses that would sink the floor are rolled back.
 //!
 //! The output schedule is PWSR by construction; tests verify it with
 //! the checker rather than trusting the construction.
+//!
+//! [`PushOutcome`]: pwsr_core::monitor::sharded::PushOutcome
 
 use crate::error::{Result, SchedError};
+use crate::metrics::Metrics;
 use crate::policy::PolicySpec;
 use parking_lot::Mutex;
 use pwsr_core::catalog::Catalog;
 use pwsr_core::ids::{ItemId, TxnId};
 use pwsr_core::monitor::sharded::ShardedMonitor;
-use pwsr_core::monitor::Verdict;
+use pwsr_core::monitor::{AdmissionLevel, Verdict};
 use pwsr_core::op::Operation;
 use pwsr_core::schedule::Schedule;
 use pwsr_core::state::{DbState, ItemSet};
@@ -39,6 +56,7 @@ use pwsr_tplang::ast::Program;
 use pwsr_tplang::interp::{run_with_reads, RunOutcome};
 use pwsr_tplang::session::{Pending, ProgramSession};
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Shared execution state behind one mutex (uncertified path: the
@@ -245,6 +263,373 @@ pub fn run_threaded_certified(
     Ok((schedule, db.into_state(), verdict))
 }
 
+/// One stripe of the optimistic store: the values plus the claiming
+/// transaction of every uncommitted write. Dirty items block other
+/// transactions' accesses until the writer commits or rolls back —
+/// which is what keeps a rollback invisible (nobody can have read the
+/// squashed value) and the recorded schedule read-coherent without
+/// any cascade. No per-item version counters: the monitor certifies
+/// the *actual* recorded interleaving, so there is no read-set
+/// validation for versions to back (classical backward validation
+/// would re-reject the non-serializable-but-PWSR interleavings this
+/// executor exists to commit).
+#[derive(Default)]
+struct OccStripe {
+    db: DbState,
+    /// Item → transaction currently holding an uncommitted write.
+    dirty: std::collections::HashMap<ItemId, TxnId>,
+}
+
+/// The item-striped optimistic store behind [`run_threaded_occ_certified`].
+struct OccStripedDb {
+    stripes: Vec<Mutex<OccStripe>>,
+}
+
+impl OccStripedDb {
+    fn new(initial: &DbState, n: usize) -> OccStripedDb {
+        let n = n.max(1);
+        let mut parts: Vec<OccStripe> = (0..n).map(|_| OccStripe::default()).collect();
+        for (item, value) in initial.iter() {
+            parts[item.index() % n].db.set(item, value.clone());
+        }
+        OccStripedDb {
+            stripes: parts.into_iter().map(Mutex::new).collect(),
+        }
+    }
+
+    fn stripe_of(&self, item: ItemId) -> usize {
+        item.index() % self.stripes.len()
+    }
+
+    fn into_state(self) -> DbState {
+        let mut out = DbState::new();
+        for stripe in self.stripes {
+            for (item, value) in stripe.into_inner().db.iter() {
+                out.set(item, value.clone());
+            }
+        }
+        out
+    }
+}
+
+/// Shared OCC counters, folded into [`Metrics`] after the run.
+#[derive(Default)]
+struct OccMtCounters {
+    aborts: AtomicU64,
+    retries: AtomicU64,
+    certification_aborts: AtomicU64,
+    undone_ops: AtomicU64,
+    dirty_waits: AtomicU64,
+}
+
+/// Outcome of [`run_threaded_occ_certified`]: the committed schedule
+/// (exactly the monitor's recorded interleaving — aborted attempts
+/// have been retracted), the final store, the monitor's exact verdict
+/// over that schedule, and the abort/retry counters.
+#[derive(Clone, Debug)]
+pub struct OccThreadedOutcome {
+    /// The committed interleaving, as the monitor recorded it.
+    pub schedule: Schedule,
+    /// The published store after every transaction committed.
+    pub final_state: DbState,
+    /// The monitor's exact (quiescent) verdict over `schedule`.
+    pub verdict: Verdict,
+    /// `occ_aborts` / `occ_retries` / `monitor_undone_ops` /
+    /// `monitor_rejections` (certification aborts) / `waits`
+    /// (dirty-item waits) — comparable with the other executors'.
+    pub metrics: Metrics,
+}
+
+/// What one speculative attempt of a transaction ended as.
+enum AttemptEnd {
+    Committed,
+    /// Roll back and retry: the access that broke the admission floor
+    /// (certification abort), or a bounded dirty-wait expired
+    /// (conflict abort).
+    Aborted,
+}
+
+/// How many times an access spins on a dirty item before the
+/// transaction gives up and aborts itself (breaking write-write wait
+/// cycles probabilistically; backoff is asymmetric per transaction).
+const DIRTY_WAIT_BUDGET: u32 = 2_000;
+
+/// Run the programs under **certified optimistic concurrency**: a
+/// worker pool of `threads` OS threads claims transactions from a
+/// shared queue and executes them speculatively — no lock spaces, no
+/// 2PL. Every access goes through a *logged* [`ShardedMonitor`] at
+/// the `level` floor:
+///
+/// * a **read** latches the item's stripe just long enough to observe
+///   the value and claim the monitor position (so value and position
+///   cannot be split by a conflicting access), skipping items left
+///   dirty by an uncommitted writer — after a bounded wait the reader
+///   aborts itself, which breaks wait cycles;
+/// * a **write** publishes through the stripe immediately (value +
+///   dirty mark) and claims its position in program order —
+///   the recorded per-transaction subsequence therefore replays under
+///   [`replay_matches`], unlike commit-time write batching;
+/// * a push whose [`PushOutcome::breaches`] says *this* operation
+///   broke the floor **aborts** the transaction: its store writes are
+///   restored (invisible, because dirty items blocked readers), its
+///   monitor suffix is retracted per shard in `O(ops undone)`
+///   ([`ShardedMonitor::retract_txn`]), and the transaction retries
+///   after an asymmetric backoff;
+/// * **commit** merely clears the dirty marks — validation already
+///   happened per access, against the paper's verdict ladder instead
+///   of a read-set version check, which is exactly why this executor
+///   commits the non-serializable-but-PWSR interleavings a
+///   serializability-validating OCC would abort.
+///
+/// Errors with [`SchedError::RestartLimit`] when one transaction
+/// aborts more than `max_restarts` times.
+///
+/// [`PushOutcome::breaches`]: pwsr_core::monitor::sharded::PushOutcome::breaches
+pub fn run_threaded_occ_certified(
+    programs: &[Program],
+    catalog: &Catalog,
+    initial: &DbState,
+    scopes: Vec<ItemSet>,
+    level: AdmissionLevel,
+    threads: usize,
+    max_restarts: u32,
+) -> Result<OccThreadedOutcome> {
+    let monitor = ShardedMonitor::new_logged(scopes);
+    let db = OccStripedDb::new(initial, 16);
+    let counters = OccMtCounters::default();
+    let next = AtomicUsize::new(0);
+    let threads = threads.max(1);
+
+    std::thread::scope(|scope| -> Result<()> {
+        let mut handles = Vec::new();
+        for _ in 0..threads.min(programs.len().max(1)) {
+            let (monitor, db, counters, next) = (&monitor, &db, &counters, &next);
+            handles.push(scope.spawn(move || -> Result<()> {
+                loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(program) = programs.get(k) else {
+                        return Ok(());
+                    };
+                    let txn = TxnId(k as u32 + 1);
+                    let mut restarts = 0u32;
+                    loop {
+                        match occ_attempt(program, catalog, txn, monitor, db, counters, level)? {
+                            AttemptEnd::Committed => break,
+                            AttemptEnd::Aborted => {
+                                restarts += 1;
+                                if restarts > max_restarts {
+                                    return Err(SchedError::RestartLimit { txn, restarts });
+                                }
+                                counters.retries.fetch_add(1, Ordering::Relaxed);
+                                // Asymmetric backoff: later transactions
+                                // back off longer, so colliding retries
+                                // separate even on a single core.
+                                for _ in 0..(restarts + txn.0 % 7) {
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().map_err(|_| SchedError::Stalled)??;
+        }
+        Ok(())
+    })?;
+
+    let (schedule, verdict) = monitor.into_parts();
+    let metrics = Metrics {
+        committed_ops: schedule.len() as u64,
+        aborts: counters.aborts.load(Ordering::Relaxed),
+        restarts: counters.retries.load(Ordering::Relaxed),
+        occ_aborts: counters.aborts.load(Ordering::Relaxed),
+        occ_retries: counters.retries.load(Ordering::Relaxed),
+        monitor_rejections: counters.certification_aborts.load(Ordering::Relaxed),
+        monitor_undone_ops: counters.undone_ops.load(Ordering::Relaxed),
+        waits: counters.dirty_waits.load(Ordering::Relaxed),
+        ..Metrics::default()
+    };
+    Ok(OccThreadedOutcome {
+        schedule,
+        final_state: db.into_state(),
+        verdict,
+        metrics,
+    })
+}
+
+/// Store rollback journal of one attempt: `(item, displaced value)`.
+type WriteUndo = Vec<(ItemId, Option<Value>)>;
+
+/// Squash an attempt's applied writes (newest first): restore the
+/// displaced values and clear the dirty marks. Must run **after** the
+/// monitor suffix is retracted — while the marks still stand, no
+/// reader can record a read against either the doomed write or the
+/// restored value, which is what keeps reads-from assignments stable
+/// across the abort (a read admitted in between would be recorded
+/// against the victim's write and then silently reassigned to the
+/// earlier writer by the retraction's re-push, potentially minting a
+/// delayed-read break no `PushOutcome` ever reported).
+fn rollback_store(db: &OccStripedDb, applied: &mut WriteUndo) {
+    for (item, old) in applied.drain(..).rev() {
+        let mut stripe = db.stripes[db.stripe_of(item)].lock();
+        match old {
+            Some(v) => {
+                stripe.db.set(item, v);
+            }
+            None => {
+                stripe.db.unset(item);
+            }
+        }
+        stripe.dirty.remove(&item);
+    }
+}
+
+/// Latch `item`'s stripe once it is not dirty under another
+/// transaction and run `action` under the latch; a bounded spin.
+/// `Ok(None)` means the wait budget expired (possible write-write
+/// wait cycle) — the caller aborts itself to break it.
+fn with_clean_stripe<T>(
+    db: &OccStripedDb,
+    counters: &OccMtCounters,
+    txn: TxnId,
+    item: ItemId,
+    mut action: impl FnMut(&mut OccStripe) -> Result<T>,
+) -> Result<Option<T>> {
+    let mut spins = 0u32;
+    loop {
+        {
+            let mut stripe = db.stripes[db.stripe_of(item)].lock();
+            if stripe.dirty.get(&item).is_none_or(|&w| w == txn) {
+                return action(&mut stripe).map(Some);
+            }
+        }
+        spins += 1;
+        counters.dirty_waits.fetch_add(1, Ordering::Relaxed);
+        if spins > DIRTY_WAIT_BUDGET {
+            return Ok(None);
+        }
+        std::thread::yield_now();
+    }
+}
+
+/// One speculative attempt of `txn`. On abort — and on any error —
+/// the monitor suffix is retracted first and every store write then
+/// restored, so the shared state is as if the attempt never ran
+/// (except the attempt's waits and abort counters).
+fn occ_attempt(
+    program: &Program,
+    catalog: &Catalog,
+    txn: TxnId,
+    monitor: &ShardedMonitor,
+    db: &OccStripedDb,
+    counters: &OccMtCounters,
+    level: AdmissionLevel,
+) -> Result<AttemptEnd> {
+    let mut applied: WriteUndo = Vec::new();
+    let end = occ_attempt_inner(
+        program,
+        catalog,
+        txn,
+        monitor,
+        db,
+        counters,
+        level,
+        &mut applied,
+    );
+    if end.is_err() {
+        // An error must not strand dirty marks: other workers would
+        // spin out their whole wait/retry budget on them before the
+        // error surfaces through the join.
+        let (undone, _) = monitor.retract_txn(txn);
+        counters
+            .undone_ops
+            .fetch_add(undone as u64, Ordering::Relaxed);
+        rollback_store(db, &mut applied);
+    }
+    end
+}
+
+#[allow(clippy::too_many_arguments)]
+fn occ_attempt_inner(
+    program: &Program,
+    catalog: &Catalog,
+    txn: TxnId,
+    monitor: &ShardedMonitor,
+    db: &OccStripedDb,
+    counters: &OccMtCounters,
+    level: AdmissionLevel,
+    applied: &mut WriteUndo,
+) -> Result<AttemptEnd> {
+    let mut session = ProgramSession::new(program, catalog, txn);
+
+    // Abort: retract the monitor suffix per shard, THEN squash the
+    // store writes (see `rollback_store` for why this order is
+    // load-bearing).
+    let abort = |applied: &mut WriteUndo, certification: bool| {
+        let (undone, _repushed) = monitor.retract_txn(txn);
+        counters
+            .undone_ops
+            .fetch_add(undone as u64, Ordering::Relaxed);
+        rollback_store(db, applied);
+        counters.aborts.fetch_add(1, Ordering::Relaxed);
+        if certification {
+            counters
+                .certification_aborts
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    };
+
+    loop {
+        match session.pending()? {
+            Pending::NeedRead(item) => {
+                // Value and claimed position under one latch:
+                // same-item accesses serialize through the stripe, so
+                // the recorded schedule is read-coherent per item.
+                let outcome = with_clean_stripe(db, counters, txn, item, |stripe| {
+                    let v = stripe.db.require(item)?.clone();
+                    let op = session.feed_read(v)?;
+                    Ok(monitor.push_outcome(op)?)
+                })?;
+                let Some(outcome) = outcome else {
+                    abort(applied, false);
+                    return Ok(AttemptEnd::Aborted);
+                };
+                if outcome.breaches(level) {
+                    abort(applied, true);
+                    return Ok(AttemptEnd::Aborted);
+                }
+            }
+            Pending::Write(op) => {
+                let outcome = with_clean_stripe(db, counters, txn, op.item, |stripe| {
+                    let old = stripe.db.set(op.item, op.value.clone());
+                    stripe.dirty.insert(op.item, txn);
+                    applied.push((op.item, old));
+                    Ok(monitor.push_outcome(op.clone())?)
+                })?;
+                let Some(outcome) = outcome else {
+                    abort(applied, false);
+                    return Ok(AttemptEnd::Aborted);
+                };
+                session.advance_write()?;
+                if outcome.breaches(level) {
+                    abort(applied, true);
+                    return Ok(AttemptEnd::Aborted);
+                }
+            }
+            Pending::Done => break,
+        }
+        std::thread::yield_now();
+    }
+    // Commit: publish is already done — just clear the dirty marks so
+    // blocked readers proceed against the now-committed values.
+    for (item, _) in applied.drain(..) {
+        db.stripes[db.stripe_of(item)].lock().dirty.remove(&item);
+    }
+    Ok(AttemptEnd::Committed)
+}
+
 /// Sanity helper for tests: replay a program against the values its
 /// operations recorded, confirming the trace is a genuine execution.
 pub fn replay_matches(program: &Program, catalog: &Catalog, txn: TxnId, ops: &[Operation]) -> bool {
@@ -401,6 +786,131 @@ mod tests {
         assert!(schedule.is_empty());
         assert_eq!(final_state, initial);
         assert_eq!(verdict.len, 0);
+        let out = run_threaded_occ_certified(
+            &[],
+            &cat,
+            &initial,
+            Vec::new(),
+            AdmissionLevel::Pwsr,
+            4,
+            10,
+        )
+        .unwrap();
+        assert!(out.schedule.is_empty());
+        assert_eq!(out.final_state, initial);
+        assert_eq!(out.metrics.occ_aborts, 0);
         let _ = ItemId(0);
+    }
+
+    /// Does `level` hold on the final verdict? (What "the committed
+    /// schedule lands at or above the admission floor" means.)
+    fn meets_floor(verdict: &pwsr_core::monitor::Verdict, level: AdmissionLevel) -> bool {
+        match level {
+            AdmissionLevel::Serializable => verdict.serializable,
+            AdmissionLevel::Pwsr => verdict.pwsr(),
+            AdmissionLevel::PwsrDr => verdict.pwsr() && verdict.dr,
+        }
+    }
+
+    /// The OCC-certified path commits only floor-compliant schedules:
+    /// read-coherent, final state = applying the schedule, per-txn
+    /// traces replay in program order, verdict byte-identical to a
+    /// single-writer replay, and at or above the configured floor —
+    /// at every level, across repetitions and thread counts.
+    #[test]
+    fn occ_certified_commits_floor_compliant_schedules() {
+        let (cat, ic, initial) = setup();
+        let programs = vec![
+            parse_program("T1", "a0 := a0 + 1; a1 := a1 + 1;").unwrap(),
+            parse_program("T2", "b0 := b0 + 1;").unwrap(),
+            parse_program("T3", "b1 := b1 + 7; a1 := a1 + 2;").unwrap(),
+            parse_program("T4", "a0 := a0 + 3; b0 := b0 + 2;").unwrap(),
+        ];
+        let scopes: Vec<ItemSet> = ic.conjuncts().iter().map(|c| c.items().clone()).collect();
+        for level in [
+            AdmissionLevel::Serializable,
+            AdmissionLevel::Pwsr,
+            AdmissionLevel::PwsrDr,
+        ] {
+            for threads in [1, 4] {
+                for _ in 0..5 {
+                    let out = run_threaded_occ_certified(
+                        &programs,
+                        &cat,
+                        &initial,
+                        scopes.clone(),
+                        level,
+                        threads,
+                        1_000,
+                    )
+                    .unwrap();
+                    out.schedule.check_read_coherence(&initial).unwrap();
+                    assert_eq!(out.schedule.apply(&initial), out.final_state);
+                    assert!(
+                        meets_floor(&out.verdict, level),
+                        "{level:?}: {}",
+                        out.schedule
+                    );
+                    assert!(is_pwsr(&out.schedule, &ic).ok());
+                    // Effects of every committed transaction survive.
+                    assert_eq!(
+                        out.final_state.get(cat.lookup("a0").unwrap()),
+                        Some(&Value::Int(4))
+                    );
+                    assert_eq!(
+                        out.final_state.get(cat.lookup("a1").unwrap()),
+                        Some(&Value::Int(3))
+                    );
+                    // Per-transaction program-order replay: writes are
+                    // claimed at execution time, not batched at commit.
+                    for (k, p) in programs.iter().enumerate() {
+                        let txn = TxnId(k as u32 + 1);
+                        let t = out.schedule.transaction(txn);
+                        assert!(replay_matches(p, &cat, txn, t.ops()), "{txn:?}");
+                    }
+                    // Byte-identical to a single-writer replay.
+                    let mut replay = OnlineMonitor::new(scopes.clone());
+                    let mut last = replay.verdict();
+                    for op in out.schedule.ops() {
+                        last = replay.push(op.clone()).unwrap();
+                    }
+                    assert_eq!(last, out.verdict);
+                    assert!(replay.certify_prefix());
+                }
+            }
+        }
+    }
+
+    /// Contended single-item increments force dirty-wait serialization
+    /// (and possibly aborts); no update may be lost either way, and
+    /// the counters stay consistent.
+    #[test]
+    fn occ_certified_contention_loses_no_updates() {
+        let (cat, ic, initial) = setup();
+        let hot: Vec<Program> = (0..6)
+            .map(|k| parse_program(&format!("H{k}"), "a0 := a0 + 1;").unwrap())
+            .collect();
+        let scopes: Vec<ItemSet> = ic.conjuncts().iter().map(|c| c.items().clone()).collect();
+        for _ in 0..10 {
+            let out = run_threaded_occ_certified(
+                &hot,
+                &cat,
+                &initial,
+                scopes.clone(),
+                AdmissionLevel::Pwsr,
+                4,
+                10_000,
+            )
+            .unwrap();
+            out.schedule.check_read_coherence(&initial).unwrap();
+            assert_eq!(
+                out.final_state.get(cat.lookup("a0").unwrap()),
+                Some(&Value::Int(6)),
+                "all six increments must survive: {}",
+                out.schedule
+            );
+            assert_eq!(out.metrics.occ_aborts, out.metrics.occ_retries);
+            assert_eq!(out.metrics.committed_ops, out.schedule.len() as u64);
+        }
     }
 }

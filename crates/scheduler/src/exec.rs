@@ -216,11 +216,20 @@ pub fn run_workload(
             &mut dag_guard,
         )?;
         metrics.lock_acquisitions = locks.acquisitions();
+        // Bound the admission log's memory: ops before every live
+        // transaction's first operation can never be rewritten by an
+        // abort, so their undo deltas are dropped. (A cascade that
+        // aborts an already-finished transaction is the rare case the
+        // sync fallback rebuild covers.)
+        if let Some(mon) = admission.as_mut() {
+            mon.checkpoint(rts.iter().filter(|rt| !rt.done).map(|rt| rt.txn));
+        }
     }
 
     if let Some(mon) = &admission {
         metrics.monitor_resyncs = mon.resyncs();
         metrics.monitor_undone_ops = mon.undone_ops();
+        metrics.monitor_log_floor = mon.log_floor() as u64;
     }
     metrics.committed_ops = trace.len() as u64;
     let schedule = Schedule::new(trace)?;

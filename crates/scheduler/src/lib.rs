@@ -43,6 +43,10 @@ pub mod sgt;
 
 /// Convenience re-exports.
 pub mod prelude {
+    pub use crate::concurrent::{
+        replay_matches, run_threaded, run_threaded_certified, run_threaded_occ_certified,
+        OccThreadedOutcome,
+    };
     pub use crate::dag_admission::{check_static_dag, StaticDag};
     pub use crate::error::SchedError;
     pub use crate::exec::{run_workload, ExecConfig, ExecOutcome};

@@ -27,6 +27,17 @@ pub struct Metrics {
     /// Operations the monitor's undo-log retracted across all re-syncs
     /// (the abort cost that used to be an `O(n)` rebuild each time).
     pub monitor_undone_ops: u64,
+    /// The monitor undo-log's final retraction floor — how far
+    /// checkpointing bounded the log (0 when no monitor ran).
+    pub monitor_log_floor: u64,
+    /// OCC aborts: transactions rolled back by a failed backward
+    /// validation or a certification breach (victims + cascades) —
+    /// the same counter whichever OCC path (single-threaded or
+    /// OCC-certified threaded) produced them.
+    pub occ_aborts: u64,
+    /// OCC retries: transaction re-executions scheduled after an OCC
+    /// abort.
+    pub occ_retries: u64,
 }
 
 impl Metrics {
@@ -54,7 +65,7 @@ impl fmt::Display for Metrics {
         write!(
             f,
             "steps={} ops={} waits={} deadlocks={} aborts={} restarts={} locks={} monrej={} \
-             monresync={} monundo={} goodput={:.3}",
+             monresync={} monundo={} monfloor={} occab={} occretry={} goodput={:.3}",
             self.steps,
             self.committed_ops,
             self.waits,
@@ -65,6 +76,9 @@ impl fmt::Display for Metrics {
             self.monitor_rejections,
             self.monitor_resyncs,
             self.monitor_undone_ops,
+            self.monitor_log_floor,
+            self.occ_aborts,
+            self.occ_retries,
             self.goodput()
         )
     }
@@ -94,9 +108,12 @@ mod tests {
         let m = Metrics {
             steps: 3,
             deadlocks: 1,
+            occ_aborts: 2,
+            occ_retries: 5,
             ..Metrics::default()
         };
         let s = m.to_string();
         assert!(s.contains("steps=3") && s.contains("deadlocks=1"));
+        assert!(s.contains("occab=2") && s.contains("occretry=5"));
     }
 }

@@ -261,6 +261,11 @@ pub fn run_occ(
                 }
                 metrics.aborts += aborted.len() as u64;
                 metrics.restarts += aborted.len() as u64;
+                // The OCC-specific view of the same events, so the
+                // single-threaded and OCC-certified threaded paths
+                // report comparable counters.
+                metrics.occ_aborts += aborted.len() as u64;
+                metrics.occ_retries += aborted.len() as u64;
                 for t in txns.iter_mut() {
                     if aborted.contains(&t.txn) {
                         t.reset(catalog);
@@ -404,6 +409,10 @@ mod tests {
             };
             let out = run_occ(&hot, &cat, &initial, &PolicySpec::global_2pl(), &cfg).unwrap();
             any_failures |= out.occ.validation_failures > 0;
+            // Every OCC abort shows up in the shared Metrics counters,
+            // mirroring the generic abort/restart pair.
+            assert_eq!(out.exec.metrics.occ_aborts, out.exec.metrics.aborts);
+            assert_eq!(out.exec.metrics.occ_retries, out.exec.metrics.restarts);
             assert_eq!(
                 out.exec.final_state.get(cat.lookup("a0").unwrap()),
                 Some(&Value::Int(4)),

@@ -150,7 +150,10 @@ impl MonitorAdmission {
     /// the undo-log to the longest common prefix and re-push the
     /// surviving tail — `O(ops undone + ops re-pushed)`, not `O(n)`:
     /// an abort of a late-starting transaction leaves the long head
-    /// untouched.
+    /// untouched. If a checkpoint raised the log floor above the
+    /// divergence point (possible only when the caller's "live" set
+    /// under-approximated the removable transactions), the rare
+    /// fallback is the old full rebuild.
     pub fn sync(&mut self, trace: &[Operation]) -> SyncStats {
         if self.monitor.len() == trace.len() {
             return SyncStats::default();
@@ -165,6 +168,13 @@ impl MonitorAdmission {
             .zip(trace.iter())
             .take_while(|(a, b)| a == b)
             .count();
+        if common < self.monitor.log_floor() {
+            self.rebuild(trace);
+            return SyncStats {
+                undone: 0,
+                repushed: trace.len() as u64,
+            };
+        }
         let undone = self.monitor.truncate_to(common) as u64;
         self.undone_ops += undone;
         let mut repushed = 0u64;
@@ -174,6 +184,33 @@ impl MonitorAdmission {
         }
         debug_assert_eq!(self.monitor.len(), trace.len());
         SyncStats { undone, repushed }
+    }
+
+    /// Raise the undo-log floor to the oldest *live* transaction's
+    /// first operation (or the whole trace when none are live):
+    /// everything before that point can never be rewritten by an
+    /// abort, so its per-push deltas are dropped — the long-run
+    /// memory bound for the admission log ([`OnlineMonitor`] keeps
+    /// one delta per logged push otherwise). Returns the new floor.
+    pub fn checkpoint<I: IntoIterator<Item = TxnId>>(&mut self, live: I) -> usize {
+        let index = self.monitor.online_index().index();
+        let floor = live
+            .into_iter()
+            .filter_map(|t| index.positions_of(t).first().map(|&p| p as usize))
+            .min()
+            .unwrap_or(self.monitor.len());
+        self.monitor.checkpoint(floor)
+    }
+
+    /// The monitor undo-log's current retraction floor.
+    pub fn log_floor(&self) -> usize {
+        self.monitor.log_floor()
+    }
+
+    /// Undo-log entries currently held (bounded by
+    /// `len() - log_floor()` — the checkpoint test pins this).
+    pub fn log_len(&self) -> usize {
+        self.monitor.logged_len()
     }
 
     /// Re-syncs that found the trace rewritten by an abort.
@@ -579,6 +616,59 @@ mod tests {
         }
         assert_eq!(adm.len(), 5);
         assert!(adm.verdict().pwsr());
+    }
+
+    /// `checkpoint` raises the undo-log floor to the oldest live
+    /// transaction's first operation, bounding the log's memory to the
+    /// live suffix; syncing below a raised floor falls back to the
+    /// rebuild and stays observably correct.
+    #[test]
+    fn checkpoint_bounds_the_log_to_the_live_suffix() {
+        use pwsr_core::value::Value;
+        let ic = two_conjunct_ic();
+        let mut adm = MonitorAdmission::for_constraint(&ic, AdmissionLevel::Pwsr);
+        // 100 settled single-op transactions, then one live straggler.
+        let mut trace: Vec<Operation> = Vec::new();
+        for k in 0..100u32 {
+            trace.push(Operation::write(
+                TxnId(k + 10),
+                ItemId(k % 3),
+                Value::Int(1),
+            ));
+        }
+        let live = TxnId(500);
+        trace.push(Operation::read(live, ItemId(0), Value::Int(1)));
+        for op in &trace {
+            adm.push(op);
+        }
+        // Unbounded log: one delta per push.
+        assert_eq!(adm.log_len(), trace.len());
+        assert_eq!(adm.log_floor(), 0);
+        // Checkpoint at the live set {500}: the floor jumps to its
+        // first operation and the log shrinks to the live suffix.
+        let floor = adm.checkpoint([live]);
+        assert_eq!(floor, 100, "oldest live txn's first op");
+        assert_eq!(adm.log_floor(), 100);
+        assert_eq!(adm.log_len(), 1);
+        assert_eq!(adm.len(), trace.len(), "checkpoint retracts nothing");
+        // The live suffix still aborts incrementally.
+        let filtered: Vec<Operation> = trace.iter().filter(|o| o.txn != live).cloned().collect();
+        let stats = adm.sync(&filtered);
+        assert_eq!((stats.undone, stats.repushed), (1, 0));
+        // A checkpoint with nothing live drains the whole log.
+        let floor = adm.checkpoint([]);
+        assert_eq!(floor, adm.len());
+        assert_eq!(adm.log_len(), 0);
+        // Syncing below the floor (a cascade aborted a "settled"
+        // transaction) takes the rebuild fallback — same observables
+        // as the oracle.
+        let rewritten: Vec<Operation> = filtered[1..].to_vec();
+        let stats = adm.sync(&rewritten);
+        assert_eq!(stats.repushed, rewritten.len() as u64);
+        let mut oracle = MonitorAdmission::for_constraint(&ic, AdmissionLevel::Pwsr);
+        oracle.rebuild(&rewritten);
+        assert_eq!(adm.verdict(), oracle.verdict());
+        assert_eq!(adm.monitor().schedule(), oracle.monitor().schedule());
     }
 
     #[test]
