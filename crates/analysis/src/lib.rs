@@ -1,0 +1,355 @@
+//! # pwsr_analysis — static PWSR robustness analyzer
+//!
+//! Decides **before execution** whether a workload of transaction
+//! programs can ever breach a verdict floor, and mints
+//! [`StaticCertificate`]s the schedulers consume as a zero-cost
+//! admission fast path.
+//!
+//! The pipeline, mirroring the paper's layers:
+//!
+//! 1. **Footprints** — sound over-approximate read/write sets per
+//!    program ([`pwsr_tplang::analysis::rw_footprint`]), branch
+//!    arms unioned.
+//! 2. **Static conflict graph** ([`graph`]) — potential conflict
+//!    instances per program pair, globally and per conjunct scope,
+//!    exact over the footprints thanks to the §2.2 one-read/one-write
+//!    per item bound.
+//! 3. **Robustness criterion** — the graph is a *forest* (no tangled
+//!    pair, no simple cycle): then no interleaving can close a
+//!    serialization-graph cycle, globally (serializability) or per
+//!    projection (PWSR); adding "no cross reads-from" extends the
+//!    proof to delayed-read.
+//! 4. **Counterexample-guided refutation** ([`fn@analyze`]) — when the
+//!    criterion fails, enumerate or sample interleavings and replay
+//!    them through the [`OnlineMonitor`]; `Unsafe` is only ever
+//!    reported with a monitor-confirmed breaching schedule, and
+//!    everything else within budget is `Unknown`, never a false
+//!    alarm.
+//! 5. **Certificates** — `Safe` workloads (and the structurally-safe
+//!    conflict-closed components of unsafe ones) become
+//!    [`StaticCertificate`]s: [`pwsr_scheduler`]'s admission skips
+//!    runtime certification for covered transactions entirely.
+//!
+//! [`OnlineMonitor`]: pwsr_core::monitor::OnlineMonitor
+//! [`StaticCertificate`]: pwsr_scheduler::policy::StaticCertificate
+
+pub mod analyze;
+pub mod graph;
+
+pub use analyze::{
+    analyze, analyze_constraint, breaches, AnalyzerConfig, Counterexample, SafetyWitness,
+    StaticSafety, WorkloadAnalysis,
+};
+pub use graph::{has_cross_reads_from, ConflictEdge, StaticConflictGraph};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwsr_core::catalog::Catalog;
+    use pwsr_core::constraint::{Conjunct, Formula, IntegrityConstraint, Term};
+    use pwsr_core::ids::TxnId;
+    use pwsr_core::monitor::AdmissionLevel;
+    use pwsr_core::state::DbState;
+    use pwsr_core::value::{Domain, Value};
+    use pwsr_tplang::parser::parse_program;
+
+    fn setup() -> (Catalog, IntegrityConstraint, DbState) {
+        let mut cat = Catalog::new();
+        let a0 = cat.add_item("a0", Domain::int_range(-1000, 1000));
+        let b0 = cat.add_item("b0", Domain::int_range(-1000, 1000));
+        let a1 = cat.add_item("a1", Domain::int_range(-1000, 1000));
+        let b1 = cat.add_item("b1", Domain::int_range(-1000, 1000));
+        let ic = IntegrityConstraint::new(vec![
+            Conjunct::new(0, Formula::le(Term::var(a0), Term::var(b0))),
+            Conjunct::new(1, Formula::le(Term::var(a1), Term::var(b1))),
+        ])
+        .unwrap();
+        let initial = DbState::from_pairs([
+            (a0, Value::Int(0)),
+            (b0, Value::Int(100)),
+            (a1, Value::Int(0)),
+            (b1, Value::Int(100)),
+        ]);
+        (cat, ic, initial)
+    }
+
+    #[test]
+    fn disjoint_mix_is_structurally_safe_at_every_level() {
+        let (cat, ic, initial) = setup();
+        let programs = vec![
+            parse_program("T1", "a0 := a0 + 1;").unwrap(),
+            parse_program("T2", "b0 := b0 + 1;").unwrap(),
+            parse_program("T3", "a1 := a1 + 5;").unwrap(),
+        ];
+        for level in [
+            AdmissionLevel::Serializable,
+            AdmissionLevel::Pwsr,
+            AdmissionLevel::PwsrDr,
+        ] {
+            let analysis = analyze_constraint(
+                &programs,
+                &cat,
+                &ic,
+                &initial,
+                level,
+                &AnalyzerConfig::default(),
+            );
+            assert!(
+                matches!(
+                    analysis.safety,
+                    StaticSafety::Safe(SafetyWitness::Forest { .. })
+                ),
+                "{level:?}"
+            );
+            assert_eq!(analysis.certified().len(), 3);
+            let cert = analysis.certificate().unwrap();
+            assert_eq!(cert.level(), level);
+            assert!(cert.covers(TxnId(1)) && cert.covers(TxnId(3)));
+            assert!(analysis.monitored().is_empty());
+        }
+    }
+
+    #[test]
+    fn rmw_contention_is_refuted_with_confirmed_counterexample() {
+        let (cat, ic, initial) = setup();
+        // Two read-modify-writes on one item: a classic lost-update
+        // race — some interleaving breaches even plain
+        // serializability, and enumeration is tiny.
+        let programs = vec![
+            parse_program("T1", "a0 := a0 + 1;").unwrap(),
+            parse_program("T2", "a0 := a0 + 2;").unwrap(),
+        ];
+        let analysis = analyze_constraint(
+            &programs,
+            &cat,
+            &ic,
+            &initial,
+            AdmissionLevel::Serializable,
+            &AnalyzerConfig::default(),
+        );
+        let StaticSafety::Unsafe(cex) = &analysis.safety else {
+            panic!("expected Unsafe, got {:?}", analysis.safety);
+        };
+        assert!(breaches(&cex.verdict, AdmissionLevel::Serializable));
+        assert!(!cex.verdict.serializable);
+        assert_eq!(cex.schedule.len(), 4);
+        assert!(analysis.certified().is_empty());
+        assert!(analysis.certificate().is_none());
+        assert_eq!(analysis.monitored(), vec![0, 1]);
+    }
+
+    #[test]
+    fn cross_conjunct_mix_is_pwsr_safe_but_not_serializable_safe() {
+        let (cat, ic, initial) = setup();
+        // T1 w(a0) … w(a1), T2 r(a0) …, T3 r(a1): single-instance
+        // edges only, but both conjunct projections see just one edge
+        // each while the global graph is a (still acyclic) star.
+        // Make the global graph cyclic with a third leg:
+        //   T1: w a0, w a1   T2: r a0, w b0   T3: r a1, r b0
+        // global: T1–T2 (a0), T1–T3 (a1), T2–T3 (b0) — a 3-cycle;
+        // conjunct 0 = {a0,b0}: T1–T2, T2–T3 — a path (forest);
+        // conjunct 1 = {a1,b1}: T1–T3 — a single edge (forest).
+        let programs = vec![
+            parse_program("T1", "a0 := 1; a1 := 2;").unwrap(),
+            parse_program("T2", "b0 := a0 + 1;").unwrap(),
+            parse_program("T3", "touch a1; touch b0;").unwrap(),
+        ];
+        let pwsr = analyze_constraint(
+            &programs,
+            &cat,
+            &ic,
+            &initial,
+            AdmissionLevel::Pwsr,
+            &AnalyzerConfig::default(),
+        );
+        assert!(
+            matches!(
+                pwsr.safety,
+                StaticSafety::Safe(SafetyWitness::Forest { .. })
+            ),
+            "projections are forests: {:?}",
+            pwsr.safety
+        );
+        assert_eq!(pwsr.certified().len(), 3);
+        // Globally the three single edges close a cycle — not
+        // structurally serializable-safe; the tiny instance is then
+        // decided exhaustively (some interleaving of a 3-cycle is
+        // still serializable, so either verdict must be confirmed,
+        // not guessed — here enumeration finds a breach).
+        let ser = analyze_constraint(
+            &programs,
+            &cat,
+            &ic,
+            &initial,
+            AdmissionLevel::Serializable,
+            &AnalyzerConfig::default(),
+        );
+        match &ser.safety {
+            StaticSafety::Unsafe(cex) => {
+                assert!(!cex.verdict.serializable);
+            }
+            StaticSafety::Safe(SafetyWitness::Exhaustive { interleavings }) => {
+                assert!(*interleavings > 0);
+            }
+            other => panic!("structural Safe is impossible here: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_workload_certifies_only_the_clean_component() {
+        let (cat, ic, initial) = setup();
+        // T1/T2 tangle on a0 (unsafe component); T3/T4 share a single
+        // w→r conflict on a1 (safe component at Pwsr).
+        let programs = vec![
+            parse_program("T1", "a0 := a0 + 1;").unwrap(),
+            parse_program("T2", "a0 := a0 + 2;").unwrap(),
+            parse_program("T3", "a1 := 7;").unwrap(),
+            parse_program("T4", "b1 := a1 + 1;").unwrap(),
+        ];
+        let analysis = analyze_constraint(
+            &programs,
+            &cat,
+            &ic,
+            &initial,
+            AdmissionLevel::Pwsr,
+            &AnalyzerConfig::default(),
+        );
+        // Overall the mix breaches (T1/T2's RMW race): Unsafe with a
+        // confirmed counterexample.
+        assert!(analysis.safety.is_unsafe());
+        // …but the clean component is certified.
+        let cert = analysis.certificate().unwrap();
+        assert!(!cert.covers(TxnId(1)) && !cert.covers(TxnId(2)));
+        assert!(cert.covers(TxnId(3)) && cert.covers(TxnId(4)));
+        assert_eq!(analysis.monitored(), vec![0, 1]);
+    }
+
+    #[test]
+    fn dr_level_demands_no_cross_reads_from() {
+        let (cat, ic, initial) = setup();
+        // A single w→r edge: Pwsr-safe structurally, but the reader
+        // may observe the writer mid-flight — the static DR condition
+        // fails and the analyzer must not claim a Forest witness at
+        // PwsrDr. (The tiny instance then resolves exhaustively —
+        // w/r on one item with one op each can never break DR, so it
+        // comes back Safe(Exhaustive), which is still a proof, just
+        // state-specific.)
+        let programs = vec![
+            parse_program("T1", "a1 := 7;").unwrap(),
+            parse_program("T2", "b1 := a1 + 1;").unwrap(),
+        ];
+        let analysis = analyze_constraint(
+            &programs,
+            &cat,
+            &ic,
+            &initial,
+            AdmissionLevel::PwsrDr,
+            &AnalyzerConfig::default(),
+        );
+        match &analysis.safety {
+            StaticSafety::Safe(SafetyWitness::Exhaustive { interleavings }) => {
+                assert!(*interleavings >= 3);
+            }
+            other => panic!("expected exhaustive resolution, got {other:?}"),
+        }
+        // The same mix with no cross reads-from is Forest-provable.
+        let clean = vec![
+            parse_program("T1", "a1 := 7;").unwrap(),
+            parse_program("T2", "a1 := 8;").unwrap(),
+        ];
+        let analysis = analyze_constraint(
+            &clean,
+            &cat,
+            &ic,
+            &initial,
+            AdmissionLevel::PwsrDr,
+            &AnalyzerConfig::default(),
+        );
+        assert!(
+            matches!(
+                analysis.safety,
+                StaticSafety::Safe(SafetyWitness::Forest { .. })
+            ),
+            "{:?}",
+            analysis.safety
+        );
+    }
+
+    /// End-to-end on the generated analyzer scenario: the blind-write
+    /// chains certify structurally at the strictest level while the
+    /// contended pair is refuted, so a mixed workload splits into a
+    /// certified remainder plus a monitored pair.
+    #[test]
+    fn generated_analyzer_workload_certifies_chains_and_refutes_tangles() {
+        use pwsr_gen::workloads::{analyzer_workload, AnalyzerWorkloadConfig};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(6);
+        let cfg = AnalyzerWorkloadConfig {
+            conjuncts: 2,
+            chain_len: 3,
+            tangled_pairs: 1,
+            domain_width: 100,
+        };
+        let w = analyzer_workload(&mut rng, &cfg);
+        let analysis = analyze_constraint(
+            &w.programs,
+            &w.catalog,
+            &w.ic,
+            &w.initial,
+            AdmissionLevel::PwsrDr,
+            &AnalyzerConfig::default(),
+        );
+        assert!(
+            analysis.safety.is_unsafe(),
+            "the lost-update pair must be refuted: {:?}",
+            analysis.safety
+        );
+        let cert = analysis.certificate().unwrap();
+        assert_eq!(cert.len(), 6, "both chains certify at PwsrDr");
+        for k in 1..=6u32 {
+            assert!(cert.covers(TxnId(k)));
+        }
+        assert_eq!(analysis.monitored(), vec![6, 7]);
+        // Without the pair, the whole workload is Forest-provable.
+        let clean = analyzer_workload(
+            &mut rng,
+            &AnalyzerWorkloadConfig {
+                tangled_pairs: 0,
+                ..cfg
+            },
+        );
+        let analysis = analyze_constraint(
+            &clean.programs,
+            &clean.catalog,
+            &clean.ic,
+            &clean.initial,
+            AdmissionLevel::PwsrDr,
+            &AnalyzerConfig::default(),
+        );
+        assert!(
+            matches!(
+                analysis.safety,
+                StaticSafety::Safe(SafetyWitness::Forest { .. })
+            ),
+            "{:?}",
+            analysis.safety
+        );
+        assert_eq!(analysis.certified().len(), 6);
+    }
+
+    #[test]
+    fn empty_workload_is_trivially_safe() {
+        let (cat, ic, initial) = setup();
+        let analysis = analyze_constraint(
+            &[],
+            &cat,
+            &ic,
+            &initial,
+            AdmissionLevel::PwsrDr,
+            &AnalyzerConfig::default(),
+        );
+        assert!(analysis.safety.is_safe());
+        assert!(analysis.certificate().is_none(), "nothing to certify");
+    }
+}

@@ -1,0 +1,76 @@
+//! Static-analyzer bench: the cost of the analysis itself and of the
+//! two admission paths it splits the world into.
+//!
+//! `analyze/P` runs the whole static pipeline (footprints, mixed
+//! conflict graph, forest check, DR condition, component
+//! certification) over the P-program certified fixture — the
+//! *one-time* cost that buys the fast path. `certified_admit/N` then
+//! streams an N-op execution through a [`MonitorAdmission`] carrying
+//! the resulting certificate: per op, a speculative probe (certificate
+//! lookup) plus `observe` (a counter bump), with **no** monitor state.
+//! `monitored_admit/N` is the same stream without the certificate —
+//! probe plus monitor push, the runtime-certification cost everything
+//! else in this repo measures at roughly 300 ns/op. Divide either by N
+//! for the per-op cost; the acceptance bar (gated in CI via the `an1`
+//! experiment) is certified strictly below monitored, and below
+//! 50 ns/op in release.
+//!
+//! The fixture and trace are shared with `an1`
+//! (`pwsr_bench::analysis_exp`) so the numbers line up by
+//! construction.
+//!
+//! [`MonitorAdmission`]: pwsr_scheduler::policy::MonitorAdmission
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pwsr_analysis::{analyze_constraint, AnalyzerConfig};
+use pwsr_bench::analysis_exp::certified_fixture;
+use pwsr_core::monitor::AdmissionLevel;
+use pwsr_scheduler::policy::MonitorAdmission;
+use std::hint::black_box;
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis");
+    let level = AdmissionLevel::PwsrDr;
+    let (w, analysis, trace) = certified_fixture(0xA11);
+    let cert = analysis.certificate().expect("the fixture certifies");
+    let n = trace.len();
+
+    group.bench_with_input(BenchmarkId::new("analyze", w.programs.len()), &w, |b, w| {
+        b.iter(|| {
+            black_box(analyze_constraint(
+                &w.programs,
+                &w.catalog,
+                &w.ic,
+                &w.initial,
+                level,
+                &AnalyzerConfig::default(),
+            ))
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("certified_admit", n), &trace, |b, s| {
+        // The steady state keeps no monitor state, so one admission
+        // serves every iteration.
+        let mut adm = MonitorAdmission::for_constraint(&w.ic, level).with_certificate(cert.clone());
+        b.iter(|| {
+            for op in s.ops() {
+                black_box(adm.would_admit(op.txn, op.item, op.is_write()));
+                adm.observe(op);
+            }
+            adm.skipped_ops()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("monitored_admit", n), &trace, |b, s| {
+        b.iter(|| {
+            let mut adm = MonitorAdmission::for_constraint(&w.ic, level);
+            for op in s.ops() {
+                black_box(adm.would_admit(op.txn, op.item, op.is_write()));
+                black_box(adm.push(op));
+            }
+            adm.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

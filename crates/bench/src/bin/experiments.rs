@@ -1,13 +1,13 @@
 //! Regenerate every example, figure and theorem of the paper.
 //!
 //! ```text
-//! experiments [all|examples|lemmas|theorems|perf|scale|base|bank|recovery|exhaustive|monitor|<id>]
+//! experiments [all|examples|lemmas|theorems|perf|scale|base|bank|recovery|exhaustive|monitor|analysis|<id>]
 //!             [--trials N] [--smoke] [--json PATH]
 //! ```
 //!
 //! `<id>` ∈ {ex1 … ex5, fig3, lemma1, viewsets, lemma3, lemma4, lemma7,
 //! thm1, thm2, thm3, perf1 … perf5, scale1, scale2, base1, bank1, rec1,
-//! exh1, mon1, mon2, mon3}.
+//! exh1, mon1, mon2, mon3, an1}.
 //! Every experiment prints a paper-vs-measured table; the exit code is
 //! nonzero if any run deviates from the paper's predicted shape.
 //!
@@ -18,7 +18,7 @@
 //! statistical power. An explicit `--trials` overrides the cap.
 //!
 //! `--json PATH` additionally writes a machine-readable record of the
-//! sweep — schema `pwsr-experiments-v4`: one entry per selected
+//! sweep — schema `pwsr-experiments-v5`: one entry per selected
 //! experiment with its verdict, wall-clock seconds, and (where the
 //! experiment measures them) processed-operation counts and the online
 //! monitor's per-op timings; a `monitor_mt` block recording the
@@ -27,15 +27,20 @@
 //! numbers are uninterpretable, and the measured serial-stage ns per
 //! op); and an `occ_mt` block recording the OCC-certified threaded
 //! executor (threads, commits, aborts, retries, ns per committed op)
-//! plus the sharded-retraction cost entries — so successive PRs can
-//! track the perf trajectory (`BENCH_*.json` at the repo root) and CI
-//! can gate on the format, the monitors' per-op cost and the
-//! retraction cost staying sub-linear.
+//! plus the sharded-retraction cost entries; and an `analysis` block
+//! recording the static robustness analyzer's portfolio (programs
+//! analyzed, Safe/Unsafe/Unknown verdict counts) and the certified
+//! admission fast path's per-op cost against the monitored path — so
+//! successive PRs can track the perf trajectory (`BENCH_*.json` at the
+//! repo root) and CI can gate on the format, the monitors' per-op
+//! cost, the retraction cost staying sub-linear, and the certified
+//! skip staying strictly cheaper than runtime certification.
 
+use pwsr_bench::analysis_exp::AnalysisStats;
 use pwsr_bench::monitor_exp::{MonitorMtStats, MonitorStats, OccMtStats};
 use pwsr_bench::{
-    bank_exp, base_exp, examples_exp, exhaustive_exp, lemmas_exp, monitor_exp, perf_exp,
-    recovery_exp, scale_exp, theorems_exp,
+    analysis_exp, bank_exp, base_exp, examples_exp, exhaustive_exp, lemmas_exp, monitor_exp,
+    perf_exp, recovery_exp, scale_exp, theorems_exp,
 };
 
 struct Opts {
@@ -106,6 +111,9 @@ struct ExpRun {
     /// OCC-certified executor stats (only `mon3`); lifted into the
     /// JSON document's `occ_mt` block.
     occ_mt: Option<OccMtStats>,
+    /// Static-analyzer portfolio stats (only `an1`); lifted into the
+    /// JSON document's `analysis` block.
+    analysis: Option<AnalysisStats>,
 }
 
 impl From<(bool, String)> for ExpRun {
@@ -118,6 +126,7 @@ impl From<(bool, String)> for ExpRun {
             monitor: None,
             monitor_mt: None,
             occ_mt: None,
+            analysis: None,
         }
     }
 }
@@ -150,10 +159,11 @@ fn render_json(
     monitor: &Option<MonitorStats>,
     monitor_mt: &Option<MonitorMtStats>,
     occ_mt: &Option<OccMtStats>,
+    analysis: &Option<AnalysisStats>,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"pwsr-experiments-v4\",\n");
+    out.push_str("  \"schema\": \"pwsr-experiments-v5\",\n");
     out.push_str(&format!("  \"selection\": \"{}\",\n", opts.what));
     out.push_str(&format!("  \"smoke\": {},\n", opts.smoke));
     out.push_str(&format!("  \"trials_override\": {},\n", opts.trials));
@@ -236,6 +246,23 @@ fn render_json(
         }
         None => out.push_str("  \"occ_mt\": null,\n"),
     }
+    match analysis {
+        Some(stats) => {
+            out.push_str(&format!(
+                "  \"analysis\": {{\"programs\": {}, \"safe\": {}, \"unsafe\": {}, \
+                 \"unknown\": {}, \"certified_ns_per_op\": {:.1}, \
+                 \"monitored_ns_per_op\": {:.1}, \"speedup\": {:.2}}},\n",
+                stats.programs,
+                stats.safe,
+                stats.unsafe_verdicts,
+                stats.unknown,
+                stats.certified_ns_per_op,
+                stats.monitored_ns_per_op,
+                stats.speedup(),
+            ));
+        }
+        None => out.push_str("  \"analysis\": null,\n"),
+    }
     out.push_str("  \"experiments\": [\n");
     for (k, e) in entries.iter().enumerate() {
         out.push_str(&format!(
@@ -275,10 +302,12 @@ fn main() {
     let mut monitor_stats: Option<MonitorStats> = None;
     let mut monitor_mt_stats: Option<MonitorMtStats> = None;
     let mut occ_mt_stats: Option<OccMtStats> = None;
+    let mut analysis_stats: Option<AnalysisStats> = None;
     {
         let monitor_out = &mut monitor_stats;
         let monitor_mt_out = &mut monitor_mt_stats;
         let occ_mt_out = &mut occ_mt_stats;
+        let analysis_out = &mut analysis_stats;
         let mut run = |id: &'static str, f: &dyn Fn(u64) -> ExpRun| {
             let selected =
                 matches!(opts.what.as_str(), "all") || opts.what == id || group_of(id) == opts.what;
@@ -308,6 +337,9 @@ fn main() {
                 }
                 if r.occ_mt.is_some() {
                     *occ_mt_out = r.occ_mt;
+                }
+                if r.analysis.is_some() {
+                    *analysis_out = r.analysis;
                 }
             }
         };
@@ -386,6 +418,7 @@ fn main() {
                 monitor: Some(stats),
                 monitor_mt: None,
                 occ_mt: None,
+                analysis: None,
             }
         });
 
@@ -399,6 +432,7 @@ fn main() {
                 monitor: None,
                 monitor_mt: Some(stats),
                 occ_mt: None,
+                analysis: None,
             }
         });
 
@@ -412,6 +446,21 @@ fn main() {
                 monitor: None,
                 monitor_mt: None,
                 occ_mt: Some(stats),
+                analysis: None,
+            }
+        });
+
+        run("an1", &|n| {
+            let (ok, text, stats) = analysis_exp::an1(pick(n, 5), 0xA11);
+            ExpRun {
+                ok,
+                text,
+                ops: None,
+                monitor_ns_per_op: Some(stats.monitored_ns_per_op),
+                monitor: None,
+                monitor_mt: None,
+                occ_mt: None,
+                analysis: Some(stats),
             }
         });
     }
@@ -419,7 +468,7 @@ fn main() {
     if !matched {
         eprintln!(
             "unknown experiment {:?}; try: all, examples, lemmas, theorems, perf, scale, base, \
-             monitor, or an id like ex2 / thm1 / perf2 / mon3",
+             monitor, analysis, or an id like ex2 / thm1 / perf2 / mon3 / an1",
             opts.what
         );
         std::process::exit(2);
@@ -432,6 +481,7 @@ fn main() {
             &monitor_stats,
             &monitor_mt_stats,
             &occ_mt_stats,
+            &analysis_stats,
         );
         if let Err(e) = std::fs::write(path, body) {
             eprintln!("failed to write {path}: {e}");
@@ -456,6 +506,7 @@ fn group_of(id: &str) -> &'static str {
         "rec1" => "recovery",
         "exh1" => "exhaustive",
         "mon1" | "mon2" | "mon3" => "monitor",
+        "an1" => "analysis",
         _ => "",
     }
 }

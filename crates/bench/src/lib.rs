@@ -7,6 +7,7 @@
 //! record). Criterion benches under `benches/` time the hot checker and
 //! scheduler paths.
 
+pub mod analysis_exp;
 pub mod bank_exp;
 pub mod base_exp;
 pub mod examples_exp;

@@ -85,6 +85,26 @@
 //! DR marks). Both leave the monitor byte-identical to a single-writer
 //! replay of the surviving schedule — pinned under real-thread abort
 //! storms by `tests/sharded_props.rs`.
+//!
+//! [`ShardedMonitor::checkpoint`] bounds the journals' memory over a
+//! long run: once the caller knows which transactions may still
+//! abort, every stage's floor rises to the oldest live transaction's
+//! first operation and the per-push deltas below it are reclaimed —
+//! the sharded counterpart of
+//! [`OnlineMonitor::checkpoint`](super::OnlineMonitor::checkpoint).
+//!
+//! ## Lock discipline
+//!
+//! The pipeline's locks carry fixed *ranks* — sequence mutex (0),
+//! global stage (1), conjunct shard `k` (2 + k) — and every code path
+//! acquires strictly ascending (holding a lock, only higher ranks may
+//! be taken), which rules out deadlock by resource ordering. Debug
+//! builds track held ranks per thread and assert the discipline on
+//! every acquisition (the private `lock_order` tracker), so a
+//! lock-order regression fails deterministically in tests — the
+//! bounded exhaustive-interleaving model test below drives every
+//! lock-taking entry point through every interleaving of a small
+//! workload.
 
 use super::undo::{GlobalDelta, GraphDelta, SeqDelta, UndoLog};
 use super::{AdmissionLevel, ProjGraph, Verdict, VerdictLevel};
@@ -96,11 +116,173 @@ use crate::schedule::Schedule;
 use crate::state::ItemSet;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 const NO_POS: u32 = u32::MAX;
+
+/// The pipeline's deadlock-freedom discipline, made checkable: every
+/// lock carries a numeric *rank* — sequence mutex [`RANK_SEQ`] = 0,
+/// global stage [`RANK_GLOBAL`] = 1, shard `k` [`shard_rank`] = 2 + k
+/// — and a lock may only be acquired while every lock currently held
+/// by the same thread has a **strictly smaller** rank (seq → global →
+/// shards, ascending). Any two threads then order their lock
+/// acquisitions consistently with one global partial order, which
+/// rules out deadlock by the classical resource-ordering argument.
+///
+/// Debug builds maintain a thread-local stack of held ranks and
+/// assert the discipline on every acquisition, so a lock-order
+/// regression fails deterministically in tests (see the bounded
+/// exhaustive-interleaving model test); release builds compile the
+/// tracking away entirely.
+mod lock_order {
+    #[cfg(debug_assertions)]
+    use std::cell::RefCell;
+
+    #[cfg(debug_assertions)]
+    thread_local! {
+        /// Ranks of the locks this thread currently holds, in
+        /// acquisition order.
+        static HELD: RefCell<Vec<u32>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Record (debug) that the current thread is about to acquire a
+    /// lock of `rank`; panics if any held lock's rank is not strictly
+    /// smaller.
+    pub(super) fn acquire(rank: u32) {
+        #[cfg(debug_assertions)]
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(&top) = held.iter().max() {
+                assert!(
+                    rank > top,
+                    "lock-order violation: acquiring rank {rank} while rank {top} is held \
+                     (discipline: seq = 0 → global = 1 → shard k = 2 + k, strictly ascending)"
+                );
+            }
+            held.push(rank);
+        });
+        #[cfg(not(debug_assertions))]
+        let _ = rank;
+    }
+
+    /// Record (debug) that the current thread released a lock of
+    /// `rank`.
+    pub(super) fn release(rank: u32) {
+        #[cfg(debug_assertions)]
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            let at = held
+                .iter()
+                .rposition(|&r| r == rank)
+                .expect("releasing a lock rank this thread does not hold");
+            held.remove(at);
+        });
+        #[cfg(not(debug_assertions))]
+        let _ = rank;
+    }
+}
+
+/// Rank of the order-claiming sequence mutex (stage 1).
+const RANK_SEQ: u32 = 0;
+/// Rank of the global-stage lock (stage 2).
+const RANK_GLOBAL: u32 = 1;
+/// Rank of conjunct shard `k`'s lock (stage 3; ascending in `k`).
+const fn shard_rank(k: usize) -> u32 {
+    2 + k as u32
+}
+
+/// A [`Mutex`] that checks the [`lock_order`] discipline in debug
+/// builds (zero-cost passthrough in release).
+#[derive(Debug)]
+struct RankedMutex<T> {
+    rank: u32,
+    inner: Mutex<T>,
+}
+
+impl<T> RankedMutex<T> {
+    fn new(rank: u32, value: T) -> RankedMutex<T> {
+        RankedMutex {
+            rank,
+            inner: Mutex::new(value),
+        }
+    }
+
+    fn lock(&self) -> RankedGuard<impl DerefMut<Target = T> + '_> {
+        lock_order::acquire(self.rank);
+        RankedGuard {
+            rank: self.rank,
+            guard: self.inner.lock(),
+        }
+    }
+
+    fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+/// A [`RwLock`] that checks the [`lock_order`] discipline in debug
+/// builds (both reader and writer acquisitions must be ascending —
+/// reader/reader sharing never deadlocks by itself, but a reader that
+/// acquires against rank order can still complete a writer cycle).
+#[derive(Debug)]
+struct RankedRwLock<T> {
+    rank: u32,
+    inner: RwLock<T>,
+}
+
+impl<T> RankedRwLock<T> {
+    fn new(rank: u32, value: T) -> RankedRwLock<T> {
+        RankedRwLock {
+            rank,
+            inner: RwLock::new(value),
+        }
+    }
+
+    fn read(&self) -> RankedGuard<impl Deref<Target = T> + '_> {
+        lock_order::acquire(self.rank);
+        RankedGuard {
+            rank: self.rank,
+            guard: self.inner.read(),
+        }
+    }
+
+    fn write(&self) -> RankedGuard<impl DerefMut<Target = T> + '_> {
+        lock_order::acquire(self.rank);
+        RankedGuard {
+            rank: self.rank,
+            guard: self.inner.write(),
+        }
+    }
+}
+
+/// RAII pairing of a lock guard with its rank: releases the rank in
+/// the [`lock_order`] tracker when the guard drops.
+struct RankedGuard<G> {
+    rank: u32,
+    guard: G,
+}
+
+impl<G: Deref> Deref for RankedGuard<G> {
+    type Target = G::Target;
+    fn deref(&self) -> &G::Target {
+        &self.guard
+    }
+}
+
+impl<G: DerefMut> DerefMut for RankedGuard<G> {
+    fn deref_mut(&mut self) -> &mut G::Target {
+        &mut self.guard
+    }
+}
+
+impl<G> Drop for RankedGuard<G> {
+    fn drop(&mut self) {
+        lock_order::release(self.rank);
+    }
+}
 
 /// One transaction's running §2.2 read/write totals. Lives *outside*
 /// the sequence mutex: the push contract (one thread pushes a given
@@ -161,7 +343,7 @@ struct ShardState {
 #[derive(Debug)]
 struct Shard {
     serving: AtomicU32,
-    state: RwLock<ShardState>,
+    state: RankedRwLock<ShardState>,
 }
 
 /// Ladder rank for the lock-free floor (higher = worse; between
@@ -253,9 +435,9 @@ pub struct ShardedMonitor {
     /// Per transaction: §2.2 running totals, outside the serial
     /// section (see [`TxnTotals`]).
     totals: RwLock<HashMap<TxnId, Arc<Mutex<TxnTotals>>>>,
-    seq: Mutex<SeqState>,
+    seq: RankedMutex<SeqState>,
     gserving: AtomicU32,
-    gstate: RwLock<GlobalState>,
+    gstate: RankedRwLock<GlobalState>,
     shards: Vec<Shard>,
     /// Lock-free verdict floor: worst ladder rank any push computed
     /// (recomputed exactly by retraction).
@@ -293,26 +475,32 @@ impl ShardedMonitor {
         ShardedMonitor {
             scopes,
             totals: RwLock::new(HashMap::new()),
-            seq: Mutex::new(SeqState {
-                schedule: Schedule::default(),
-                last_write: Vec::new(),
-                first_op: Vec::new(),
-                gticket: 0,
-                tickets: vec![0; n],
-                log: UndoLog::new(0),
-            }),
+            seq: RankedMutex::new(
+                RANK_SEQ,
+                SeqState {
+                    schedule: Schedule::default(),
+                    last_write: Vec::new(),
+                    first_op: Vec::new(),
+                    gticket: 0,
+                    tickets: vec![0; n],
+                    log: UndoLog::new(0),
+                },
+            ),
             gserving: AtomicU32::new(0),
-            gstate: RwLock::new(GlobalState {
-                graph: ProjGraph::default(),
-                dirty_reads: Vec::new(),
-                first_non_dr: None,
-                conjunct_non_dr: vec![None; n],
-                log: UndoLog::new(0),
-            }),
+            gstate: RankedRwLock::new(
+                RANK_GLOBAL,
+                GlobalState {
+                    graph: ProjGraph::default(),
+                    dirty_reads: Vec::new(),
+                    first_non_dr: None,
+                    conjunct_non_dr: vec![None; n],
+                    log: UndoLog::new(0),
+                },
+            ),
             shards: (0..n)
-                .map(|_| Shard {
+                .map(|k| Shard {
                     serving: AtomicU32::new(0),
-                    state: RwLock::new(ShardState::default()),
+                    state: RankedRwLock::new(shard_rank(k), ShardState::default()),
                 })
                 .collect(),
             floor: AtomicU8::new(0),
@@ -617,12 +805,74 @@ impl ShardedMonitor {
     /// number of operations undone.
     ///
     /// Panics if the monitor does not journal
-    /// ([`ShardedMonitor::new_logged`]) or `n` exceeds the current
-    /// length.
+    /// ([`ShardedMonitor::new_logged`]), `n` exceeds the current
+    /// length, or `n` undercuts a [`ShardedMonitor::checkpoint`]ed
+    /// floor (those entries were reclaimed as permanent).
     pub fn truncate_to(&self, n: usize) -> usize {
         let mut s = self.seq.lock();
         self.drain(&s);
         self.truncate_locked(&mut s, n, None)
+    }
+
+    /// Raise every stage journal's retraction floor to the oldest
+    /// *live* transaction's first operation (the whole trace when none
+    /// are live), dropping the per-push deltas below it: those pushes
+    /// become permanent and their memory is reclaimed — the long-run
+    /// memory bound for OCC servers, matching
+    /// [`OnlineMonitor::checkpoint`](super::OnlineMonitor::checkpoint)
+    /// as surfaced by the scheduler's `MonitorAdmission`. Returns the
+    /// new floor.
+    ///
+    /// Quiesces the pipeline for the duration (holds the sequence
+    /// mutex and drains in-flight pushes), so the three journals —
+    /// sequence, global, per-shard — advance to the same floor
+    /// atomically; a shard is locked only long enough to drop its own
+    /// below-floor entries.
+    ///
+    /// The contract is on the caller's `live` set: after the
+    /// checkpoint, [`ShardedMonitor::truncate_to`] and
+    /// [`ShardedMonitor::retract_txn`] **panic** if asked to reach
+    /// below the floor, so `live` must include every transaction that
+    /// may yet abort. An unlogged monitor has nothing to reclaim and
+    /// reports its current length.
+    pub fn checkpoint<I: IntoIterator<Item = TxnId>>(&self, live: I) -> usize {
+        let mut s = self.seq.lock();
+        self.drain(&s);
+        if !self.logging {
+            return s.schedule.len();
+        }
+        let floor = live
+            .into_iter()
+            .filter_map(|t| s.schedule.txn_slot(t).map(|slot| s.first_op[slot] as usize))
+            .min()
+            .unwrap_or(s.schedule.len());
+        let floor = s.log.checkpoint(floor);
+        self.gstate.write().log.checkpoint(floor);
+        for shard in &self.shards {
+            let mut sh = shard.state.write();
+            let below = sh.log.partition_point(|&(pos, _)| (pos as usize) < floor);
+            sh.log.drain(..below);
+        }
+        floor
+    }
+
+    /// The journals' retraction floor: the prefix length below which
+    /// pushes are permanent (0 until a checkpoint raises it; equal to
+    /// [`ShardedMonitor::len`] on an unlogged monitor).
+    pub fn log_floor(&self) -> usize {
+        let s = self.seq.lock();
+        if self.logging {
+            s.log.base()
+        } else {
+            s.schedule.len()
+        }
+    }
+
+    /// Sequence-journal entries currently held — one per retractable
+    /// push, bounded by `len() - log_floor()` (the checkpoint test
+    /// pins this).
+    pub fn logged_len(&self) -> usize {
+        self.seq.lock().log.len()
     }
 
     /// The truncation body, under the held sequence lock after a
@@ -642,6 +892,12 @@ impl ShardedMonitor {
             n <= s.schedule.len(),
             "truncate_to({n}) beyond length {}",
             s.schedule.len()
+        );
+        assert!(
+            n >= s.log.base(),
+            "truncate_to({n}) below the checkpoint floor {} (those deltas were reclaimed; \
+             the checkpoint's live set must cover every transaction that may abort)",
+            s.log.base()
         );
         let undone = s.schedule.len() - n;
         for _ in 0..undone {
@@ -1220,5 +1476,144 @@ mod tests {
         let m = ShardedMonitor::new(example2_scopes());
         m.push(wr(1, 0, 1)).unwrap();
         m.truncate_to(0);
+    }
+
+    /// `checkpoint` raises every stage journal's floor to the oldest
+    /// live transaction's first operation, shrinking the sequence,
+    /// global and per-shard journals to the live suffix; the live
+    /// suffix still aborts incrementally afterwards.
+    #[test]
+    fn checkpoint_bounds_journals_to_the_live_suffix() {
+        let m = ShardedMonitor::new_logged(example2_scopes());
+        // 30 settled single-op transactions across both scopes, then
+        // one live straggler.
+        for k in 0..30u32 {
+            m.push(wr(k + 10, k % 3, 1)).unwrap();
+        }
+        let live = TxnId(500);
+        m.push(rd(live.0, 0, 1)).unwrap();
+        // Unbounded: one sequence entry per push, shard entries at
+        // every position each shard saw.
+        assert_eq!(m.logged_len(), 31);
+        assert_eq!(m.log_floor(), 0);
+        let floor = m.checkpoint([live]);
+        assert_eq!(floor, 30, "oldest live txn's first op");
+        assert_eq!(m.log_floor(), 30);
+        assert_eq!(m.logged_len(), 1);
+        assert_eq!(m.len(), 31, "checkpoint retracts nothing");
+        for shard in &m.shards {
+            let sh = shard.state.read();
+            assert!(
+                sh.log.iter().all(|&(pos, _)| pos as usize >= 30),
+                "below-floor shard deltas must be reclaimed"
+            );
+        }
+        assert_eq!(m.gstate.read().log.base(), 30);
+        // The live suffix still aborts incrementally, and the monitor
+        // stays parity-exact with a fresh single-writer replay.
+        let (undone, repushed) = m.retract_txn(live);
+        assert_eq!((undone, repushed), (1, 0));
+        let mut fresh = OnlineMonitor::new(example2_scopes());
+        for op in m.snapshot_schedule().ops() {
+            fresh.push(op.clone()).unwrap();
+        }
+        assert_eq!(m.verdict(), fresh.verdict());
+        // Nothing live: the whole journal drains.
+        let floor = m.checkpoint([]);
+        assert_eq!(floor, m.len());
+        assert_eq!(m.logged_len(), 0);
+        // A transaction the schedule has never seen does not lower
+        // the floor (it contributes no first-op position).
+        assert_eq!(m.checkpoint([TxnId(9999)]), m.len());
+        // Unlogged monitors have nothing to reclaim.
+        let u = ShardedMonitor::new(example2_scopes());
+        u.push(wr(1, 0, 1)).unwrap();
+        assert_eq!(u.checkpoint([]), 1);
+        assert_eq!(u.log_floor(), 1);
+    }
+
+    /// Reaching below a checkpointed floor is a caller bug (the live
+    /// set under-approximated the abortable transactions) and fails
+    /// loudly rather than corrupting state.
+    #[test]
+    #[should_panic(expected = "below the checkpoint floor")]
+    fn truncating_below_the_floor_panics() {
+        let m = ShardedMonitor::new_logged(example2_scopes());
+        m.push(wr(1, 0, 1)).unwrap();
+        m.push(wr(2, 1, 1)).unwrap();
+        assert_eq!(m.checkpoint([TxnId(2)]), 1);
+        m.truncate_to(0);
+    }
+
+    /// Every interleaving (bounded, exhaustive) of a small
+    /// three-transaction workload, driven through every lock-taking
+    /// entry point — push, admission probe, verdict, retraction,
+    /// checkpoint — under the debug lock-rank asserts: a lock-order
+    /// regression anywhere in the pipeline fails this test
+    /// deterministically, and each surviving state stays
+    /// parity-exact with the single-writer monitor.
+    #[test]
+    fn exhaustive_interleavings_exercise_the_lock_discipline() {
+        // Three 2-op transactions spanning both scopes ({0,1} and
+        // {2}): writes and reads cross conjuncts so the global stage,
+        // both shards, and the DR tracking all participate.
+        let seqs: Vec<Vec<Operation>> = vec![
+            vec![wr(1, 0, 1), rd(1, 2, 3)],
+            vec![rd(2, 0, 1), wr(2, 1, 2)],
+            vec![wr(3, 2, 3), rd(3, 1, 2)],
+        ];
+        fn merges(
+            queues: &mut Vec<std::collections::VecDeque<Operation>>,
+            current: &mut Vec<Operation>,
+            out: &mut Vec<Vec<Operation>>,
+        ) {
+            if queues.iter().all(std::collections::VecDeque::is_empty) {
+                out.push(current.clone());
+                return;
+            }
+            for i in 0..queues.len() {
+                if let Some(op) = queues[i].pop_front() {
+                    current.push(op.clone());
+                    merges(queues, current, out);
+                    current.pop();
+                    queues[i].push_front(op);
+                }
+            }
+        }
+        let mut queues: Vec<std::collections::VecDeque<Operation>> =
+            seqs.into_iter().map(Into::into).collect();
+        let mut all = Vec::new();
+        merges(&mut queues, &mut Vec::new(), &mut all);
+        assert_eq!(all.len(), 90, "6! / (2!)^3 interleavings");
+        for ops in &all {
+            let m = ShardedMonitor::new_logged(example2_scopes());
+            let mut single = OnlineMonitor::new(example2_scopes());
+            for op in ops {
+                // Admission probes nest global + shard read locks.
+                m.would_admit(op.txn, op.item, op.is_write(), AdmissionLevel::PwsrDr);
+                m.push(op.clone()).unwrap();
+                single.push(op.clone()).unwrap();
+                // `verdict` holds the global lock across ascending
+                // shard reads — the deepest read-side nesting.
+                assert_eq!(m.verdict(), single.verdict());
+            }
+            // Retraction nests seq → global → shards (pops descend,
+            // but locks are taken one at a time under seq).
+            m.retract_txn(TxnId(2));
+            // Checkpoint nests seq → global → each shard ascending.
+            let floor = m.checkpoint([TxnId(1), TxnId(3)]);
+            assert!(floor <= m.len());
+            assert_eq!(m.truncate_to(m.len()), 0);
+        }
+    }
+
+    /// The rank tracker itself rejects out-of-order acquisition — the
+    /// deterministic failure mode every lock-order regression hits.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "lock-order violation")]
+    fn out_of_order_acquisition_is_rejected() {
+        super::lock_order::acquire(shard_rank(1));
+        super::lock_order::acquire(RANK_GLOBAL);
     }
 }

@@ -10,6 +10,9 @@
 //! * [`registration_workload`] — the §2.3 course-registration schema.
 //! * [`mdbs_workload`] — the §4 multidatabase scenario (sites =
 //!   conjuncts; local and global transactions).
+//! * [`analyzer_workload`] — the static-analyzer scenario: blind-write
+//!   chains whose conflict graph is a provable forest, plus optional
+//!   contended read-modify-write pairs that defeat the criterion.
 
 use crate::constraints::{banking_ic, random_ic, BankConfig, GeneratedIc, IcConfig};
 use crate::gadgets::{example2_gadget, Example2Gadget};
@@ -379,6 +382,111 @@ pub fn mdbs_workload<R: Rng>(
     )
 }
 
+/// Parameters for [`analyzer_workload`].
+#[derive(Clone, Debug)]
+pub struct AnalyzerWorkloadConfig {
+    /// Chain conjuncts carrying the statically-safe programs.
+    pub conjuncts: usize,
+    /// Safe blind-write chain programs per conjunct (each conjunct
+    /// gets `chain_len + 1` items).
+    pub chain_len: usize,
+    /// Contended read-modify-write pairs — each on its own fresh
+    /// single-item conjunct — that defeat the structural criterion.
+    pub tangled_pairs: usize,
+    /// Item domain half-width (`[-w, w]`).
+    pub domain_width: i64,
+}
+
+impl Default for AnalyzerWorkloadConfig {
+    fn default() -> Self {
+        AnalyzerWorkloadConfig {
+            conjuncts: 4,
+            chain_len: 4,
+            tangled_pairs: 1,
+            domain_width: 100,
+        }
+    }
+}
+
+/// The static-analyzer scenario: per conjunct, a **blind-write
+/// chain** — program `j` rewrites items `j` and `j + 1` of its
+/// conjunct with their initial values, so consecutive programs share
+/// exactly one `w-w` conflict instance and the static mixed conflict
+/// graph is a path (a forest). No program reads, so there is no cross
+/// reads-from either: the analyzer certifies the chains structurally
+/// at *every* admission level. Optionally, `tangled_pairs` contended
+/// read-modify-write pairs on fresh single-item conjuncts embed a
+/// classic lost-update race that defeats the criterion for their own
+/// components, leaving the chains as the certified remainder of a
+/// mixed workload.
+///
+/// Program order: the `conjuncts * chain_len` chain programs first
+/// (conjunct-major), then the `2 * tangled_pairs` contended programs.
+pub fn analyzer_workload<R: Rng>(rng: &mut R, cfg: &AnalyzerWorkloadConfig) -> Workload {
+    let GeneratedIc {
+        mut catalog,
+        ic,
+        shapes,
+        mut initial,
+    } = random_ic(
+        rng,
+        &IcConfig {
+            conjuncts: cfg.conjuncts,
+            items_per_conjunct: cfg.chain_len + 1,
+            domain_width: cfg.domain_width,
+        },
+    );
+    let mut conjuncts: Vec<Conjunct> = ic.conjuncts().to_vec();
+    let mut programs = Vec::new();
+    for (ci, shape) in shapes.iter().enumerate() {
+        let items = shape.items();
+        for j in 0..cfg.chain_len {
+            let body: String = [items[j], items[j + 1]]
+                .iter()
+                .map(|&item| {
+                    let v = match initial.get(item) {
+                        Some(Value::Int(v)) => *v,
+                        _ => 0,
+                    };
+                    format!("{} := {v}; ", catalog.name(item))
+                })
+                .collect();
+            programs.push(parse_program(&format!("CHAIN{ci}_{j}"), &body).unwrap());
+        }
+    }
+    for p in 0..cfg.tangled_pairs {
+        let index = conjuncts.len() as u32;
+        let item = catalog.add_item(
+            &format!("tangle{p}"),
+            Domain::int_range(-cfg.domain_width, cfg.domain_width),
+        );
+        conjuncts.push(Conjunct::new(
+            index,
+            Formula::le(Term::var(item), Term::int(cfg.domain_width)),
+        ));
+        initial.set(item, Value::Int(0));
+        let name = catalog.name(item).to_owned();
+        programs.push(
+            parse_program(&format!("TANGLE{p}A"), &format!("{name} := {name} + 1;")).unwrap(),
+        );
+        programs.push(
+            parse_program(&format!("TANGLE{p}B"), &format!("{name} := {name} + 2;")).unwrap(),
+        );
+    }
+    let ic = IntegrityConstraint::new(conjuncts).expect("fresh tangle conjuncts stay disjoint");
+    let all_fixed_structure = programs
+        .iter()
+        .all(|p| static_structure(p, &catalog).is_fixed());
+    Workload {
+        catalog,
+        ic,
+        programs,
+        initial,
+        all_fixed_structure,
+        gadget_txns: Vec::new(),
+    }
+}
+
 /// The banking scenario: branches with conserved-sum invariants,
 /// transfer transactions within each branch and read-only audits.
 /// `guarded`/`balanced` select the transfer variant (see
@@ -527,6 +635,34 @@ mod tests {
                 let (_, out) =
                     execute_and_apply(p, &w.catalog, TxnId(k as u32 + 1), &w.initial).unwrap();
                 assert!(solver.is_consistent(&out), "{}", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn analyzer_workload_shape_and_correctness() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let cfg = AnalyzerWorkloadConfig {
+            conjuncts: 2,
+            chain_len: 3,
+            tangled_pairs: 1,
+            ..AnalyzerWorkloadConfig::default()
+        };
+        let w = analyzer_workload(&mut rng, &cfg);
+        assert_eq!(w.programs.len(), 2 * 3 + 2);
+        assert!(w.all_fixed_structure, "blind writes and RMWs are fixed");
+        assert_eq!(w.ic.len(), 2 + 1, "one fresh conjunct per tangle");
+        assert!(w.ic.is_disjoint());
+        // Chain programs rewrite initial values: running any one of
+        // them alone leaves the (consistent) state unchanged.
+        let solver = Solver::new(&w.catalog, &w.ic);
+        assert!(solver.is_consistent_total(&w.initial).unwrap());
+        for (k, p) in w.programs.iter().enumerate() {
+            let (_, out) =
+                execute_and_apply(p, &w.catalog, TxnId(k as u32 + 1), &w.initial).unwrap();
+            assert!(solver.is_consistent(&out), "{}", p.name);
+            if p.name.starts_with("CHAIN") {
+                assert_eq!(out, w.initial, "chains rewrite initial values");
             }
         }
     }

@@ -42,7 +42,7 @@
 
 use crate::error::{Result, SchedError};
 use crate::metrics::Metrics;
-use crate::policy::PolicySpec;
+use crate::policy::{MonitorSpec, PolicySpec, StaticCertificate};
 use parking_lot::Mutex;
 use pwsr_core::catalog::Catalog;
 use pwsr_core::ids::{ItemId, TxnId};
@@ -206,6 +206,23 @@ pub fn run_threaded(
 /// inside the monitor's sequence stage, and the returned verdict is
 /// the monitor's exact (quiescent) verdict over exactly that
 /// interleaving.
+///
+/// When `policy.monitor` carries a [`StaticCertificate`] (see
+/// [`PolicySpec::certified`]), transactions the certificate covers
+/// **bypass the monitor pipeline entirely**: their operations are
+/// recorded into a cheap side trace instead of being pushed through
+/// the three-stage certification pipeline. The returned verdict then
+/// covers only the *monitored* suffix of the workload (its `len` is
+/// the number of monitored operations, not the schedule length); the
+/// overall guarantee is the conjunction of the certificate's static
+/// level over the certified subset and the live verdict over the
+/// rest. Soundness rests on the analyzer's contract that certified
+/// transactions form conflict-closed components — they never conflict
+/// with monitored transactions, so same-item operation order (and
+/// hence reads-from and coherence) is unaffected by splicing the side
+/// trace after the monitored schedule.
+///
+/// [`PolicySpec::certified`]: crate::policy::PolicySpec::certified
 pub fn run_threaded_certified(
     programs: &[Program],
     catalog: &Catalog,
@@ -216,12 +233,17 @@ pub fn run_threaded_certified(
     let space_locks = space_lock_table(programs, catalog, policy);
     let monitor = ShardedMonitor::new(scopes);
     let db = StripedDb::new(initial, 16);
+    let certificate = certificate_of(policy);
+    // Side trace for statically-certified transactions: a plain mutex
+    // push, no graph maintenance, no pipeline stages.
+    let side: Mutex<Vec<Operation>> = Mutex::new(Vec::new());
 
     std::thread::scope(|scope| -> Result<()> {
         let mut handles = Vec::new();
         for (k, program) in programs.iter().enumerate() {
             let txn = TxnId(k as u32 + 1);
-            let (monitor, db, space_locks) = (&monitor, &db, &space_locks);
+            let (monitor, db, space_locks, side) = (&monitor, &db, &space_locks, &side);
+            let fast = certificate.is_some_and(|c| c.covers(txn));
             handles.push(scope.spawn(move || -> Result<()> {
                 let spaces = space_set(program, catalog, policy);
                 let guards: Vec<_> = spaces
@@ -229,6 +251,15 @@ pub fn run_threaded_certified(
                     .map(|&s| space_locks[s as usize].lock())
                     .collect();
                 let mut session = ProgramSession::new(program, catalog, txn);
+                let record = |op: Operation| -> Result<()> {
+                    if fast {
+                        side.lock().push(op);
+                        Ok(())
+                    } else {
+                        monitor.push(op)?;
+                        Ok(())
+                    }
+                };
                 loop {
                     match session.pending()? {
                         Pending::NeedRead(item) => {
@@ -238,11 +269,11 @@ pub fn run_threaded_certified(
                             // split by a conflicting access.
                             let v = db.read(item)?;
                             let op = session.feed_read(v)?;
-                            monitor.push(op)?;
+                            record(op)?;
                         }
                         Pending::Write(op) => {
                             db.write(op.item, op.value.clone());
-                            monitor.push(op)?;
+                            record(op)?;
                             session.advance_write()?;
                         }
                         Pending::Done => break,
@@ -259,8 +290,39 @@ pub fn run_threaded_certified(
         Ok(())
     })?;
 
-    let (schedule, verdict) = monitor.into_parts();
+    let (monitored, verdict) = monitor.into_parts();
+    let schedule = splice_side_trace(monitored, side.into_inner())?;
     Ok((schedule, db.into_state(), verdict))
+}
+
+/// The validated certificate a policy carries, if any: present only
+/// when the policy has a monitor half and the certificate's level
+/// implies the monitor's floor ([`PolicySpec::certified`] refuses
+/// weaker attachments, but re-checking here keeps hand-built specs
+/// honest).
+///
+/// [`PolicySpec::certified`]: crate::policy::PolicySpec::certified
+fn certificate_of(policy: &PolicySpec) -> Option<&StaticCertificate> {
+    let spec = policy.monitor.as_ref()?;
+    spec.certificate
+        .as_ref()
+        .filter(|c| c.satisfies(spec.level))
+}
+
+/// Append the certified side trace after the monitored schedule.
+///
+/// Certified transactions never share an item with monitored ones
+/// (conflict-closed components), and the side trace preserves its own
+/// internal push order — so every per-item operation sequence survives
+/// the splice intact, and read-coherence / reads-from assignments are
+/// exactly those of the live interleaving.
+fn splice_side_trace(monitored: Schedule, side: Vec<Operation>) -> Result<Schedule> {
+    if side.is_empty() {
+        return Ok(monitored);
+    }
+    let mut ops: Vec<Operation> = monitored.ops().to_vec();
+    ops.extend(side);
+    Ok(Schedule::new(ops)?)
 }
 
 /// One stripe of the optimistic store: the values plus the claiming
@@ -320,6 +382,7 @@ struct OccMtCounters {
     certification_aborts: AtomicU64,
     undone_ops: AtomicU64,
     dirty_waits: AtomicU64,
+    skipped_ops: AtomicU64,
 }
 
 /// Outcome of [`run_threaded_occ_certified`]: the committed schedule
@@ -394,16 +457,47 @@ pub fn run_threaded_occ_certified(
     threads: usize,
     max_restarts: u32,
 ) -> Result<OccThreadedOutcome> {
-    let monitor = ShardedMonitor::new_logged(scopes);
+    let spec = MonitorSpec {
+        scopes,
+        level,
+        certificate: None,
+    };
+    run_threaded_occ_spec(programs, catalog, initial, &spec, threads, max_restarts)
+}
+
+/// [`run_threaded_occ_certified`] driven by a full [`MonitorSpec`] —
+/// the entry point that honours a [`StaticCertificate`]. Transactions
+/// the certificate covers run **without the monitor**: their accesses
+/// still respect the dirty-item discipline (store correctness and
+/// read-coherence among certified transactions need it), but each
+/// operation lands in a cheap side trace instead of the logged
+/// pipeline, and no admission floor is ever checked for them — a
+/// statically-safe transaction cannot be certification-aborted. The
+/// returned verdict covers only the monitored operations; the overall
+/// guarantee is the certificate's static level over the certified
+/// subset conjoined with the verdict over the rest (sound because
+/// certified transactions form conflict-closed components).
+pub fn run_threaded_occ_spec(
+    programs: &[Program],
+    catalog: &Catalog,
+    initial: &DbState,
+    spec: &MonitorSpec,
+    threads: usize,
+    max_restarts: u32,
+) -> Result<OccThreadedOutcome> {
+    let monitor = ShardedMonitor::new_logged(spec.scopes.clone());
+    let level = spec.level;
+    let certificate = spec.certificate.as_ref().filter(|c| c.satisfies(level));
     let db = OccStripedDb::new(initial, 16);
     let counters = OccMtCounters::default();
     let next = AtomicUsize::new(0);
     let threads = threads.max(1);
+    let side: Mutex<Vec<Operation>> = Mutex::new(Vec::new());
 
     std::thread::scope(|scope| -> Result<()> {
         let mut handles = Vec::new();
         for _ in 0..threads.min(programs.len().max(1)) {
-            let (monitor, db, counters, next) = (&monitor, &db, &counters, &next);
+            let (monitor, db, counters, next, side) = (&monitor, &db, &counters, &next, &side);
             handles.push(scope.spawn(move || -> Result<()> {
                 loop {
                     let k = next.fetch_add(1, Ordering::Relaxed);
@@ -411,9 +505,12 @@ pub fn run_threaded_occ_certified(
                         return Ok(());
                     };
                     let txn = TxnId(k as u32 + 1);
+                    let fast = certificate.is_some_and(|c| c.covers(txn)).then_some(side);
                     let mut restarts = 0u32;
                     loop {
-                        match occ_attempt(program, catalog, txn, monitor, db, counters, level)? {
+                        match occ_attempt(
+                            program, catalog, txn, monitor, db, counters, level, fast,
+                        )? {
                             AttemptEnd::Committed => break,
                             AttemptEnd::Aborted => {
                                 restarts += 1;
@@ -439,7 +536,8 @@ pub fn run_threaded_occ_certified(
         Ok(())
     })?;
 
-    let (schedule, verdict) = monitor.into_parts();
+    let (monitored, verdict) = monitor.into_parts();
+    let schedule = splice_side_trace(monitored, side.into_inner())?;
     let metrics = Metrics {
         committed_ops: schedule.len() as u64,
         aborts: counters.aborts.load(Ordering::Relaxed),
@@ -448,6 +546,7 @@ pub fn run_threaded_occ_certified(
         occ_retries: counters.retries.load(Ordering::Relaxed),
         monitor_rejections: counters.certification_aborts.load(Ordering::Relaxed),
         monitor_undone_ops: counters.undone_ops.load(Ordering::Relaxed),
+        monitor_skipped_ops: counters.skipped_ops.load(Ordering::Relaxed),
         waits: counters.dirty_waits.load(Ordering::Relaxed),
         ..Metrics::default()
     };
@@ -514,10 +613,38 @@ fn with_clean_stripe<T>(
     }
 }
 
+/// Retract an attempt's recorded operations — from the monitor, or
+/// from the certified side trace when the transaction runs on the
+/// static fast path. Must run **before** [`rollback_store`] either
+/// way: while the dirty marks still stand no reader can record a read
+/// against the doomed writes, so reads-from assignments stay stable
+/// across the abort.
+fn retract_attempt(
+    monitor: &ShardedMonitor,
+    fast: Option<&Mutex<Vec<Operation>>>,
+    txn: TxnId,
+) -> usize {
+    match fast {
+        Some(side) => {
+            let mut ops = side.lock();
+            let before = ops.len();
+            ops.retain(|o| o.txn != txn);
+            before - ops.len()
+        }
+        None => monitor.retract_txn(txn).0,
+    }
+}
+
 /// One speculative attempt of `txn`. On abort — and on any error —
-/// the monitor suffix is retracted first and every store write then
-/// restored, so the shared state is as if the attempt never ran
-/// (except the attempt's waits and abort counters).
+/// the recorded suffix (monitor or side trace) is retracted first and
+/// every store write then restored, so the shared state is as if the
+/// attempt never ran (except the attempt's waits and abort counters).
+///
+/// `fast` is `Some(side trace)` when a [`StaticCertificate`] covers
+/// `txn`: operations are recorded there instead of the monitor and no
+/// admission floor is checked (dirty-wait aborts can still happen —
+/// store conflicts are dynamic even when certification is static).
+#[allow(clippy::too_many_arguments)]
 fn occ_attempt(
     program: &Program,
     catalog: &Catalog,
@@ -526,6 +653,7 @@ fn occ_attempt(
     db: &OccStripedDb,
     counters: &OccMtCounters,
     level: AdmissionLevel,
+    fast: Option<&Mutex<Vec<Operation>>>,
 ) -> Result<AttemptEnd> {
     let mut applied: WriteUndo = Vec::new();
     let end = occ_attempt_inner(
@@ -536,13 +664,14 @@ fn occ_attempt(
         db,
         counters,
         level,
+        fast,
         &mut applied,
     );
     if end.is_err() {
         // An error must not strand dirty marks: other workers would
         // spin out their whole wait/retry budget on them before the
         // error surfaces through the join.
-        let (undone, _) = monitor.retract_txn(txn);
+        let undone = retract_attempt(monitor, fast, txn);
         counters
             .undone_ops
             .fetch_add(undone as u64, Ordering::Relaxed);
@@ -560,15 +689,16 @@ fn occ_attempt_inner(
     db: &OccStripedDb,
     counters: &OccMtCounters,
     level: AdmissionLevel,
+    fast: Option<&Mutex<Vec<Operation>>>,
     applied: &mut WriteUndo,
 ) -> Result<AttemptEnd> {
     let mut session = ProgramSession::new(program, catalog, txn);
 
-    // Abort: retract the monitor suffix per shard, THEN squash the
-    // store writes (see `rollback_store` for why this order is
-    // load-bearing).
+    // Abort: retract the recorded suffix, THEN squash the store
+    // writes (see `rollback_store` / `retract_attempt` for why this
+    // order is load-bearing).
     let abort = |applied: &mut WriteUndo, certification: bool| {
-        let (undone, _repushed) = monitor.retract_txn(txn);
+        let undone = retract_attempt(monitor, fast, txn);
         counters
             .undone_ops
             .fetch_add(undone as u64, Ordering::Relaxed);
@@ -581,6 +711,20 @@ fn occ_attempt_inner(
         }
     };
 
+    // Record one operation under the stripe latch. Fast path: append
+    // to the side trace (same-item order still serialized by the
+    // latch) and report "no breach" without consulting the monitor.
+    let record = |op: Operation| -> Result<Option<pwsr_core::monitor::sharded::PushOutcome>> {
+        match fast {
+            Some(side) => {
+                side.lock().push(op);
+                counters.skipped_ops.fetch_add(1, Ordering::Relaxed);
+                Ok(None)
+            }
+            None => Ok(Some(monitor.push_outcome(op)?)),
+        }
+    };
+
     loop {
         match session.pending()? {
             Pending::NeedRead(item) => {
@@ -590,13 +734,13 @@ fn occ_attempt_inner(
                 let outcome = with_clean_stripe(db, counters, txn, item, |stripe| {
                     let v = stripe.db.require(item)?.clone();
                     let op = session.feed_read(v)?;
-                    Ok(monitor.push_outcome(op)?)
+                    record(op)
                 })?;
                 let Some(outcome) = outcome else {
                     abort(applied, false);
                     return Ok(AttemptEnd::Aborted);
                 };
-                if outcome.breaches(level) {
+                if outcome.is_some_and(|o| o.breaches(level)) {
                     abort(applied, true);
                     return Ok(AttemptEnd::Aborted);
                 }
@@ -606,14 +750,14 @@ fn occ_attempt_inner(
                     let old = stripe.db.set(op.item, op.value.clone());
                     stripe.dirty.insert(op.item, txn);
                     applied.push((op.item, old));
-                    Ok(monitor.push_outcome(op.clone())?)
+                    record(op.clone())
                 })?;
                 let Some(outcome) = outcome else {
                     abort(applied, false);
                     return Ok(AttemptEnd::Aborted);
                 };
                 session.advance_write()?;
-                if outcome.breaches(level) {
+                if outcome.is_some_and(|o| o.breaches(level)) {
                     abort(applied, true);
                     return Ok(AttemptEnd::Aborted);
                 }
@@ -876,6 +1020,141 @@ mod tests {
                     }
                     assert_eq!(last, out.verdict);
                     assert!(replay.certify_prefix());
+                }
+            }
+        }
+    }
+
+    /// A certificate covering every program routes the whole workload
+    /// around the monitor: the verdict covers zero operations, yet the
+    /// spliced schedule is coherent, PWSR, and loses no effects.
+    #[test]
+    fn certified_threaded_full_certificate_bypasses_monitor() {
+        use crate::policy::StaticCertificate;
+        let (cat, ic, initial) = setup();
+        // A statically-safe mix: each program touches its own item
+        // (empty conflict graph — trivially a forest at every level).
+        let programs = vec![
+            parse_program("T1", "a0 := a0 + 1;").unwrap(),
+            parse_program("T2", "b0 := b0 + 1;").unwrap(),
+            parse_program("T3", "a1 := a1 + 5;").unwrap(),
+            parse_program("T4", "b1 := b1 + 7;").unwrap(),
+        ];
+        let policy = PolicySpec::predicate_wise_2pl(&ic)
+            .monitor_admission(&ic, AdmissionLevel::Pwsr)
+            .certified(StaticCertificate::full(
+                AdmissionLevel::Pwsr,
+                programs.len(),
+            ));
+        let scopes: Vec<ItemSet> = ic.conjuncts().iter().map(|c| c.items().clone()).collect();
+        for _ in 0..5 {
+            let (schedule, final_state, verdict) =
+                run_threaded_certified(&programs, &cat, &initial, &policy, scopes.clone()).unwrap();
+            assert_eq!(verdict.len, 0, "no operation may reach the monitor");
+            assert_eq!(schedule.len(), 8);
+            schedule.check_read_coherence(&initial).unwrap();
+            assert_eq!(schedule.apply(&initial), final_state);
+            assert!(is_pwsr(&schedule, &ic).ok());
+            assert_eq!(
+                final_state.get(cat.lookup("a0").unwrap()),
+                Some(&Value::Int(1))
+            );
+            assert_eq!(
+                final_state.get(cat.lookup("b1").unwrap()),
+                Some(&Value::Int(107))
+            );
+        }
+    }
+
+    /// A mixed workload: the certified component (disjoint items)
+    /// bypasses the monitor while the conflicting remainder is still
+    /// certified live — the verdict covers exactly the monitored ops
+    /// and the spliced whole stays coherent and PWSR.
+    #[test]
+    fn certified_threaded_mixed_workload_monitors_only_the_rest() {
+        use crate::policy::StaticCertificate;
+        let (cat, ic, initial) = setup();
+        let programs = vec![
+            parse_program("T1", "a1 := a1 + 5;").unwrap(), // certified
+            parse_program("T2", "b1 := b1 + 7;").unwrap(), // certified
+            parse_program("T3", "a0 := a0 + 1;").unwrap(), // monitored
+            parse_program("T4", "a0 := a0 + 2; b0 := b0 + 1;").unwrap(), // monitored
+        ];
+        let cert = StaticCertificate::new(
+            AdmissionLevel::Pwsr,
+            [TxnId(1), TxnId(2)].into_iter().collect(),
+        );
+        let policy = PolicySpec::predicate_wise_2pl(&ic)
+            .monitor_admission(&ic, AdmissionLevel::Pwsr)
+            .certified(cert);
+        let scopes: Vec<ItemSet> = ic.conjuncts().iter().map(|c| c.items().clone()).collect();
+        for _ in 0..5 {
+            let (schedule, final_state, verdict) =
+                run_threaded_certified(&programs, &cat, &initial, &policy, scopes.clone()).unwrap();
+            // T3+T4 contribute 2+4 monitored ops; T1+T2 skip with 4.
+            assert_eq!(verdict.len, 6);
+            assert_eq!(schedule.len(), 10);
+            assert!(verdict.pwsr());
+            schedule.check_read_coherence(&initial).unwrap();
+            assert_eq!(schedule.apply(&initial), final_state);
+            assert!(is_pwsr(&schedule, &ic).ok());
+            assert_eq!(
+                final_state.get(cat.lookup("a0").unwrap()),
+                Some(&Value::Int(3))
+            );
+            assert_eq!(
+                final_state.get(cat.lookup("a1").unwrap()),
+                Some(&Value::Int(5))
+            );
+        }
+    }
+
+    /// The OCC fast path: certified transactions skip certification
+    /// (zero monitored ops, `monitor_skipped_ops` accounts for every
+    /// access) while still obeying the dirty-item store discipline;
+    /// mixed runs monitor only the uncertified remainder.
+    #[test]
+    fn occ_spec_certificate_skips_certification() {
+        use crate::policy::{MonitorSpec, StaticCertificate};
+        let (cat, ic, initial) = setup();
+        let programs = vec![
+            parse_program("T1", "a1 := a1 + 5;").unwrap(), // certified
+            parse_program("T2", "b1 := b1 + 7;").unwrap(), // certified
+            parse_program("T3", "a0 := a0 + 1;").unwrap(), // monitored
+            parse_program("T4", "a0 := a0 + 2; b0 := b0 + 1;").unwrap(), // monitored
+        ];
+        let scopes: Vec<ItemSet> = ic.conjuncts().iter().map(|c| c.items().clone()).collect();
+        let spec = MonitorSpec {
+            scopes: scopes.clone(),
+            level: AdmissionLevel::Pwsr,
+            certificate: Some(StaticCertificate::new(
+                AdmissionLevel::Pwsr,
+                [TxnId(1), TxnId(2)].into_iter().collect(),
+            )),
+        };
+        for threads in [1, 4] {
+            for _ in 0..5 {
+                let out = run_threaded_occ_spec(&programs, &cat, &initial, &spec, threads, 10_000)
+                    .unwrap();
+                assert_eq!(out.verdict.len, 6, "only T3/T4 ops are monitored");
+                assert_eq!(out.schedule.len(), 10);
+                assert!(out.metrics.monitor_skipped_ops >= 4);
+                out.schedule.check_read_coherence(&initial).unwrap();
+                assert_eq!(out.schedule.apply(&initial), out.final_state);
+                assert!(is_pwsr(&out.schedule, &ic).ok());
+                assert_eq!(
+                    out.final_state.get(cat.lookup("a0").unwrap()),
+                    Some(&Value::Int(3))
+                );
+                assert_eq!(
+                    out.final_state.get(cat.lookup("a1").unwrap()),
+                    Some(&Value::Int(5))
+                );
+                // Per-transaction traces still replay in program order.
+                for (k, p) in programs.iter().enumerate() {
+                    let txn = TxnId(k as u32 + 1);
+                    let t = out.schedule.transaction(txn);
+                    assert!(replay_matches(p, &cat, txn, t.ops()), "{txn:?}");
                 }
             }
         }

@@ -148,10 +148,7 @@ pub fn run_workload(
     let mut dirty: HashMap<ItemId, TxnId> = HashMap::new();
     let mut metrics = Metrics::default();
     let mut rejected: Vec<TxnId> = Vec::new();
-    let mut admission: Option<MonitorAdmission> = policy
-        .monitor
-        .as_ref()
-        .map(|m| MonitorAdmission::new(m.scopes.clone(), m.level));
+    let mut admission: Option<MonitorAdmission> = policy.monitor.as_ref().map(|m| m.admission());
     let mut dag_guard: Option<DagGuard> = policy.dag_guard.map(DagGuard::new);
 
     loop {
@@ -230,6 +227,7 @@ pub fn run_workload(
         metrics.monitor_resyncs = mon.resyncs();
         metrics.monitor_undone_ops = mon.undone_ops();
         metrics.monitor_log_floor = mon.log_floor() as u64;
+        metrics.monitor_skipped_ops = mon.skipped_ops();
     }
     metrics.committed_ops = trace.len() as u64;
     let schedule = Schedule::new(trace)?;
@@ -322,17 +320,22 @@ fn step(
     // `sync` walks the undo-log back only when an abort rewrote the
     // trace.
     if let Some(mon) = admission.as_mut() {
-        mon.sync(trace);
-        let intent = match &pending {
-            Pending::NeedRead(item) => Some((*item, false)),
-            Pending::Write(op) => Some((op.item, true)),
-            Pending::Done => None,
-        };
-        if let Some((item, is_write)) = intent {
-            if !mon.would_admit(txn, item, is_write) {
-                metrics.monitor_rejections += 1;
-                abort_cascading(pick, rts, locks, trace, dirty, db, initial, metrics, cfg)?;
-                return Ok(());
+        // Statically-certified transactions take the zero-cost fast
+        // path: no sync, no speculative test — the certificate proves
+        // every interleaving of their component safe.
+        if !mon.covers(txn) {
+            mon.sync(trace);
+            let intent = match &pending {
+                Pending::NeedRead(item) => Some((*item, false)),
+                Pending::Write(op) => Some((op.item, true)),
+                Pending::Done => None,
+            };
+            if let Some((item, is_write)) = intent {
+                if !mon.would_admit(txn, item, is_write) {
+                    metrics.monitor_rejections += 1;
+                    abort_cascading(pick, rts, locks, trace, dirty, db, initial, metrics, cfg)?;
+                    return Ok(());
+                }
             }
         }
     }
@@ -410,7 +413,7 @@ fn step(
             let value = db.require(item)?.clone();
             let op = rts[pick].session.feed_read(value)?;
             if let Some(mon) = admission.as_mut() {
-                mon.push(&op);
+                mon.observe(&op);
             }
             trace.push(op);
             after_op(pick, policy, rts, locks);
@@ -441,7 +444,7 @@ fn step(
             dirty.insert(op.item, txn);
             rts[pick].session.advance_write()?;
             if let Some(mon) = admission.as_mut() {
-                mon.push(&op);
+                mon.observe(&op);
             }
             trace.push(op);
             after_op(pick, policy, rts, locks);
@@ -1136,6 +1139,49 @@ mod tests {
                 out.schedule
             );
             assert!(is_pwsr(&out.schedule, &ic).ok());
+        }
+    }
+
+    /// A static certificate turns monitor admission into a no-op for
+    /// covered transactions: identical committed outcomes, zero
+    /// rejections, and `monitor_skipped_ops` accounting for every
+    /// certified operation — the zero-cost fast path, end to end
+    /// through the discrete-event executor.
+    #[test]
+    fn monitor_admission_certificate_is_transparent_and_skips() {
+        use crate::policy::StaticCertificate;
+        use pwsr_core::monitor::AdmissionLevel;
+        let (cat, ic, initial) = setup();
+        let programs = cross_conjunct_programs();
+        for seed in 0..15 {
+            let cfg = ExecConfig {
+                seed,
+                ..ExecConfig::default()
+            };
+            let monitored =
+                PolicySpec::predicate_wise_2pl(&ic).monitor_admission(&ic, AdmissionLevel::Pwsr);
+            let certified = monitored.clone().certified(StaticCertificate::full(
+                AdmissionLevel::Pwsr,
+                programs.len(),
+            ));
+            let base = run_workload(&programs, &cat, &initial, &monitored, &cfg).unwrap();
+            let fast = run_workload(&programs, &cat, &initial, &certified, &cfg).unwrap();
+            // Same deterministic interleaving, same commits — the
+            // certificate changes cost, not behaviour (PW-2PL already
+            // commits only PWSR schedules, so skipping is sound here).
+            assert_eq!(base.schedule, fast.schedule, "seed {seed}");
+            assert_eq!(base.final_state, fast.final_state);
+            assert_eq!(fast.metrics.monitor_rejections, 0);
+            assert_eq!(base.metrics.monitor_skipped_ops, 0);
+            // Every committed op rode the fast path (aborted attempts
+            // may have skipped a few more before their trace rewrite).
+            assert!(
+                fast.metrics.monitor_skipped_ops >= fast.metrics.committed_ops,
+                "seed {seed}: {} < {}",
+                fast.metrics.monitor_skipped_ops,
+                fast.metrics.committed_ops
+            );
+            assert!(is_pwsr(&fast.schedule, &ic).ok());
         }
     }
 

@@ -30,6 +30,9 @@ pub struct Metrics {
     /// The monitor undo-log's final retraction floor — how far
     /// checkpointing bounded the log (0 when no monitor ran).
     pub monitor_log_floor: u64,
+    /// Operations that bypassed runtime certification because their
+    /// transaction held a static safety certificate.
+    pub monitor_skipped_ops: u64,
     /// OCC aborts: transactions rolled back by a failed backward
     /// validation or a certification breach (victims + cascades) —
     /// the same counter whichever OCC path (single-threaded or
@@ -65,7 +68,7 @@ impl fmt::Display for Metrics {
         write!(
             f,
             "steps={} ops={} waits={} deadlocks={} aborts={} restarts={} locks={} monrej={} \
-             monresync={} monundo={} monfloor={} occab={} occretry={} goodput={:.3}",
+             monresync={} monundo={} monfloor={} monskip={} occab={} occretry={} goodput={:.3}",
             self.steps,
             self.committed_ops,
             self.waits,
@@ -77,6 +80,7 @@ impl fmt::Display for Metrics {
             self.monitor_resyncs,
             self.monitor_undone_ops,
             self.monitor_log_floor,
+            self.monitor_skipped_ops,
             self.occ_aborts,
             self.occ_retries,
             self.goodput()

@@ -21,8 +21,87 @@ use pwsr_core::ids::{ItemId, TxnId};
 use pwsr_core::monitor::{AdmissionLevel, OnlineMonitor, Verdict};
 use pwsr_core::op::Operation;
 use pwsr_core::state::ItemSet;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
+
+/// Does holding verdict level `a` on a schedule imply level `b`?
+/// `Serializable ⇒ Pwsr` (an acyclic global conflict graph keeps every
+/// projection acyclic) and `PwsrDr ⇒ Pwsr`; `Serializable` and
+/// `PwsrDr` are incomparable (serializability says nothing about
+/// delayed reads).
+pub fn level_implies(a: AdmissionLevel, b: AdmissionLevel) -> bool {
+    a == b
+        || matches!(
+            (a, b),
+            (AdmissionLevel::Serializable, AdmissionLevel::Pwsr)
+                | (AdmissionLevel::PwsrDr, AdmissionLevel::Pwsr)
+        )
+}
+
+/// A pre-computed workload-safety certificate: the transactions in
+/// `certified` are drawn from a program mix proven (by
+/// `pwsr_analysis`) to satisfy `level` under **every** interleaving,
+/// with no conflicts against any program outside the set. Admission
+/// can therefore skip runtime certification for them entirely — the
+/// zero-cost fast path.
+///
+/// The scheduler trusts the certificate; soundness is the analyzer's
+/// contract (its `Safe` verdicts are proven, and certified sets are
+/// conflict-closed components, so they compose with any monitored
+/// remainder).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StaticCertificate {
+    level: AdmissionLevel,
+    certified: BTreeSet<TxnId>,
+}
+
+impl StaticCertificate {
+    /// Certificate for an explicit transaction set.
+    pub fn new(level: AdmissionLevel, certified: BTreeSet<TxnId>) -> StaticCertificate {
+        StaticCertificate { level, certified }
+    }
+
+    /// Certificate covering transactions `1..=n` (program `k` runs as
+    /// transaction `k+1` in the executors).
+    pub fn full(level: AdmissionLevel, n: usize) -> StaticCertificate {
+        StaticCertificate {
+            level,
+            certified: (1..=n as u32).map(TxnId).collect(),
+        }
+    }
+
+    /// The level every interleaving of the certified set is proven to
+    /// hold.
+    pub fn level(&self) -> AdmissionLevel {
+        self.level
+    }
+
+    /// Is `txn` in the certified set?
+    pub fn covers(&self, txn: TxnId) -> bool {
+        self.certified.contains(&txn)
+    }
+
+    /// Is the certificate strong enough to stand in for runtime
+    /// certification at `floor`?
+    pub fn satisfies(&self, floor: AdmissionLevel) -> bool {
+        level_implies(self.level, floor)
+    }
+
+    /// Number of certified transactions.
+    pub fn len(&self) -> usize {
+        self.certified.len()
+    }
+
+    /// Is the certified set empty?
+    pub fn is_empty(&self) -> bool {
+        self.certified.is_empty()
+    }
+
+    /// The certified transactions, ascending.
+    pub fn txns(&self) -> impl Iterator<Item = TxnId> + '_ {
+        self.certified.iter().copied()
+    }
+}
 
 /// Monitor-backed admission control: an [`OnlineMonitor`] tracking the
 /// executor's trace, consulted before every operation. An operation
@@ -42,6 +121,17 @@ pub struct MonitorAdmission {
     monitor: OnlineMonitor,
     scopes: Vec<ItemSet>,
     level: AdmissionLevel,
+    /// Statically-certified fast path: transactions the certificate
+    /// covers bypass the monitor entirely (admitted unconditionally,
+    /// their operations never pushed).
+    certificate: Option<StaticCertificate>,
+    /// Trace operations observed, *including* certified skips — the
+    /// steady-state `sync` check compares against this, so the hot
+    /// path stays `O(1)` even when the monitor records only a
+    /// sub-trace.
+    seen: usize,
+    /// Operations skipped via the certificate.
+    skipped_ops: u64,
     /// Re-syncs that found the trace rewritten.
     resyncs: u64,
     /// Operations retracted via the undo-log across all re-syncs.
@@ -64,9 +154,28 @@ impl MonitorAdmission {
             monitor: OnlineMonitor::new(scopes.clone()),
             scopes,
             level,
+            certificate: None,
+            seen: 0,
+            skipped_ops: 0,
             resyncs: 0,
             undone_ops: 0,
         }
+    }
+
+    /// Attach a static safety certificate: covered transactions are
+    /// admitted without consulting the monitor and their operations
+    /// are never certified at run time. A certificate weaker than the
+    /// admission floor (see [`StaticCertificate::satisfies`]) is
+    /// rejected and admission falls back to full monitoring.
+    pub fn with_certificate(mut self, certificate: StaticCertificate) -> MonitorAdmission {
+        debug_assert!(
+            self.is_empty(),
+            "attach certificates before recording operations"
+        );
+        if certificate.satisfies(self.level) {
+            self.certificate = Some(certificate);
+        }
+        self
     }
 
     /// Admission over an integrity constraint's conjunct scopes.
@@ -113,16 +222,41 @@ impl MonitorAdmission {
     }
 
     /// Would this access keep the configured verdict level? Read-only.
+    /// Statically-certified transactions are admitted without touching
+    /// the monitor — the zero-cost fast path.
     pub fn would_admit(&self, txn: TxnId, item: ItemId, is_write: bool) -> bool {
+        if self.covers(txn) {
+            return true;
+        }
         self.monitor.admits(txn, item, is_write, self.level)
+    }
+
+    /// Is `txn` on the certified fast path?
+    pub fn covers(&self, txn: TxnId) -> bool {
+        self.certificate.as_ref().is_some_and(|c| c.covers(txn))
     }
 
     /// Record an admitted (or already-committed) operation. Logged, so
     /// an abort can retract it through the undo-log.
     pub fn push(&mut self, op: &Operation) -> Verdict {
+        self.seen += 1;
         self.monitor
             .push_logged(op.clone())
             .expect("executor traces satisfy the §2.2 transaction rules")
+    }
+
+    /// Record one trace operation, routing it past the monitor when
+    /// its transaction is certified. Returns `true` if the operation
+    /// was actually pushed (monitored), `false` if skipped.
+    pub fn observe(&mut self, op: &Operation) -> bool {
+        if self.covers(op.txn) {
+            self.seen += 1;
+            self.skipped_ops += 1;
+            false
+        } else {
+            self.push(op);
+            true
+        }
     }
 
     /// The current verdict over the recorded trace.
@@ -137,10 +271,13 @@ impl MonitorAdmission {
 
     /// Rebuild from scratch over `trace` — the old `O(n)` abort path,
     /// kept as the fallback oracle (tests pin `sync` against it).
+    /// Certified transactions' operations are skipped, as on the
+    /// incremental path.
     pub fn rebuild(&mut self, trace: &[Operation]) {
         self.monitor = OnlineMonitor::new(self.scopes.clone());
+        self.seen = 0;
         for op in trace {
-            self.push(op);
+            self.observe(op);
         }
     }
 
@@ -155,34 +292,51 @@ impl MonitorAdmission {
     /// under-approximated the removable transactions), the rare
     /// fallback is the old full rebuild.
     pub fn sync(&mut self, trace: &[Operation]) -> SyncStats {
-        if self.monitor.len() == trace.len() {
+        if self.seen == trace.len() {
             return SyncStats::default();
         }
         self.resyncs += 1;
+        // With a certificate attached the monitor records only the
+        // uncertified sub-trace; compare against the filtered view.
+        // This allocation happens only on the (rare) abort path — the
+        // steady state returned above.
+        let filtered: Vec<Operation>;
+        let target: &[Operation] = match &self.certificate {
+            Some(cert) => {
+                filtered = trace
+                    .iter()
+                    .filter(|o| !cert.covers(o.txn))
+                    .cloned()
+                    .collect();
+                &filtered
+            }
+            None => trace,
+        };
         // Longest common prefix of the recorded schedule and the
         // rewritten trace (an abort removes operations, so divergence
         // starts at the first removed position).
         let recorded = self.monitor.schedule().ops();
         let common = recorded
             .iter()
-            .zip(trace.iter())
+            .zip(target.iter())
             .take_while(|(a, b)| a == b)
             .count();
         if common < self.monitor.log_floor() {
             self.rebuild(trace);
             return SyncStats {
                 undone: 0,
-                repushed: trace.len() as u64,
+                repushed: target.len() as u64,
             };
         }
         let undone = self.monitor.truncate_to(common) as u64;
         self.undone_ops += undone;
         let mut repushed = 0u64;
-        for op in &trace[common..] {
+        for op in &target[common..] {
             self.push(op);
             repushed += 1;
         }
-        debug_assert_eq!(self.monitor.len(), trace.len());
+        self.seen = trace.len();
+        debug_assert_eq!(self.monitor.len(), target.len());
         SyncStats { undone, repushed }
     }
 
@@ -222,6 +376,16 @@ impl MonitorAdmission {
     pub fn undone_ops(&self) -> u64 {
         self.undone_ops
     }
+
+    /// Operations skipped via the static certificate.
+    pub fn skipped_ops(&self) -> u64 {
+        self.skipped_ops
+    }
+
+    /// The attached certificate, if any survived validation.
+    pub fn certificate(&self) -> Option<&StaticCertificate> {
+        self.certificate.as_ref()
+    }
 }
 
 /// The monitor-admission half of a policy: which projection scopes to
@@ -232,6 +396,21 @@ pub struct MonitorSpec {
     pub scopes: Vec<ItemSet>,
     /// The verdict floor admitted operations must preserve.
     pub level: AdmissionLevel,
+    /// Optional static fast path: certified transactions skip runtime
+    /// certification (see [`StaticCertificate`]).
+    pub certificate: Option<StaticCertificate>,
+}
+
+impl MonitorSpec {
+    /// Build the admission state this spec describes, certificate
+    /// attached.
+    pub fn admission(&self) -> MonitorAdmission {
+        let adm = MonitorAdmission::new(self.scopes.clone(), self.level);
+        match &self.certificate {
+            Some(cert) => adm.with_certificate(cert.clone()),
+            None => adm,
+        }
+    }
 }
 
 /// A policy: item→space map plus behavioural flags.
@@ -349,6 +528,7 @@ impl PolicySpec {
         self.monitor = Some(MonitorSpec {
             scopes: ic.conjuncts().iter().map(|c| c.items().clone()).collect(),
             level,
+            certificate: None,
         });
         self.name = format!(
             "{}+MON({})",
@@ -359,6 +539,22 @@ impl PolicySpec {
                 AdmissionLevel::PwsrDr => "PWSR+DR",
             }
         );
+        self
+    }
+
+    /// Attach a static safety certificate to the monitor-admission
+    /// half of the policy ([`PolicySpec::monitor_admission`] must come
+    /// first): transactions the certificate covers skip runtime
+    /// certification entirely. A certificate weaker than the
+    /// admission floor is ignored (the name is only tagged when the
+    /// fast path is actually active).
+    pub fn certified(mut self, certificate: StaticCertificate) -> PolicySpec {
+        if let Some(spec) = &mut self.monitor {
+            if certificate.satisfies(spec.level) {
+                self.name = format!("{}+CERT({})", self.name, certificate.len());
+                spec.certificate = Some(certificate);
+            }
+        }
         self
     }
 
@@ -678,5 +874,126 @@ mod tests {
         let p = PolicySpec::from_table("sites", table, 100);
         assert_eq!(p.space_of(ItemId(0)), SpaceId(5));
         assert_eq!(p.space_of(ItemId(3)), SpaceId(103));
+    }
+
+    /// The level-implication partial order: `Serializable ⇒ Pwsr`,
+    /// `PwsrDr ⇒ Pwsr`, reflexive, and nothing else.
+    #[test]
+    fn level_implication_table() {
+        use AdmissionLevel::*;
+        for l in [Serializable, Pwsr, PwsrDr] {
+            assert!(level_implies(l, l));
+        }
+        assert!(level_implies(Serializable, Pwsr));
+        assert!(level_implies(PwsrDr, Pwsr));
+        assert!(!level_implies(Pwsr, Serializable));
+        assert!(!level_implies(Pwsr, PwsrDr));
+        assert!(!level_implies(Serializable, PwsrDr));
+        assert!(!level_implies(PwsrDr, Serializable));
+    }
+
+    #[test]
+    fn certificate_covers_and_satisfies() {
+        let cert = StaticCertificate::full(AdmissionLevel::Serializable, 3);
+        assert_eq!(cert.len(), 3);
+        assert!(!cert.is_empty());
+        assert!(cert.covers(TxnId(1)) && cert.covers(TxnId(3)));
+        assert!(!cert.covers(TxnId(4)));
+        assert!(cert.satisfies(AdmissionLevel::Pwsr));
+        assert!(cert.satisfies(AdmissionLevel::Serializable));
+        assert!(!cert.satisfies(AdmissionLevel::PwsrDr));
+        assert_eq!(
+            cert.txns().collect::<Vec<_>>(),
+            [TxnId(1), TxnId(2), TxnId(3)]
+        );
+        let explicit =
+            StaticCertificate::new(AdmissionLevel::Pwsr, [TxnId(7)].into_iter().collect());
+        assert!(explicit.covers(TxnId(7)) && !explicit.covers(TxnId(1)));
+    }
+
+    /// A certificate weaker than the admission floor must not attach —
+    /// neither via `with_certificate` nor the policy builder.
+    #[test]
+    fn weak_certificate_is_rejected() {
+        let ic = two_conjunct_ic();
+        let weak = StaticCertificate::full(AdmissionLevel::Pwsr, 2);
+        let adm = MonitorAdmission::for_constraint(&ic, AdmissionLevel::PwsrDr)
+            .with_certificate(weak.clone());
+        assert!(adm.certificate().is_none());
+        assert!(!adm.covers(TxnId(1)));
+        let p = PolicySpec::predicate_wise_2pl(&ic)
+            .monitor_admission(&ic, AdmissionLevel::PwsrDr)
+            .certified(weak);
+        assert!(p.monitor.as_ref().unwrap().certificate.is_none());
+        assert!(!p.name.contains("CERT"));
+        // A strong-enough one attaches and tags the name.
+        let strong = StaticCertificate::full(AdmissionLevel::PwsrDr, 2);
+        let p = PolicySpec::predicate_wise_2pl(&ic)
+            .monitor_admission(&ic, AdmissionLevel::Pwsr)
+            .certified(strong);
+        let spec = p.monitor.as_ref().unwrap();
+        assert!(spec.certificate.is_some());
+        assert!(p.name.ends_with("+CERT(2)"));
+        assert!(spec.admission().covers(TxnId(2)));
+    }
+
+    /// Certified transactions are admitted unconditionally and their
+    /// operations never reach the monitor; uncertified ones still get
+    /// full certification over the *filtered* sub-trace, and `sync`
+    /// (both the incremental path and the rebuild fallback) agrees
+    /// with a from-scratch oracle on that sub-trace.
+    #[test]
+    fn certificate_fast_path_skips_and_syncs_filtered() {
+        use pwsr_core::value::Value;
+        let ic = two_conjunct_ic();
+        // T1 is certified (touching only item 2, disjoint from the
+        // others — a conflict-closed singleton component); T2/T3
+        // tangle on items 0/1 and stay monitored.
+        let cert = StaticCertificate::new(AdmissionLevel::Pwsr, [TxnId(1)].into_iter().collect());
+        let mut adm =
+            MonitorAdmission::for_constraint(&ic, AdmissionLevel::Pwsr).with_certificate(cert);
+        let trace = [
+            Operation::write(TxnId(1), ItemId(2), Value::Int(1)),
+            Operation::write(TxnId(2), ItemId(0), Value::Int(1)),
+            Operation::read(TxnId(1), ItemId(2), Value::Int(1)),
+            Operation::read(TxnId(3), ItemId(0), Value::Int(1)),
+            Operation::write(TxnId(3), ItemId(1), Value::Int(2)),
+        ];
+        // Certified accesses admit without consulting the monitor.
+        assert!(adm.would_admit(TxnId(1), ItemId(2), true));
+        let mut pushed = 0;
+        for op in &trace {
+            assert!(adm.would_admit(op.txn, op.item, op.is_write()));
+            pushed += usize::from(adm.observe(op));
+        }
+        assert_eq!(pushed, 3, "only uncertified ops reach the monitor");
+        assert_eq!(adm.len(), 3);
+        assert_eq!(adm.skipped_ops(), 2);
+        // Steady state: sync against the full trace is a no-op even
+        // though the monitor holds only the filtered sub-trace.
+        assert_eq!(adm.sync(&trace), SyncStats::default());
+        // Abort T3: the monitor retracts only its ops; parity with a
+        // rebuild oracle over the filtered trace.
+        let filtered: Vec<Operation> = trace
+            .iter()
+            .filter(|o| o.txn != TxnId(3))
+            .cloned()
+            .collect();
+        let stats = adm.sync(&filtered);
+        assert_eq!((stats.undone, stats.repushed), (2, 0));
+        assert_eq!(adm.len(), 1);
+        let mut oracle =
+            MonitorAdmission::for_constraint(&ic, AdmissionLevel::Pwsr).with_certificate(
+                StaticCertificate::new(AdmissionLevel::Pwsr, [TxnId(1)].into_iter().collect()),
+            );
+        oracle.rebuild(&filtered);
+        assert_eq!(adm.verdict(), oracle.verdict());
+        assert_eq!(adm.monitor().schedule(), oracle.monitor().schedule());
+        assert_eq!(
+            oracle.skipped_ops(),
+            2,
+            "T1's ops skipped in the rebuild too"
+        );
+        assert_eq!(adm.skipped_ops(), 2);
     }
 }

@@ -15,17 +15,24 @@
 //!   may or may not be fixed (e.g. branches with different footprints
 //!   that are never both reachable).
 //!
+//! [`rw_footprint`] separates the syntactic over-approximation of
+//! [`accessed_items`] into read and write sides, and
+//! [`branch_footprints`] exposes the per-arm footprints of every `if`
+//! — the raw material for the static robustness analyzer in
+//! `pwsr_analysis`.
+//!
 //! [`is_straight_line`] recognizes the transaction class of the
 //! Sha–Lehoczky–Jensen baseline \[14\]: no control flow at all. Every
 //! straight-line program is fixed-structure (also checked in tests).
 
-use crate::ast::{Cond, Expr, Program, Stmt};
+use crate::ast::{BinOp, Cond, Expr, Program, Stmt, UnOp};
 use crate::error::Result;
 use crate::interp::execute;
 use pwsr_core::catalog::Catalog;
 use pwsr_core::ids::{ItemId, TxnId};
 use pwsr_core::op::{Action, OpStruct};
 use pwsr_core::state::{DbState, ItemSet};
+use pwsr_core::value::Value;
 use std::collections::BTreeSet;
 
 /// `struct(T)` for the transaction produced by running `program` from
@@ -60,36 +67,142 @@ where
 /// the program text that names a catalog item (a syntactic
 /// over-approximation of `RS ∪ WS` across all executions).
 pub fn accessed_items(program: &Program, catalog: &Catalog) -> ItemSet {
-    let mut names = Vec::new();
-    fn walk(stmts: &[Stmt], names: &mut Vec<String>) {
+    let fp = rw_footprint(program, catalog);
+    let mut all = fp.reads;
+    all.union_with(&fp.writes);
+    all
+}
+
+/// Read/write-separated access footprint: a sound syntactic
+/// over-approximation of the items a program may read (`reads`) and
+/// write (`writes`) in **any** execution from **any** state.
+///
+/// Over-approximation only — an item in `reads` may never actually be
+/// read on some (or every) path. The converse is the sound direction:
+/// an execution can never read an item outside `reads` nor write one
+/// outside `writes`. Because §2.2-valid transactions perform at most
+/// one read and one write per item (read caching, single write), the
+/// footprint also bounds operation *counts*: at most one `R x` (for
+/// `x ∈ reads`) and one `W x` (for `x ∈ writes`) per execution.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RwFootprint {
+    /// Items the program may read.
+    pub reads: ItemSet,
+    /// Items the program may write.
+    pub writes: ItemSet,
+}
+
+impl RwFootprint {
+    /// Union of both sides: everything the program may access.
+    pub fn items(&self) -> ItemSet {
+        let mut all = self.reads.clone();
+        all.union_with(&self.writes);
+        all
+    }
+
+    /// No accesses at all?
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty() && self.writes.is_empty()
+    }
+
+    /// Absorb another footprint (e.g. the other arm of a branch).
+    pub fn union_with(&mut self, other: &RwFootprint) {
+        self.reads.union_with(&other.reads);
+        self.writes.union_with(&other.writes);
+    }
+
+    /// Could an operation of `self` conflict with one of `other` on
+    /// `item` (read-write, write-read, or write-write)?
+    pub fn conflicts_on(&self, other: &RwFootprint, item: ItemId) -> bool {
+        (self.writes.contains(item) && (other.reads.contains(item) || other.writes.contains(item)))
+            || (self.reads.contains(item) && other.writes.contains(item))
+    }
+}
+
+/// Read/write footprint of a whole program (union over all branches).
+pub fn rw_footprint(program: &Program, catalog: &Catalog) -> RwFootprint {
+    block_rw_footprint(&program.body, catalog)
+}
+
+/// Read/write footprint of one statement block — use on a single
+/// branch arm for per-branch footprints.
+pub fn block_rw_footprint(stmts: &[Stmt], catalog: &Catalog) -> RwFootprint {
+    let mut fp = RwFootprint::default();
+    walk_rw(stmts, catalog, &mut fp);
+    fp
+}
+
+/// The per-arm footprints of every `if` in the program, in pre-order:
+/// one `(then, else)` pair per `if` statement (at any nesting depth).
+pub fn branch_footprints(program: &Program, catalog: &Catalog) -> Vec<(RwFootprint, RwFootprint)> {
+    fn collect(stmts: &[Stmt], catalog: &Catalog, out: &mut Vec<(RwFootprint, RwFootprint)>) {
         for s in stmts {
             match s {
-                Stmt::Assign { target, expr } => {
-                    names.push(target.clone());
-                    expr.var_names(names);
-                }
-                Stmt::Touch(name) => names.push(name.clone()),
+                Stmt::Assign { .. } | Stmt::Touch(_) => {}
                 Stmt::If {
-                    cond,
                     then_branch,
                     else_branch,
+                    ..
                 } => {
-                    cond.var_names(names);
-                    walk(then_branch, names);
-                    walk(else_branch, names);
+                    out.push((
+                        block_rw_footprint(then_branch, catalog),
+                        block_rw_footprint(else_branch, catalog),
+                    ));
+                    collect(then_branch, catalog, out);
+                    collect(else_branch, catalog, out);
                 }
-                Stmt::While { cond, body, .. } => {
-                    cond.var_names(names);
-                    walk(body, names);
-                }
+                Stmt::While { body, .. } => collect(body, catalog, out),
             }
         }
     }
-    walk(&program.body, &mut names);
-    names
-        .into_iter()
-        .filter_map(|n| catalog.lookup(&n).ok())
-        .collect()
+    let mut out = Vec::new();
+    collect(&program.body, catalog, &mut out);
+    out
+}
+
+fn names_into(names: Vec<String>, catalog: &Catalog, side: &mut ItemSet) {
+    for n in names {
+        if let Ok(item) = catalog.lookup(&n) {
+            side.insert(item);
+        }
+    }
+}
+
+fn walk_rw(stmts: &[Stmt], catalog: &Catalog, fp: &mut RwFootprint) {
+    for s in stmts {
+        match s {
+            Stmt::Assign { target, expr } => {
+                let mut names = Vec::new();
+                expr.var_names(&mut names);
+                names_into(names, catalog, &mut fp.reads);
+                if let Ok(item) = catalog.lookup(target) {
+                    fp.writes.insert(item);
+                }
+            }
+            Stmt::Touch(name) => {
+                if let Ok(item) = catalog.lookup(name) {
+                    fp.reads.insert(item);
+                }
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let mut names = Vec::new();
+                cond.var_names(&mut names);
+                names_into(names, catalog, &mut fp.reads);
+                walk_rw(then_branch, catalog, fp);
+                walk_rw(else_branch, catalog, fp);
+            }
+            Stmt::While { cond, body, .. } => {
+                let mut names = Vec::new();
+                cond.var_names(&mut names);
+                names_into(names, catalog, &mut fp.reads);
+                walk_rw(body, catalog, fp);
+            }
+        }
+    }
 }
 
 /// Enumerate every total state over the program's accessible items (up
@@ -162,12 +275,71 @@ impl StaticVerdict {
 
 /// Conservative static fixed-structure check. Sound for `Fixed`:
 /// branches must have identical op footprints given the read cache at
-/// entry, and loops must be operation-silent.
+/// entry, and loops must be operation-silent. Conditions built only
+/// from constants are folded, so dead arms (`if (1 > 0) …`) and
+/// never-entered loops (`while (false) …`) don't block a proof, and
+/// short-circuit evaluation of `&&`/`||` is modelled: a
+/// state-dependent left operand makes the right operand's *fresh* item
+/// reads state-dependent too.
 pub fn static_structure(program: &Program, catalog: &Catalog) -> StaticVerdict {
     let mut cached: BTreeSet<ItemId> = BTreeSet::new();
     match sym_block(&program.body, catalog, &mut cached) {
         Ok(_) => StaticVerdict::Fixed,
         Err(reason) => StaticVerdict::Unknown(reason),
+    }
+}
+
+/// Evaluate an expression built only from constants, mirroring the
+/// interpreter's checked arithmetic (overflow ⇒ no fold). Any variable
+/// — item or local — blocks the fold.
+fn const_eval_expr(expr: &Expr) -> Option<Value> {
+    match expr {
+        Expr::Const(v) => Some(v.clone()),
+        Expr::Var(_) => None,
+        Expr::Unary(op, e) => {
+            let v = const_eval_expr(e)?.as_int()?;
+            let out = match op {
+                UnOp::Neg => v.checked_neg(),
+                UnOp::Abs => v.checked_abs(),
+            };
+            out.map(Value::Int)
+        }
+        Expr::Binary(op, l, r) => {
+            let lv = const_eval_expr(l)?.as_int()?;
+            let rv = const_eval_expr(r)?.as_int()?;
+            let out = match op {
+                BinOp::Add => lv.checked_add(rv),
+                BinOp::Sub => lv.checked_sub(rv),
+                BinOp::Mul => lv.checked_mul(rv),
+                BinOp::Min => Some(lv.min(rv)),
+                BinOp::Max => Some(lv.max(rv)),
+            };
+            out.map(Value::Int)
+        }
+    }
+}
+
+/// Evaluate a condition built only from constants, mirroring the
+/// interpreter's left-to-right short-circuit evaluation. `None` means
+/// the truth value is (possibly) state-dependent.
+fn const_eval_cond(cond: &Cond) -> Option<bool> {
+    match cond {
+        Cond::True => Some(true),
+        Cond::False => Some(false),
+        Cond::Cmp(op, l, r) => {
+            let lv = const_eval_expr(l)?;
+            let rv = const_eval_expr(r)?;
+            op.apply(&lv, &rv).ok()
+        }
+        Cond::And(l, r) => match const_eval_cond(l)? {
+            false => Some(false),
+            true => const_eval_cond(r),
+        },
+        Cond::Or(l, r) => match const_eval_cond(l)? {
+            true => Some(true),
+            false => const_eval_cond(r),
+        },
+        Cond::Not(c) => const_eval_cond(c).map(|b| !b),
     }
 }
 
@@ -205,23 +377,33 @@ pub(crate) fn sym_block(
                 then_branch,
                 else_branch,
             } => {
-                sym_cond(cond, catalog, cached, &mut out);
-                let mut cached_then = cached.clone();
-                let mut cached_else = cached.clone();
-                let then_ops = sym_block(then_branch, catalog, &mut cached_then)?;
-                let else_ops = sym_block(else_branch, catalog, &mut cached_else)?;
-                if then_ops != else_ops {
-                    return Err(format!(
-                        "if-branches have different operation footprints ({} vs {} ops)",
-                        then_ops.len(),
-                        else_ops.len()
-                    ));
+                sym_cond(cond, catalog, cached, &mut out)?;
+                match const_eval_cond(cond) {
+                    // Constant condition: only the live arm ever runs.
+                    Some(true) => out.extend(sym_block(then_branch, catalog, cached)?),
+                    Some(false) => out.extend(sym_block(else_branch, catalog, cached)?),
+                    None => {
+                        let mut cached_then = cached.clone();
+                        let mut cached_else = cached.clone();
+                        let then_ops = sym_block(then_branch, catalog, &mut cached_then)?;
+                        let else_ops = sym_block(else_branch, catalog, &mut cached_else)?;
+                        if then_ops != else_ops {
+                            return Err(format!(
+                                "if-branches have different operation footprints ({} vs {} ops)",
+                                then_ops.len(),
+                                else_ops.len()
+                            ));
+                        }
+                        out.extend(then_ops);
+                        *cached = cached_then; // equal footprints ⇒ equal caches
+                    }
                 }
-                out.extend(then_ops);
-                *cached = cached_then; // equal footprints ⇒ equal caches
             }
             Stmt::While { cond, body, .. } => {
-                sym_cond(cond, catalog, cached, &mut out);
+                sym_cond(cond, catalog, cached, &mut out)?;
+                if const_eval_cond(cond) == Some(false) {
+                    continue; // body provably never entered
+                }
                 let mut cached_body = cached.clone();
                 let body_ops = sym_block(body, catalog, &mut cached_body)?;
                 if !body_ops.is_empty() {
@@ -256,21 +438,51 @@ fn sym_expr(
     }
 }
 
+/// Would evaluating `cond` emit no read operation given the items
+/// already `cached` (so skipping it is invisible in the structure)?
+fn cond_reads_all_cached(cond: &Cond, catalog: &Catalog, cached: &BTreeSet<ItemId>) -> bool {
+    let mut names = Vec::new();
+    cond.var_names(&mut names);
+    names
+        .into_iter()
+        .filter_map(|n| catalog.lookup(&n).ok())
+        .all(|item| cached.contains(&item))
+}
+
+/// Symbolically evaluate a condition's reads, modelling the
+/// interpreter's short-circuit `&&`/`||`: the right operand only runs
+/// when the left doesn't decide the answer, so its fresh reads are
+/// state-dependent unless the left operand folds to a constant.
 fn sym_cond(
     cond: &Cond,
     catalog: &Catalog,
     cached: &mut BTreeSet<ItemId>,
     out: &mut Vec<OpStruct>,
-) {
-    let mut names = Vec::new();
-    cond.var_names(&mut names);
-    for n in names {
-        if let Ok(item) = catalog.lookup(&n) {
-            if cached.insert(item) {
-                out.push(OpStruct {
-                    action: Action::Read,
-                    item,
-                });
+) -> std::result::Result<(), String> {
+    match cond {
+        Cond::True | Cond::False => Ok(()),
+        Cond::Cmp(_, l, r) => {
+            // Comparisons evaluate both sides unconditionally.
+            sym_expr(l, catalog, cached, out);
+            sym_expr(r, catalog, cached, out);
+            Ok(())
+        }
+        Cond::Not(c) => sym_cond(c, catalog, cached, out),
+        Cond::And(l, r) | Cond::Or(l, r) => {
+            let skips_on = matches!(cond, Cond::And(_, _));
+            sym_cond(l, catalog, cached, out)?;
+            match const_eval_cond(l) {
+                // Left is constant: the right operand either always or
+                // never runs — both are state-independent.
+                Some(b) if b != skips_on => sym_cond(r, catalog, cached, out),
+                Some(_) => Ok(()),
+                // Left is state-dependent: the right operand runs on
+                // some states only. Sound only if it can emit no read.
+                None if cond_reads_all_cached(r, catalog, cached) => Ok(()),
+                None => Err(format!(
+                    "right operand of short-circuit `{}` reads items conditionally",
+                    if skips_on { "&&" } else { "||" },
+                )),
             }
         }
     }
@@ -352,6 +564,24 @@ mod tests {
     }
 
     #[test]
+    fn identical_footprint_arms_prove_fixed() {
+        // Different ASTs in the two arms, identical op footprints
+        // ([R b, W b] both): the prover compares emitted structures,
+        // not syntax, so this must prove Fixed.
+        let cat = catalog_abc(-2, 2);
+        let p = parse_program(
+            "P",
+            "if (c > 0) then { b := abs(b) + 1; } else { b := b * 2; }",
+        )
+        .unwrap();
+        assert!(static_structure(&p, &cat).is_fixed());
+        assert_eq!(
+            is_fixed_structure_exhaustive(&p, &cat, 10_000).unwrap(),
+            Some(true)
+        );
+    }
+
+    #[test]
     fn static_is_conservative() {
         // Both branches write different items, but the condition is a
         // tautology over the domain (a*a >= 0): every execution takes
@@ -363,6 +593,103 @@ mod tests {
         assert!(!static_structure(&p, &cat).is_fixed());
         assert_eq!(
             is_fixed_structure_exhaustive(&p, &cat, 10_000).unwrap(),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn constant_condition_folds_to_live_arm() {
+        // The arms differ, but the condition is variable-free: only the
+        // then-arm can ever run, so the program is fixed after all.
+        let cat = catalog_abc(-2, 2);
+        let p = parse_program("P", "if (1 > 0) then { b := 1; } else { c := 2; }").unwrap();
+        assert!(static_structure(&p, &cat).is_fixed());
+        assert_eq!(
+            is_fixed_structure_exhaustive(&p, &cat, 10_000).unwrap(),
+            Some(true)
+        );
+        // The footprint of the live arm still counts.
+        let q = parse_program("Q", "if (0 > 1) then { b := 1; } else { c := 2; }").unwrap();
+        assert!(static_structure(&q, &cat).is_fixed());
+        assert_eq!(
+            is_fixed_structure_exhaustive(&q, &cat, 10_000).unwrap(),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn false_loop_condition_folds_away() {
+        // `while (false)` never enters its body, so item operations in
+        // the body can't make the structure state-dependent.
+        let cat = catalog_abc(-2, 2);
+        let p = parse_program("P", "while (false) do { b := b - 1; } a := 1;").unwrap();
+        assert!(static_structure(&p, &cat).is_fixed());
+        assert_eq!(
+            is_fixed_structure_exhaustive(&p, &cat, 10_000).unwrap(),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn short_circuit_reads_are_state_dependent() {
+        // `a > 5 && b > 0`: when a ≤ 5 the right operand never runs and
+        // `b` is never read — the structure depends on the state. The
+        // prover must NOT claim Fixed here (regression: it once emitted
+        // all condition reads unconditionally).
+        let cat = catalog_abc(-2, 8);
+        let p =
+            parse_program("P", "if (a > 5 && b > 0) then { c := 1; } else { c := 1; }").unwrap();
+        assert!(!static_structure(&p, &cat).is_fixed());
+        assert_eq!(
+            is_fixed_structure_exhaustive(&p, &cat, 100_000).unwrap(),
+            Some(false)
+        );
+        // Same for `||`, which skips the right operand when the left
+        // already holds.
+        let q =
+            parse_program("Q", "if (a > 5 || b > 0) then { c := 1; } else { c := 1; }").unwrap();
+        assert!(!static_structure(&q, &cat).is_fixed());
+        assert_eq!(
+            is_fixed_structure_exhaustive(&q, &cat, 100_000).unwrap(),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn short_circuit_over_cached_reads_is_fixed() {
+        // The right operand's only item is already read before the
+        // branch, so skipping it emits nothing either way.
+        let cat = catalog_abc(-2, 8);
+        let p = parse_program(
+            "P",
+            "touch b; if (a > 5 && b > 0) then { c := 1; } else { c := 1; }",
+        )
+        .unwrap();
+        assert!(static_structure(&p, &cat).is_fixed());
+        assert_eq!(
+            is_fixed_structure_exhaustive(&p, &cat, 100_000).unwrap(),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn constant_left_operand_unblocks_short_circuit() {
+        // `1 > 0 && b > 0` always evaluates the right operand; the read
+        // of b is unconditional and the structure fixed.
+        let cat = catalog_abc(-2, 2);
+        let p =
+            parse_program("P", "if (1 > 0 && b > 0) then { c := 1; } else { c := 1; }").unwrap();
+        assert!(static_structure(&p, &cat).is_fixed());
+        assert_eq!(
+            is_fixed_structure_exhaustive(&p, &cat, 10_000).unwrap(),
+            Some(true)
+        );
+        // `1 > 0 || b > 0` never evaluates it; b is never read.
+        let q =
+            parse_program("Q", "if (1 > 0 || b > 0) then { c := 1; } else { c := 1; }").unwrap();
+        assert!(static_structure(&q, &cat).is_fixed());
+        assert_eq!(
+            is_fixed_structure_exhaustive(&q, &cat, 10_000).unwrap(),
             Some(true)
         );
     }
@@ -389,6 +716,46 @@ mod tests {
         // temp_local is not a catalog item.
         let items = accessed_items(&p, &cat);
         assert_eq!(items.len(), 3);
+    }
+
+    #[test]
+    fn rw_footprint_separates_sides() {
+        let cat = catalog_abc(-2, 2);
+        let a = cat.lookup("a").unwrap();
+        let b = cat.lookup("b").unwrap();
+        let c = cat.lookup("c").unwrap();
+        let p = parse_program("P", "if (a > 0) then b := 1; else c := c + 1;").unwrap();
+        let fp = rw_footprint(&p, &cat);
+        assert!(fp.reads.contains(a) && fp.reads.contains(c));
+        assert!(!fp.reads.contains(b));
+        assert!(fp.writes.contains(b) && fp.writes.contains(c));
+        assert!(!fp.writes.contains(a));
+        assert_eq!(fp.items().len(), 3);
+        // Conflict predicate: W b vs R/W b; no conflict on a (read-read).
+        let q = parse_program("Q", "b := a;").unwrap();
+        let fq = rw_footprint(&q, &cat);
+        assert!(fp.conflicts_on(&fq, b));
+        assert!(!fp.conflicts_on(&fq, a));
+    }
+
+    #[test]
+    fn branch_footprints_cover_each_arm() {
+        let cat = catalog_abc(-2, 2);
+        let b = cat.lookup("b").unwrap();
+        let c = cat.lookup("c").unwrap();
+        let p = parse_program(
+            "P",
+            "if (a > 0) then { b := 1; } else { if (b > 0) then c := 1; }",
+        )
+        .unwrap();
+        let arms = branch_footprints(&p, &cat);
+        assert_eq!(arms.len(), 2); // outer if + nested if
+        let (outer_then, outer_else) = &arms[0];
+        assert!(outer_then.writes.contains(b) && outer_then.reads.is_empty());
+        assert!(outer_else.reads.contains(b) && outer_else.writes.contains(c));
+        let (inner_then, inner_else) = &arms[1];
+        assert!(inner_then.writes.contains(c));
+        assert!(inner_else.is_empty());
     }
 
     #[test]

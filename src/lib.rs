@@ -3,13 +3,15 @@
 //! Facade crate re-exporting the whole workspace: the formal model
 //! ([`core`]), the transaction-program language ([`tplang`]), the
 //! lock-based scheduler substrate ([`scheduler`]), baseline correctness
-//! criteria ([`baselines`]) and workload generators ([`gen`]).
+//! criteria ([`baselines`]), workload generators ([`gen`]) and the
+//! static robustness analyzer ([`analysis`]).
 //!
 //! Reproduces Rastogi, Mehrotra, Breitbart, Korth, Silberschatz —
 //! *On Correctness of Nonserializable Executions* (PODS '93 / JCSS '98).
 //! See `README.md` for a tour and `EXPERIMENTS.md` for the
 //! paper-vs-measured index.
 
+pub use pwsr_analysis as analysis;
 pub use pwsr_baselines as baselines;
 pub use pwsr_core as core;
 pub use pwsr_gen as gen;
