@@ -7,7 +7,7 @@
 //!
 //! `<id>` ∈ {ex1 … ex5, fig3, lemma1, viewsets, lemma3, lemma4, lemma7,
 //! thm1, thm2, thm3, perf1 … perf5, scale1, scale2, base1, bank1, rec1,
-//! exh1, mon1, mon2, mon3, an1}.
+//! rec2, exh1, mon1, mon2, mon3, an1}.
 //! Every experiment prints a paper-vs-measured table; the exit code is
 //! nonzero if any run deviates from the paper's predicted shape.
 //!
@@ -18,7 +18,7 @@
 //! statistical power. An explicit `--trials` overrides the cap.
 //!
 //! `--json PATH` additionally writes a machine-readable record of the
-//! sweep — schema `pwsr-experiments-v5`: one entry per selected
+//! sweep — schema `pwsr-experiments-v6`: one entry per selected
 //! experiment with its verdict, wall-clock seconds, and (where the
 //! experiment measures them) processed-operation counts and the online
 //! monitor's per-op timings; a `monitor_mt` block recording the
@@ -34,10 +34,17 @@
 //! successive PRs can track the perf trajectory (`BENCH_*.json` at the
 //! repo root) and CI can gate on the format, the monitors' per-op
 //! cost, the retraction cost staying sub-linear, and the certified
-//! skip staying strictly cheaper than runtime certification.
+//! skip staying strictly cheaper than runtime certification; and a
+//! `recovery` block recording the REC-2 crash-injection sweep (crash
+//! points injected — torn tails, bit flips, checkpoint+tail legs —
+//! how many recovered byte-identically, WAL replay ns per record, and
+//! the admission path's WAL-on vs WAL-off ns per op) so CI can fail
+//! on any unrecovered crash point and gate the WAL's admission
+//! overhead under 2×.
 
 use pwsr_bench::analysis_exp::AnalysisStats;
 use pwsr_bench::monitor_exp::{MonitorMtStats, MonitorStats, OccMtStats};
+use pwsr_bench::recovery_exp::RecoveryStats;
 use pwsr_bench::{
     analysis_exp, bank_exp, base_exp, examples_exp, exhaustive_exp, lemmas_exp, monitor_exp,
     perf_exp, recovery_exp, scale_exp, theorems_exp,
@@ -114,6 +121,9 @@ struct ExpRun {
     /// Static-analyzer portfolio stats (only `an1`); lifted into the
     /// JSON document's `analysis` block.
     analysis: Option<AnalysisStats>,
+    /// Crash-recovery sweep stats (only `rec2`); lifted into the
+    /// JSON document's `recovery` block.
+    recovery: Option<RecoveryStats>,
 }
 
 impl From<(bool, String)> for ExpRun {
@@ -127,6 +137,7 @@ impl From<(bool, String)> for ExpRun {
             monitor_mt: None,
             occ_mt: None,
             analysis: None,
+            recovery: None,
         }
     }
 }
@@ -152,6 +163,7 @@ fn fmt_opt_f64(v: Option<f64>) -> String {
 /// Render the sweep record as JSON (no external dependencies; every
 /// value is a bare identifier, bool, number or null, so no escaping is
 /// needed).
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     opts: &Opts,
     all_ok: bool,
@@ -160,10 +172,11 @@ fn render_json(
     monitor_mt: &Option<MonitorMtStats>,
     occ_mt: &Option<OccMtStats>,
     analysis: &Option<AnalysisStats>,
+    recovery: &Option<RecoveryStats>,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"pwsr-experiments-v5\",\n");
+    out.push_str("  \"schema\": \"pwsr-experiments-v6\",\n");
     out.push_str(&format!("  \"selection\": \"{}\",\n", opts.what));
     out.push_str(&format!("  \"smoke\": {},\n", opts.smoke));
     out.push_str(&format!("  \"trials_override\": {},\n", opts.trials));
@@ -263,6 +276,26 @@ fn render_json(
         }
         None => out.push_str("  \"analysis\": null,\n"),
     }
+    match recovery {
+        Some(stats) => {
+            out.push_str(&format!(
+                "  \"recovery\": {{\"crash_points\": {}, \"torn_tail_points\": {}, \
+                 \"corrupt_checksum_points\": {}, \"checkpoint_points\": {}, \
+                 \"recovered_ok\": {}, \"wal_records\": {}, \"replay_ns_per_op\": {:.1}, \
+                 \"wal_on_ns_per_op\": {:.1}, \"wal_off_ns_per_op\": {:.1}}},\n",
+                stats.crash_points,
+                stats.torn_tail_points,
+                stats.corrupt_checksum_points,
+                stats.checkpoint_points,
+                stats.recovered_ok,
+                stats.wal_records,
+                stats.replay_ns_per_op,
+                stats.wal_on_ns_per_op,
+                stats.wal_off_ns_per_op,
+            ));
+        }
+        None => out.push_str("  \"recovery\": null,\n"),
+    }
     out.push_str("  \"experiments\": [\n");
     for (k, e) in entries.iter().enumerate() {
         out.push_str(&format!(
@@ -303,11 +336,13 @@ fn main() {
     let mut monitor_mt_stats: Option<MonitorMtStats> = None;
     let mut occ_mt_stats: Option<OccMtStats> = None;
     let mut analysis_stats: Option<AnalysisStats> = None;
+    let mut recovery_stats: Option<RecoveryStats> = None;
     {
         let monitor_out = &mut monitor_stats;
         let monitor_mt_out = &mut monitor_mt_stats;
         let occ_mt_out = &mut occ_mt_stats;
         let analysis_out = &mut analysis_stats;
+        let recovery_out = &mut recovery_stats;
         let mut run = |id: &'static str, f: &dyn Fn(u64) -> ExpRun| {
             let selected =
                 matches!(opts.what.as_str(), "all") || opts.what == id || group_of(id) == opts.what;
@@ -340,6 +375,9 @@ fn main() {
                 }
                 if r.analysis.is_some() {
                     *analysis_out = r.analysis;
+                }
+                if r.recovery.is_some() {
+                    *recovery_out = r.recovery;
                 }
             }
         };
@@ -406,6 +444,20 @@ fn main() {
 
         run("bank1", &|n| bank_exp::bank1(pick(n, 200), 700).into());
         run("rec1", &|n| recovery_exp::rec1(pick(n, 600), 800).into());
+        run("rec2", &|n| {
+            let (ok, text, stats) = recovery_exp::rec2(pick(n, 8), 801);
+            ExpRun {
+                ok,
+                text,
+                ops: Some(stats.wal_records),
+                monitor_ns_per_op: None,
+                monitor: None,
+                monitor_mt: None,
+                occ_mt: None,
+                analysis: None,
+                recovery: Some(stats),
+            }
+        });
         run("exh1", &|_| exhaustive_exp::exh1().into());
 
         run("mon1", &|n| {
@@ -419,6 +471,7 @@ fn main() {
                 monitor_mt: None,
                 occ_mt: None,
                 analysis: None,
+                recovery: None,
             }
         });
 
@@ -433,6 +486,7 @@ fn main() {
                 monitor_mt: Some(stats),
                 occ_mt: None,
                 analysis: None,
+                recovery: None,
             }
         });
 
@@ -447,6 +501,7 @@ fn main() {
                 monitor_mt: None,
                 occ_mt: Some(stats),
                 analysis: None,
+                recovery: None,
             }
         });
 
@@ -461,6 +516,7 @@ fn main() {
                 monitor_mt: None,
                 occ_mt: None,
                 analysis: Some(stats),
+                recovery: None,
             }
         });
     }
@@ -482,6 +538,7 @@ fn main() {
             &monitor_mt_stats,
             &occ_mt_stats,
             &analysis_stats,
+            &recovery_stats,
         );
         if let Err(e) = std::fs::write(path, body) {
             eprintln!("failed to write {path}: {e}");
@@ -503,7 +560,7 @@ fn group_of(id: &str) -> &'static str {
         "scale1" | "scale2" => "scale",
         "base1" => "base",
         "bank1" => "bank",
-        "rec1" => "recovery",
+        "rec1" | "rec2" => "recovery",
         "exh1" => "exhaustive",
         "mon1" | "mon2" | "mon3" => "monitor",
         "an1" => "analysis",

@@ -1,0 +1,54 @@
+//! The monitor → durability journal boundary.
+//!
+//! A [`MonitorJournal`] receives every *state transition* of a monitor
+//! — appends, suffix truncations, retraction-floor raises, and full
+//! rebuilds — in the exact order the monitor applied them, so a
+//! write-ahead log can later replay the sequence into a fresh monitor
+//! and arrive at a byte-identical state (verdict ladder, floor, state
+//! hash). The trait lives in `pwsr_core` so the monitors can call it;
+//! the durable implementation (`pwsr_durability`'s WAL) lives
+//! downstream — core has no I/O dependency.
+//!
+//! Ordering contract: the sharded monitor invokes the journal **under
+//! its order-claiming sequence mutex**, so journal order IS claimed
+//! schedule order even under concurrent pushes — the property that
+//! makes single-threaded replay of a concurrently-written log exact.
+//! Single-writer callers (the scheduler's `MonitorAdmission`) satisfy
+//! the contract trivially.
+//!
+//! The four transitions form a tiny replay language:
+//!
+//! | callback | replay action on a fresh `OnlineMonitor` |
+//! |---|---|
+//! | [`appended`](MonitorJournal::appended) | `push_logged(op)` |
+//! | [`truncated`](MonitorJournal::truncated) | `truncate_to(n)` |
+//! | [`floor_raised`](MonitorJournal::floor_raised) | `checkpoint(floor)` |
+//! | [`reset`](MonitorJournal::reset) | fresh monitor, same scopes |
+//!
+//! A transaction abort (`retract_txn` / `MonitorAdmission::sync`)
+//! needs no record of its own: it decomposes into one truncation plus
+//! re-appends of the surviving suffix, and the monitors emit exactly
+//! that decomposition.
+
+use crate::op::Operation;
+
+/// Receiver for a monitor's state transitions, in application order.
+/// `Send` because the sharded monitor carries its journal across
+/// pushing threads (always under the sequence mutex); `Debug` so
+/// journaled monitors stay debuggable.
+pub trait MonitorJournal: Send + std::fmt::Debug {
+    /// `op` was appended at the end of the recorded schedule.
+    fn appended(&mut self, op: &Operation);
+
+    /// The recorded schedule was truncated to its first `new_len`
+    /// operations (an abort retracting a suffix).
+    fn truncated(&mut self, new_len: usize);
+
+    /// The retraction floor rose to `floor`: the prefix below it is
+    /// permanent (a checkpoint boundary — the durable-snapshot point).
+    fn floor_raised(&mut self, floor: usize);
+
+    /// The monitor was rebuilt from scratch (the rare below-floor
+    /// abort fallback); appends follow for every surviving operation.
+    fn reset(&mut self);
+}

@@ -89,6 +89,7 @@
 //!   per-conjunct shards behind their own locks with a ticketed
 //!   pipeline, for certification under real OS-thread parallelism.
 
+pub mod journal;
 pub mod sharded;
 pub mod undo;
 

@@ -106,6 +106,7 @@
 //! lock-taking entry point through every interleaving of a small
 //! workload.
 
+use super::journal::MonitorJournal;
 use super::undo::{GlobalDelta, GraphDelta, SeqDelta, UndoLog};
 use super::{AdmissionLevel, ProjGraph, Verdict, VerdictLevel};
 use crate::error::Result;
@@ -311,6 +312,10 @@ struct SeqState {
     tickets: Vec<u32>,
     /// Sequence-half undo journal (entries only when logging).
     log: UndoLog<SeqDelta>,
+    /// Durability journal: receives appends/truncations/floor raises
+    /// under this mutex, so journal order is claimed schedule order
+    /// (see [`MonitorJournal`]'s ordering contract).
+    journal: Option<Box<dyn MonitorJournal>>,
 }
 
 /// Stage-2 state: everything that needs the full total order.
@@ -484,6 +489,7 @@ impl ShardedMonitor {
                     gticket: 0,
                     tickets: vec![0; n],
                     log: UndoLog::new(0),
+                    journal: None,
                 },
             ),
             gserving: AtomicU32::new(0),
@@ -516,6 +522,19 @@ impl ShardedMonitor {
     /// A sharded monitor over an integrity constraint's conjuncts.
     pub fn for_constraint(ic: &crate::constraint::IntegrityConstraint) -> ShardedMonitor {
         ShardedMonitor::new(ic.conjuncts().iter().map(|c| c.items().clone()).collect())
+    }
+
+    /// Attach a durability journal: every append, truncation and
+    /// checkpoint-floor raise is reported to `journal` **under the
+    /// order-claiming sequence mutex**, so journal order is claimed
+    /// schedule order even with many pushing threads — the property
+    /// that lets a WAL written here replay deterministically into a
+    /// single-writer monitor (see [`MonitorJournal`]). Attach before
+    /// the first push; the builder style mirrors
+    /// [`ShardedMonitor::with_serial_timing`].
+    pub fn with_journal(self, journal: Box<dyn MonitorJournal>) -> ShardedMonitor {
+        self.seq.lock().journal = Some(journal);
+        self
     }
 
     /// Enable serial-stage timing: every push accumulates the
@@ -678,6 +697,9 @@ impl ShardedMonitor {
             prev_slot_last: existing.map_or(0, |sl| s.schedule.slot_last_raw(sl)),
         };
         let p = OpIndex(s.schedule.len());
+        if let Some(journal) = s.journal.as_deref_mut() {
+            journal.appended(&op);
+        }
         s.schedule.push_op_unchecked(op);
         let slot = s.schedule.slot_of_op(p);
         if slot == s.first_op.len() {
@@ -847,6 +869,9 @@ impl ShardedMonitor {
             .min()
             .unwrap_or(s.schedule.len());
         let floor = s.log.checkpoint(floor);
+        if let Some(journal) = s.journal.as_deref_mut() {
+            journal.floor_raised(floor);
+        }
         self.gstate.write().log.checkpoint(floor);
         for shard in &self.shards {
             let mut sh = shard.state.write();
@@ -900,6 +925,11 @@ impl ShardedMonitor {
             s.log.base()
         );
         let undone = s.schedule.len() - n;
+        if undone > 0 {
+            if let Some(journal) = s.journal.as_deref_mut() {
+                journal.truncated(n);
+            }
+        }
         for _ in 0..undone {
             let p = s.schedule.len() - 1;
             let op = s.schedule.op(OpIndex(p)).clone();

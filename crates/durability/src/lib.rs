@@ -1,0 +1,32 @@
+//! # `pwsr_durability` — WAL, hashed checkpoints, crash recovery
+//!
+//! The durability layer behind the online monitors: every admitted
+//! operation (and every retraction) streams into an append-only,
+//! length-prefixed, CRC-32-checksummed **write-ahead log** via the
+//! [`MonitorJournal`](pwsr_core::monitor::journal::MonitorJournal)
+//! hook; periodic **hashed checkpoints** snapshot the permanent
+//! prefix below the retraction floor under a SHA-256 state digest;
+//! and **recovery** rebuilds a byte-identical monitor from
+//! `checkpoint + WAL tail`, truncating (never replaying) torn or
+//! bit-flipped tails.
+//!
+//! The crate is dependency-free by design (the container is offline):
+//! CRC-32 and SHA-256 are implemented here, against published test
+//! vectors.
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`wal`] | frame format, [`Wal`]/[`SharedWal`], sync policies, corruption-detecting scan |
+//! | [`checkpoint`] | [`state_hash`], the `PWSRCKP1` checkpoint format |
+//! | [`mod@recover`] | [`recover`](recover::recover): checkpoint replay + tail replay |
+//! | [`crc32`], [`sha256`] | the hand-rolled checksums |
+
+pub mod checkpoint;
+pub mod crc32;
+pub mod recover;
+pub mod sha256;
+pub mod wal;
+
+pub use checkpoint::{state_hash, Checkpoint, CheckpointError, StateHash};
+pub use recover::{recover, RecoverError, Recovered};
+pub use wal::{scan, SharedWal, SyncPolicy, Wal, WalCorruption, WalRecord, WalScan, WalStats};

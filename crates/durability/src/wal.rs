@@ -1,0 +1,732 @@
+//! The write-ahead log: an append-only stream of length-prefixed,
+//! CRC-32-checksummed records capturing every state transition of a
+//! monitor (see `pwsr_core::monitor::journal::MonitorJournal`).
+//!
+//! # Frame format
+//!
+//! ```text
+//! +----------------+----------------+===========+
+//! | len: u32 LE    | crc32: u32 LE  |  payload  |
+//! +----------------+----------------+===========+
+//! ```
+//!
+//! `len` is the payload length; `crc32` covers the payload only. The
+//! reader stops at the first anomaly — torn header, torn payload,
+//! checksum mismatch, or malformed payload — and reports the longest
+//! valid record prefix, never silently replaying damaged bytes.
+//!
+//! # Record payloads
+//!
+//! | tag | record | body |
+//! |---|---|---|
+//! | 1 | `Op` | txn `u32` LE, item `u32` LE, action `u8` (0=read, 1=write), value (tagged) |
+//! | 2 | `Truncate` | new length `u64` LE |
+//! | 3 | `Floor` | floor `u64` LE |
+//! | 4 | `Reset` | (empty) |
+//!
+//! Value encoding: tag `u8` — 0 = `Int` + `i64` LE, 1 = `Bool` + `u8`,
+//! 2 = `Str` + `u32` LE byte length + UTF-8 bytes.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use pwsr_core::ids::{ItemId, TxnId};
+use pwsr_core::monitor::journal::MonitorJournal;
+use pwsr_core::op::{Action, Operation};
+use pwsr_core::value::Value;
+
+use crate::crc32::crc32;
+
+/// Bytes of the `[len][crc]` frame header.
+pub const FRAME_HEADER: usize = 8;
+
+/// One logical WAL record — the replay language of
+/// [`MonitorJournal`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalRecord {
+    /// An operation appended to the recorded schedule.
+    Op(Operation),
+    /// The schedule was truncated to its first `n` operations.
+    Truncate(u64),
+    /// The retraction floor rose to `floor`.
+    Floor(u64),
+    /// The monitor was rebuilt from scratch; appends follow.
+    Reset,
+}
+
+const TAG_OP: u8 = 1;
+const TAG_TRUNCATE: u8 = 2;
+const TAG_FLOOR: u8 = 3;
+const TAG_RESET: u8 = 4;
+
+const VAL_INT: u8 = 0;
+const VAL_BOOL: u8 = 1;
+const VAL_STR: u8 = 2;
+
+/// Encode an operation body (no tag byte) into `buf`. Shared with the
+/// checkpoint format and the state hash, so all three agree on the
+/// byte-level representation of an operation.
+pub fn encode_op_into(buf: &mut Vec<u8>, op: &Operation) {
+    buf.extend_from_slice(&op.txn.0.to_le_bytes());
+    buf.extend_from_slice(&op.item.0.to_le_bytes());
+    buf.push(match op.action {
+        Action::Read => 0,
+        Action::Write => 1,
+    });
+    match &op.value {
+        Value::Int(i) => {
+            buf.push(VAL_INT);
+            buf.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Bool(b) => {
+            buf.push(VAL_BOOL);
+            buf.push(*b as u8);
+        }
+        Value::Str(s) => {
+            buf.push(VAL_STR);
+            let bytes = s.as_bytes();
+            buf.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            buf.extend_from_slice(bytes);
+        }
+    }
+}
+
+fn decode_op(body: &[u8]) -> Option<(Operation, usize)> {
+    if body.len() < 10 {
+        return None;
+    }
+    let txn = TxnId(u32::from_le_bytes(body[0..4].try_into().ok()?));
+    let item = ItemId(u32::from_le_bytes(body[4..8].try_into().ok()?));
+    let action = match body[8] {
+        0 => Action::Read,
+        1 => Action::Write,
+        _ => return None,
+    };
+    let (value, used) = match body[9] {
+        VAL_INT => {
+            let raw = body.get(10..18)?;
+            (Value::Int(i64::from_le_bytes(raw.try_into().ok()?)), 18)
+        }
+        VAL_BOOL => {
+            let raw = *body.get(10)?;
+            if raw > 1 {
+                return None;
+            }
+            (Value::Bool(raw == 1), 11)
+        }
+        VAL_STR => {
+            let len = u32::from_le_bytes(body.get(10..14)?.try_into().ok()?) as usize;
+            let raw = body.get(14..14 + len)?;
+            let s = std::str::from_utf8(raw).ok()?;
+            (Value::Str(Arc::from(s)), 14 + len)
+        }
+        _ => return None,
+    };
+    Some((
+        Operation {
+            txn,
+            action,
+            item,
+            value,
+        },
+        used,
+    ))
+}
+
+impl WalRecord {
+    /// Encode this record's payload (tag + body) into `buf`.
+    pub fn encode_payload_into(&self, buf: &mut Vec<u8>) {
+        match self {
+            WalRecord::Op(op) => {
+                buf.push(TAG_OP);
+                encode_op_into(buf, op);
+            }
+            WalRecord::Truncate(n) => {
+                buf.push(TAG_TRUNCATE);
+                buf.extend_from_slice(&n.to_le_bytes());
+            }
+            WalRecord::Floor(f) => {
+                buf.push(TAG_FLOOR);
+                buf.extend_from_slice(&f.to_le_bytes());
+            }
+            WalRecord::Reset => buf.push(TAG_RESET),
+        }
+    }
+
+    /// Encode this record as a complete checksummed frame.
+    pub fn encode_frame(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(32);
+        self.encode_payload_into(&mut payload);
+        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        frame
+    }
+
+    /// Decode an operation body as produced by [`encode_op_into`],
+    /// requiring full consumption (the checkpoint format stores bare
+    /// op bodies with their own length prefixes).
+    pub fn decode_op_body(body: &[u8]) -> Option<Operation> {
+        let (op, used) = decode_op(body)?;
+        (used == body.len()).then_some(op)
+    }
+
+    fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
+        let (&tag, body) = payload.split_first()?;
+        match tag {
+            TAG_OP => {
+                let (op, used) = decode_op(body)?;
+                (used == body.len()).then_some(WalRecord::Op(op))
+            }
+            TAG_TRUNCATE => (body.len() == 8)
+                .then(|| WalRecord::Truncate(u64::from_le_bytes(body.try_into().unwrap()))),
+            TAG_FLOOR => (body.len() == 8)
+                .then(|| WalRecord::Floor(u64::from_le_bytes(body.try_into().unwrap()))),
+            TAG_RESET => body.is_empty().then_some(WalRecord::Reset),
+            _ => None,
+        }
+    }
+}
+
+/// Why a WAL scan stopped before the end of the byte stream. In every
+/// case the scan's `valid_bytes` marks the longest cleanly-checksummed
+/// record prefix; bytes past it are discarded, never replayed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalCorruption {
+    /// Fewer than [`FRAME_HEADER`] bytes remained at offset `at`.
+    TornHeader { at: usize },
+    /// The header at `at` promised `want` payload bytes but only
+    /// `have` remained (a torn final record).
+    TornPayload { at: usize, want: usize, have: usize },
+    /// The payload at `at` failed its CRC-32 (bit rot / torn write).
+    ChecksumMismatch { at: usize },
+    /// The payload at `at` checksummed cleanly but did not decode —
+    /// an unknown tag or malformed body.
+    MalformedPayload { at: usize },
+}
+
+impl fmt::Display for WalCorruption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalCorruption::TornHeader { at } => write!(f, "torn frame header at byte {at}"),
+            WalCorruption::TornPayload { at, want, have } => {
+                write!(
+                    f,
+                    "torn payload at byte {at} (want {want} bytes, have {have})"
+                )
+            }
+            WalCorruption::ChecksumMismatch { at } => write!(f, "checksum mismatch at byte {at}"),
+            WalCorruption::MalformedPayload { at } => write!(f, "malformed payload at byte {at}"),
+        }
+    }
+}
+
+/// Result of scanning a WAL byte stream.
+#[derive(Clone, Debug)]
+pub struct WalScan {
+    /// Records decoded from the valid prefix, in log order.
+    pub records: Vec<WalRecord>,
+    /// Byte length of the valid prefix (`== input.len()` iff clean).
+    pub valid_bytes: usize,
+    /// `None` on a clean end-of-log; otherwise why the scan stopped.
+    pub corruption: Option<WalCorruption>,
+}
+
+/// Scan `bytes` for checksummed records, stopping cleanly at the first
+/// anomaly.
+pub fn scan(bytes: &[u8]) -> WalScan {
+    let mut records = Vec::new();
+    let mut at = 0usize;
+    let corruption = loop {
+        if at == bytes.len() {
+            break None;
+        }
+        if bytes.len() - at < FRAME_HEADER {
+            break Some(WalCorruption::TornHeader { at });
+        }
+        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().unwrap());
+        let have = bytes.len() - at - FRAME_HEADER;
+        if len > have {
+            break Some(WalCorruption::TornPayload {
+                at,
+                want: len,
+                have,
+            });
+        }
+        let payload = &bytes[at + FRAME_HEADER..at + FRAME_HEADER + len];
+        if crc32(payload) != crc {
+            break Some(WalCorruption::ChecksumMismatch { at });
+        }
+        match WalRecord::decode_payload(payload) {
+            Some(rec) => records.push(rec),
+            None => break Some(WalCorruption::MalformedPayload { at }),
+        }
+        at += FRAME_HEADER + len;
+    };
+    WalScan {
+        records,
+        valid_bytes: at,
+        corruption,
+    }
+}
+
+/// When the WAL forces written bytes down to stable storage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// `fsync` after every record — maximum durability, slowest.
+    PerRecord,
+    /// `fsync` once every `n` records.
+    Batched(usize),
+    /// Never `fsync` (the OS flushes on its own schedule); still
+    /// flushed on [`Wal::sync`] and drop.
+    #[default]
+    Off,
+}
+
+/// Append/byte/fsync counters, mirrored into the scheduler's
+/// `Metrics` at end of run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended.
+    pub appends: u64,
+    /// Frame bytes written (header + payload).
+    pub bytes: u64,
+    /// Explicit syncs issued (counted even for the in-memory sink, so
+    /// policy behaviour is testable without touching a filesystem).
+    pub fsyncs: u64,
+}
+
+enum Sink {
+    Mem(Vec<u8>),
+    File {
+        writer: BufWriter<File>,
+        path: PathBuf,
+    },
+}
+
+impl fmt::Debug for Sink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sink::Mem(buf) => write!(f, "Mem({} bytes)", buf.len()),
+            Sink::File { path, .. } => write!(f, "File({})", path.display()),
+        }
+    }
+}
+
+/// An append-only write-ahead log over an in-memory buffer or a file.
+///
+/// I/O errors are sticky: the first one is retained and reported by
+/// [`Wal::io_error`] / [`Wal::take_io_error`], and subsequent appends
+/// become no-ops — the journal callbacks have no error channel, so the
+/// owner polls at sync points.
+#[derive(Debug)]
+pub struct Wal {
+    sink: Sink,
+    policy: SyncPolicy,
+    pending: usize,
+    stats: WalStats,
+    io_error: Option<std::io::Error>,
+}
+
+impl Wal {
+    /// An in-memory WAL (crash-injection harnesses, tests).
+    pub fn in_memory(policy: SyncPolicy) -> Wal {
+        Wal {
+            sink: Sink::Mem(Vec::new()),
+            policy,
+            pending: 0,
+            stats: WalStats::default(),
+            io_error: None,
+        }
+    }
+
+    /// Create (truncating) a file-backed WAL at `path`.
+    pub fn create(path: &Path, policy: SyncPolicy) -> std::io::Result<Wal> {
+        let file = File::create(path)?;
+        Ok(Wal {
+            sink: Sink::File {
+                writer: BufWriter::new(file),
+                path: path.to_path_buf(),
+            },
+            policy,
+            pending: 0,
+            stats: WalStats::default(),
+            io_error: None,
+        })
+    }
+
+    /// Append one record, applying the sync policy.
+    pub fn append(&mut self, record: &WalRecord) {
+        if self.io_error.is_some() {
+            return;
+        }
+        let frame = record.encode_frame();
+        let res = match &mut self.sink {
+            Sink::Mem(buf) => {
+                buf.extend_from_slice(&frame);
+                Ok(())
+            }
+            Sink::File { writer, .. } => writer.write_all(&frame),
+        };
+        if let Err(e) = res {
+            self.io_error = Some(e);
+            return;
+        }
+        self.stats.appends += 1;
+        self.stats.bytes += frame.len() as u64;
+        self.pending += 1;
+        match self.policy {
+            SyncPolicy::PerRecord => self.sync(),
+            SyncPolicy::Batched(n) => {
+                if self.pending >= n.max(1) {
+                    self.sync();
+                }
+            }
+            SyncPolicy::Off => {}
+        }
+    }
+
+    /// Append an operation record without constructing a `WalRecord`.
+    pub fn append_op(&mut self, op: &Operation) {
+        // Cheap: `Operation` is a few words plus an `Arc<str>` bump.
+        self.append(&WalRecord::Op(op.clone()));
+    }
+
+    /// Flush buffered bytes and force them to stable storage.
+    pub fn sync(&mut self) {
+        if self.io_error.is_some() {
+            return;
+        }
+        let res = match &mut self.sink {
+            Sink::Mem(_) => Ok(()),
+            Sink::File { writer, .. } => writer.flush().and_then(|()| writer.get_ref().sync_data()),
+        };
+        match res {
+            Ok(()) => {
+                self.stats.fsyncs += 1;
+                self.pending = 0;
+            }
+            Err(e) => self.io_error = Some(e),
+        }
+    }
+
+    /// Flush buffered bytes without an fsync.
+    pub fn flush(&mut self) {
+        if self.io_error.is_some() {
+            return;
+        }
+        if let Sink::File { writer, .. } = &mut self.sink {
+            if let Err(e) = writer.flush() {
+                self.io_error = Some(e);
+            }
+        }
+    }
+
+    /// Discard all logged records (checkpoint rotation: once a
+    /// checkpoint covers the prefix below the floor, the tail restarts
+    /// from the checkpoint state).
+    pub fn restart(&mut self) {
+        if self.io_error.is_some() {
+            return;
+        }
+        let res = match &mut self.sink {
+            Sink::Mem(buf) => {
+                buf.clear();
+                Ok(())
+            }
+            Sink::File { writer, .. } => writer
+                .flush()
+                .and_then(|()| writer.get_mut().set_len(0))
+                .and_then(|()| writer.get_mut().seek(SeekFrom::Start(0)).map(|_| ())),
+        };
+        if let Err(e) = res {
+            self.io_error = Some(e);
+        }
+        self.pending = 0;
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> WalStats {
+        self.stats
+    }
+
+    /// The sync policy this WAL was built with.
+    pub fn policy(&self) -> SyncPolicy {
+        self.policy
+    }
+
+    /// First I/O error, if any (sticky).
+    pub fn io_error(&self) -> Option<&std::io::Error> {
+        self.io_error.as_ref()
+    }
+
+    /// Take the sticky I/O error, clearing it.
+    pub fn take_io_error(&mut self) -> Option<std::io::Error> {
+        self.io_error.take()
+    }
+
+    /// The raw logged bytes (in-memory sink only).
+    pub fn mem_bytes(&self) -> Option<&[u8]> {
+        match &self.sink {
+            Sink::Mem(buf) => Some(buf),
+            Sink::File { .. } => None,
+        }
+    }
+
+    /// Path of the backing file (file sink only).
+    pub fn path(&self) -> Option<&Path> {
+        match &self.sink {
+            Sink::Mem(_) => None,
+            Sink::File { path, .. } => Some(path),
+        }
+    }
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// A clonable, thread-safe handle to a [`Wal`] — the concrete
+/// [`MonitorJournal`] implementation the monitors and schedulers hook.
+///
+/// Keeping this a concrete type (rather than a trait object field)
+/// lets `MonitorAdmission` retain its `Clone`/`Debug` derives; clones
+/// share the underlying log.
+#[derive(Clone)]
+pub struct SharedWal(Arc<Mutex<Wal>>);
+
+impl fmt::Debug for SharedWal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let wal = self.0.lock();
+        f.debug_struct("SharedWal")
+            .field("sink", &wal.sink)
+            .field("policy", &wal.policy)
+            .field("stats", &wal.stats)
+            .finish()
+    }
+}
+
+impl SharedWal {
+    pub fn new(wal: Wal) -> SharedWal {
+        SharedWal(Arc::new(Mutex::new(wal)))
+    }
+
+    /// An in-memory shared WAL (the common harness configuration).
+    pub fn in_memory(policy: SyncPolicy) -> SharedWal {
+        SharedWal::new(Wal::in_memory(policy))
+    }
+
+    /// Run `f` with the locked WAL.
+    pub fn with<R>(&self, f: impl FnOnce(&mut Wal) -> R) -> R {
+        f(&mut self.0.lock())
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> WalStats {
+        self.0.lock().stats()
+    }
+
+    /// Force buffered bytes to stable storage.
+    pub fn sync(&self) {
+        self.0.lock().sync();
+    }
+
+    /// Copy of the logged bytes (in-memory sink only).
+    pub fn snapshot(&self) -> Option<Vec<u8>> {
+        self.0.lock().mem_bytes().map(<[u8]>::to_vec)
+    }
+}
+
+impl MonitorJournal for SharedWal {
+    fn appended(&mut self, op: &Operation) {
+        self.0.lock().append_op(op);
+    }
+
+    fn truncated(&mut self, new_len: usize) {
+        self.0.lock().append(&WalRecord::Truncate(new_len as u64));
+    }
+
+    fn floor_raised(&mut self, floor: usize) {
+        self.0.lock().append(&WalRecord::Floor(floor as u64));
+    }
+
+    fn reset(&mut self) {
+        self.0.lock().append(&WalRecord::Reset);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(txn: u32, item: u32, write: bool, value: Value) -> Operation {
+        if write {
+            Operation::write(TxnId(txn), ItemId(item), value)
+        } else {
+            Operation::read(TxnId(txn), ItemId(item), value)
+        }
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Op(op(0, 1, false, Value::Int(7))),
+            WalRecord::Op(op(1, 2, true, Value::Bool(true))),
+            WalRecord::Op(op(2, 3, true, Value::Str(Arc::from("hello wal")))),
+            WalRecord::Truncate(2),
+            WalRecord::Op(op(3, 1, true, Value::Int(-42))),
+            WalRecord::Floor(1),
+            WalRecord::Reset,
+            WalRecord::Op(op(4, 5, false, Value::Str(Arc::from("")))),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_clean() {
+        let records = sample_records();
+        let mut wal = Wal::in_memory(SyncPolicy::Off);
+        for r in &records {
+            wal.append(r);
+        }
+        let bytes = wal.mem_bytes().unwrap();
+        let s = scan(bytes);
+        assert_eq!(s.records, records);
+        assert_eq!(s.valid_bytes, bytes.len());
+        assert_eq!(s.corruption, None);
+        assert_eq!(wal.stats().appends, records.len() as u64);
+        assert_eq!(wal.stats().bytes, bytes.len() as u64);
+    }
+
+    #[test]
+    fn truncation_recovers_prefix() {
+        let records = sample_records();
+        let mut wal = Wal::in_memory(SyncPolicy::Off);
+        for r in &records {
+            wal.append(r);
+        }
+        let bytes = wal.mem_bytes().unwrap().to_vec();
+        // Frame boundaries.
+        let mut bounds = vec![0usize];
+        for r in &records {
+            bounds.push(bounds.last().unwrap() + r.encode_frame().len());
+        }
+        for cut in 0..=bytes.len() {
+            let s = scan(&bytes[..cut]);
+            let k = bounds.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(s.records, records[..k], "cut={cut}");
+            assert_eq!(s.valid_bytes, bounds[k], "cut={cut}");
+            assert_eq!(s.corruption.is_none(), cut == bounds[k], "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn bit_flip_detected() {
+        let records = sample_records();
+        let mut wal = Wal::in_memory(SyncPolicy::Off);
+        for r in &records {
+            wal.append(r);
+        }
+        let clean = wal.mem_bytes().unwrap().to_vec();
+        let mut bounds = vec![0usize];
+        for r in &records {
+            bounds.push(bounds.last().unwrap() + r.encode_frame().len());
+        }
+        for byte in 0..clean.len() {
+            let mut dirty = clean.clone();
+            dirty[byte] ^= 0x10;
+            let s = scan(&dirty);
+            // The flip lands in frame i; everything before i must
+            // survive, nothing from a damaged frame may be replayed.
+            let i = bounds.iter().filter(|&&b| b <= byte).count() - 1;
+            assert!(s.records.len() <= records.len());
+            assert_eq!(
+                &s.records[..i.min(s.records.len())],
+                &records[..i.min(s.records.len())]
+            );
+            assert!(
+                s.records.len() >= i || s.corruption.is_some(),
+                "byte={byte}"
+            );
+            assert!(
+                s.corruption.is_some(),
+                "flip at byte {byte} went undetected"
+            );
+            assert_eq!(s.records, records[..i], "byte={byte}");
+        }
+    }
+
+    #[test]
+    fn sync_policy_counts() {
+        let records = sample_records();
+        let mut per = Wal::in_memory(SyncPolicy::PerRecord);
+        let mut batched = Wal::in_memory(SyncPolicy::Batched(3));
+        let mut off = Wal::in_memory(SyncPolicy::Off);
+        for r in &records {
+            per.append(r);
+            batched.append(r);
+            off.append(r);
+        }
+        assert_eq!(per.stats().fsyncs, records.len() as u64);
+        assert_eq!(batched.stats().fsyncs, (records.len() / 3) as u64);
+        assert_eq!(off.stats().fsyncs, 0);
+        off.sync();
+        assert_eq!(off.stats().fsyncs, 1);
+    }
+
+    #[test]
+    fn file_sink_roundtrip() {
+        let dir = std::env::temp_dir().join("pwsr_wal_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("wal_{}.log", std::process::id()));
+        let records = sample_records();
+        {
+            let mut wal = Wal::create(&path, SyncPolicy::Batched(2)).unwrap();
+            for r in &records {
+                wal.append(r);
+            }
+            wal.sync();
+            assert!(wal.io_error().is_none());
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        let s = scan(&bytes);
+        assert_eq!(s.records, records);
+        assert_eq!(s.corruption, None);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn restart_clears_log() {
+        let mut wal = Wal::in_memory(SyncPolicy::Off);
+        wal.append(&WalRecord::Reset);
+        wal.restart();
+        assert!(wal.mem_bytes().unwrap().is_empty());
+        wal.append(&WalRecord::Floor(3));
+        assert_eq!(
+            scan(wal.mem_bytes().unwrap()).records,
+            vec![WalRecord::Floor(3)]
+        );
+    }
+
+    #[test]
+    fn shared_wal_is_a_journal() {
+        let shared = SharedWal::in_memory(SyncPolicy::Off);
+        let mut journal: Box<dyn MonitorJournal> = Box::new(shared.clone());
+        journal.appended(&op(0, 0, false, Value::Int(1)));
+        journal.truncated(0);
+        journal.floor_raised(0);
+        journal.reset();
+        let s = scan(&shared.snapshot().unwrap());
+        assert_eq!(s.records.len(), 4);
+        assert_eq!(s.records[1], WalRecord::Truncate(0));
+        assert_eq!(s.records[2], WalRecord::Floor(0));
+        assert_eq!(s.records[3], WalRecord::Reset);
+        assert_eq!(shared.stats().appends, 4);
+    }
+}

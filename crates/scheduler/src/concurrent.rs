@@ -43,7 +43,7 @@
 use crate::error::{Result, SchedError};
 use crate::metrics::Metrics;
 use crate::policy::{MonitorSpec, PolicySpec, StaticCertificate};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use pwsr_core::catalog::Catalog;
 use pwsr_core::ids::{ItemId, TxnId};
 use pwsr_core::monitor::sharded::ShardedMonitor;
@@ -58,6 +58,7 @@ use pwsr_tplang::session::{Pending, ProgramSession};
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Shared execution state behind one mutex (uncertified path: the
 /// database and trace are updated together; contention here is
@@ -231,7 +232,13 @@ pub fn run_threaded_certified(
     scopes: Vec<ItemSet>,
 ) -> Result<(Schedule, DbState, Verdict)> {
     let space_locks = space_lock_table(programs, catalog, policy);
-    let monitor = ShardedMonitor::new(scopes);
+    let mut monitor = ShardedMonitor::new(scopes);
+    // Durable admission: journal every claimed operation into the
+    // policy's WAL (the journal hook runs under the monitor's
+    // sequence mutex, so log order is claimed schedule order).
+    if let Some(wal) = policy.monitor.as_ref().and_then(|s| s.wal.as_ref()) {
+        monitor = monitor.with_journal(Box::new(wal.clone()));
+    }
     let db = StripedDb::new(initial, 16);
     let certificate = certificate_of(policy);
     // Side trace for statically-certified transactions: a plain mutex
@@ -292,6 +299,10 @@ pub fn run_threaded_certified(
 
     let (monitored, verdict) = monitor.into_parts();
     let schedule = splice_side_trace(monitored, side.into_inner())?;
+    // Make the journaled tail durable before reporting success.
+    if let Some(wal) = policy.monitor.as_ref().and_then(|s| s.wal.as_ref()) {
+        wal.sync();
+    }
     Ok((schedule, db.into_state(), verdict))
 }
 
@@ -342,21 +353,34 @@ struct OccStripe {
     dirty: std::collections::HashMap<ItemId, TxnId>,
 }
 
+/// One stripe plus its parking spot: waiters blocked on a dirty item
+/// park on `cv` instead of spinning; every dirty-mark clear (commit or
+/// rollback) broadcasts. The condvar is advisory for liveness only —
+/// waiters use timed waits, so a (hypothetically) lost wakeup degrades
+/// to the old polling behaviour rather than deadlocking.
+#[derive(Default)]
+struct OccStripeCell {
+    state: Mutex<OccStripe>,
+    cv: Condvar,
+}
+
 /// The item-striped optimistic store behind [`run_threaded_occ_certified`].
 struct OccStripedDb {
-    stripes: Vec<Mutex<OccStripe>>,
+    stripes: Vec<OccStripeCell>,
 }
 
 impl OccStripedDb {
     fn new(initial: &DbState, n: usize) -> OccStripedDb {
         let n = n.max(1);
-        let mut parts: Vec<OccStripe> = (0..n).map(|_| OccStripe::default()).collect();
+        let stripes: Vec<OccStripeCell> = (0..n).map(|_| OccStripeCell::default()).collect();
         for (item, value) in initial.iter() {
-            parts[item.index() % n].db.set(item, value.clone());
+            stripes[item.index() % n]
+                .state
+                .lock()
+                .db
+                .set(item, value.clone());
         }
-        OccStripedDb {
-            stripes: parts.into_iter().map(Mutex::new).collect(),
-        }
+        OccStripedDb { stripes }
     }
 
     fn stripe_of(&self, item: ItemId) -> usize {
@@ -365,8 +389,8 @@ impl OccStripedDb {
 
     fn into_state(self) -> DbState {
         let mut out = DbState::new();
-        for stripe in self.stripes {
-            for (item, value) in stripe.into_inner().db.iter() {
+        for cell in self.stripes {
+            for (item, value) in cell.state.into_inner().db.iter() {
                 out.set(item, value.clone());
             }
         }
@@ -412,10 +436,40 @@ enum AttemptEnd {
     Aborted,
 }
 
-/// How many times an access spins on a dirty item before the
-/// transaction gives up and aborts itself (breaking write-write wait
-/// cycles probabilistically; backoff is asymmetric per transaction).
-const DIRTY_WAIT_BUDGET: u32 = 2_000;
+/// Executor knobs for the OCC path, all with conservative defaults
+/// ([`OccTuning::default`]); see [`run_threaded_occ_tuned`].
+#[derive(Clone, Debug)]
+pub struct OccTuning {
+    /// Short spin fast path: lock-probe/yield rounds on a dirty item
+    /// before parking on the stripe's condvar. Spinning wins when the
+    /// writer commits within a few scheduler quanta (the common case);
+    /// parking wins under sustained contention.
+    pub dirty_spin: u32,
+    /// Timed condvar parks before the waiter gives up and aborts
+    /// itself (the conflict-abort escape hatch that breaks write-write
+    /// wait cycles — parking must not remove it).
+    pub park_budget: u32,
+    /// Timeout of each individual park, in microseconds. Bounds the
+    /// cost of a missed wakeup to one timeout instead of a deadlock.
+    pub park_timeout_us: u64,
+    /// Cap on the abort-backoff yield count. The backoff grows with
+    /// the restart count (plus a per-transaction jitter keyed on the
+    /// txn id); uncapped growth overshoots badly on long conflict
+    /// chains — a hot transaction that lost 50 races would sleep
+    /// ~50 yields even though the conflict window is 2–3 ops wide.
+    pub backoff_cap: u32,
+}
+
+impl Default for OccTuning {
+    fn default() -> OccTuning {
+        OccTuning {
+            dirty_spin: 64,
+            park_budget: 256,
+            park_timeout_us: 500,
+            backoff_cap: 24,
+        }
+    }
+}
 
 /// Run the programs under **certified optimistic concurrency**: a
 /// worker pool of `threads` OS threads claims transactions from a
@@ -461,6 +515,7 @@ pub fn run_threaded_occ_certified(
         scopes,
         level,
         certificate: None,
+        wal: None,
     };
     run_threaded_occ_spec(programs, catalog, initial, &spec, threads, max_restarts)
 }
@@ -485,7 +540,36 @@ pub fn run_threaded_occ_spec(
     threads: usize,
     max_restarts: u32,
 ) -> Result<OccThreadedOutcome> {
-    let monitor = ShardedMonitor::new_logged(spec.scopes.clone());
+    run_threaded_occ_tuned(
+        programs,
+        catalog,
+        initial,
+        spec,
+        threads,
+        max_restarts,
+        &OccTuning::default(),
+    )
+}
+
+/// [`run_threaded_occ_spec`] with explicit [`OccTuning`] knobs —
+/// dirty-wait spin/park budgets and the abort-backoff cap. When
+/// `spec.wal` is set, the sharded monitor journals every claimed
+/// operation (and every abort's retraction) into it, and the
+/// returned metrics carry the WAL counters.
+pub fn run_threaded_occ_tuned(
+    programs: &[Program],
+    catalog: &Catalog,
+    initial: &DbState,
+    spec: &MonitorSpec,
+    threads: usize,
+    max_restarts: u32,
+    tuning: &OccTuning,
+) -> Result<OccThreadedOutcome> {
+    let mut monitor = ShardedMonitor::new_logged(spec.scopes.clone());
+    if let Some(wal) = &spec.wal {
+        monitor = monitor.with_journal(Box::new(wal.clone()));
+    }
+    let monitor = monitor;
     let level = spec.level;
     let certificate = spec.certificate.as_ref().filter(|c| c.satisfies(level));
     let db = OccStripedDb::new(initial, 16);
@@ -509,7 +593,7 @@ pub fn run_threaded_occ_spec(
                     let mut restarts = 0u32;
                     loop {
                         match occ_attempt(
-                            program, catalog, txn, monitor, db, counters, level, fast,
+                            program, catalog, txn, monitor, db, counters, level, fast, tuning,
                         )? {
                             AttemptEnd::Committed => break,
                             AttemptEnd::Aborted => {
@@ -520,8 +604,10 @@ pub fn run_threaded_occ_spec(
                                 counters.retries.fetch_add(1, Ordering::Relaxed);
                                 // Asymmetric backoff: later transactions
                                 // back off longer, so colliding retries
-                                // separate even on a single core.
-                                for _ in 0..(restarts + txn.0 % 7) {
+                                // separate even on a single core — capped
+                                // so a long restart chain never degrades
+                                // into unbounded yield storms.
+                                for _ in 0..(restarts + txn.0 % 7).min(tuning.backoff_cap) {
                                     std::thread::yield_now();
                                 }
                             }
@@ -538,7 +624,7 @@ pub fn run_threaded_occ_spec(
 
     let (monitored, verdict) = monitor.into_parts();
     let schedule = splice_side_trace(monitored, side.into_inner())?;
-    let metrics = Metrics {
+    let mut metrics = Metrics {
         committed_ops: schedule.len() as u64,
         aborts: counters.aborts.load(Ordering::Relaxed),
         restarts: counters.retries.load(Ordering::Relaxed),
@@ -550,6 +636,13 @@ pub fn run_threaded_occ_spec(
         waits: counters.dirty_waits.load(Ordering::Relaxed),
         ..Metrics::default()
     };
+    if let Some(wal) = &spec.wal {
+        wal.sync();
+        let ws = wal.stats();
+        metrics.wal_appends = ws.appends;
+        metrics.wal_bytes = ws.bytes;
+        metrics.wal_fsyncs = ws.fsyncs;
+    }
     Ok(OccThreadedOutcome {
         schedule,
         final_state: db.into_state(),
@@ -572,44 +665,77 @@ type WriteUndo = Vec<(ItemId, Option<Value>)>;
 /// delayed-read break no `PushOutcome` ever reported).
 fn rollback_store(db: &OccStripedDb, applied: &mut WriteUndo) {
     for (item, old) in applied.drain(..).rev() {
-        let mut stripe = db.stripes[db.stripe_of(item)].lock();
-        match old {
-            Some(v) => {
-                stripe.db.set(item, v);
+        let cell = &db.stripes[db.stripe_of(item)];
+        {
+            let mut stripe = cell.state.lock();
+            match old {
+                Some(v) => {
+                    stripe.db.set(item, v);
+                }
+                None => {
+                    stripe.db.unset(item);
+                }
             }
-            None => {
-                stripe.db.unset(item);
-            }
+            stripe.dirty.remove(&item);
         }
-        stripe.dirty.remove(&item);
+        // Wake parked waiters: this dirty mark just cleared.
+        cell.cv.notify_all();
     }
 }
 
 /// Latch `item`'s stripe once it is not dirty under another
-/// transaction and run `action` under the latch; a bounded spin.
-/// `Ok(None)` means the wait budget expired (possible write-write
-/// wait cycle) — the caller aborts itself to break it.
+/// transaction and run `action` under the latch. Two phases: a short
+/// spin fast path (`tuning.dirty_spin` probe/yield rounds — the
+/// common sub-quantum commit resolves here without a syscall), then
+/// **condvar parking**: the waiter sleeps on the stripe's condvar and
+/// is broadcast awake whenever a dirty mark clears (commit or
+/// rollback). Each park is timed, so the conflict-abort escape hatch
+/// survives: `Ok(None)` after `tuning.park_budget` parks means a
+/// possible write-write wait cycle — the caller aborts itself to
+/// break it — and a hypothetically lost wakeup costs one timeout,
+/// never a deadlock.
 fn with_clean_stripe<T>(
     db: &OccStripedDb,
     counters: &OccMtCounters,
+    tuning: &OccTuning,
     txn: TxnId,
     item: ItemId,
     mut action: impl FnMut(&mut OccStripe) -> Result<T>,
 ) -> Result<Option<T>> {
+    let cell = &db.stripes[db.stripe_of(item)];
+    let clean = |stripe: &OccStripe| stripe.dirty.get(&item).is_none_or(|&w| w == txn);
+    // Phase 1: spin fast path.
     let mut spins = 0u32;
     loop {
         {
-            let mut stripe = db.stripes[db.stripe_of(item)].lock();
-            if stripe.dirty.get(&item).is_none_or(|&w| w == txn) {
+            let mut stripe = cell.state.lock();
+            if clean(&stripe) {
                 return action(&mut stripe).map(Some);
             }
         }
-        spins += 1;
         counters.dirty_waits.fetch_add(1, Ordering::Relaxed);
-        if spins > DIRTY_WAIT_BUDGET {
-            return Ok(None);
+        spins += 1;
+        if spins >= tuning.dirty_spin {
+            break;
         }
         std::thread::yield_now();
+    }
+    // Phase 2: park until the dirty mark clears (timed, bounded).
+    let mut parks = 0u32;
+    let mut stripe = cell.state.lock();
+    loop {
+        if clean(&stripe) {
+            return action(&mut stripe).map(Some);
+        }
+        if parks >= tuning.park_budget {
+            return Ok(None);
+        }
+        parks += 1;
+        counters.dirty_waits.fetch_add(1, Ordering::Relaxed);
+        let (guard, _timed_out) = cell
+            .cv
+            .wait_timeout(stripe, Duration::from_micros(tuning.park_timeout_us.max(1)));
+        stripe = guard;
     }
 }
 
@@ -654,6 +780,7 @@ fn occ_attempt(
     counters: &OccMtCounters,
     level: AdmissionLevel,
     fast: Option<&Mutex<Vec<Operation>>>,
+    tuning: &OccTuning,
 ) -> Result<AttemptEnd> {
     let mut applied: WriteUndo = Vec::new();
     let end = occ_attempt_inner(
@@ -665,6 +792,7 @@ fn occ_attempt(
         counters,
         level,
         fast,
+        tuning,
         &mut applied,
     );
     if end.is_err() {
@@ -690,6 +818,7 @@ fn occ_attempt_inner(
     counters: &OccMtCounters,
     level: AdmissionLevel,
     fast: Option<&Mutex<Vec<Operation>>>,
+    tuning: &OccTuning,
     applied: &mut WriteUndo,
 ) -> Result<AttemptEnd> {
     let mut session = ProgramSession::new(program, catalog, txn);
@@ -731,7 +860,7 @@ fn occ_attempt_inner(
                 // Value and claimed position under one latch:
                 // same-item accesses serialize through the stripe, so
                 // the recorded schedule is read-coherent per item.
-                let outcome = with_clean_stripe(db, counters, txn, item, |stripe| {
+                let outcome = with_clean_stripe(db, counters, tuning, txn, item, |stripe| {
                     let v = stripe.db.require(item)?.clone();
                     let op = session.feed_read(v)?;
                     record(op)
@@ -746,7 +875,7 @@ fn occ_attempt_inner(
                 }
             }
             Pending::Write(op) => {
-                let outcome = with_clean_stripe(db, counters, txn, op.item, |stripe| {
+                let outcome = with_clean_stripe(db, counters, tuning, txn, op.item, |stripe| {
                     let old = stripe.db.set(op.item, op.value.clone());
                     stripe.dirty.insert(op.item, txn);
                     applied.push((op.item, old));
@@ -766,10 +895,13 @@ fn occ_attempt_inner(
         }
         std::thread::yield_now();
     }
-    // Commit: publish is already done — just clear the dirty marks so
-    // blocked readers proceed against the now-committed values.
+    // Commit: publish is already done — just clear the dirty marks
+    // (waking parked waiters) so blocked readers proceed against the
+    // now-committed values.
     for (item, _) in applied.drain(..) {
-        db.stripes[db.stripe_of(item)].lock().dirty.remove(&item);
+        let cell = &db.stripes[db.stripe_of(item)];
+        cell.state.lock().dirty.remove(&item);
+        cell.cv.notify_all();
     }
     Ok(AttemptEnd::Committed)
 }
@@ -1131,6 +1263,7 @@ mod tests {
                 AdmissionLevel::Pwsr,
                 [TxnId(1), TxnId(2)].into_iter().collect(),
             )),
+            wal: None,
         };
         for threads in [1, 4] {
             for _ in 0..5 {

@@ -228,6 +228,15 @@ pub fn run_workload(
         metrics.monitor_undone_ops = mon.undone_ops();
         metrics.monitor_log_floor = mon.log_floor() as u64;
         metrics.monitor_skipped_ops = mon.skipped_ops();
+        if let Some(wal) = mon.wal() {
+            // Make the tail durable before reporting: a crash after
+            // this point loses nothing.
+            wal.sync();
+            let ws = wal.stats();
+            metrics.wal_appends = ws.appends;
+            metrics.wal_bytes = ws.bytes;
+            metrics.wal_fsyncs = ws.fsyncs;
+        }
     }
     metrics.committed_ops = trace.len() as u64;
     let schedule = Schedule::new(trace)?;

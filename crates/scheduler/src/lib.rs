@@ -45,7 +45,7 @@ pub mod sgt;
 pub mod prelude {
     pub use crate::concurrent::{
         replay_matches, run_threaded, run_threaded_certified, run_threaded_occ_certified,
-        OccThreadedOutcome,
+        run_threaded_occ_spec, run_threaded_occ_tuned, OccThreadedOutcome, OccTuning,
     };
     pub use crate::dag_admission::{check_static_dag, StaticDag};
     pub use crate::error::SchedError;

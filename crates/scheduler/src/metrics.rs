@@ -41,6 +41,14 @@ pub struct Metrics {
     /// OCC retries: transaction re-executions scheduled after an OCC
     /// abort.
     pub occ_retries: u64,
+    /// Write-ahead-log records appended (operations + retractions +
+    /// floor raises); 0 when no WAL is attached.
+    pub wal_appends: u64,
+    /// Write-ahead-log frame bytes written.
+    pub wal_bytes: u64,
+    /// Write-ahead-log fsyncs issued (per the configured
+    /// `SyncPolicy`).
+    pub wal_fsyncs: u64,
 }
 
 impl Metrics {
@@ -68,7 +76,8 @@ impl fmt::Display for Metrics {
         write!(
             f,
             "steps={} ops={} waits={} deadlocks={} aborts={} restarts={} locks={} monrej={} \
-             monresync={} monundo={} monfloor={} monskip={} occab={} occretry={} goodput={:.3}",
+             monresync={} monundo={} monfloor={} monskip={} occab={} occretry={} \
+             walapp={} walbytes={} walsync={} goodput={:.3}",
             self.steps,
             self.committed_ops,
             self.waits,
@@ -83,6 +92,9 @@ impl fmt::Display for Metrics {
             self.monitor_skipped_ops,
             self.occ_aborts,
             self.occ_retries,
+            self.wal_appends,
+            self.wal_bytes,
+            self.wal_fsyncs,
             self.goodput()
         )
     }
@@ -119,5 +131,6 @@ mod tests {
         let s = m.to_string();
         assert!(s.contains("steps=3") && s.contains("deadlocks=1"));
         assert!(s.contains("occab=2") && s.contains("occretry=5"));
+        assert!(s.contains("walapp=0") && s.contains("walsync=0"));
     }
 }

@@ -21,6 +21,7 @@ use pwsr_core::ids::{ItemId, TxnId};
 use pwsr_core::monitor::{AdmissionLevel, OnlineMonitor, Verdict};
 use pwsr_core::op::Operation;
 use pwsr_core::state::ItemSet;
+use pwsr_durability::wal::{SharedWal, WalRecord, WalStats};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
@@ -136,6 +137,13 @@ pub struct MonitorAdmission {
     resyncs: u64,
     /// Operations retracted via the undo-log across all re-syncs.
     undone_ops: u64,
+    /// Optional write-ahead log: every monitored state transition
+    /// (push / truncate / floor raise / rebuild) is appended as a
+    /// checksummed record, so a crash recovers to exactly this
+    /// admission's monitor state (see `pwsr_durability::recover`).
+    /// Clones share the log, so clone-and-diverge admissions should
+    /// not both stay journaled.
+    wal: Option<SharedWal>,
 }
 
 /// What one [`MonitorAdmission::sync`] call did.
@@ -159,7 +167,22 @@ impl MonitorAdmission {
             skipped_ops: 0,
             resyncs: 0,
             undone_ops: 0,
+            wal: None,
         }
+    }
+
+    /// Attach a write-ahead log. Every subsequent monitored
+    /// transition is journaled *before* it is applied (write-ahead
+    /// discipline); certified skips are not journaled — replay
+    /// reconstructs the monitored sub-trace, which is the whole
+    /// monitor state.
+    pub fn with_wal(mut self, wal: SharedWal) -> MonitorAdmission {
+        debug_assert!(
+            self.is_empty(),
+            "attach the WAL before recording operations"
+        );
+        self.wal = Some(wal);
+        self
     }
 
     /// Attach a static safety certificate: covered transactions are
@@ -240,6 +263,9 @@ impl MonitorAdmission {
     /// an abort can retract it through the undo-log.
     pub fn push(&mut self, op: &Operation) -> Verdict {
         self.seen += 1;
+        if let Some(wal) = &self.wal {
+            wal.with(|w| w.append_op(op));
+        }
         self.monitor
             .push_logged(op.clone())
             .expect("executor traces satisfy the §2.2 transaction rules")
@@ -274,6 +300,9 @@ impl MonitorAdmission {
     /// Certified transactions' operations are skipped, as on the
     /// incremental path.
     pub fn rebuild(&mut self, trace: &[Operation]) {
+        if let Some(wal) = &self.wal {
+            wal.with(|w| w.append(&WalRecord::Reset));
+        }
         self.monitor = OnlineMonitor::new(self.scopes.clone());
         self.seen = 0;
         for op in trace {
@@ -328,6 +357,11 @@ impl MonitorAdmission {
                 repushed: target.len() as u64,
             };
         }
+        if common < self.monitor.len() {
+            if let Some(wal) = &self.wal {
+                wal.with(|w| w.append(&WalRecord::Truncate(common as u64)));
+            }
+        }
         let undone = self.monitor.truncate_to(common) as u64;
         self.undone_ops += undone;
         let mut repushed = 0u64;
@@ -353,7 +387,16 @@ impl MonitorAdmission {
             .filter_map(|t| index.positions_of(t).first().map(|&p| p as usize))
             .min()
             .unwrap_or(self.monitor.len());
-        self.monitor.checkpoint(floor)
+        let before = self.monitor.log_floor();
+        let after = self.monitor.checkpoint(floor);
+        // Journal only actual raises: the executor checkpoints every
+        // step, and a no-op raise would bloat the log.
+        if after > before {
+            if let Some(wal) = &self.wal {
+                wal.with(|w| w.append(&WalRecord::Floor(after as u64)));
+            }
+        }
+        after
     }
 
     /// The monitor undo-log's current retraction floor.
@@ -386,6 +429,16 @@ impl MonitorAdmission {
     pub fn certificate(&self) -> Option<&StaticCertificate> {
         self.certificate.as_ref()
     }
+
+    /// The attached write-ahead log, if any.
+    pub fn wal(&self) -> Option<&SharedWal> {
+        self.wal.as_ref()
+    }
+
+    /// WAL counters (append/byte/fsync), when a WAL is attached.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.wal.as_ref().map(SharedWal::stats)
+    }
 }
 
 /// The monitor-admission half of a policy: which projection scopes to
@@ -399,17 +452,24 @@ pub struct MonitorSpec {
     /// Optional static fast path: certified transactions skip runtime
     /// certification (see [`StaticCertificate`]).
     pub certificate: Option<StaticCertificate>,
+    /// Optional durability: a shared write-ahead log the admission
+    /// journals every monitored transition into (the handle is shared,
+    /// so the caller keeps recovery access to the same log).
+    pub wal: Option<SharedWal>,
 }
 
 impl MonitorSpec {
-    /// Build the admission state this spec describes, certificate
-    /// attached.
+    /// Build the admission state this spec describes, certificate and
+    /// WAL attached.
     pub fn admission(&self) -> MonitorAdmission {
-        let adm = MonitorAdmission::new(self.scopes.clone(), self.level);
-        match &self.certificate {
-            Some(cert) => adm.with_certificate(cert.clone()),
-            None => adm,
+        let mut adm = MonitorAdmission::new(self.scopes.clone(), self.level);
+        if let Some(cert) = &self.certificate {
+            adm = adm.with_certificate(cert.clone());
         }
+        if let Some(wal) = &self.wal {
+            adm = adm.with_wal(wal.clone());
+        }
+        adm
     }
 }
 
@@ -529,6 +589,7 @@ impl PolicySpec {
             scopes: ic.conjuncts().iter().map(|c| c.items().clone()).collect(),
             level,
             certificate: None,
+            wal: None,
         });
         self.name = format!(
             "{}+MON({})",
@@ -554,6 +615,19 @@ impl PolicySpec {
                 self.name = format!("{}+CERT({})", self.name, certificate.len());
                 spec.certificate = Some(certificate);
             }
+        }
+        self
+    }
+
+    /// Attach a write-ahead log to the monitor-admission half of the
+    /// policy ([`PolicySpec::monitor_admission`] must come first):
+    /// every admitted operation and every retraction is journaled
+    /// into `wal`, making the run crash-recoverable. The caller keeps
+    /// a clone of the handle for recovery.
+    pub fn durable(mut self, wal: SharedWal) -> PolicySpec {
+        if let Some(spec) = &mut self.monitor {
+            self.name = format!("{}+WAL", self.name);
+            spec.wal = Some(wal);
         }
         self
     }

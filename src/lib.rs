@@ -3,8 +3,9 @@
 //! Facade crate re-exporting the whole workspace: the formal model
 //! ([`core`]), the transaction-program language ([`tplang`]), the
 //! lock-based scheduler substrate ([`scheduler`]), baseline correctness
-//! criteria ([`baselines`]), workload generators ([`gen`]) and the
-//! static robustness analyzer ([`analysis`]).
+//! criteria ([`baselines`]), workload generators ([`gen`]), the
+//! static robustness analyzer ([`analysis`]) and the durability layer
+//! ([`durability`]: WAL, hashed checkpoints, crash recovery).
 //!
 //! Reproduces Rastogi, Mehrotra, Breitbart, Korth, Silberschatz —
 //! *On Correctness of Nonserializable Executions* (PODS '93 / JCSS '98).
@@ -14,6 +15,7 @@
 pub use pwsr_analysis as analysis;
 pub use pwsr_baselines as baselines;
 pub use pwsr_core as core;
+pub use pwsr_durability as durability;
 pub use pwsr_gen as gen;
 pub use pwsr_scheduler as scheduler;
 pub use pwsr_tplang as tplang;

@@ -4,20 +4,28 @@
 //! enough for the threaded executor and the sharded monitor.
 //!
 //! Covered subset (what the workspace uses): `Mutex::{new, lock,
-//! try_lock, get_mut, into_inner}` and `RwLock::{new, read, write,
-//! try_read, try_write, get_mut, into_inner}`. Guards are the std
+//! try_lock, get_mut, into_inner}`, `RwLock::{new, read, write,
+//! try_read, try_write, get_mut, into_inner}` and `Condvar::{new,
+//! wait, wait_timeout, notify_one, notify_all}`. Guards are the std
 //! guard types re-exported by value, so guard lifetimes and `Deref`
-//! behave identically to the real crate's.
+//! behave identically to the real crate's. One surface deviation:
+//! because the guards *are* std guards, `Condvar::wait` consumes and
+//! returns the guard (std style) instead of taking `&mut` to it
+//! (parking_lot style) — callers rebind, which is the only difference.
 //!
 //! The model tests at the bottom pin the semantics this stand-in must
-//! preserve against `std::sync::RwLock`: concurrent readers are
-//! admitted together, writers are exclusive against both readers and
-//! writers, `try_*` never block, and a lock poisoned by a panicking
-//! holder keeps working (parking_lot has no poisoning).
+//! preserve against `std::sync`: concurrent readers are admitted
+//! together, writers are exclusive against both readers and writers,
+//! `try_*` never block, a lock poisoned by a panicking holder keeps
+//! working (parking_lot has no poisoning), and condvar waits are
+//! atomic with the mutex release (no lost wakeups under the
+//! hold-mutex-while-changing-predicate discipline).
 
 use std::sync::{
-    Mutex as StdMutex, MutexGuard, RwLock as StdRwLock, RwLockReadGuard, RwLockWriteGuard,
+    Condvar as StdCondvar, Mutex as StdMutex, MutexGuard, RwLock as StdRwLock, RwLockReadGuard,
+    RwLockWriteGuard, WaitTimeoutResult,
 };
+use std::time::Duration;
 
 #[derive(Debug, Default)]
 pub struct Mutex<T: ?Sized>(StdMutex<T>);
@@ -97,6 +105,51 @@ impl<T: ?Sized> RwLock<T> {
 
     pub fn get_mut(&mut self) -> &mut T {
         self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Condition variable over [`Mutex`]: park a thread until another
+/// thread changes the guarded predicate and notifies. The wait
+/// releases the mutex and blocks **atomically** (inherited from
+/// `std::sync::Condvar`), so a notification between the predicate
+/// check and the park cannot be lost — provided the notifier mutates
+/// the predicate while holding the same mutex, the discipline the
+/// model tests below pin.
+#[derive(Debug, Default)]
+pub struct Condvar(StdCondvar);
+
+impl Condvar {
+    pub const fn new() -> Condvar {
+        Condvar(StdCondvar::new())
+    }
+
+    /// Release `guard`'s mutex, park until notified, reacquire, and
+    /// hand the guard back. Spurious wakeups are possible (as in both
+    /// std and parking_lot): callers loop on their predicate.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.0.wait(guard).unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// [`Condvar::wait`] bounded by `timeout`; the result reports
+    /// whether the wait timed out (re-exported `std` type).
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+        self.0
+            .wait_timeout(guard, timeout)
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Wake one parked waiter, if any.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wake every parked waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
     }
 }
 
@@ -208,6 +261,91 @@ mod tests {
         assert_eq!(*lock.try_write().expect("not bricked"), 7);
         assert_eq!(*mutex.lock(), 7);
         assert_eq!(*mutex.try_lock().expect("not bricked"), 7);
+    }
+
+    /// No lost wakeups: with the predicate mutated under the mutex
+    /// and notified after, every waiter observes every token — even
+    /// when the notifier runs between a waiter's predicate check and
+    /// its park, the atomic release-and-block means the notification
+    /// still lands. A bounded fallback timeout is deliberately NOT
+    /// used here: the test hangs (and the harness times out) if a
+    /// wakeup is ever lost.
+    #[test]
+    fn condvar_loses_no_wakeups() {
+        const TOKENS: u64 = 500;
+        let slot = Arc::new((Mutex::new(0u64), Condvar::new()));
+        let consumer = {
+            let slot = Arc::clone(&slot);
+            std::thread::spawn(move || {
+                let (lock, cv) = &*slot;
+                let mut consumed = 0u64;
+                let mut g = lock.lock();
+                while consumed < TOKENS {
+                    while *g == 0 {
+                        g = cv.wait(g);
+                    }
+                    consumed += *g;
+                    *g = 0;
+                }
+                consumed
+            })
+        };
+        let (lock, cv) = &*slot;
+        for _ in 0..TOKENS {
+            let mut g = lock.lock();
+            *g += 1;
+            drop(g);
+            cv.notify_one();
+        }
+        assert_eq!(consumer.join().expect("consumer ran"), TOKENS);
+    }
+
+    /// `wait_timeout` reports a timeout when nobody notifies, and a
+    /// non-timeout completion when somebody does.
+    #[test]
+    fn condvar_wait_timeout_semantics() {
+        let slot = Arc::new((Mutex::new(false), Condvar::new()));
+        let (lock, cv) = &*slot;
+        let (g, res) = cv.wait_timeout(lock.lock(), Duration::from_millis(1));
+        assert!(res.timed_out());
+        drop(g);
+        let waiter = {
+            let slot = Arc::clone(&slot);
+            std::thread::spawn(move || {
+                let (lock, cv) = &*slot;
+                let mut g = lock.lock();
+                while !*g {
+                    let (g2, _res) = cv.wait_timeout(g, Duration::from_secs(5));
+                    g = g2;
+                }
+                true
+            })
+        };
+        let mut g = lock.lock();
+        *g = true;
+        drop(g);
+        cv.notify_all();
+        assert!(waiter.join().expect("waiter ran"));
+    }
+
+    /// A panicking holder must not brick condvar waits either — the
+    /// poisoned mutex is recovered on reacquisition, like everywhere
+    /// else in this stand-in.
+    #[test]
+    fn condvar_survives_poisoned_mutex() {
+        let slot = Arc::new((Mutex::new(0u32), Condvar::new()));
+        let (lock, cv) = &*slot;
+        {
+            let slot = Arc::clone(&slot);
+            let _ = std::thread::spawn(move || {
+                let _g = slot.0.lock();
+                panic!("poison the mutex under the condvar");
+            })
+            .join();
+        }
+        let (g, res) = cv.wait_timeout(lock.lock(), Duration::from_millis(1));
+        assert!(res.timed_out());
+        assert_eq!(*g, 0);
     }
 
     #[test]
