@@ -117,7 +117,7 @@ fn bench_monitor(c: &mut Criterion) {
             let victim = s.ops().last().expect("nonempty").txn;
             let mine: Vec<_> = s.transaction(victim).ops().to_vec();
             b.iter(|| {
-                black_box(m.retract_txn(victim));
+                black_box(m.retract_txn(victim).expect("victim is live"));
                 for op in &mine {
                     black_box(m.push(op.clone()).expect("valid re-push"));
                 }

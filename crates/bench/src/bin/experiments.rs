@@ -1,13 +1,13 @@
 //! Regenerate every example, figure and theorem of the paper.
 //!
 //! ```text
-//! experiments [all|examples|lemmas|theorems|perf|scale|base|bank|recovery|exhaustive|monitor|analysis|<id>]
+//! experiments [all|examples|lemmas|theorems|perf|scale|base|bank|recovery|exhaustive|monitor|analysis|compact|<id>]
 //!             [--trials N] [--smoke] [--json PATH]
 //! ```
 //!
 //! `<id>` ∈ {ex1 … ex5, fig3, lemma1, viewsets, lemma3, lemma4, lemma7,
 //! thm1, thm2, thm3, perf1 … perf5, scale1, scale2, base1, bank1, rec1,
-//! rec2, exh1, mon1, mon2, mon3, an1}.
+//! rec2, exh1, mon1, mon2, mon3, an1, cmp1}.
 //! Every experiment prints a paper-vs-measured table; the exit code is
 //! nonzero if any run deviates from the paper's predicted shape.
 //!
@@ -18,7 +18,7 @@
 //! statistical power. An explicit `--trials` overrides the cap.
 //!
 //! `--json PATH` additionally writes a machine-readable record of the
-//! sweep — schema `pwsr-experiments-v6`: one entry per selected
+//! sweep — schema `pwsr-experiments-v7`: one entry per selected
 //! experiment with its verdict, wall-clock seconds, and (where the
 //! experiment measures them) processed-operation counts and the online
 //! monitor's per-op timings; a `monitor_mt` block recording the
@@ -40,14 +40,21 @@
 //! how many recovered byte-identically, WAL replay ns per record, and
 //! the admission path's WAL-on vs WAL-off ns per op) so CI can fail
 //! on any unrecovered crash point and gate the WAL's admission
-//! overhead under 2×.
+//! overhead under 2×; and a `compact` block recording the CMP-1
+//! committed-prefix-compaction stream (ops streamed, compaction
+//! sweeps, ops reclaimed, the compacting twin's resident-byte
+//! plateau pre/post sweep vs the uncompacted baseline's footprint,
+//! and both paths' ns per op) so CI can gate the compacting path's
+//! per-op overhead under 1.5× and the memory plateau staying far
+//! below the uncompacted twin.
 
 use pwsr_bench::analysis_exp::AnalysisStats;
+use pwsr_bench::compact_exp::CompactExpStats;
 use pwsr_bench::monitor_exp::{MonitorMtStats, MonitorStats, OccMtStats};
 use pwsr_bench::recovery_exp::RecoveryStats;
 use pwsr_bench::{
-    analysis_exp, bank_exp, base_exp, examples_exp, exhaustive_exp, lemmas_exp, monitor_exp,
-    perf_exp, recovery_exp, scale_exp, theorems_exp,
+    analysis_exp, bank_exp, base_exp, compact_exp, examples_exp, exhaustive_exp, lemmas_exp,
+    monitor_exp, perf_exp, recovery_exp, scale_exp, theorems_exp,
 };
 
 struct Opts {
@@ -124,6 +131,9 @@ struct ExpRun {
     /// Crash-recovery sweep stats (only `rec2`); lifted into the
     /// JSON document's `recovery` block.
     recovery: Option<RecoveryStats>,
+    /// Committed-prefix-compaction stream stats (only `cmp1`); lifted
+    /// into the JSON document's `compact` block.
+    compact: Option<CompactExpStats>,
 }
 
 impl From<(bool, String)> for ExpRun {
@@ -138,6 +148,7 @@ impl From<(bool, String)> for ExpRun {
             occ_mt: None,
             analysis: None,
             recovery: None,
+            compact: None,
         }
     }
 }
@@ -173,10 +184,11 @@ fn render_json(
     occ_mt: &Option<OccMtStats>,
     analysis: &Option<AnalysisStats>,
     recovery: &Option<RecoveryStats>,
+    compact: &Option<CompactExpStats>,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"pwsr-experiments-v6\",\n");
+    out.push_str("  \"schema\": \"pwsr-experiments-v7\",\n");
     out.push_str(&format!("  \"selection\": \"{}\",\n", opts.what));
     out.push_str(&format!("  \"smoke\": {},\n", opts.smoke));
     out.push_str(&format!("  \"trials_override\": {},\n", opts.trials));
@@ -296,6 +308,27 @@ fn render_json(
         }
         None => out.push_str("  \"recovery\": null,\n"),
     }
+    match compact {
+        Some(stats) => {
+            out.push_str(&format!(
+                "  \"compact\": {{\"ops\": {}, \"compactions\": {}, \"ops_reclaimed\": {}, \
+                 \"resident_bytes_pre\": {}, \"resident_bytes_post\": {}, \
+                 \"baseline_resident_bytes\": {}, \"compact_ns_per_op\": {:.1}, \
+                 \"baseline_ns_per_op\": {:.1}, \"overhead\": {:.3}, \"memory_ratio\": {:.1}}},\n",
+                stats.ops,
+                stats.compactions,
+                stats.ops_reclaimed,
+                stats.resident_bytes_pre,
+                stats.resident_bytes_post,
+                stats.baseline_resident_bytes,
+                stats.compact_ns_per_op,
+                stats.baseline_ns_per_op,
+                stats.overhead(),
+                stats.memory_ratio(),
+            ));
+        }
+        None => out.push_str("  \"compact\": null,\n"),
+    }
     out.push_str("  \"experiments\": [\n");
     for (k, e) in entries.iter().enumerate() {
         out.push_str(&format!(
@@ -337,12 +370,14 @@ fn main() {
     let mut occ_mt_stats: Option<OccMtStats> = None;
     let mut analysis_stats: Option<AnalysisStats> = None;
     let mut recovery_stats: Option<RecoveryStats> = None;
+    let mut compact_stats: Option<CompactExpStats> = None;
     {
         let monitor_out = &mut monitor_stats;
         let monitor_mt_out = &mut monitor_mt_stats;
         let occ_mt_out = &mut occ_mt_stats;
         let analysis_out = &mut analysis_stats;
         let recovery_out = &mut recovery_stats;
+        let compact_out = &mut compact_stats;
         let mut run = |id: &'static str, f: &dyn Fn(u64) -> ExpRun| {
             let selected =
                 matches!(opts.what.as_str(), "all") || opts.what == id || group_of(id) == opts.what;
@@ -378,6 +413,9 @@ fn main() {
                 }
                 if r.recovery.is_some() {
                     *recovery_out = r.recovery;
+                }
+                if r.compact.is_some() {
+                    *compact_out = r.compact;
                 }
             }
         };
@@ -456,6 +494,7 @@ fn main() {
                 occ_mt: None,
                 analysis: None,
                 recovery: Some(stats),
+                compact: None,
             }
         });
         run("exh1", &|_| exhaustive_exp::exh1().into());
@@ -472,6 +511,7 @@ fn main() {
                 occ_mt: None,
                 analysis: None,
                 recovery: None,
+                compact: None,
             }
         });
 
@@ -487,6 +527,7 @@ fn main() {
                 occ_mt: None,
                 analysis: None,
                 recovery: None,
+                compact: None,
             }
         });
 
@@ -502,6 +543,7 @@ fn main() {
                 occ_mt: Some(stats),
                 analysis: None,
                 recovery: None,
+                compact: None,
             }
         });
 
@@ -517,6 +559,23 @@ fn main() {
                 occ_mt: None,
                 analysis: Some(stats),
                 recovery: None,
+                compact: None,
+            }
+        });
+
+        run("cmp1", &|n| {
+            let (ok, text, stats) = compact_exp::cmp1(pick(n, 10), 0xC01);
+            ExpRun {
+                ok,
+                text,
+                ops: Some(stats.ops),
+                monitor_ns_per_op: Some(stats.compact_ns_per_op),
+                monitor: None,
+                monitor_mt: None,
+                occ_mt: None,
+                analysis: None,
+                recovery: None,
+                compact: Some(stats),
             }
         });
     }
@@ -524,7 +583,7 @@ fn main() {
     if !matched {
         eprintln!(
             "unknown experiment {:?}; try: all, examples, lemmas, theorems, perf, scale, base, \
-             monitor, analysis, or an id like ex2 / thm1 / perf2 / mon3 / an1",
+             monitor, analysis, compact, or an id like ex2 / thm1 / perf2 / mon3 / an1 / cmp1",
             opts.what
         );
         std::process::exit(2);
@@ -539,6 +598,7 @@ fn main() {
             &occ_mt_stats,
             &analysis_stats,
             &recovery_stats,
+            &compact_stats,
         );
         if let Err(e) = std::fs::write(path, body) {
             eprintln!("failed to write {path}: {e}");
@@ -564,6 +624,7 @@ fn group_of(id: &str) -> &'static str {
         "exh1" => "exhaustive",
         "mon1" | "mon2" | "mon3" => "monitor",
         "an1" => "analysis",
+        "cmp1" => "compact",
         _ => "",
     }
 }

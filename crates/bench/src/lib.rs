@@ -10,6 +10,7 @@
 pub mod analysis_exp;
 pub mod bank_exp;
 pub mod base_exp;
+pub mod compact_exp;
 pub mod examples_exp;
 pub mod exhaustive_exp;
 pub mod lemmas_exp;

@@ -24,7 +24,7 @@ use pwsr_core::monitor::{AdmissionLevel, OnlineMonitor, Verdict};
 use pwsr_core::state::ItemSet;
 use pwsr_durability::checkpoint::{state_hash, Checkpoint, StateHash};
 use pwsr_durability::recover::recover;
-use pwsr_durability::wal::{scan, SharedWal, SyncPolicy, WalRecord};
+use pwsr_durability::wal::{scan, SharedWal, SyncPolicy, Wal, WalRecord};
 use pwsr_gen::chaos::random_execution;
 use pwsr_gen::workloads::{random_workload, Workload, WorkloadConfig};
 use pwsr_scheduler::exec::{run_workload, ExecConfig};
@@ -266,8 +266,10 @@ fn matches_oracle(rec: &pwsr_durability::recover::Recovered, oracle: &WalOracle,
         && rec.monitor.log_floor() == *floor
 }
 
-/// A workload execution journaled into an in-memory WAL; retried over
-/// seeds until the log is interesting (enough records to cut into).
+/// A workload execution journaled into a real temp-file WAL (the bytes
+/// the crash sweep cuts into have round-tripped through the
+/// filesystem, not just a memory buffer); retried over seeds until the
+/// log is interesting (enough records to cut into).
 fn journaled_execution(
     seed: u64,
 ) -> (
@@ -277,6 +279,7 @@ fn journaled_execution(
     pwsr_core::schedule::Schedule,
 ) {
     let mut rng = StdRng::seed_from_u64(seed);
+    let path = std::env::temp_dir().join(format!("pwsr_rec2_{}_{seed:x}.wal", std::process::id()));
     for _ in 0..50 {
         let w = random_workload(
             &mut rng,
@@ -290,7 +293,9 @@ fn journaled_execution(
                 domain_width: 40,
             },
         );
-        let wal = SharedWal::in_memory(SyncPolicy::Batched(32));
+        let wal = SharedWal::new(
+            Wal::create(&path, SyncPolicy::Batched(32)).expect("create temp WAL file"),
+        );
         let policy = PolicySpec::predicate_wise_2pl(&w.ic)
             .monitor_admission(&w.ic, AdmissionLevel::Pwsr)
             .durable(wal.clone());
@@ -304,7 +309,8 @@ fn journaled_execution(
             continue;
         };
         let scopes: Vec<ItemSet> = w.ic.conjuncts().iter().map(|c| c.items().clone()).collect();
-        let bytes = wal.snapshot().expect("in-memory WAL");
+        wal.sync();
+        let bytes = std::fs::read(&path).expect("read temp WAL back");
         if scan(&bytes).records.len() >= 40 {
             // The checkpoint leg needs interior quiescent points
             // (floor == len) to capture at.
@@ -315,10 +321,12 @@ fn journaled_execution(
                 .iter()
                 .any(|&i| i > 0 && i + 1 < n)
             {
+                let _ = std::fs::remove_file(&path);
                 return (w, scopes, bytes, out.schedule);
             }
         }
     }
+    let _ = std::fs::remove_file(&path);
     panic!("no workload produced a journal with >= 40 records and interior quiescent points");
 }
 

@@ -194,6 +194,20 @@ impl OnlineAccessDag {
         *self = OnlineAccessDag::new(self.units());
     }
 
+    /// Drop the per-entity unit-access rows of the first `s_cut`
+    /// (summarized) transaction slots, shifting surviving entities
+    /// down to match a compacted schedule's slot numbering. The unit
+    /// DAG and its edges are untouched: §3.3 edges are facts of the
+    /// permanent prefix and `DAG(S, IC)` cyclicity is monotone, so
+    /// `admits`/`record` decisions for surviving entities are
+    /// unchanged — a summarized transaction is finished and can never
+    /// access again, so its rows can no longer induce new edges.
+    pub fn compact_entities(&mut self, s_cut: usize) {
+        let cut = s_cut.min(self.rs.len());
+        self.rs.drain(..cut);
+        self.ws.drain(..cut.min(self.ws.len()));
+    }
+
     fn grow(&mut self, entity: usize) {
         if self.rs.len() <= entity {
             self.rs.resize_with(entity + 1, ItemSet::new);

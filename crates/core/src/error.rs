@@ -61,6 +61,13 @@ pub enum CoreError {
     },
     /// An integrity constraint had no conjuncts.
     EmptyConstraint,
+    /// The transaction was summarized by committed-prefix compaction:
+    /// its operations live in the collapsed, permanent prefix, so it
+    /// can no longer accept pushes or be retracted.
+    SummarizedTransaction {
+        /// The summarized transaction.
+        txn: TxnId,
+    },
 }
 
 /// The specific §2.2 transaction well-formedness rule that was broken.
@@ -114,6 +121,12 @@ impl fmt::Display for CoreError {
                 write!(f, "value {value} is outside the domain of item {item:?}")
             }
             CoreError::EmptyConstraint => write!(f, "integrity constraint has no conjuncts"),
+            CoreError::SummarizedTransaction { txn } => write!(
+                f,
+                "transaction {txn} was summarized by committed-prefix compaction; \
+                 the compacted prefix is permanent, so {txn} can no longer accept \
+                 pushes or be retracted"
+            ),
         }
     }
 }

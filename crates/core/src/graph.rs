@@ -386,6 +386,65 @@ impl IncrementalDag {
         self.ord.pop();
     }
 
+    /// Collapse the graph onto the `kept` nodes, preserving
+    /// reachability **among kept nodes**: for every kept pair `u`, `v`
+    /// with a directed path `u ⇝ v` whose intermediate nodes are all
+    /// dropped, the rebuilt graph carries the condensed edge `u → v`.
+    /// The condensed graph is a subgraph of the old graph's transitive
+    /// closure, hence still acyclic.
+    ///
+    /// Kept nodes are renumbered **monotonically in their old ids**
+    /// (`map[old] = new`; dropped nodes map to `u32::MAX`), which
+    /// preserves the undo layer's LIFO `remove_last_node` contract:
+    /// the youngest surviving node stays the highest-numbered one.
+    pub fn retain_condensed(&mut self, kept: &[bool]) -> Vec<u32> {
+        assert_eq!(kept.len(), self.len(), "retain_condensed: kept mask size");
+        const GONE: u32 = u32::MAX;
+        let mut map = vec![GONE; self.len()];
+        let mut next = 0u32;
+        for (u, &k) in kept.iter().enumerate() {
+            if k {
+                map[u] = next;
+                next += 1;
+            }
+        }
+        let mut out = IncrementalDag::new();
+        for _ in 0..next {
+            out.add_node();
+        }
+        // Per kept source: DFS through the dropped region only; the
+        // kept frontier it reaches becomes direct condensed edges.
+        let mut stack: Vec<u32> = Vec::new();
+        let mut seen = vec![false; self.len()];
+        for u in 0..self.len() {
+            if !kept[u] {
+                continue;
+            }
+            let mut visited: Vec<usize> = Vec::new();
+            stack.clear();
+            stack.extend(self.succ[u].iter().copied());
+            while let Some(x) = stack.pop() {
+                let xi = x as usize;
+                if seen[xi] {
+                    continue;
+                }
+                seen[xi] = true;
+                visited.push(xi);
+                if kept[xi] {
+                    out.add_edge(map[u], map[xi])
+                        .expect("condensed closure of a DAG stays acyclic");
+                } else {
+                    stack.extend(self.succ[xi].iter().copied());
+                }
+            }
+            for xi in visited {
+                seen[xi] = false;
+            }
+        }
+        *self = out;
+        map
+    }
+
     /// Would inserting every edge `s → target` (for `s` in `sources`)
     /// keep the graph acyclic? Since all candidate edges end at the
     /// same node, a cycle can only arise if `target` already reaches
@@ -667,6 +726,72 @@ mod tests {
         let n = g.add_node();
         g.add_edge(n, 0).unwrap();
         assert!(order_valid(&g));
+    }
+
+    #[test]
+    fn retain_condensed_collapses_dropped_paths() {
+        // 0 → 1 → 2 → 3, plus 0 → 4; keep {0, 2, 4}: the path 0 ⇝ 2
+        // through dropped node 1 must become a direct edge.
+        let mut g = IncrementalDag::new();
+        for _ in 0..5 {
+            g.add_node();
+        }
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(1, 2).unwrap();
+        g.add_edge(2, 3).unwrap();
+        g.add_edge(0, 4).unwrap();
+        let map = g.retain_condensed(&[true, false, true, false, true]);
+        assert_eq!(map, vec![0, u32::MAX, 1, u32::MAX, 2]);
+        assert_eq!(g.len(), 3);
+        assert!(g.has_edge(0, 1), "0 ⇝ 2 condensed through dropped 1");
+        assert!(g.has_edge(0, 2), "direct surviving edge kept");
+        assert_eq!(g.edge_count(), 2);
+        assert!(order_valid(&g));
+    }
+
+    /// Model test: condensation preserves reachability exactly on the
+    /// kept pairs (paths through kept intermediates compose from the
+    /// condensed segments).
+    #[test]
+    fn retain_condensed_matches_reachability_model() {
+        let mut state = 0xABCDEF0123456789u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        // a ⇝ b (a ≠ b) iff inserting b → a would close a cycle.
+        let reaches = |g: &IncrementalDag, a: u32, b: u32| a != b && !g.admits_edges_into(&[b], a);
+        for round in 0..40 {
+            let n = 4 + (next() % 8) as usize;
+            let mut g = IncrementalDag::new();
+            for _ in 0..n {
+                g.add_node();
+            }
+            for _ in 0..(3 * n) {
+                let u = (next() % n as u64) as u32;
+                let v = (next() % n as u64) as u32;
+                let _ = g.add_edge(u, v);
+            }
+            let kept: Vec<bool> = (0..n).map(|_| next() % 2 == 0).collect();
+            let old_reach: Vec<Vec<bool>> = (0..n as u32)
+                .map(|a| (0..n as u32).map(|b| reaches(&g, a, b)).collect())
+                .collect();
+            let map = g.retain_condensed(&kept);
+            assert!(order_valid(&g), "round {round}: rebuilt order broken");
+            for a in 0..n {
+                for b in 0..n {
+                    if kept[a] && kept[b] {
+                        assert_eq!(
+                            reaches(&g, map[a], map[b]),
+                            old_reach[a][b],
+                            "round {round}: kept-pair reachability {a}⇝{b} diverged"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     /// Model test: journaled insertions undone in LIFO order restore

@@ -47,6 +47,11 @@ const NONE: u32 = u32::MAX;
 /// query is answered from the tables without rescanning operations.
 #[derive(Clone, Debug, Default)]
 pub(crate) struct PrefixTables {
+    /// Absolute position of the first live `reads_from` row — mirrors
+    /// the schedule's compaction base. Positions stored in the tables
+    /// are absolute; only the per-position `reads_from` rows are
+    /// tail-relative storage.
+    pub(crate) base: usize,
     /// Per slot: ascending positions of the transaction's operations.
     pub(crate) positions: Vec<Vec<u32>>,
     /// Per slot: `rs_prefix[k]` = items read by the first `k` ops.
@@ -80,7 +85,7 @@ impl PrefixTables {
     /// Append the operation at position `self.len()` for transaction
     /// slot `slot`: one prefix-table row per op, `O(words)`.
     pub(crate) fn push(&mut self, slot: usize, op: &Operation) {
-        let p = self.reads_from.len();
+        let p = self.base + self.reads_from.len();
         self.ensure_slot(slot);
         if self.last_write.len() <= op.item.index() {
             self.last_write.resize(op.item.index() + 1, NONE);
@@ -108,13 +113,29 @@ impl PrefixTables {
     /// [`PrefixTables::push`] — the single table-building path.
     pub(crate) fn build(schedule: &Schedule) -> PrefixTables {
         let mut t = PrefixTables::new();
+        t.base = schedule.base();
         if let Some(last_slot) = schedule.txn_ids().len().checked_sub(1) {
             t.ensure_slot(last_slot);
         }
-        for (p, o) in schedule.ops().iter().enumerate() {
-            t.push(schedule.slot_of_op(OpIndex(p)), o);
+        for (i, o) in schedule.ops().iter().enumerate() {
+            t.push(schedule.slot_of_op(OpIndex(schedule.base() + i)), o);
         }
         t
+    }
+
+    /// Reclaim the table rows of the compacted prefix: the summarized
+    /// transactions' slots (`0..s_cut` — dense-prefix by the same
+    /// argument as [`Schedule::compact_prefix`]) and the per-position
+    /// `reads_from` rows below `frontier`. `last_write` keeps its
+    /// absolute positions — entries below the frontier stay valid as
+    /// *positions* (the monitor guards slot lookups on them).
+    pub(crate) fn compact(&mut self, s_cut: usize, frontier: usize) {
+        debug_assert!(frontier >= self.base);
+        self.positions.drain(..s_cut);
+        self.rs_prefix.drain(..s_cut);
+        self.ws_prefix.drain(..s_cut);
+        self.reads_from.drain(..frontier - self.base);
+        self.base = frontier;
     }
 
     /// The latest-write position of `item`, `NONE` if never written.
@@ -273,9 +294,11 @@ impl<'s> ScheduleIndex<'s> {
         self.positions_of(txn).last().map(|&q| OpIndex(q as usize))
     }
 
-    /// The §3.2 reads-from source of position `p`, precomputed.
+    /// The §3.2 reads-from source of position `p`, precomputed. The
+    /// returned position can fall below the schedule's compaction base
+    /// when the writer was summarized.
     pub fn reads_from(&self, p: OpIndex) -> Option<OpIndex> {
-        self.tables.reads_from[p.0].map(|q| OpIndex(q as usize))
+        self.tables.reads_from[p.0 - self.tables.base].map(|q| OpIndex(q as usize))
     }
 }
 

@@ -74,6 +74,8 @@
 //! assert!(!is_conflict_serializable(&s));  // but S itself is not
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod catalog;
 pub mod constraint;
 pub mod dag;

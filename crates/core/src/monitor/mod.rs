@@ -169,9 +169,22 @@ impl OnlineIndex {
         ScheduleIndex::borrowed(&self.schedule, &self.tables)
     }
 
-    /// The §3.2 reads-from source of position `p`, `O(1)`.
+    /// The §3.2 reads-from source of position `p`, `O(1)`. `p` must be
+    /// at or above the compaction base; the *result* may fall below it
+    /// (a read whose writer was summarized).
     pub fn reads_from(&self, p: OpIndex) -> Option<OpIndex> {
-        self.tables.reads_from[p.0].map(|q| OpIndex(q as usize))
+        self.tables.reads_from[p.0 - self.tables.base].map(|q| OpIndex(q as usize))
+    }
+
+    /// Committed-prefix compaction: collapse the permanent prefix below
+    /// `frontier` out of the schedule and every per-slot table, and
+    /// return the summarized transactions (the callers' slots shift
+    /// down by that count). Positions stay absolute; only storage is
+    /// reclaimed.
+    pub(crate) fn compact(&mut self, frontier: usize) -> Vec<TxnId> {
+        let summarized = self.schedule.compact_prefix(frontier);
+        self.tables.compact(summarized.len(), frontier);
+        summarized
     }
 
     /// Surrender the accumulated schedule.
@@ -388,16 +401,103 @@ impl ProjGraph {
         }
     }
 
+    /// Committed-prefix compaction of one projection. The `s_cut`
+    /// summarized transaction slots occupy the node-id prefix (node
+    /// ids follow first-access order, and every summarized access
+    /// precedes every survivor access in the schedule); their nodes are
+    /// dropped except the **boundary facts** — each item's last writer
+    /// and readers-since-last-write — plus any node a retained undo
+    /// entry references (`kept` marks those), with reachability among
+    /// all kept nodes condensed exactly
+    /// ([`IncrementalDag::retain_condensed`]). Kept summarized nodes
+    /// lose their slot (they are pure summary — `ABSENT` in
+    /// `slot_of_node`, skipped by [`ProjGraph::order`]); survivor slots
+    /// shift down by `s_cut`. Returns the old→new node map
+    /// (`ABSENT` = dropped) so undo entries can be renamed.
+    ///
+    /// Verdict parity: `admits`/`apply` consult only `last_writer`,
+    /// `readers` and reachability between their nodes — all preserved
+    /// exactly — and `cyclic_at` is an absolute position, so every
+    /// future verdict equals the uncompacted twin's.
+    fn compact(&mut self, s_cut: usize, mut kept: Vec<bool>) -> Vec<u32> {
+        debug_assert_eq!(kept.len(), self.dag.len());
+        // The to-be-summarized prefix: slot-less summary nodes from
+        // earlier compactions (kept back then only for boundary facts
+        // or undo references — re-evaluated below, so stale ones are
+        // finally dropped) plus the nodes of slots `0..s_cut`.
+        let b = self
+            .slot_of_node
+            .iter()
+            .take_while(|&&s| s == ABSENT || (s as usize) < s_cut)
+            .count();
+        debug_assert!(self.slot_of_node[b..]
+            .iter()
+            .all(|&s| s != ABSENT && (s as usize) >= s_cut));
+        for k in kept.iter_mut().skip(b) {
+            *k = true; // survivors always stay
+        }
+        for &w in &self.last_writer {
+            if w != ABSENT {
+                kept[w as usize] = true;
+            }
+        }
+        for rs in &self.readers {
+            for &r in rs {
+                kept[r as usize] = true;
+            }
+        }
+        let map = self.dag.retain_condensed(&kept);
+        let mut node_of_slot = vec![ABSENT; self.node_of_slot.len().saturating_sub(s_cut)];
+        let mut slot_of_node = vec![ABSENT; self.dag.len()];
+        for (old, &slot) in self.slot_of_node.iter().enumerate() {
+            let new = map[old];
+            if new != ABSENT && slot != ABSENT && (slot as usize) >= s_cut {
+                node_of_slot[slot as usize - s_cut] = new;
+                slot_of_node[new as usize] = slot - s_cut as u32;
+            }
+        }
+        self.node_of_slot = node_of_slot;
+        self.slot_of_node = slot_of_node;
+        for w in &mut self.last_writer {
+            if *w != ABSENT {
+                *w = map[*w as usize];
+            }
+        }
+        for rs in &mut self.readers {
+            for r in rs.iter_mut() {
+                *r = map[*r as usize];
+            }
+        }
+        map
+    }
+
+    /// Structural memory estimate (heap rows, not allocator-exact).
+    fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.dag.len() * (size_of::<u32>() * 4)
+            + self.dag.edge_count() * size_of::<u32>() * 2
+            + (self.node_of_slot.len() + self.slot_of_node.len() + self.last_writer.len())
+                * size_of::<u32>()
+            + self
+                .readers
+                .iter()
+                .map(|r| size_of::<Vec<u32>>() + r.len() * size_of::<u32>())
+                .sum::<usize>()
+    }
+
     fn serializable(&self) -> bool {
         self.cyclic_at.is_none()
     }
 
     /// The maintained serialization order, `None` once cyclic.
+    /// Summarized (slot-less) summary nodes are skipped: the order is
+    /// over the *surviving* transactions.
     fn order(&self, txns: &[TxnId]) -> Option<Vec<TxnId>> {
         self.serializable().then(|| {
             self.dag
                 .order()
                 .iter()
+                .filter(|&&n| self.slot_of_node[n as usize] != ABSENT)
                 .map(|&n| txns[self.slot_of_node[n as usize] as usize])
                 .collect()
         })
@@ -492,6 +592,69 @@ impl Verdict {
     }
 }
 
+/// The transactions collapsed into the permanent prefix by
+/// committed-prefix compaction, as a sorted set of disjoint id ranges
+/// (`O(compactions)` resident, not `O(transactions)`).
+///
+/// Membership — not a watermark — decides rejection: transaction ids
+/// need not arrive in order (an OCC retry can carry an id smaller than
+/// an already-summarized one), so "id below the highest summarized id"
+/// must not be conflated with "summarized".
+#[derive(Clone, Debug, Default)]
+struct SummarizedSet {
+    /// Sorted, disjoint, non-adjacent inclusive ranges.
+    ranges: Vec<(u32, u32)>,
+}
+
+impl SummarizedSet {
+    fn contains(&self, t: TxnId) -> bool {
+        let i = self.ranges.partition_point(|&(_, hi)| hi < t.0);
+        self.ranges.get(i).is_some_and(|&(lo, _)| lo <= t.0)
+    }
+
+    fn insert(&mut self, t: TxnId) {
+        let x = t.0;
+        let i = self
+            .ranges
+            .partition_point(|&(_, hi)| hi < x.saturating_sub(1));
+        // `i` is the first range that could absorb or follow x.
+        match self.ranges.get_mut(i) {
+            Some(r) if r.0 <= x && x <= r.1 => {}
+            Some(r) if x > r.1 && x - r.1 == 1 => {
+                r.1 = x;
+                // Merge with the successor if now adjacent.
+                if self
+                    .ranges
+                    .get(i + 1)
+                    .is_some_and(|&(lo, _)| lo > x && lo - x == 1)
+                {
+                    self.ranges[i].1 = self.ranges[i + 1].1;
+                    self.ranges.remove(i + 1);
+                }
+            }
+            Some(r) if r.0 > x && r.0 - x == 1 => r.0 = x,
+            _ => self.ranges.insert(i, (x, x)),
+        }
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.ranges.len() * std::mem::size_of::<(u32, u32)>()
+    }
+}
+
+/// What one [`OnlineMonitor::compact`] /
+/// [`sharded::ShardedMonitor::compact`] call reclaimed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompactStats {
+    /// The compaction frontier after the call: every position below it
+    /// is summarized (equals [`Schedule::base`] afterwards).
+    pub frontier: usize,
+    /// Operations collapsed out of live storage by this call.
+    pub ops_reclaimed: usize,
+    /// Transactions summarized by this call.
+    pub txns_summarized: usize,
+}
+
 /// Live verdicts over a growing schedule: per-conjunct and global
 /// conflict graphs under incremental cycle detection, delayed-read
 /// tracking, and the Lemma 2/6 inclusion certificates — all updated in
@@ -522,6 +685,17 @@ pub struct OnlineMonitor {
     /// Per-push retraction deltas above the log's floor, when logging
     /// (the shared [`undo`] layer; unlogged pushes raise the floor).
     log: Option<UndoLog<PushDelta>>,
+    /// Transactions declared finished ([`OnlineMonitor::finish_txn`])
+    /// but not yet summarized — the compaction frontier advances only
+    /// over finished transactions.
+    finished: std::collections::HashSet<TxnId>,
+    /// Transactions collapsed into the permanent prefix: pushes for
+    /// them are rejected with [`CoreError::SummarizedTransaction`].
+    summarized: SummarizedSet,
+    /// Compaction calls that actually advanced the frontier.
+    compactions: u64,
+    /// Total operations reclaimed across all compactions.
+    ops_reclaimed: u64,
 }
 
 impl OnlineMonitor {
@@ -555,6 +729,10 @@ impl OnlineMonitor {
             scopes_disjoint,
             access_dag: OnlineAccessDag::new(n),
             log: None,
+            finished: std::collections::HashSet::new(),
+            summarized: SummarizedSet::default(),
+            compactions: 0,
+            ops_reclaimed: 0,
         }
     }
 
@@ -590,6 +768,9 @@ impl OnlineMonitor {
     }
 
     fn push_inner(&mut self, op: Operation, logged: bool) -> Result<Verdict> {
+        if self.summarized.contains(op.txn) {
+            return Err(CoreError::SummarizedTransaction { txn: op.txn });
+        }
         let (item, is_read) = (op.item, op.is_read());
         let existing_slot = self.index.schedule().txn_slot(op.txn);
         let mut delta = PushDelta {
@@ -626,12 +807,17 @@ impl OnlineMonitor {
             }
         }
         // 2. A read leaves a pending mark on its reads-from writer; the
-        //    writer's next operation (step 1, later push) trips it.
+        //    writer's next operation (step 1, later push) trips it. A
+        //    writer below the compaction base is summarized, hence
+        //    finished: its mark could never trip, so skipping it keeps
+        //    verdict parity with the uncompacted twin.
         if is_read {
             if let Some(w) = self.index.reads_from(p) {
-                let w_slot = self.index.schedule().slot_of_op(w);
-                if w_slot != slot && self.dirty_reads[w_slot].insert(item) {
-                    delta.global.dr_mark = Some(w_slot as u32);
+                if w.0 >= self.index.schedule().base() {
+                    let w_slot = self.index.schedule().slot_of_op(w);
+                    if w_slot != slot && self.dirty_reads[w_slot].insert(item) {
+                        delta.global.dr_mark = Some(w_slot as u32);
+                    }
                 }
             }
         }
@@ -752,9 +938,178 @@ impl OnlineMonitor {
         }
     }
 
+    /// Declare `txn` finished: it will issue no further operations.
+    /// Committed-prefix compaction ([`OnlineMonitor::compact`]) only
+    /// advances over finished transactions. Advisory until the
+    /// transaction is summarized — a later push for it is still
+    /// accepted and simply holds the frontier back.
+    pub fn finish_txn(&mut self, txn: TxnId) {
+        if self.index.schedule().txn_slot(txn).is_some() {
+            self.finished.insert(txn);
+        }
+    }
+
+    /// The **compaction frontier**: the longest prefix in which every
+    /// operation belongs to a finished transaction whose *last*
+    /// operation also lies in that prefix, clamped to the undo-log
+    /// floor (a compacted push must already be permanent — this is the
+    /// frontier-safety condition shared with checkpointing and WAL
+    /// truncation).
+    pub fn compaction_frontier(&self) -> usize {
+        let s = self.index.schedule();
+        let limit = self.log_floor();
+        let mut hi = s.base();
+        let mut frontier = s.base();
+        for p in s.base()..limit {
+            let slot = s.slot_of_op(OpIndex(p));
+            if !self.finished.contains(&s.txn_ids()[slot]) {
+                break;
+            }
+            let last = s.slot_last_raw(slot) as usize;
+            if last >= limit {
+                break;
+            }
+            hi = hi.max(last + 1);
+            if p + 1 == hi {
+                frontier = p + 1;
+            }
+        }
+        frontier
+    }
+
+    /// **Committed-prefix compaction**: collapse the prefix below
+    /// [`OnlineMonitor::compaction_frontier`] into a summary —
+    /// per-item last-writer/last-reader boundary facts plus the
+    /// condensed reachability of each conflict graph — reclaiming
+    /// schedule segments, prefix-table rows, graph nodes, Pearce–Kelly
+    /// order slots and delayed-read rows.
+    ///
+    /// Every verdict, certificate and admission decision after the
+    /// call is byte-identical to an uncompacted twin's (pinned by the
+    /// twin harness in `crates/core/tests/monitor_props.rs`); pushes
+    /// for summarized transactions are rejected with
+    /// [`CoreError::SummarizedTransaction`], and
+    /// [`OnlineMonitor::truncate_to`] below the frontier keeps
+    /// panicking — the frontier never exceeds the undo-log floor.
+    pub fn compact(&mut self) -> CompactStats {
+        let frontier = self.compaction_frontier();
+        let base = self.index.schedule().base();
+        if frontier <= base {
+            return CompactStats {
+                frontier: base,
+                ops_reclaimed: 0,
+                txns_summarized: 0,
+            };
+        }
+        // Nodes a retained undo entry references must survive the
+        // condensation: the entry has to stay replayable in LIFO order.
+        let mut kept_global = vec![false; self.global.dag.len()];
+        let mut kept_conj: Vec<Vec<bool>> = self
+            .conjuncts
+            .iter()
+            .map(|g| vec![false; g.dag.len()])
+            .collect();
+        if let Some(log) = &self.log {
+            for delta in log.iter() {
+                delta.global.mark_nodes(&mut kept_global);
+                for (k, d) in &delta.conjuncts {
+                    d.mark_nodes(&mut kept_conj[*k as usize]);
+                }
+            }
+        }
+        let summarized = self.index.compact(frontier);
+        let s_cut = summarized.len();
+        let gmap = self.global.compact(s_cut, kept_global);
+        let cmaps: Vec<Vec<u32>> = self
+            .conjuncts
+            .iter_mut()
+            .zip(kept_conj)
+            .map(|(g, kept)| g.compact(s_cut, kept))
+            .collect();
+        // Rename the node ids retained undo entries reference.
+        if let Some(log) = &mut self.log {
+            for delta in log.iter_mut() {
+                delta.global.remap(&gmap, s_cut as u32);
+                for (k, d) in &mut delta.conjuncts {
+                    d.remap_nodes(&cmaps[*k as usize]);
+                }
+            }
+        }
+        self.dirty_reads.drain(..s_cut.min(self.dirty_reads.len()));
+        self.access_dag.compact_entities(s_cut);
+        for t in &summarized {
+            self.finished.remove(t);
+            self.summarized.insert(*t);
+        }
+        self.compactions += 1;
+        self.ops_reclaimed += (frontier - base) as u64;
+        CompactStats {
+            frontier,
+            ops_reclaimed: frontier - base,
+            txns_summarized: s_cut,
+        }
+    }
+
+    /// Compaction calls that actually advanced the frontier.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Total operations reclaimed across all compactions.
+    pub fn ops_reclaimed(&self) -> u64 {
+        self.ops_reclaimed
+    }
+
+    /// Was `txn` summarized into the permanent prefix?
+    pub fn is_summarized(&self, txn: TxnId) -> bool {
+        self.summarized.contains(txn)
+    }
+
+    /// A structural estimate of the monitor's resident heap, in bytes:
+    /// rows × element sizes across the schedule, prefix tables, graphs,
+    /// delayed-read rows and undo log. Not allocator-exact — its job is
+    /// to make the compaction plateau measurable (the `compact`
+    /// experiment) without an allocator hook.
+    pub fn resident_bytes_estimate(&self) -> usize {
+        use std::mem::size_of;
+        let s = self.index.schedule();
+        let itemset = |set: &ItemSet| size_of::<ItemSet>() + set.len().div_ceil(8);
+        let mut total = std::mem::size_of_val(s.ops())
+            + s.txn_ids().len() * (size_of::<TxnId>() + size_of::<u32>() + 2 * size_of::<usize>());
+        let t = &self.index.tables;
+        total += t.reads_from.len() * size_of::<Option<u32>>();
+        total += t
+            .positions
+            .iter()
+            .map(|p| size_of::<Vec<u32>>() + p.len() * size_of::<u32>())
+            .sum::<usize>();
+        total += t
+            .rs_prefix
+            .iter()
+            .chain(&t.ws_prefix)
+            .map(|rows| size_of::<Vec<ItemSet>>() + rows.iter().map(itemset).sum::<usize>())
+            .sum::<usize>();
+        total += self.global.resident_bytes();
+        total += self
+            .conjuncts
+            .iter()
+            .map(ProjGraph::resident_bytes)
+            .sum::<usize>();
+        total += self.dirty_reads.iter().map(itemset).sum::<usize>();
+        total += self.logged_len() * size_of::<PushDelta>();
+        total += self.summarized.resident_bytes();
+        total
+    }
+
     /// Would admitting this access keep `level`? Read-only — the
     /// speculative test behind `MonitorAdmission` in the scheduler.
+    /// A summarized transaction is never admitted: its push would be
+    /// rejected ([`CoreError::SummarizedTransaction`]) regardless of
+    /// what the graphs say.
     pub fn admits(&self, txn: TxnId, item: ItemId, is_write: bool, level: AdmissionLevel) -> bool {
+        if self.summarized.contains(txn) {
+            return false;
+        }
         let slot = self.index.schedule().txn_slot(txn);
         match level {
             AdmissionLevel::Serializable => self.admits_graph_global(slot, item.index(), is_write),
@@ -1284,6 +1639,72 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn compaction_preserves_verdicts_and_rejects_summarized() {
+        // Two transactions finish, the prefix compacts, two more run:
+        // every verdict must equal an uncompacted twin's, and pushes
+        // for summarized transactions must be rejected.
+        let ops1 = [wr(1, 0, 1), rd(2, 0, 1), wr(2, 2, 5), rd(1, 2, 5)];
+        let ops2 = [wr(3, 1, 7), rd(4, 1, 7), wr(4, 2, 8), rd(3, 2, 8)];
+        let mut m = OnlineMonitor::new(example2_scopes());
+        let mut twin = OnlineMonitor::new(example2_scopes());
+        for op in &ops1 {
+            assert_eq!(m.push(op.clone()).unwrap(), twin.push(op.clone()).unwrap());
+        }
+        m.finish_txn(TxnId(1));
+        m.finish_txn(TxnId(2));
+        assert_eq!(m.compaction_frontier(), 4);
+        let stats = m.compact();
+        assert_eq!(
+            (stats.frontier, stats.ops_reclaimed, stats.txns_summarized),
+            (4, 4, 2)
+        );
+        assert_eq!(m.schedule().base(), 4);
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.verdict(), twin.verdict());
+        assert!(m.is_summarized(TxnId(1)) && m.is_summarized(TxnId(2)));
+        let err = m.push(wr(1, 0, 9)).unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::SummarizedTransaction { txn: TxnId(1) }
+        ));
+        assert!(err.to_string().contains("summarized"), "{err}");
+        assert!(m.resident_bytes_estimate() < twin.resident_bytes_estimate());
+        for op in &ops2 {
+            assert_eq!(
+                m.push(op.clone()).unwrap(),
+                twin.push(op.clone()).unwrap(),
+                "post-compaction push diverged"
+            );
+            assert_eq!(m.guarantees(), twin.guarantees());
+        }
+        // A second compaction over the survivors also matches.
+        m.finish_txn(TxnId(3));
+        m.finish_txn(TxnId(4));
+        assert_eq!(m.compact().frontier, 8);
+        assert_eq!(m.verdict(), twin.verdict());
+        assert_eq!(m.compactions(), 2);
+        assert_eq!(m.ops_reclaimed(), 8);
+    }
+
+    #[test]
+    fn compaction_frontier_respects_unfinished_and_floor() {
+        let mut m = OnlineMonitor::new(example2_scopes());
+        m.push(wr(1, 0, 1)).unwrap();
+        m.push(rd(2, 0, 1)).unwrap();
+        // T2 unfinished: the frontier cannot pass its first op.
+        m.finish_txn(TxnId(1));
+        assert_eq!(m.compaction_frontier(), 1);
+        // Logged pushes above the undo floor clamp the frontier too.
+        let mut l = OnlineMonitor::new(example2_scopes());
+        l.push_logged(wr(1, 0, 1)).unwrap();
+        l.finish_txn(TxnId(1));
+        assert_eq!(l.compaction_frontier(), 0, "above the undo floor");
+        l.checkpoint(1);
+        assert_eq!(l.compaction_frontier(), 1);
+        assert_eq!(l.compact().ops_reclaimed, 1);
     }
 
     #[test]

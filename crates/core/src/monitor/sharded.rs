@@ -108,8 +108,8 @@
 
 use super::journal::MonitorJournal;
 use super::undo::{GlobalDelta, GraphDelta, SeqDelta, UndoLog};
-use super::{AdmissionLevel, ProjGraph, Verdict, VerdictLevel};
-use crate::error::Result;
+use super::{AdmissionLevel, CompactStats, ProjGraph, SummarizedSet, Verdict, VerdictLevel};
+use crate::error::{CoreError, Result};
 use crate::ids::{ItemId, OpIndex, TxnId};
 use crate::op::Action;
 use crate::op::Operation;
@@ -316,6 +316,16 @@ struct SeqState {
     /// under this mutex, so journal order is claimed schedule order
     /// (see [`MonitorJournal`]'s ordering contract).
     journal: Option<Box<dyn MonitorJournal>>,
+    /// Transactions declared finished ([`ShardedMonitor::finish_txn`])
+    /// but not yet summarized.
+    finished: std::collections::HashSet<TxnId>,
+    /// Transactions collapsed into the permanent prefix: pushes and
+    /// retractions for them are rejected.
+    summarized: SummarizedSet,
+    /// Compaction calls that advanced the frontier / total operations
+    /// reclaimed by them.
+    compactions: u64,
+    ops_reclaimed: u64,
 }
 
 /// Stage-2 state: everything that needs the full total order.
@@ -490,6 +500,10 @@ impl ShardedMonitor {
                     tickets: vec![0; n],
                     log: UndoLog::new(0),
                     journal: None,
+                    finished: std::collections::HashSet::new(),
+                    summarized: SummarizedSet::default(),
+                    compactions: 0,
+                    ops_reclaimed: 0,
                 },
             ),
             gserving: AtomicU32::new(0),
@@ -633,6 +647,19 @@ impl ShardedMonitor {
         // --- stage 1: claim the position -------------------------------
         let (p, slot, rf_slot, gticket) = {
             let mut s = self.seq.lock();
+            if s.summarized.contains(txn) {
+                // Roll back the §2.2 bit set above: the push never
+                // claimed a position, so the totals must not remember
+                // it.
+                drop(s);
+                let mut t = cell.lock();
+                if is_write {
+                    t.ws.remove(item);
+                } else {
+                    t.rs.remove(item);
+                }
+                return Err(CoreError::SummarizedTransaction { txn });
+            }
             let t0 = self.time_serial.then(Instant::now);
             let claimed = self.stage_seq(&mut s, op, &mut turns);
             // Claimed under the sequence lock, released after the
@@ -712,8 +739,13 @@ impl ShardedMonitor {
             s.last_write[item.index()] = p.0 as u32;
             None
         } else {
+            // A writer below the compaction base is summarized, hence
+            // finished: its dirty-read mark could never trip, so
+            // skipping it keeps verdict parity with an uncompacted
+            // replay (its row was reclaimed).
             let w = s.last_write.get(item.index()).copied().unwrap_or(NO_POS);
-            (w != NO_POS).then(|| s.schedule.slot_of_op(OpIndex(w as usize)))
+            (w != NO_POS && w as usize >= s.schedule.base())
+                .then(|| s.schedule.slot_of_op(OpIndex(w as usize)))
         };
         let gticket = s.gticket;
         s.gticket += 1;
@@ -900,6 +932,188 @@ impl ShardedMonitor {
         self.seq.lock().log.len()
     }
 
+    /// Declare `txn` finished: it will issue no further operations.
+    /// Committed-prefix compaction ([`ShardedMonitor::compact`]) only
+    /// advances over finished transactions. Advisory until the
+    /// transaction is summarized — a later push for it is still
+    /// accepted and simply holds the frontier back.
+    pub fn finish_txn(&self, txn: TxnId) {
+        let mut s = self.seq.lock();
+        if s.schedule.txn_slot(txn).is_some() {
+            s.finished.insert(txn);
+        }
+    }
+
+    /// The **compaction frontier**: the longest prefix in which every
+    /// operation belongs to a finished transaction whose *last*
+    /// operation also lies in that prefix, clamped to the journals'
+    /// retraction floor (a compacted push must already be permanent —
+    /// the frontier-safety condition shared with
+    /// [`ShardedMonitor::checkpoint`] and WAL truncation).
+    pub fn compaction_frontier(&self) -> usize {
+        let s = self.seq.lock();
+        self.frontier_locked(&s)
+    }
+
+    /// The frontier scan, under the held sequence lock. On a logged
+    /// monitor the limit is the checkpoint floor (`log.base()`); an
+    /// unlogged monitor's pushes are all permanent, so the whole
+    /// schedule is eligible.
+    fn frontier_locked(&self, s: &SeqState) -> usize {
+        let limit = if self.logging {
+            s.log.base()
+        } else {
+            s.schedule.len()
+        };
+        let mut hi = s.schedule.base();
+        let mut frontier = s.schedule.base();
+        for p in s.schedule.base()..limit {
+            let slot = s.schedule.slot_of_op(OpIndex(p));
+            if !s.finished.contains(&s.schedule.txn_ids()[slot]) {
+                break;
+            }
+            let last = s.schedule.slot_last_raw(slot) as usize;
+            if last >= limit {
+                break;
+            }
+            hi = hi.max(last + 1);
+            if p + 1 == hi {
+                frontier = p + 1;
+            }
+        }
+        frontier
+    }
+
+    /// **Committed-prefix compaction**, sharded: collapse the prefix
+    /// below [`ShardedMonitor::compaction_frontier`] into a summary —
+    /// per-item last-writer/last-reader boundary facts plus the
+    /// condensed reachability of the global and per-conjunct conflict
+    /// graphs — reclaiming schedule segments, graph nodes,
+    /// Pearce–Kelly order slots, delayed-read rows and the summarized
+    /// transactions' §2.2 totals cells.
+    ///
+    /// Quiesces the pipeline for the duration (sequence mutex held,
+    /// in-flight pushes drained), then walks the stages in lock-rank
+    /// order — global, then each shard ascending — so the discipline
+    /// that rules out deadlock covers compaction too. Every verdict,
+    /// certificate and [`PushOutcome`] after the call is
+    /// byte-identical to an uncompacted twin's (pinned by the twin
+    /// harness in `tests/sharded_props.rs`); pushes and retractions
+    /// for summarized transactions are rejected with
+    /// [`CoreError::SummarizedTransaction`].
+    pub fn compact(&self) -> CompactStats {
+        let mut s = self.seq.lock();
+        self.drain(&s);
+        let frontier = self.frontier_locked(&s);
+        let base = s.schedule.base();
+        if frontier <= base {
+            return CompactStats {
+                frontier: base,
+                ops_reclaimed: 0,
+                txns_summarized: 0,
+            };
+        }
+        // Global stage: nodes a retained undo entry references must
+        // survive the condensation (the entry has to stay replayable
+        // in LIFO order).
+        let mut g = self.gstate.write();
+        let mut kept_global = vec![false; g.graph.dag.len()];
+        for delta in g.log.iter() {
+            delta.mark_nodes(&mut kept_global);
+        }
+        let summarized = s.schedule.compact_prefix(frontier);
+        let s_cut = summarized.len();
+        s.first_op.drain(..s_cut);
+        let gmap = g.graph.compact(s_cut, kept_global);
+        for delta in g.log.iter_mut() {
+            delta.remap(&gmap, s_cut as u32);
+        }
+        let rows = g.dirty_reads.len();
+        g.dirty_reads.drain(..s_cut.min(rows));
+        drop(g);
+        // Conjunct shards, ascending rank.
+        for shard in &self.shards {
+            let mut sh = shard.state.write();
+            let mut kept = vec![false; sh.graph.dag.len()];
+            for (_, d) in &sh.log {
+                d.mark_nodes(&mut kept);
+            }
+            let map = sh.graph.compact(s_cut, kept);
+            for (_, d) in &mut sh.log {
+                d.remap_nodes(&map);
+            }
+        }
+        // The summarized transactions can never push again, so their
+        // §2.2 totals cells are dead weight — reclaim them. (The
+        // totals map is unranked; taking it under the sequence mutex
+        // is safe because no path acquires the sequence mutex while
+        // holding it.)
+        {
+            let mut totals = self.totals.write();
+            for t in &summarized {
+                totals.remove(t);
+            }
+        }
+        for t in &summarized {
+            s.finished.remove(t);
+            s.summarized.insert(*t);
+        }
+        s.compactions += 1;
+        s.ops_reclaimed += (frontier - base) as u64;
+        CompactStats {
+            frontier,
+            ops_reclaimed: frontier - base,
+            txns_summarized: s_cut,
+        }
+    }
+
+    /// Compaction calls that actually advanced the frontier.
+    pub fn compactions(&self) -> u64 {
+        self.seq.lock().compactions
+    }
+
+    /// Total operations reclaimed across all compactions.
+    pub fn ops_reclaimed(&self) -> u64 {
+        self.seq.lock().ops_reclaimed
+    }
+
+    /// Was `txn` summarized into the permanent prefix?
+    pub fn is_summarized(&self, txn: TxnId) -> bool {
+        self.seq.lock().summarized.contains(txn)
+    }
+
+    /// A structural estimate of the monitor's resident heap, in bytes:
+    /// rows × element sizes across the schedule, order tables, stage
+    /// journals, graphs, delayed-read rows and totals cells. Not
+    /// allocator-exact — its job is to make the compaction plateau
+    /// measurable (the `compact` experiment) without an allocator
+    /// hook. Quiesces briefly (takes each stage's lock in rank order).
+    pub fn resident_bytes_estimate(&self) -> usize {
+        use std::mem::size_of;
+        let itemset = |set: &ItemSet| size_of::<ItemSet>() + set.len().div_ceil(8);
+        let s = self.seq.lock();
+        let mut total = std::mem::size_of_val(s.schedule.ops())
+            + s.schedule.txn_ids().len()
+                * (size_of::<TxnId>() + size_of::<u32>() + 2 * size_of::<usize>());
+        total += (s.last_write.len() + s.first_op.len()) * size_of::<u32>();
+        total += s.log.len() * size_of::<SeqDelta>();
+        total += s.summarized.resident_bytes();
+        {
+            let g = self.gstate.read();
+            total += g.graph.resident_bytes();
+            total += g.dirty_reads.iter().map(itemset).sum::<usize>();
+            total += g.log.len() * size_of::<GlobalDelta>();
+        }
+        for shard in &self.shards {
+            let sh = shard.state.read();
+            total += sh.graph.resident_bytes();
+            total += sh.log.len() * (size_of::<u32>() + size_of::<GraphDelta>());
+        }
+        total += self.totals.read().len()
+            * (size_of::<TxnId>() + size_of::<Arc<Mutex<TxnTotals>>>() + size_of::<TxnTotals>());
+        total
+    }
+
     /// The truncation body, under the held sequence lock after a
     /// drain. `victim` selects whose §2.2 totals to strip: `None`
     /// (plain [`ShardedMonitor::truncate_to`]) strips every popped
@@ -921,8 +1135,14 @@ impl ShardedMonitor {
         assert!(
             n >= s.log.base(),
             "truncate_to({n}) below the checkpoint floor {} (those deltas were reclaimed; \
-             the checkpoint's live set must cover every transaction that may abort)",
+             the checkpoint's live set must cover every transaction that may abort, and the \
+             compaction frontier — which never exceeds this floor — is permanent)",
             s.log.base()
+        );
+        debug_assert!(
+            n >= s.schedule.base(),
+            "truncate_to({n}) below the compaction frontier {}",
+            s.schedule.base()
         );
         let undone = s.schedule.len() - n;
         if undone > 0 {
@@ -1049,12 +1269,19 @@ impl ShardedMonitor {
     /// to the suffix after the transaction's first operation, not to
     /// the schedule.
     ///
-    /// A transaction the monitor has never seen retracts nothing.
-    pub fn retract_txn(&self, txn: TxnId) -> (usize, usize) {
+    /// A transaction the monitor has never seen retracts nothing. A
+    /// transaction summarized by committed-prefix compaction
+    /// ([`ShardedMonitor::compact`]) is rejected with
+    /// [`CoreError::SummarizedTransaction`]: its operations live in
+    /// the collapsed, permanent prefix and can no longer be undone.
+    pub fn retract_txn(&self, txn: TxnId) -> Result<(usize, usize)> {
         let mut s = self.seq.lock();
+        if s.summarized.contains(txn) {
+            return Err(CoreError::SummarizedTransaction { txn });
+        }
         self.drain(&s);
         let Some(slot) = s.schedule.txn_slot(txn) else {
-            return (0, 0);
+            return Ok((0, 0));
         };
         let first = s.first_op[slot] as usize;
         let survivors: Vec<Operation> = (first..s.schedule.len())
@@ -1072,7 +1299,7 @@ impl ShardedMonitor {
             // overwritten anyway and cost O(shards) locks each).
             self.recompute_floor();
         }
-        (undone, repushed)
+        Ok((undone, repushed))
     }
 
     /// Run the whole pipeline inline for one operation while the
@@ -1113,7 +1340,10 @@ impl ShardedMonitor {
     /// single-writer probe this is exact against the *current* state;
     /// under concurrent pushes the caller must hold the item's
     /// conflict domain (as the lock-based executors do) for the
-    /// answer to stay binding.
+    /// answer to stay binding. A summarized transaction is never
+    /// admitted: its push would be rejected
+    /// ([`CoreError::SummarizedTransaction`]) regardless of what the
+    /// graphs say.
     pub fn would_admit(
         &self,
         txn: TxnId,
@@ -1121,7 +1351,13 @@ impl ShardedMonitor {
         is_write: bool,
         level: AdmissionLevel,
     ) -> bool {
-        let slot = self.seq.lock().schedule.txn_slot(txn);
+        let slot = {
+            let s = self.seq.lock();
+            if s.summarized.contains(txn) {
+                return false;
+            }
+            s.schedule.txn_slot(txn)
+        };
         match level {
             AdmissionLevel::Serializable => {
                 self.gstate
@@ -1433,7 +1669,7 @@ mod tests {
         let out = last.unwrap();
         assert!(out.caused_violation && out.breaches(AdmissionLevel::Pwsr));
         assert_eq!(m.verdict().level, VerdictLevel::Violation);
-        let (undone, repushed) = m.retract_txn(TxnId(1));
+        let (undone, repushed) = m.retract_txn(TxnId(1)).unwrap();
         assert_eq!((undone, repushed), (4, 2));
         let schedule = m.snapshot_schedule();
         assert!(schedule.ops().iter().all(|o| o.txn == TxnId(2)));
@@ -1445,9 +1681,9 @@ mod tests {
         assert_eq!(m.verdict().level, VerdictLevel::Serializable);
         assert_eq!(m.floor(), VerdictLevel::Serializable);
         // An unknown transaction retracts nothing.
-        assert_eq!(m.retract_txn(TxnId(99)), (0, 0));
+        assert_eq!(m.retract_txn(TxnId(99)).unwrap(), (0, 0));
         // T2 can be retracted too, emptying the monitor.
-        let (undone, repushed) = m.retract_txn(TxnId(2));
+        let (undone, repushed) = m.retract_txn(TxnId(2)).unwrap();
         assert_eq!((undone, repushed), (2, 0));
         assert!(m.is_empty());
         assert_eq!(m.verdict().level, VerdictLevel::Serializable);
@@ -1462,7 +1698,7 @@ mod tests {
         m.push(rd(1, 0, 0)).unwrap();
         m.push(wr(2, 1, 1)).unwrap();
         m.push(wr(1, 2, 2)).unwrap();
-        m.retract_txn(TxnId(1));
+        m.retract_txn(TxnId(1)).unwrap();
         // T1's totals are gone: the same accesses are valid again.
         m.push(rd(1, 0, 0)).unwrap();
         m.push(wr(1, 2, 2)).unwrap();
@@ -1483,7 +1719,7 @@ mod tests {
         assert!(out.breaches(AdmissionLevel::PwsrDr));
         assert!(!out.breaches(AdmissionLevel::Pwsr));
         // Retract the materializing transaction: DR is restored.
-        m.retract_txn(TxnId(1));
+        m.retract_txn(TxnId(1)).unwrap();
         assert!(m.verdict().dr);
         assert_eq!(m.floor(), VerdictLevel::Serializable);
     }
@@ -1541,7 +1777,7 @@ mod tests {
         assert_eq!(m.gstate.read().log.base(), 30);
         // The live suffix still aborts incrementally, and the monitor
         // stays parity-exact with a fresh single-writer replay.
-        let (undone, repushed) = m.retract_txn(live);
+        let (undone, repushed) = m.retract_txn(live).unwrap();
         assert_eq!((undone, repushed), (1, 0));
         let mut fresh = OnlineMonitor::new(example2_scopes());
         for op in m.snapshot_schedule().ops() {
@@ -1629,7 +1865,7 @@ mod tests {
             }
             // Retraction nests seq → global → shards (pops descend,
             // but locks are taken one at a time under seq).
-            m.retract_txn(TxnId(2));
+            m.retract_txn(TxnId(2)).unwrap();
             // Checkpoint nests seq → global → each shard ascending.
             let floor = m.checkpoint([TxnId(1), TxnId(3)]);
             assert!(floor <= m.len());
@@ -1645,5 +1881,110 @@ mod tests {
     fn out_of_order_acquisition_is_rejected() {
         super::lock_order::acquire(shard_rank(1));
         super::lock_order::acquire(RANK_GLOBAL);
+    }
+
+    /// Committed-prefix compaction on the sharded monitor: the
+    /// compacted monitor's verdicts, certificates and `PushOutcome`s
+    /// stay byte-identical to an uncompacted twin's, summarized
+    /// transactions are rejected, and the resident footprint shrinks.
+    #[test]
+    fn sharded_compaction_matches_uncompacted_twin() {
+        let ops1 = [wr(1, 0, 1), rd(2, 0, 1), wr(2, 2, 5), rd(1, 2, 5)];
+        let ops2 = [wr(3, 1, 7), rd(4, 1, 7), wr(4, 2, 8), rd(3, 2, 8)];
+        let m = ShardedMonitor::new(example2_scopes());
+        let twin = ShardedMonitor::new(example2_scopes());
+        for op in &ops1 {
+            assert_eq!(
+                m.push_outcome(op.clone()).unwrap(),
+                twin.push_outcome(op.clone()).unwrap()
+            );
+        }
+        m.finish_txn(TxnId(1));
+        m.finish_txn(TxnId(2));
+        assert_eq!(m.compaction_frontier(), 4);
+        let stats = m.compact();
+        assert_eq!(
+            stats,
+            CompactStats {
+                frontier: 4,
+                ops_reclaimed: 4,
+                txns_summarized: 2
+            }
+        );
+        assert!(m.is_summarized(TxnId(1)) && !m.is_summarized(TxnId(3)));
+        assert_eq!(m.verdict(), twin.verdict());
+        assert!(m.resident_bytes_estimate() < twin.resident_bytes_estimate());
+        // A summarized transaction can no longer push — twice, to
+        // prove the §2.2 totals bit of the rejected push rolled back
+        // (a leaked bit would turn the second try into a
+        // well-formedness error).
+        for _ in 0..2 {
+            assert!(matches!(
+                m.push(wr(1, 5, 9)),
+                Err(CoreError::SummarizedTransaction { txn: TxnId(1) })
+            ));
+        }
+        // Fresh transactions continue with full parity.
+        for op in &ops2 {
+            assert_eq!(
+                m.push_outcome(op.clone()).unwrap(),
+                twin.push_outcome(op.clone()).unwrap()
+            );
+            assert_eq!(m.verdict(), twin.verdict());
+        }
+        for k in 0..2 {
+            assert_eq!(m.lemma2_holds(k), twin.lemma2_holds(k));
+            assert_eq!(m.lemma6_holds(k), twin.lemma6_holds(k));
+        }
+        // Second compaction (exercises the kept-summary-node path).
+        m.finish_txn(TxnId(3));
+        m.finish_txn(TxnId(4));
+        m.compact();
+        assert_eq!((m.compactions(), m.ops_reclaimed()), (2, 8));
+        assert_eq!(m.verdict(), twin.verdict());
+    }
+
+    /// On a logged monitor the frontier is clamped to the checkpoint
+    /// floor, and compaction composes with retraction: summarized
+    /// transactions reject `retract_txn` with a descriptive error
+    /// while the live suffix still aborts.
+    #[test]
+    fn sharded_compaction_respects_floor_and_rejects_summarized_retract() {
+        let m = ShardedMonitor::new_logged(example2_scopes());
+        m.push(wr(1, 0, 1)).unwrap();
+        m.push(wr(2, 1, 1)).unwrap();
+        m.finish_txn(TxnId(1));
+        // No checkpoint yet: every push is retractable, so nothing is
+        // eligible for the permanent prefix.
+        assert_eq!(m.compaction_frontier(), 0);
+        assert_eq!(m.compact(), CompactStats::default());
+        assert_eq!(m.checkpoint([TxnId(2)]), 1);
+        assert_eq!(m.compaction_frontier(), 1);
+        let stats = m.compact();
+        assert_eq!((stats.frontier, stats.txns_summarized), (1, 1));
+        let err = m.retract_txn(TxnId(1)).unwrap_err();
+        assert!(
+            err.to_string().contains("summarized"),
+            "descriptive rejection, got: {err}"
+        );
+        // The live transaction still aborts incrementally.
+        assert_eq!(m.retract_txn(TxnId(2)).unwrap(), (1, 0));
+        assert_eq!(m.len(), 1);
+    }
+
+    /// Satellite regression: reaching below the compaction frontier is
+    /// impossible to do quietly — the frontier never exceeds the
+    /// checkpoint floor, so the floor assert fires first and names the
+    /// compacted prefix as permanent.
+    #[test]
+    #[should_panic(expected = "below the checkpoint floor")]
+    fn truncating_below_the_compaction_frontier_panics() {
+        let m = ShardedMonitor::new_logged(example2_scopes());
+        m.push(wr(1, 0, 1)).unwrap();
+        m.push(wr(2, 1, 1)).unwrap();
+        m.finish_txn(TxnId(1));
+        m.checkpoint([TxnId(2)]);
+        assert_eq!(m.compact().frontier, 1);
+        m.truncate_to(0);
     }
 }

@@ -85,6 +85,66 @@ pub(crate) struct GraphDelta {
     pub(crate) read_pushed: bool,
 }
 
+impl GraphDelta {
+    /// Mark every projection-graph node id this delta references, so
+    /// committed-prefix compaction keeps those nodes alive: a retained
+    /// journal entry must stay replayable in LIFO order, which means
+    /// every edge endpoint and displaced writer/reader it names must
+    /// survive the condensation.
+    pub(crate) fn mark_nodes(&self, kept: &mut [bool]) {
+        for &(u, v) in &self.edges {
+            kept[u as usize] = true;
+            kept[v as usize] = true;
+        }
+        if let Some((w, readers)) = &self.write_undo {
+            if *w != u32::MAX {
+                kept[*w as usize] = true;
+            }
+            for &r in readers {
+                kept[r as usize] = true;
+            }
+        }
+    }
+
+    /// Renumber node ids through `map` (old id → new id) after the
+    /// projection graph compacted. The `u32::MAX` sentinel ("no
+    /// previous writer") passes through unchanged; every other id must
+    /// have been kept (see [`GraphDelta::mark_nodes`]).
+    pub(crate) fn remap_nodes(&mut self, map: &[u32]) {
+        let m = |x: u32| if x == u32::MAX { x } else { map[x as usize] };
+        for (u, v) in &mut self.edges {
+            *u = m(*u);
+            *v = m(*v);
+        }
+        if let Some((w, readers)) = &mut self.write_undo {
+            *w = m(*w);
+            for r in readers.iter_mut() {
+                *r = m(*r);
+            }
+        }
+    }
+}
+
+impl GlobalDelta {
+    /// [`GraphDelta::mark_nodes`] for the global-graph half.
+    pub(crate) fn mark_nodes(&self, kept: &mut [bool]) {
+        self.graph.mark_nodes(kept);
+    }
+
+    /// Renumber after compaction: global-graph node ids through `map`,
+    /// and the dirty-read mark's writer *slot* down by `s_cut`. A mark
+    /// on a summarized slot becomes `None`: its delayed-read row was
+    /// reclaimed, and a summarized (finished) writer's mark can never
+    /// trip again, so there is nothing left to retract.
+    pub(crate) fn remap(&mut self, map: &[u32], s_cut: u32) {
+        self.graph.remap_nodes(map);
+        self.dr_mark = match self.dr_mark {
+            Some(s) if s >= s_cut => Some(s - s_cut),
+            _ => None,
+        };
+    }
+}
+
 /// The order-defining table rows one push displaced — the sequence
 /// half of the retraction contract (owned by the single writer's
 /// index, and by the sharded monitor's stage-1 state).
@@ -176,6 +236,18 @@ impl<D> UndoLog<D> {
     /// Journal one push's deltas (the push at position [`UndoLog::end`]).
     pub(crate) fn record(&mut self, delta: D) {
         self.entries.push_back(delta);
+    }
+
+    /// The retained entries, oldest first (entry `k` describes the
+    /// push at position `base + k`).
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &D> {
+        self.entries.iter()
+    }
+
+    /// Mutable [`UndoLog::iter`] — committed-prefix compaction renames
+    /// the graph nodes a retained entry references in place.
+    pub(crate) fn iter_mut(&mut self) -> impl Iterator<Item = &mut D> {
+        self.entries.iter_mut()
     }
 
     /// Retract the most recent entry (LIFO).

@@ -30,16 +30,27 @@ use std::fmt;
 /// item-id upper bound — so the checkers' positional queries
 /// (`txn_finished_by`, reads-from sweeps, conflict grouping) run
 /// without hashing or rescanning.
+/// Positions are **absolute** and survive committed-prefix compaction:
+/// after `Schedule::compact_prefix` the operations below `base` are
+/// gone, but every retained position keeps its original `OpIndex`, so
+/// monotone facts recorded about the prefix (first-violation indices,
+/// last-write positions, undo-floor bounds) stay valid unremapped.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Schedule {
+    /// The live operation tail: positions `[base, base + ops.len())`.
     ops: Vec<Operation>,
+    /// Number of operations reclaimed by committed-prefix compaction;
+    /// the absolute position of `ops[0]`.
+    base: usize,
     /// Transaction ids in order of first appearance.
     txns: Vec<TxnId>,
     /// Transaction id → dense slot (index into `txns`).
     slot_of: HashMap<TxnId, u32>,
-    /// Per operation position: the dense slot of its transaction.
+    /// Per live operation (tail-relative): the dense slot of its
+    /// transaction.
     op_slot: Vec<u32>,
-    /// Per slot: the position of the transaction's last operation.
+    /// Per slot: the **absolute** position of the transaction's last
+    /// operation.
     slot_last: Vec<u32>,
     /// One past the largest item id accessed (0 when empty).
     item_ub: usize,
@@ -65,6 +76,7 @@ impl Schedule {
         }
         Schedule {
             ops,
+            base: 0,
             txns,
             slot_of,
             op_slot,
@@ -78,7 +90,7 @@ impl Schedule {
     /// enforced the §2.2 per-transaction rules — this is the growth
     /// step behind [`crate::monitor::OnlineIndex::push`].
     pub(crate) fn push_op_unchecked(&mut self, op: Operation) {
-        let p = self.ops.len() as u32;
+        let p = (self.base + self.ops.len()) as u32;
         let slot = match self.slot_of.get(&op.txn) {
             Some(&s) => s,
             None => {
@@ -188,29 +200,93 @@ impl Schedule {
         Schedule::new(ops)
     }
 
-    /// The operation sequence.
+    /// The live operation sequence — positions `[base, len)`. Before
+    /// any compaction (`base == 0`) this is the whole schedule.
     pub fn ops(&self) -> &[Operation] {
         &self.ops
     }
 
-    /// Number of operations.
+    /// Number of operations ever appended, **including** the compacted
+    /// prefix: `base + ops().len()`.
     pub fn len(&self) -> usize {
-        self.ops.len()
+        self.base + self.ops.len()
     }
 
-    /// Is the schedule empty?
+    /// Is the schedule empty (never held an operation)?
     pub fn is_empty(&self) -> bool {
-        self.ops.is_empty()
+        self.len() == 0
     }
 
-    /// The operation at position `p`.
+    /// The absolute position of the first live operation — the number
+    /// of operations reclaimed by `Schedule::compact_prefix`.
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// The operation at absolute position `p`. Panics if `p` fell
+    /// below the compaction base.
     pub fn op(&self, p: OpIndex) -> &Operation {
-        &self.ops[p.0]
+        debug_assert!(
+            p.0 >= self.base,
+            "op({}): position below the compaction base {}",
+            p.0,
+            self.base
+        );
+        &self.ops[p.0 - self.base]
     }
 
-    /// All positions, first to last.
+    /// All live positions, first to last.
     pub fn positions(&self) -> impl Iterator<Item = OpIndex> {
-        (0..self.ops.len()).map(OpIndex)
+        (self.base..self.base + self.ops.len()).map(OpIndex)
+    }
+
+    /// Reclaim the prefix `[base, frontier)` of the schedule. The
+    /// caller (the monitors' committed-prefix compaction) guarantees
+    /// the frontier is **transaction-closed**: every transaction with
+    /// an operation below `frontier` has *all* its operations below
+    /// `frontier`. Because slots are assigned in first-appearance
+    /// order, those transactions occupy exactly the slot prefix, so
+    /// surviving slots renumber by a constant shift. Returns the
+    /// summarized transaction ids in slot order.
+    pub(crate) fn compact_prefix(&mut self, frontier: usize) -> Vec<TxnId> {
+        assert!(
+            frontier >= self.base && frontier <= self.len(),
+            "compact_prefix({frontier}) outside [{}, {}]",
+            self.base,
+            self.len()
+        );
+        let cut = frontier - self.base;
+        if cut == 0 {
+            return Vec::new();
+        }
+        let s_cut = if cut == self.ops.len() {
+            self.txns.len()
+        } else {
+            self.op_slot[cut] as usize
+        };
+        debug_assert!(
+            self.slot_last[..s_cut]
+                .iter()
+                .all(|&l| (l as usize) < frontier),
+            "compact_prefix: unfinished transaction below the frontier"
+        );
+        debug_assert!(self.op_slot[..cut].iter().all(|&s| (s as usize) < s_cut));
+        debug_assert!(self.op_slot[cut..].iter().all(|&s| (s as usize) >= s_cut));
+        let summarized: Vec<TxnId> = self.txns.drain(..s_cut).collect();
+        for t in &summarized {
+            self.slot_of.remove(t);
+        }
+        for s in self.slot_of.values_mut() {
+            *s -= s_cut as u32;
+        }
+        self.ops.drain(..cut);
+        self.op_slot.drain(..cut);
+        for s in &mut self.op_slot {
+            *s -= s_cut as u32;
+        }
+        self.slot_last.drain(..s_cut);
+        self.base = frontier;
+        summarized
     }
 
     /// `depth(p, S)`: number of operations strictly before `p`.
@@ -260,7 +336,7 @@ impl Schedule {
         self.ops
             .iter()
             .enumerate()
-            .filter(|(i, o)| o.txn == txn && *i <= p.0)
+            .filter(|(i, o)| o.txn == txn && *i + self.base <= p.0)
             .map(|(_, o)| o.clone())
             .collect()
     }
@@ -271,7 +347,7 @@ impl Schedule {
         self.ops
             .iter()
             .enumerate()
-            .filter(|(i, o)| o.txn == txn && *i > p.0)
+            .filter(|(i, o)| o.txn == txn && *i + self.base > p.0)
             .map(|(_, o)| o.clone())
             .collect()
     }
@@ -282,7 +358,7 @@ impl Schedule {
         self.ops
             .iter()
             .enumerate()
-            .filter(|(i, o)| o.txn == txn && d.contains(o.item) && *i <= p.0)
+            .filter(|(i, o)| o.txn == txn && d.contains(o.item) && *i + self.base <= p.0)
             .map(|(_, o)| o.clone())
             .collect()
     }
@@ -292,7 +368,7 @@ impl Schedule {
         self.ops
             .iter()
             .enumerate()
-            .filter(|(i, o)| o.txn == txn && d.contains(o.item) && *i > p.0)
+            .filter(|(i, o)| o.txn == txn && d.contains(o.item) && *i + self.base > p.0)
             .map(|(_, o)| o.clone())
             .collect()
     }
@@ -302,9 +378,10 @@ impl Schedule {
         self.slot_of.get(&txn).map(|&s| s as usize)
     }
 
-    /// The dense transaction slot of the operation at position `p`.
+    /// The dense transaction slot of the operation at absolute
+    /// position `p` (which must not fall below the compaction base).
     pub fn slot_of_op(&self, p: OpIndex) -> usize {
-        self.op_slot[p.0] as usize
+        self.op_slot[p.0 - self.base] as usize
     }
 
     /// One past the largest item id accessed by any operation (0 when
@@ -330,7 +407,7 @@ impl Schedule {
     /// Has the transaction owning the operation at `op_pos` finished by
     /// `p`? O(1) and hash-free (both positions index dense tables).
     pub fn op_txn_finished_by(&self, op_pos: OpIndex, p: OpIndex) -> bool {
-        self.slot_last[self.op_slot[op_pos.0] as usize] as usize <= p.0
+        self.slot_last[self.op_slot[op_pos.0 - self.base] as usize] as usize <= p.0
     }
 
     /// The §3.2 *reads-from* relation: the write operation that read
@@ -339,14 +416,14 @@ impl Schedule {
     /// guarantees). `None` if `p` is not a read or reads the initial
     /// state.
     pub fn reads_from(&self, p: OpIndex) -> Option<OpIndex> {
-        let o = &self.ops[p.0];
+        let o = &self.ops[p.0 - self.base];
         if o.action != Action::Read {
             return None;
         }
-        self.ops[..p.0]
+        self.ops[..p.0 - self.base]
             .iter()
             .rposition(|w| w.action == Action::Write && w.item == o.item)
-            .map(OpIndex)
+            .map(|i| OpIndex(self.base + i))
     }
 
     /// All `(reader, writer)` position pairs of the reads-from relation,
@@ -360,11 +437,11 @@ impl Schedule {
                 Action::Read => {
                     let w = last_write[o.item.index()];
                     if w != NONE {
-                        out.push((OpIndex(p), OpIndex(w as usize)));
+                        out.push((OpIndex(self.base + p), OpIndex(w as usize)));
                     }
                 }
                 Action::Write => {
-                    last_write[o.item.index()] = p as u32;
+                    last_write[o.item.index()] = (self.base + p) as u32;
                 }
             }
         }

@@ -104,7 +104,12 @@ impl From<&str> for Value {
 #[derive(Clone, PartialEq, Eq)]
 pub enum Domain {
     /// All integers in `lo..=hi`.
-    IntRange { lo: i64, hi: i64 },
+    IntRange {
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Inclusive upper bound.
+        hi: i64,
+    },
     /// `{false, true}`.
     Bools,
     /// An explicit, finite list of values (deduplicated, sorted).
@@ -190,11 +195,26 @@ impl fmt::Debug for Domain {
 /// Iterator over the members of a [`Domain`].
 pub enum DomainIter<'a> {
     /// Iterating an integer window.
-    Range { next: i64, hi: i64, done: bool },
+    Range {
+        /// Next value to yield.
+        next: i64,
+        /// Inclusive upper bound.
+        hi: i64,
+        /// Whether the window is exhausted.
+        done: bool,
+    },
     /// Iterating `{false, true}`.
-    Bools { next: u8 },
+    Bools {
+        /// 0 = `false` next, 1 = `true` next, 2 = exhausted.
+        next: u8,
+    },
     /// Iterating an explicit list.
-    Explicit { vals: &'a [Value], idx: usize },
+    Explicit {
+        /// The domain's value list.
+        vals: &'a [Value],
+        /// Next index to yield.
+        idx: usize,
+    },
 }
 
 impl Iterator for DomainIter<'_> {

@@ -222,6 +222,89 @@ proptest! {
         prop_assert!(logged.certify_prefix());
     }
 
+    /// **Twin harness**: every workload runs through a compacting
+    /// monitor and an uncompacted twin, compacting after a random
+    /// stride of completed transactions. At every push the verdict
+    /// (including Lemma 2/6 certificates) and every admission probe
+    /// must stay byte-identical, and summarized transactions must
+    /// reject further pushes.
+    #[test]
+    fn compaction_twin_parity_at_every_push(
+        txns in arb_transactions(4),
+        mix in proptest::collection::vec(any::<u8>(), 0..64),
+        d1_bits in 0u32..64,
+        d2_bits in 0u32..64,
+        stride in 1usize..4,
+        logged in any::<bool>(),
+    ) {
+        let ops = interleave_random(&txns, &mix);
+        let scopes = scopes_from_bits(d1_bits, d2_bits);
+        let mut compacting = OnlineMonitor::new(scopes.clone());
+        let mut twin = OnlineMonitor::new(scopes.clone());
+        let mut remaining: std::collections::HashMap<TxnId, usize> =
+            txns.iter().map(|t| (t.id(), t.len())).collect();
+        let mut completed = 0usize;
+        for op in &ops {
+            let (a, b) = if logged {
+                (
+                    compacting.push_logged(op.clone()).expect("valid interleaving"),
+                    twin.push_logged(op.clone()).expect("valid interleaving"),
+                )
+            } else {
+                (
+                    compacting.push(op.clone()).expect("valid interleaving"),
+                    twin.push(op.clone()).expect("valid interleaving"),
+                )
+            };
+            prop_assert_eq!(a, b, "verdict diverged");
+            let left = remaining.get_mut(&op.txn).unwrap();
+            *left -= 1;
+            if *left == 0 {
+                compacting.finish_txn(op.txn);
+                completed += 1;
+                if completed.is_multiple_of(stride) {
+                    if logged {
+                        // A logged monitor's frontier is clamped to the
+                        // undo floor; raise it over the settled prefix
+                        // first (nothing live may abort in this run).
+                        let floor = compacting.len();
+                        compacting.checkpoint(floor);
+                        twin.checkpoint(floor);
+                    }
+                    compacting.compact();
+                }
+            }
+            // Probes agree after every push/compaction — except that a
+            // summarized transaction is flatly refused (its push would
+            // be rejected no matter what the graphs say).
+            for level in [AdmissionLevel::Serializable, AdmissionLevel::Pwsr, AdmissionLevel::PwsrDr] {
+                let probe = compacting.admits(op.txn, op.item, op.is_write(), level);
+                if compacting.is_summarized(op.txn) {
+                    prop_assert!(!probe, "summarized transactions are never admitted");
+                } else {
+                    prop_assert_eq!(probe, twin.admits(op.txn, op.item, op.is_write(), level));
+                }
+            }
+        }
+        compacting.compact();
+        prop_assert_eq!(compacting.verdict(), twin.verdict());
+        for k in 0..scopes.len() {
+            prop_assert_eq!(compacting.lemma2_holds(k), twin.lemma2_holds(k));
+            prop_assert_eq!(compacting.lemma6_holds(k), twin.lemma6_holds(k));
+        }
+        prop_assert!(
+            compacting.resident_bytes_estimate() <= twin.resident_bytes_estimate()
+                || compacting.compactions() == 0
+        );
+        for t in &txns {
+            if compacting.is_summarized(t.id()) {
+                prop_assert!(compacting
+                    .push(Operation::write(t.id(), ItemId(MAX_ITEMS), Value::Int(0)))
+                    .is_err());
+            }
+        }
+    }
+
     /// Admission is exact: an operation is rejected at level Pwsr iff
     /// actually pushing it would break some scope's serializability —
     /// checked by replaying the accepted prefix plus the candidate

@@ -169,7 +169,9 @@ proptest! {
                         // last push — a retraction racing against the
                         // other threads' pushes.
                         if abort_mask & (1 << (t.id().0 - 1)) != 0 {
-                            let (undone, _) = monitor.retract_txn(t.id());
+                            let (undone, _) = monitor
+                                .retract_txn(t.id())
+                                .expect("a live transaction is never summarized");
                             assert!(undone >= t.len(), "at least its own ops undone");
                         }
                         if w % 2 == 0 {
@@ -287,6 +289,60 @@ proptest! {
             prop_assert!(floor_rank(floor) >= floor_rank(v.level));
         }
         check_against_oracles(single.schedule(), &scopes, &sharded)?;
+    }
+
+    /// **Twin harness, sharded**: run every workload through a
+    /// compacting monitor and an uncompacted twin, compacting after a
+    /// random stride of completed transactions. At every push the
+    /// `PushOutcome` (floor + causality flags), the verdict and the
+    /// per-conjunct Lemma 2/6 certificates must stay byte-identical,
+    /// and summarized transactions must reject pushes and
+    /// retractions.
+    #[test]
+    fn sharded_compaction_twin_parity(
+        txns in arb_transactions(5),
+        mix in proptest::collection::vec(any::<u8>(), 0..48),
+        d1_bits in 0u32..64,
+        d2_bits in 0u32..64,
+        stride in 1usize..4,
+    ) {
+        let ops = interleave_random(&txns, &mix);
+        let scopes = scopes_from_bits(d1_bits, d2_bits);
+        let compacting = ShardedMonitor::new(scopes.clone());
+        let twin = ShardedMonitor::new(scopes.clone());
+        // Count down each transaction's remaining ops so we can mark
+        // it finished at its last push.
+        let mut remaining: std::collections::HashMap<TxnId, usize> =
+            txns.iter().map(|t| (t.id(), t.len())).collect();
+        let mut completed = 0usize;
+        for op in &ops {
+            let a = compacting.push_outcome(op.clone()).expect("valid interleaving");
+            let b = twin.push_outcome(op.clone()).expect("valid interleaving");
+            prop_assert_eq!(a, b, "PushOutcome diverged");
+            prop_assert_eq!(compacting.verdict(), twin.verdict(), "verdict diverged");
+            let left = remaining.get_mut(&op.txn).unwrap();
+            *left -= 1;
+            if *left == 0 {
+                compacting.finish_txn(op.txn);
+                completed += 1;
+                if completed.is_multiple_of(stride) {
+                    compacting.compact();
+                }
+            }
+        }
+        compacting.compact();
+        for k in 0..scopes.len() {
+            prop_assert_eq!(compacting.lemma2_holds(k), twin.lemma2_holds(k));
+            prop_assert_eq!(compacting.lemma6_holds(k), twin.lemma6_holds(k));
+        }
+        // Summarized transactions are sealed off.
+        for t in &txns {
+            if compacting.is_summarized(t.id()) {
+                prop_assert!(compacting.push(Operation::write(
+                    t.id(), ItemId(MAX_ITEMS), Value::Int(0))).is_err());
+                prop_assert!(compacting.retract_txn(t.id()).is_err());
+            }
+        }
     }
 
     /// Admission probes agree with the single-writer monitor when the

@@ -121,7 +121,9 @@ pub enum CheckpointError {
     /// Replaying the stored prefix produced a different state hash
     /// than the checkpoint claims (wrong scopes, or tampered file).
     HashMismatch {
+        /// The hash the checkpoint file claims.
         expected: StateHash,
+        /// The hash the replayed prefix actually produced.
         actual: StateHash,
     },
     /// The stored prefix is not even a valid schedule (§2.2).
@@ -153,9 +155,64 @@ impl Checkpoint {
     /// by replaying the prefix into a fresh twin — O(floor), and
     /// self-validating: capture fails loudly (panics) if the prefix
     /// does not replay, which would indicate monitor corruption.
+    ///
+    /// # Panics
+    ///
+    /// If the monitor has already **compacted** part of its schedule
+    /// away (`schedule().base() > 0`) the summarized operations no
+    /// longer exist to snapshot; chain from the checkpoint that covers
+    /// them with [`Checkpoint::capture_after`] instead.
     pub fn capture(monitor: &OnlineMonitor) -> Checkpoint {
+        assert_eq!(
+            monitor.schedule().base(),
+            0,
+            "monitor has compacted its prefix away; chain from the \
+             previous checkpoint with Checkpoint::capture_after"
+        );
         let floor = monitor.log_floor();
         let ops = monitor.schedule().ops()[..floor].to_vec();
+        let twin = replay_prefix(monitor.scopes().to_vec(), &ops, floor)
+            .expect("a monitor's own permanent prefix must replay");
+        Checkpoint {
+            floor,
+            ops,
+            hash: state_hash(&twin),
+        }
+    }
+
+    /// Capture the permanent prefix of a monitor that may already have
+    /// **compacted** ([`OnlineMonitor::compact`]) part of that prefix
+    /// away, by chaining from the previous checkpoint: `prev` supplies
+    /// the operations below its own floor (which by the frontier
+    /// invariant covers everything the monitor summarized), and the
+    /// monitor's live tail supplies the rest up to the current floor.
+    /// The stored hash is, as in [`Checkpoint::capture`], that of the
+    /// *uncompacted* floor-prefix twin — so recovery validates it the
+    /// same way whether or not compaction ever ran.
+    ///
+    /// # Panics
+    ///
+    /// If `prev` does not reach the monitor's compaction point
+    /// (`prev.floor < schedule().base()`), or the floor regressed
+    /// below `prev.floor` — both impossible for checkpoints taken from
+    /// this monitor in order.
+    pub fn capture_after(prev: &Checkpoint, monitor: &OnlineMonitor) -> Checkpoint {
+        let floor = monitor.log_floor();
+        let base = monitor.schedule().base();
+        assert!(
+            prev.floor >= base,
+            "previous checkpoint (floor {}) does not cover the \
+             summarized prefix (base {base})",
+            prev.floor
+        );
+        assert!(
+            floor >= prev.floor,
+            "retraction floor {floor} regressed below the previous \
+             checkpoint's floor {}",
+            prev.floor
+        );
+        let mut ops = prev.ops.clone();
+        ops.extend_from_slice(&monitor.schedule().ops()[prev.floor - base..floor - base]);
         let twin = replay_prefix(monitor.scopes().to_vec(), &ops, floor)
             .expect("a monitor's own permanent prefix must replay");
         Checkpoint {
@@ -224,6 +281,54 @@ impl Checkpoint {
             hash: StateHash(hash),
         })
     }
+}
+
+/// Advance the shared durable frontier in one motion — the
+/// checkpoint / WAL-truncation / compaction pairing PR 7 deferred:
+///
+/// 1. **Checkpoint** the permanent prefix (chained via
+///    [`Checkpoint::capture_after`] when `prev` is supplied, so the
+///    monitor may already be compacted);
+/// 2. **Restart the WAL** ([`Wal::restart`](crate::wal::Wal::restart))
+///    and re-journal the live tail above the floor, so
+///    `checkpoint + WAL` still reconstructs the exact monitor state —
+///    everything below the floor now lives only in the checkpoint;
+/// 3. **Compact** the monitor's committed prefix
+///    ([`OnlineMonitor::compact`]), reclaiming the structures the
+///    checkpoint just made durable.
+///
+/// Returns the new checkpoint (persist it before trusting the
+/// truncated WAL!) and the compaction stats. The caller must quiesce
+/// the monitor for the duration — this is a maintenance operation,
+/// not a concurrent one — and should note the WAL is truncated *in
+/// place*: a crash between steps 2 and 3 with the checkpoint not yet
+/// persisted loses the prefix, so persist-then-restart ordering is on
+/// the caller when the WAL and checkpoint live on real storage.
+///
+/// Recovery after this call is `recover(scopes, Some(&ckp), wal)` —
+/// it rebuilds the *uncompacted* state and may then re-run
+/// `finish_txn`/`compact` to reach the same resident shape; verdicts
+/// agree either way (the twin-harness property).
+pub fn advance_frontier(
+    monitor: &mut OnlineMonitor,
+    wal: &crate::wal::SharedWal,
+    prev: Option<&Checkpoint>,
+) -> (Checkpoint, pwsr_core::monitor::CompactStats) {
+    let ckp = match prev {
+        Some(p) => Checkpoint::capture_after(p, monitor),
+        None => Checkpoint::capture(monitor),
+    };
+    let base = monitor.schedule().base();
+    let tail = &monitor.schedule().ops()[ckp.floor - base..];
+    wal.with(|w| {
+        w.restart();
+        for op in tail {
+            w.append_op(op);
+        }
+        w.sync();
+    });
+    let stats = monitor.compact();
+    (ckp, stats)
 }
 
 /// Replay `ops` into a fresh monitor over `scopes` and raise the floor

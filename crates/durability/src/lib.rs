@@ -21,12 +21,14 @@
 //! | [`mod@recover`] | [`recover`](recover::recover): checkpoint replay + tail replay |
 //! | [`crc32`], [`sha256`] | the hand-rolled checksums |
 
+#![warn(missing_docs)]
+
 pub mod checkpoint;
 pub mod crc32;
 pub mod recover;
 pub mod sha256;
 pub mod wal;
 
-pub use checkpoint::{state_hash, Checkpoint, CheckpointError, StateHash};
+pub use checkpoint::{advance_frontier, state_hash, Checkpoint, CheckpointError, StateHash};
 pub use recover::{recover, RecoverError, Recovered};
 pub use wal::{scan, SharedWal, SyncPolicy, Wal, WalCorruption, WalRecord, WalScan, WalStats};

@@ -43,10 +43,20 @@ pub enum RecoverError {
     /// state (e.g. `Truncate` beyond the length or below the floor) —
     /// a logic-level impossibility for logs this crate wrote, so it
     /// indicates tampering rather than a crash.
-    InconsistentRecord { index: usize, detail: String },
+    InconsistentRecord {
+        /// Zero-based index of the offending record in the tail.
+        index: usize,
+        /// What was inconsistent about it.
+        detail: String,
+    },
     /// A cleanly-checksummed `Op` record was rejected by §2.2
     /// validation during replay.
-    Replay { index: usize, source: CoreError },
+    Replay {
+        /// Zero-based index of the offending record in the tail.
+        index: usize,
+        /// The schedule-validation error.
+        source: CoreError,
+    },
 }
 
 impl fmt::Display for RecoverError {
@@ -281,6 +291,107 @@ mod tests {
             Err(RecoverError::InconsistentRecord { index: 0, .. }) => {}
             other => panic!("expected inconsistent record, got {other:?}"),
         }
+    }
+
+    /// The shared-frontier pairing end-to-end: a journaled monitor
+    /// advances the durable frontier twice (checkpoint → WAL restart →
+    /// compact, the second advance chaining via `capture_after`), then
+    /// "crashes". Recovery from `checkpoint + truncated WAL` rebuilds
+    /// the uncompacted state; re-compacting it to the same frontier
+    /// converges on the live monitor's exact resident shape, and both
+    /// twins stay verdict-identical on subsequent pushes.
+    #[test]
+    fn compaction_recovery_round_trip() {
+        use crate::checkpoint::advance_frontier;
+
+        let wal = SharedWal::in_memory(SyncPolicy::Off);
+        let mut journal: Box<dyn MonitorJournal> = Box::new(wal.clone());
+        let mut live = OnlineMonitor::new(scopes());
+        let push = |m: &mut OnlineMonitor, j: &mut Box<dyn MonitorJournal>, op: Operation| {
+            j.appended(&op);
+            m.push_logged(op).unwrap();
+        };
+        // Ops 0..3 belong to T1/T2 (which settle); op 3 opens T3.
+        push(
+            &mut live,
+            &mut journal,
+            Operation::write(TxnId(1), ItemId(0), Value::Int(1)),
+        );
+        push(
+            &mut live,
+            &mut journal,
+            Operation::read(TxnId(2), ItemId(0), Value::Int(1)),
+        );
+        push(
+            &mut live,
+            &mut journal,
+            Operation::write(TxnId(2), ItemId(2), Value::Int(2)),
+        );
+        push(
+            &mut live,
+            &mut journal,
+            Operation::write(TxnId(3), ItemId(3), Value::Int(3)),
+        );
+        live.finish_txn(TxnId(1));
+        live.finish_txn(TxnId(2));
+        journal.floor_raised(3);
+        live.checkpoint(3);
+
+        let (ckp1, stats1) = advance_frontier(&mut live, &wal, None);
+        assert_eq!(ckp1.floor, 3);
+        assert_eq!((stats1.frontier, stats1.txns_summarized), (3, 2));
+        assert_eq!(live.schedule().base(), 3);
+        // Checkpoint + truncated WAL already reconstruct this state.
+        let rec = recover(scopes(), Some(&ckp1), &wal.snapshot().unwrap()).unwrap();
+        assert_eq!(rec.monitor.len(), 4);
+        assert_eq!(rec.monitor.verdict(), live.verdict());
+
+        // The compacted monitor keeps running: T3 reads across the
+        // summarized boundary (its writer was compacted away), T4
+        // opens, and the frontier advances again — chained from ckp1,
+        // since ops below base 3 no longer exist to snapshot.
+        push(
+            &mut live,
+            &mut journal,
+            Operation::read(TxnId(3), ItemId(2), Value::Int(2)),
+        );
+        push(
+            &mut live,
+            &mut journal,
+            Operation::write(TxnId(4), ItemId(1), Value::Int(9)),
+        );
+        live.finish_txn(TxnId(3));
+        journal.floor_raised(5);
+        live.checkpoint(5);
+        let (ckp2, stats2) = advance_frontier(&mut live, &wal, Some(&ckp1));
+        assert_eq!(ckp2.floor, 5);
+        assert_eq!(ckp2.ops.len(), 5, "chained capture spans both epochs");
+        assert_eq!(stats2.frontier, 5);
+        assert_eq!(live.schedule().base(), 5);
+
+        // Crash. Recovery rebuilds the uncompacted state...
+        let rec = recover(scopes(), Some(&ckp2), &wal.snapshot().unwrap()).unwrap();
+        assert_eq!(rec.corruption, None);
+        assert_eq!(rec.records_applied, 1, "only the live tail replays");
+        let mut twin = rec.monitor;
+        assert_eq!(twin.len(), 6);
+        assert_eq!(twin.log_floor(), 5);
+        assert_eq!(twin.verdict(), live.verdict());
+        // ...and re-compacting to the same frontier converges on the
+        // live monitor's exact resident shape.
+        for t in [TxnId(1), TxnId(2), TxnId(3)] {
+            twin.finish_txn(t);
+        }
+        twin.compact();
+        assert_eq!(twin.schedule().base(), live.schedule().base());
+        assert_eq!(twin.schedule().ops(), live.schedule().ops());
+        assert_eq!(state_hash(&twin), state_hash(&live));
+        // Both twins keep certifying identically past the crash.
+        let next = Operation::read(TxnId(4), ItemId(3), Value::Int(3));
+        assert_eq!(
+            twin.push_logged(next.clone()).unwrap(),
+            live.push_logged(next).unwrap()
+        );
     }
 
     #[test]

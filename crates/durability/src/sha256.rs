@@ -38,10 +38,12 @@ impl Default for Sha256 {
 }
 
 impl Sha256 {
+    /// A fresh hasher in the standard initial state.
     pub fn new() -> Sha256 {
         Sha256::default()
     }
 
+    /// Absorb `data` into the running digest.
     pub fn update(&mut self, mut data: &[u8]) {
         self.total_len = self.total_len.wrapping_add(data.len() as u64);
         if self.buf_len > 0 {
@@ -68,6 +70,7 @@ impl Sha256 {
         }
     }
 
+    /// Pad, process the final block, and return the 32-byte digest.
     pub fn finalize(mut self) -> [u8; 32] {
         let bit_len = self.total_len.wrapping_mul(8);
         self.update(&[0x80]);

@@ -199,15 +199,31 @@ impl WalRecord {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum WalCorruption {
     /// Fewer than [`FRAME_HEADER`] bytes remained at offset `at`.
-    TornHeader { at: usize },
+    TornHeader {
+        /// Byte offset of the torn header.
+        at: usize,
+    },
     /// The header at `at` promised `want` payload bytes but only
     /// `have` remained (a torn final record).
-    TornPayload { at: usize, want: usize, have: usize },
+    TornPayload {
+        /// Byte offset of the frame whose payload is torn.
+        at: usize,
+        /// Payload bytes the header promised.
+        want: usize,
+        /// Payload bytes actually present.
+        have: usize,
+    },
     /// The payload at `at` failed its CRC-32 (bit rot / torn write).
-    ChecksumMismatch { at: usize },
+    ChecksumMismatch {
+        /// Byte offset of the damaged frame.
+        at: usize,
+    },
     /// The payload at `at` checksummed cleanly but did not decode —
     /// an unknown tag or malformed body.
-    MalformedPayload { at: usize },
+    MalformedPayload {
+        /// Byte offset of the undecodable frame.
+        at: usize,
+    },
 }
 
 impl fmt::Display for WalCorruption {
@@ -515,6 +531,7 @@ impl fmt::Debug for SharedWal {
 }
 
 impl SharedWal {
+    /// Wrap a [`Wal`] (in-memory or file-backed) for shared use.
     pub fn new(wal: Wal) -> SharedWal {
         SharedWal(Arc::new(Mutex::new(wal)))
     }

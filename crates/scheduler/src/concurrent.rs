@@ -244,12 +244,19 @@ pub fn run_threaded_certified(
     // Side trace for statically-certified transactions: a plain mutex
     // push, no graph maintenance, no pipeline stages.
     let side: Mutex<Vec<Operation>> = Mutex::new(Vec::new());
+    // Committed-prefix compaction (MonitorSpec::compact_every): this
+    // path never retracts — 2PL admits no aborts — so no checkpoint
+    // is needed before compacting; the frontier is gated purely by
+    // finish_txn declarations at commit.
+    let compact_every = policy.monitor.as_ref().map_or(0, |s| s.compact_every);
+    let commits = AtomicU64::new(0);
 
     std::thread::scope(|scope| -> Result<()> {
         let mut handles = Vec::new();
         for (k, program) in programs.iter().enumerate() {
             let txn = TxnId(k as u32 + 1);
             let (monitor, db, space_locks, side) = (&monitor, &db, &space_locks, &side);
+            let commits = &commits;
             let fast = certificate.is_some_and(|c| c.covers(txn));
             handles.push(scope.spawn(move || -> Result<()> {
                 let spaces = space_set(program, catalog, policy);
@@ -288,6 +295,18 @@ pub fn run_threaded_certified(
                     std::thread::yield_now();
                 }
                 drop(guards);
+                // Commit is final here (no aborts): declare the
+                // transaction finished so the compaction frontier can
+                // advance over it, and compact on cadence.
+                if !fast {
+                    monitor.finish_txn(txn);
+                    if compact_every > 0 {
+                        let n = commits.fetch_add(1, Ordering::Relaxed) + 1;
+                        if n.is_multiple_of(compact_every) {
+                            monitor.compact();
+                        }
+                    }
+                }
                 Ok(())
             }));
         }
@@ -326,7 +345,11 @@ fn certificate_of(policy: &PolicySpec) -> Option<&StaticCertificate> {
 /// (conflict-closed components), and the side trace preserves its own
 /// internal push order — so every per-item operation sequence survives
 /// the splice intact, and read-coherence / reads-from assignments are
-/// exactly those of the live interleaving.
+/// exactly those of the live interleaving. When committed-prefix
+/// compaction ran (`MonitorSpec::compact_every > 0`), the monitored
+/// schedule is already only the live tail; the splice then covers the
+/// tail plus the side trace, and a tail read whose writer was
+/// summarized away reports no `reads_from` writer.
 fn splice_side_trace(monitored: Schedule, side: Vec<Operation>) -> Result<Schedule> {
     if side.is_empty() {
         return Ok(monitored);
@@ -516,6 +539,7 @@ pub fn run_threaded_occ_certified(
         level,
         certificate: None,
         wal: None,
+        compact_every: 0,
     };
     run_threaded_occ_spec(programs, catalog, initial, &spec, threads, max_restarts)
 }
@@ -577,11 +601,23 @@ pub fn run_threaded_occ_tuned(
     let next = AtomicUsize::new(0);
     let threads = threads.max(1);
     let side: Mutex<Vec<Operation>> = Mutex::new(Vec::new());
+    // Committed-prefix compaction (MonitorSpec::compact_every). The
+    // OCC monitor is *logged* (aborts retract), so the frontier is
+    // gated by the undo-log floor: before compacting we checkpoint
+    // past every transaction that may still abort. `live` starts as
+    // the full workload and shrinks at each commit — a transaction
+    // not yet claimed is conservatively live, so its future pushes
+    // always land above any floor computed meanwhile.
+    let compact_every = spec.compact_every;
+    let commits = AtomicU64::new(0);
+    let live: Mutex<std::collections::HashSet<TxnId>> =
+        Mutex::new((0..programs.len()).map(|k| TxnId(k as u32 + 1)).collect());
 
     std::thread::scope(|scope| -> Result<()> {
         let mut handles = Vec::new();
         for _ in 0..threads.min(programs.len().max(1)) {
             let (monitor, db, counters, next, side) = (&monitor, &db, &counters, &next, &side);
+            let (commits, live) = (&commits, &live);
             handles.push(scope.spawn(move || -> Result<()> {
                 loop {
                     let k = next.fetch_add(1, Ordering::Relaxed);
@@ -595,7 +631,26 @@ pub fn run_threaded_occ_tuned(
                         match occ_attempt(
                             program, catalog, txn, monitor, db, counters, level, fast, tuning,
                         )? {
-                            AttemptEnd::Committed => break,
+                            AttemptEnd::Committed => {
+                                // An OCC commit is final — committed
+                                // transactions are never resurrected —
+                                // so it is safe to let the compaction
+                                // frontier advance over this one.
+                                if fast.is_none() {
+                                    monitor.finish_txn(txn);
+                                }
+                                live.lock().remove(&txn);
+                                if compact_every > 0 {
+                                    let n = commits.fetch_add(1, Ordering::Relaxed) + 1;
+                                    if n.is_multiple_of(compact_every) {
+                                        let snapshot: Vec<TxnId> =
+                                            live.lock().iter().copied().collect();
+                                        monitor.checkpoint(snapshot);
+                                        monitor.compact();
+                                    }
+                                }
+                                break;
+                            }
                             AttemptEnd::Aborted => {
                                 restarts += 1;
                                 if restarts > max_restarts {
@@ -757,7 +812,12 @@ fn retract_attempt(
             ops.retain(|o| o.txn != txn);
             before - ops.len()
         }
-        None => monitor.retract_txn(txn).0,
+        None => {
+            let (undone, _) = monitor
+                .retract_txn(txn)
+                .expect("an in-flight transaction is never summarized");
+            undone
+        }
     }
 }
 
@@ -1264,6 +1324,7 @@ mod tests {
                 [TxnId(1), TxnId(2)].into_iter().collect(),
             )),
             wal: None,
+            compact_every: 0,
         };
         for threads in [1, 4] {
             for _ in 0..5 {
@@ -1323,6 +1384,86 @@ mod tests {
             );
             assert_eq!(out.metrics.occ_aborts, out.metrics.occ_retries);
             assert_eq!(out.metrics.committed_ops, out.schedule.len() as u64);
+        }
+    }
+
+    /// Both certified threaded paths keep working over a compacted
+    /// monitor: with a compaction cadence set, transactions are
+    /// declared finished at commit and the monitor is (for the logged
+    /// OCC path: checkpointed and) compacted mid-run, while other
+    /// workers are still pushing, aborting, and retracting. The
+    /// verdict still spans and certifies the whole run, no update is
+    /// lost, and `Schedule::base() > 0` proves compaction really
+    /// fired.
+    #[test]
+    fn certified_threaded_paths_work_over_a_compacted_monitor() {
+        let (cat, ic, initial) = setup();
+        let hot: Vec<Program> = (0..8)
+            .map(|k| parse_program(&format!("H{k}"), "a0 := a0 + 1; a1 := a1 + 1;").unwrap())
+            .collect();
+        let scopes: Vec<ItemSet> = ic.conjuncts().iter().map(|c| c.items().clone()).collect();
+
+        // Lock-based certified path: cadence carried by the policy.
+        let policy = PolicySpec::predicate_wise_2pl(&ic)
+            .monitor_admission(&ic, AdmissionLevel::Pwsr)
+            .compacting(2);
+        for _ in 0..5 {
+            let (schedule, final_state, verdict) =
+                run_threaded_certified(&hot, &cat, &initial, &policy, scopes.clone()).unwrap();
+            assert!(meets_floor(&verdict, AdmissionLevel::Pwsr));
+            assert_eq!(
+                verdict.len,
+                schedule.len(),
+                "the verdict covers summarized and live operations alike"
+            );
+            assert!(schedule.base() > 0, "compaction never fired");
+            assert_eq!(schedule.base() + schedule.ops().len(), schedule.len());
+            assert_eq!(
+                final_state.get(cat.lookup("a0").unwrap()),
+                Some(&Value::Int(8))
+            );
+            assert_eq!(
+                final_state.get(cat.lookup("a1").unwrap()),
+                Some(&Value::Int(8))
+            );
+        }
+
+        // OCC certified path: cadence carried by the spec; the logged
+        // monitor needs the checkpoint-then-compact pairing because
+        // in-flight transactions may yet abort and retract.
+        let spec = MonitorSpec {
+            scopes: scopes.clone(),
+            level: AdmissionLevel::Pwsr,
+            certificate: None,
+            wal: None,
+            compact_every: 1,
+        };
+        for threads in [1, 4] {
+            for _ in 0..5 {
+                let out = run_threaded_occ_tuned(
+                    &hot,
+                    &cat,
+                    &initial,
+                    &spec,
+                    threads,
+                    10_000,
+                    &OccTuning::default(),
+                )
+                .unwrap();
+                assert!(meets_floor(&out.verdict, AdmissionLevel::Pwsr));
+                assert_eq!(out.verdict.len, out.schedule.len(), "threads={threads}");
+                assert!(out.schedule.base() > 0, "compaction never fired");
+                assert_eq!(
+                    out.final_state.get(cat.lookup("a0").unwrap()),
+                    Some(&Value::Int(8)),
+                    "threads={threads}"
+                );
+                assert_eq!(
+                    out.final_state.get(cat.lookup("a1").unwrap()),
+                    Some(&Value::Int(8)),
+                    "threads={threads}"
+                );
+            }
         }
     }
 }

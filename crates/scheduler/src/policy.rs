@@ -18,7 +18,7 @@ use crate::lock::SpaceId;
 use pwsr_core::catalog::Catalog;
 use pwsr_core::constraint::IntegrityConstraint;
 use pwsr_core::ids::{ItemId, TxnId};
-use pwsr_core::monitor::{AdmissionLevel, OnlineMonitor, Verdict};
+use pwsr_core::monitor::{AdmissionLevel, CompactStats, OnlineMonitor, Verdict};
 use pwsr_core::op::Operation;
 use pwsr_core::state::ItemSet;
 use pwsr_durability::wal::{SharedWal, WalRecord, WalStats};
@@ -343,13 +343,30 @@ impl MonitorAdmission {
         };
         // Longest common prefix of the recorded schedule and the
         // rewritten trace (an abort removes operations, so divergence
-        // starts at the first removed position).
+        // starts at the first removed position). The monitor stores
+        // only the tail above its compaction base — the summarized
+        // prefix is permanent (the frontier never exceeds the undo
+        // floor, which aborts cannot reach below), so positions below
+        // the base cannot have diverged and the comparison starts
+        // there.
+        let base = self.monitor.schedule().base();
+        if target.len() < base {
+            // The trace was rewritten below the permanent prefix — a
+            // caller bug mirroring an under-approximated checkpoint
+            // live set; the rebuild fallback stays observably correct.
+            self.rebuild(trace);
+            return SyncStats {
+                undone: 0,
+                repushed: target.len() as u64,
+            };
+        }
         let recorded = self.monitor.schedule().ops();
-        let common = recorded
-            .iter()
-            .zip(target.iter())
-            .take_while(|(a, b)| a == b)
-            .count();
+        let common = base
+            + recorded
+                .iter()
+                .zip(target[base..].iter())
+                .take_while(|(a, b)| a == b)
+                .count();
         if common < self.monitor.log_floor() {
             self.rebuild(trace);
             return SyncStats {
@@ -404,6 +421,39 @@ impl MonitorAdmission {
         self.monitor.log_floor()
     }
 
+    /// Declare `txn` finished (it will issue no further operations),
+    /// making its operations eligible for committed-prefix compaction.
+    /// Certified transactions are never monitored, so there is nothing
+    /// to finish for them.
+    pub fn finish_txn(&mut self, txn: TxnId) {
+        self.monitor.finish_txn(txn);
+    }
+
+    /// Committed-prefix compaction passthrough
+    /// ([`OnlineMonitor::compact`]): collapse the finished,
+    /// below-floor prefix into a summary and reclaim its memory. The
+    /// WAL (if attached) is untouched — it still replays the full
+    /// monitored sub-trace, and recovery may re-compact once replay
+    /// finishes; pairing WAL truncation with the frontier lives in
+    /// `pwsr_durability` ([`Checkpoint`]-then-restart), not here.
+    ///
+    /// [`Checkpoint`]: pwsr_durability::checkpoint::Checkpoint
+    pub fn compact(&mut self) -> CompactStats {
+        self.monitor.compact()
+    }
+
+    /// The compaction frontier the next [`MonitorAdmission::compact`]
+    /// would collapse to.
+    pub fn compaction_frontier(&self) -> usize {
+        self.monitor.compaction_frontier()
+    }
+
+    /// Structural resident-memory estimate of the underlying monitor
+    /// (the `compact` experiment's plateau metric).
+    pub fn resident_bytes_estimate(&self) -> usize {
+        self.monitor.resident_bytes_estimate()
+    }
+
     /// Undo-log entries currently held (bounded by
     /// `len() - log_floor()` — the checkpoint test pins this).
     pub fn log_len(&self) -> usize {
@@ -456,6 +506,18 @@ pub struct MonitorSpec {
     /// journals every monitored transition into (the handle is shared,
     /// so the caller keeps recovery access to the same log).
     pub wal: Option<SharedWal>,
+    /// Committed-prefix compaction cadence for the certified threaded
+    /// executors: `0` (the default) disables compaction; `n > 0` makes
+    /// the executor declare each transaction finished at commit and,
+    /// after every `n` commits, checkpoint past the finished prefix
+    /// and [`compact`] the monitor. The verdict is unaffected (the
+    /// twin-harness property), but the returned schedule then retains
+    /// only the live tail — its [`base`] reports how many operations
+    /// were summarized away.
+    ///
+    /// [`compact`]: pwsr_core::monitor::sharded::ShardedMonitor::compact
+    /// [`base`]: pwsr_core::schedule::Schedule::base
+    pub compact_every: u64,
 }
 
 impl MonitorSpec {
@@ -590,6 +652,7 @@ impl PolicySpec {
             level,
             certificate: None,
             wal: None,
+            compact_every: 0,
         });
         self.name = format!(
             "{}+MON({})",
@@ -628,6 +691,22 @@ impl PolicySpec {
         if let Some(spec) = &mut self.monitor {
             self.name = format!("{}+WAL", self.name);
             spec.wal = Some(wal);
+        }
+        self
+    }
+
+    /// Enable committed-prefix compaction in the certified threaded
+    /// executors ([`PolicySpec::monitor_admission`] must come first):
+    /// after every `every` commits the monitor checkpoints past the
+    /// finished prefix and compacts it, bounding resident memory for
+    /// long streams. See [`MonitorSpec::compact_every`] for the
+    /// schedule-tail caveat. `every == 0` leaves compaction off.
+    pub fn compacting(mut self, every: u64) -> PolicySpec {
+        if let Some(spec) = &mut self.monitor {
+            if every > 0 {
+                self.name = format!("{}+COMPACT({every})", self.name);
+            }
+            spec.compact_every = every;
         }
         self
     }
@@ -939,6 +1018,52 @@ mod tests {
         oracle.rebuild(&rewritten);
         assert_eq!(adm.verdict(), oracle.verdict());
         assert_eq!(adm.monitor().schedule(), oracle.monitor().schedule());
+    }
+
+    /// Compaction composes with sync: settle a long head, checkpoint,
+    /// compact it away, then abort the one live transaction — the
+    /// incremental sync touches only the live suffix and every
+    /// observable matches a rebuild oracle over the filtered trace.
+    #[test]
+    fn sync_after_compaction_touches_only_the_live_suffix() {
+        use pwsr_core::value::Value;
+        let ic = two_conjunct_ic();
+        let mut adm = MonitorAdmission::for_constraint(&ic, AdmissionLevel::Pwsr);
+        let mut trace: Vec<Operation> = Vec::new();
+        for k in 0..100u32 {
+            trace.push(Operation::write(
+                TxnId(k + 10),
+                ItemId(k % 3),
+                Value::Int(1),
+            ));
+        }
+        let live = TxnId(500);
+        trace.push(Operation::read(live, ItemId(0), Value::Int(1)));
+        for op in &trace {
+            adm.push(op);
+            if op.txn != live {
+                adm.finish_txn(op.txn);
+            }
+        }
+        assert_eq!(adm.checkpoint([live]), 100);
+        assert_eq!(adm.compaction_frontier(), 100);
+        let stats = adm.compact();
+        assert_eq!((stats.frontier, stats.txns_summarized), (100, 100));
+        assert_eq!(adm.len(), trace.len(), "compaction drops no positions");
+        // Summarized transactions are flatly refused.
+        assert!(!adm.would_admit(TxnId(10), ItemId(5), true));
+        // Abort the live straggler: the incremental path retracts only
+        // its operation — the compacted head is never revisited.
+        let filtered: Vec<Operation> = trace.iter().filter(|o| o.txn != live).cloned().collect();
+        let s = adm.sync(&filtered);
+        assert_eq!((s.undone, s.repushed), (1, 0));
+        let mut oracle = MonitorAdmission::for_constraint(&ic, AdmissionLevel::Pwsr);
+        oracle.rebuild(&filtered);
+        assert_eq!(adm.verdict(), oracle.verdict());
+        assert!(
+            adm.resident_bytes_estimate() < oracle.resident_bytes_estimate(),
+            "the compacted admission must be smaller than the uncompacted oracle"
+        );
     }
 
     #[test]

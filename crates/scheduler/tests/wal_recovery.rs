@@ -144,6 +144,7 @@ fn occ_tuned_parking_and_wal_survive_contention() {
             level: AdmissionLevel::Pwsr,
             certificate: None,
             wal: Some(wal.clone()),
+            compact_every: 0,
         };
         let out = run_threaded_occ_tuned(&hot, &cat, &initial, &spec, 4, 10_000, &tuning).unwrap();
         out.schedule.check_read_coherence(&initial).unwrap();
@@ -177,6 +178,7 @@ fn occ_backoff_cap_preserves_outcomes() {
             level: AdmissionLevel::Pwsr,
             certificate: None,
             wal: None,
+            compact_every: 0,
         };
         let out = run_threaded_occ_tuned(&hot, &cat, &initial, &spec, 4, 10_000, &tuning).unwrap();
         assert_eq!(

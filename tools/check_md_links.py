@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Check that every relative link in the repo's Markdown files resolves.
+
+Walks every tracked ``*.md`` file (skipping ``target/`` and
+``vendor/``), extracts inline links and images (``[text](dest)``),
+and fails if a non-external destination does not exist on disk,
+relative to the file that references it. Anchors (``#section``) are
+stripped before the existence check; pure-anchor links, ``http(s)``,
+``mailto:`` and bare-scheme destinations are skipped.
+
+Run from the repo root:
+
+    python3 tools/check_md_links.py
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {"target", "vendor", ".git", "node_modules"}
+# Inline links/images: [text](dest) — dest up to the first unescaped
+# ')' with no nesting (none of our docs nest parentheses in paths).
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+EXTERNAL = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for f in filenames:
+            if f.endswith(".md"):
+                yield os.path.join(dirpath, f)
+
+
+def check(root):
+    bad = []
+    fences = re.compile(r"```.*?```", re.S)
+    for path in sorted(md_files(root)):
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        # Links inside fenced code blocks are examples, not references.
+        text = fences.sub("", text)
+        for m in LINK_RE.finditer(text):
+            dest = m.group(1)
+            if EXTERNAL.match(dest) or dest.startswith("#"):
+                continue
+            target = dest.split("#", 1)[0]
+            if not target:
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target)
+            )
+            if not os.path.exists(resolved):
+                rel = os.path.relpath(path, root)
+                bad.append(f"{rel}: broken relative link -> {dest}")
+    return bad
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    bad = check(root)
+    for line in bad:
+        print(line, file=sys.stderr)
+    if bad:
+        print(f"{len(bad)} broken relative link(s)", file=sys.stderr)
+        return 1
+    print("all relative Markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
