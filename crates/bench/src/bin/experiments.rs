@@ -1,13 +1,13 @@
 //! Regenerate every example, figure and theorem of the paper.
 //!
 //! ```text
-//! experiments [all|examples|lemmas|theorems|perf|scale|base|bank|recovery|exhaustive|monitor|analysis|compact|<id>]
+//! experiments [all|examples|lemmas|theorems|perf|scale|base|bank|recovery|exhaustive|monitor|analysis|compact|chaos|<id>]
 //!             [--trials N] [--smoke] [--json PATH]
 //! ```
 //!
 //! `<id>` ∈ {ex1 … ex5, fig3, lemma1, viewsets, lemma3, lemma4, lemma7,
 //! thm1, thm2, thm3, perf1 … perf5, scale1, scale2, base1, bank1, rec1,
-//! rec2, exh1, mon1, mon2, mon3, an1, cmp1}.
+//! rec2, exh1, mon1, mon2, mon3, an1, cmp1, cha1}.
 //! Every experiment prints a paper-vs-measured table; the exit code is
 //! nonzero if any run deviates from the paper's predicted shape.
 //!
@@ -18,7 +18,7 @@
 //! statistical power. An explicit `--trials` overrides the cap.
 //!
 //! `--json PATH` additionally writes a machine-readable record of the
-//! sweep — schema `pwsr-experiments-v7`: one entry per selected
+//! sweep — schema `pwsr-experiments-v8`: one entry per selected
 //! experiment with its verdict, wall-clock seconds, and (where the
 //! experiment measures them) processed-operation counts and the online
 //! monitor's per-op timings; a `monitor_mt` block recording the
@@ -46,15 +46,23 @@
 //! plateau pre/post sweep vs the uncompacted baseline's footprint,
 //! and both paths' ns per op) so CI can gate the compacting path's
 //! per-op overhead under 1.5× and the memory plateau staying far
-//! below the uncompacted twin.
+//! below the uncompacted twin; and a `chaos` block recording the
+//! CHA-1 deterministic fault sweep (seeded fault points injected
+//! beneath the WAL sink and into the executor workers, how many were
+//! contained per the error-policy contract, post-fault recovery
+//! round-trips, fault-free-twin parity checks, and the zombie-reap /
+//! contained-panic / timeout / WAL-error counters) so CI can fail on
+//! any uncontained fault, any recovery or parity miss, or a sweep
+//! that covers fewer than 128 points.
 
 use pwsr_bench::analysis_exp::AnalysisStats;
+use pwsr_bench::chaos_exp::ChaosStats;
 use pwsr_bench::compact_exp::CompactExpStats;
 use pwsr_bench::monitor_exp::{MonitorMtStats, MonitorStats, OccMtStats};
 use pwsr_bench::recovery_exp::RecoveryStats;
 use pwsr_bench::{
-    analysis_exp, bank_exp, base_exp, compact_exp, examples_exp, exhaustive_exp, lemmas_exp,
-    monitor_exp, perf_exp, recovery_exp, scale_exp, theorems_exp,
+    analysis_exp, bank_exp, base_exp, chaos_exp, compact_exp, examples_exp, exhaustive_exp,
+    lemmas_exp, monitor_exp, perf_exp, recovery_exp, scale_exp, theorems_exp,
 };
 
 struct Opts {
@@ -134,6 +142,9 @@ struct ExpRun {
     /// Committed-prefix-compaction stream stats (only `cmp1`); lifted
     /// into the JSON document's `compact` block.
     compact: Option<CompactExpStats>,
+    /// Chaos-plane fault-sweep stats (only `cha1`); lifted into the
+    /// JSON document's `chaos` block.
+    chaos: Option<ChaosStats>,
 }
 
 impl From<(bool, String)> for ExpRun {
@@ -149,6 +160,7 @@ impl From<(bool, String)> for ExpRun {
             analysis: None,
             recovery: None,
             compact: None,
+            chaos: None,
         }
     }
 }
@@ -185,10 +197,11 @@ fn render_json(
     analysis: &Option<AnalysisStats>,
     recovery: &Option<RecoveryStats>,
     compact: &Option<CompactExpStats>,
+    chaos: &Option<ChaosStats>,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"pwsr-experiments-v7\",\n");
+    out.push_str("  \"schema\": \"pwsr-experiments-v8\",\n");
     out.push_str(&format!("  \"selection\": \"{}\",\n", opts.what));
     out.push_str(&format!("  \"smoke\": {},\n", opts.smoke));
     out.push_str(&format!("  \"trials_override\": {},\n", opts.trials));
@@ -329,6 +342,33 @@ fn render_json(
         }
         None => out.push_str("  \"compact\": null,\n"),
     }
+    match chaos {
+        Some(stats) => {
+            out.push_str(&format!(
+                "  \"chaos\": {{\"fault_points\": {}, \"contained\": {}, \
+                 \"wal_fault_points\": {}, \"exec_fault_points\": {}, \
+                 \"recover_checks\": {}, \"recover_ok\": {}, \
+                 \"parity_checks\": {}, \"parity_ok\": {}, \
+                 \"zombie_reaps\": {}, \"worker_panics\": {}, \
+                 \"txn_timeouts\": {}, \"wal_io_errors\": {}, \
+                 \"injected_faults\": {}}},\n",
+                stats.fault_points,
+                stats.contained,
+                stats.wal_fault_points,
+                stats.exec_fault_points,
+                stats.recover_checks,
+                stats.recover_ok,
+                stats.parity_checks,
+                stats.parity_ok,
+                stats.zombie_reaps,
+                stats.worker_panics,
+                stats.txn_timeouts,
+                stats.wal_io_errors,
+                stats.injected_faults,
+            ));
+        }
+        None => out.push_str("  \"chaos\": null,\n"),
+    }
     out.push_str("  \"experiments\": [\n");
     for (k, e) in entries.iter().enumerate() {
         out.push_str(&format!(
@@ -371,6 +411,7 @@ fn main() {
     let mut analysis_stats: Option<AnalysisStats> = None;
     let mut recovery_stats: Option<RecoveryStats> = None;
     let mut compact_stats: Option<CompactExpStats> = None;
+    let mut chaos_stats: Option<ChaosStats> = None;
     {
         let monitor_out = &mut monitor_stats;
         let monitor_mt_out = &mut monitor_mt_stats;
@@ -378,6 +419,7 @@ fn main() {
         let analysis_out = &mut analysis_stats;
         let recovery_out = &mut recovery_stats;
         let compact_out = &mut compact_stats;
+        let chaos_out = &mut chaos_stats;
         let mut run = |id: &'static str, f: &dyn Fn(u64) -> ExpRun| {
             let selected =
                 matches!(opts.what.as_str(), "all") || opts.what == id || group_of(id) == opts.what;
@@ -416,6 +458,9 @@ fn main() {
                 }
                 if r.compact.is_some() {
                     *compact_out = r.compact;
+                }
+                if r.chaos.is_some() {
+                    *chaos_out = r.chaos;
                 }
             }
         };
@@ -495,6 +540,7 @@ fn main() {
                 analysis: None,
                 recovery: Some(stats),
                 compact: None,
+                chaos: None,
             }
         });
         run("exh1", &|_| exhaustive_exp::exh1().into());
@@ -512,6 +558,7 @@ fn main() {
                 analysis: None,
                 recovery: None,
                 compact: None,
+                chaos: None,
             }
         });
 
@@ -528,6 +575,7 @@ fn main() {
                 analysis: None,
                 recovery: None,
                 compact: None,
+                chaos: None,
             }
         });
 
@@ -544,6 +592,7 @@ fn main() {
                 analysis: None,
                 recovery: None,
                 compact: None,
+                chaos: None,
             }
         });
 
@@ -560,6 +609,7 @@ fn main() {
                 analysis: Some(stats),
                 recovery: None,
                 compact: None,
+                chaos: None,
             }
         });
 
@@ -576,6 +626,24 @@ fn main() {
                 analysis: None,
                 recovery: None,
                 compact: Some(stats),
+                chaos: None,
+            }
+        });
+
+        run("cha1", &|n| {
+            let (ok, text, stats) = chaos_exp::cha1(pick(n, 2), 0xC4A1);
+            ExpRun {
+                ok,
+                text,
+                ops: Some(stats.fault_points),
+                monitor_ns_per_op: None,
+                monitor: None,
+                monitor_mt: None,
+                occ_mt: None,
+                analysis: None,
+                recovery: None,
+                compact: None,
+                chaos: Some(stats),
             }
         });
     }
@@ -583,7 +651,8 @@ fn main() {
     if !matched {
         eprintln!(
             "unknown experiment {:?}; try: all, examples, lemmas, theorems, perf, scale, base, \
-             monitor, analysis, compact, or an id like ex2 / thm1 / perf2 / mon3 / an1 / cmp1",
+             monitor, analysis, compact, chaos, or an id like ex2 / thm1 / perf2 / mon3 / an1 / \
+             cmp1 / cha1",
             opts.what
         );
         std::process::exit(2);
@@ -599,6 +668,7 @@ fn main() {
             &analysis_stats,
             &recovery_stats,
             &compact_stats,
+            &chaos_stats,
         );
         if let Err(e) = std::fs::write(path, body) {
             eprintln!("failed to write {path}: {e}");
@@ -625,6 +695,7 @@ fn group_of(id: &str) -> &'static str {
         "mon1" | "mon2" | "mon3" => "monitor",
         "an1" => "analysis",
         "cmp1" => "compact",
+        "cha1" => "chaos",
         _ => "",
     }
 }

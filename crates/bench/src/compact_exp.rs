@@ -248,6 +248,9 @@ mod tests {
     /// reclaims, and stays verdict-identical to its uncompacted twin.
     #[test]
     fn cmp1_smoke() {
+        let _quiet = crate::HEAVY_TEST_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         let (ok, text, stats) = cmp1(1, 0);
         assert!(ok, "{text}");
         assert!(stats.compactions > 0);

@@ -16,19 +16,24 @@
 //!
 //! | module | contents |
 //! |---|---|
-//! | [`wal`] | frame format, [`Wal`]/[`SharedWal`], sync policies, corruption-detecting scan |
+//! | [`wal`] | frame format, [`Wal`]/[`SharedWal`], sync/error policies, corruption-detecting scan |
 //! | [`checkpoint`] | [`state_hash`], the `PWSRCKP1` checkpoint format |
 //! | [`mod@recover`] | [`recover`](recover::recover): checkpoint replay + tail replay |
+//! | [`fault`] | the deterministic chaos plane: [`FaultPlan`] and its fault points |
 //! | [`crc32`], [`sha256`] | the hand-rolled checksums |
 
 #![warn(missing_docs)]
 
 pub mod checkpoint;
 pub mod crc32;
+pub mod fault;
 pub mod recover;
 pub mod sha256;
 pub mod wal;
 
 pub use checkpoint::{advance_frontier, state_hash, Checkpoint, CheckpointError, StateHash};
+pub use fault::{ExecFault, FaultHandle, FaultPlan, WalFault, WalSite};
 pub use recover::{recover, RecoverError, Recovered};
-pub use wal::{scan, SharedWal, SyncPolicy, Wal, WalCorruption, WalRecord, WalScan, WalStats};
+pub use wal::{
+    scan, SharedWal, SyncPolicy, Wal, WalCorruption, WalErrorPolicy, WalRecord, WalScan, WalStats,
+};

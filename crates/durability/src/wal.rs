@@ -40,6 +40,7 @@ use pwsr_core::op::{Action, Operation};
 use pwsr_core::value::Value;
 
 use crate::crc32::crc32;
+use crate::fault::{FaultHandle, WalFault, WalSite};
 
 /// Bytes of the `[len][crc]` frame header.
 pub const FRAME_HEADER: usize = 8;
@@ -316,6 +317,48 @@ pub struct WalStats {
     /// Explicit syncs issued (counted even for the in-memory sink, so
     /// policy behaviour is testable without touching a filesystem).
     pub fsyncs: u64,
+    /// I/O errors observed (including ones the error policy healed).
+    pub io_errors: u64,
+    /// Appends/syncs/rotations that succeeded only after a retry.
+    pub retries: u64,
+    /// Records discarded because the WAL was already fail-stopped.
+    /// Non-zero means durable history is missing — the caller must
+    /// surface it, never ignore it.
+    pub dropped_records: u64,
+    /// Faults the chaos plane fired inside this WAL.
+    pub injected_faults: u64,
+    /// True once the WAL degraded from its file sink to memory.
+    pub degraded: bool,
+}
+
+/// How the WAL responds to an I/O error, replacing the old silent
+/// sticky-drop with an explicit, surfaced choice.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum WalErrorPolicy {
+    /// Keep the first error sticky, drop (and count) every later
+    /// record, and surface the error through [`Wal::last_error`] /
+    /// [`SharedWal::take_error`] so the admission path can refuse to
+    /// report success.
+    #[default]
+    FailStop,
+    /// Repair the sink to its last valid frame boundary and rewrite
+    /// the whole frame, up to `attempts` times with exponential
+    /// backoff capped at `cap_us` microseconds. Escalates to the
+    /// fail-stop behaviour when the attempts run out.
+    RetryBackoff {
+        /// Maximum rewrite attempts after the initial failure.
+        attempts: u32,
+        /// Backoff cap in microseconds.
+        cap_us: u64,
+    },
+    /// Abandon the failing file sink and continue appending into
+    /// memory. Nothing is lost: the logical log is the surviving file
+    /// prefix concatenated with the memory tail, reassembled by
+    /// [`Wal::dump_bytes`] (frames are self-delimiting, so the
+    /// concatenation scans cleanly). Durability is reduced, not
+    /// correctness — and the degradation is visible in
+    /// [`WalStats::degraded`].
+    DegradeToMemory,
 }
 
 enum Sink {
@@ -337,17 +380,29 @@ impl fmt::Debug for Sink {
 
 /// An append-only write-ahead log over an in-memory buffer or a file.
 ///
-/// I/O errors are sticky: the first one is retained and reported by
-/// [`Wal::io_error`] / [`Wal::take_io_error`], and subsequent appends
-/// become no-ops — the journal callbacks have no error channel, so the
-/// owner polls at sync points.
+/// I/O errors are handled by the configured [`WalErrorPolicy`]; an
+/// error the policy cannot heal becomes sticky, is reported by
+/// [`Wal::last_error`] / [`Wal::take_io_error`], and every subsequent
+/// append is dropped *and counted* ([`WalStats::dropped_records`]) —
+/// the journal callbacks have no error channel, so the owner polls at
+/// sync points and must refuse to report durable success while an
+/// error is pending.
 #[derive(Debug)]
 pub struct Wal {
     sink: Sink,
     policy: SyncPolicy,
+    error_policy: WalErrorPolicy,
+    faults: Option<FaultHandle>,
     pending: usize,
     stats: WalStats,
     io_error: Option<std::io::Error>,
+    /// Byte length of the valid frame prefix in the *current* sink
+    /// (unlike `stats.bytes`, resets on rotation) — the repair target
+    /// after a torn write.
+    good_len: u64,
+    /// Set when a file sink degraded to memory: the abandoned path and
+    /// the length of its surviving valid prefix.
+    degraded_prefix: Option<(PathBuf, u64)>,
 }
 
 impl Wal {
@@ -356,9 +411,13 @@ impl Wal {
         Wal {
             sink: Sink::Mem(Vec::new()),
             policy,
+            error_policy: WalErrorPolicy::default(),
+            faults: None,
             pending: 0,
             stats: WalStats::default(),
             io_error: None,
+            good_len: 0,
+            degraded_prefix: None,
         }
     }
 
@@ -371,31 +430,48 @@ impl Wal {
                 path: path.to_path_buf(),
             },
             policy,
+            error_policy: WalErrorPolicy::default(),
+            faults: None,
             pending: 0,
             stats: WalStats::default(),
             io_error: None,
+            good_len: 0,
+            degraded_prefix: None,
         })
+    }
+
+    /// Choose how I/O errors are handled. Builder-style.
+    pub fn with_error_policy(mut self, policy: WalErrorPolicy) -> Wal {
+        self.error_policy = policy;
+        self
+    }
+
+    /// Arm a fault plan beneath the sink. Builder-style.
+    pub fn with_faults(mut self, faults: FaultHandle) -> Wal {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// The error policy this WAL was built with.
+    pub fn error_policy(&self) -> WalErrorPolicy {
+        self.error_policy
     }
 
     /// Append one record, applying the sync policy.
     pub fn append(&mut self, record: &WalRecord) {
         if self.io_error.is_some() {
+            self.stats.dropped_records += 1;
             return;
         }
         let frame = record.encode_frame();
-        let res = match &mut self.sink {
-            Sink::Mem(buf) => {
-                buf.extend_from_slice(&frame);
-                Ok(())
-            }
-            Sink::File { writer, .. } => writer.write_all(&frame),
-        };
-        if let Err(e) = res {
+        if let Err(e) = self.append_frame_with_policy(&frame) {
             self.io_error = Some(e);
+            self.stats.dropped_records += 1;
             return;
         }
         self.stats.appends += 1;
         self.stats.bytes += frame.len() as u64;
+        self.good_len += frame.len() as u64;
         self.pending += 1;
         match self.policy {
             SyncPolicy::PerRecord => self.sync(),
@@ -406,6 +482,116 @@ impl Wal {
             }
             SyncPolicy::Off => {}
         }
+    }
+
+    /// Write one frame, routing failures through the error policy.
+    fn append_frame_with_policy(&mut self, frame: &[u8]) -> std::io::Result<()> {
+        let first = match self.write_frame(frame) {
+            Ok(()) => return Ok(()),
+            Err(e) => e,
+        };
+        self.stats.io_errors += 1;
+        match self.error_policy {
+            WalErrorPolicy::FailStop => Err(first),
+            WalErrorPolicy::RetryBackoff { attempts, cap_us } => {
+                let mut backoff = 1u64;
+                for _ in 0..attempts {
+                    // A failed write may have left a partial frame;
+                    // repair back to the last frame boundary before
+                    // rewriting the whole frame.
+                    self.repair_sink()?;
+                    match self.write_frame(frame) {
+                        Ok(()) => {
+                            self.stats.retries += 1;
+                            return Ok(());
+                        }
+                        Err(_) => {
+                            self.stats.io_errors += 1;
+                            std::thread::sleep(std::time::Duration::from_micros(
+                                backoff.min(cap_us.max(1)),
+                            ));
+                            backoff = backoff.saturating_mul(2);
+                        }
+                    }
+                }
+                Err(first)
+            }
+            WalErrorPolicy::DegradeToMemory => {
+                self.degrade();
+                self.write_frame(frame)
+            }
+        }
+    }
+
+    /// Raw frame write with the chaos plane consulted first.
+    fn write_frame(&mut self, frame: &[u8]) -> std::io::Result<()> {
+        if let Some(fault) = self
+            .faults
+            .as_ref()
+            .and_then(|p| p.fire_wal(WalSite::Append))
+        {
+            self.stats.injected_faults += 1;
+            if let WalFault::ShortWrite { keep } = fault {
+                let keep = keep.min(frame.len().saturating_sub(1));
+                match &mut self.sink {
+                    Sink::Mem(buf) => buf.extend_from_slice(&frame[..keep]),
+                    Sink::File { writer, .. } => writer.write_all(&frame[..keep])?,
+                }
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "injected short write",
+                ));
+            }
+            return Err(std::io::Error::other("injected write error"));
+        }
+        match &mut self.sink {
+            Sink::Mem(buf) => {
+                buf.extend_from_slice(frame);
+                Ok(())
+            }
+            Sink::File { writer, .. } => writer.write_all(frame),
+        }
+    }
+
+    /// Truncate the sink back to its last valid frame boundary,
+    /// discarding any partial frame a failed write left behind.
+    fn repair_sink(&mut self) -> std::io::Result<()> {
+        match &mut self.sink {
+            Sink::Mem(buf) => {
+                buf.truncate(self.good_len as usize);
+                Ok(())
+            }
+            Sink::File { writer, .. } => {
+                // Push any buffered partial bytes down so set_len sees
+                // them; a failure here still ends in a clean truncate.
+                let _ = writer.flush();
+                writer.get_mut().set_len(self.good_len)?;
+                writer.get_mut().seek(SeekFrom::End(0)).map(|_| ())
+            }
+        }
+    }
+
+    /// Abandon a failing file sink for an in-memory one, remembering
+    /// the surviving file prefix so [`Wal::dump_bytes`] can reassemble
+    /// the full logical log.
+    fn degrade(&mut self) {
+        let abandoned = match &mut self.sink {
+            Sink::Mem(buf) => {
+                buf.truncate(self.good_len as usize);
+                None
+            }
+            Sink::File { writer, path } => {
+                let _ = writer.flush();
+                let _ = writer.get_ref().sync_data();
+                Some(path.clone())
+            }
+        };
+        if let Some(path) = abandoned {
+            self.degraded_prefix = Some((path, self.good_len));
+            self.sink = Sink::Mem(Vec::new());
+            self.good_len = 0;
+        }
+        self.stats.degraded = true;
     }
 
     /// Append an operation record without constructing a `WalRecord`.
@@ -419,16 +605,64 @@ impl Wal {
         if self.io_error.is_some() {
             return;
         }
-        let res = match &mut self.sink {
-            Sink::Mem(_) => Ok(()),
-            Sink::File { writer, .. } => writer.flush().and_then(|()| writer.get_ref().sync_data()),
-        };
-        match res {
+        match self.sync_with_policy() {
             Ok(()) => {
                 self.stats.fsyncs += 1;
                 self.pending = 0;
             }
             Err(e) => self.io_error = Some(e),
+        }
+    }
+
+    fn do_sync(&mut self) -> std::io::Result<()> {
+        if self
+            .faults
+            .as_ref()
+            .and_then(|p| p.fire_wal(WalSite::Sync))
+            .is_some()
+        {
+            self.stats.injected_faults += 1;
+            return Err(std::io::Error::other("injected fsync failure"));
+        }
+        match &mut self.sink {
+            Sink::Mem(_) => Ok(()),
+            Sink::File { writer, .. } => writer.flush().and_then(|()| writer.get_ref().sync_data()),
+        }
+    }
+
+    fn sync_with_policy(&mut self) -> std::io::Result<()> {
+        let first = match self.do_sync() {
+            Ok(()) => return Ok(()),
+            Err(e) => e,
+        };
+        self.stats.io_errors += 1;
+        match self.error_policy {
+            WalErrorPolicy::FailStop => Err(first),
+            WalErrorPolicy::RetryBackoff { attempts, cap_us } => {
+                let mut backoff = 1u64;
+                for _ in 0..attempts {
+                    match self.do_sync() {
+                        Ok(()) => {
+                            self.stats.retries += 1;
+                            return Ok(());
+                        }
+                        Err(_) => {
+                            self.stats.io_errors += 1;
+                            std::thread::sleep(std::time::Duration::from_micros(
+                                backoff.min(cap_us.max(1)),
+                            ));
+                            backoff = backoff.saturating_mul(2);
+                        }
+                    }
+                }
+                Err(first)
+            }
+            WalErrorPolicy::DegradeToMemory => {
+                // Memory needs no durability barrier; degrade and
+                // report the (vacuous) sync as successful.
+                self.degrade();
+                Ok(())
+            }
         }
     }
 
@@ -439,6 +673,7 @@ impl Wal {
         }
         if let Sink::File { writer, .. } = &mut self.sink {
             if let Err(e) = writer.flush() {
+                self.stats.io_errors += 1;
                 self.io_error = Some(e);
             }
         }
@@ -451,7 +686,29 @@ impl Wal {
         if self.io_error.is_some() {
             return;
         }
-        let res = match &mut self.sink {
+        match self.restart_with_policy() {
+            Ok(()) => {
+                self.pending = 0;
+                self.good_len = 0;
+                // The rotation discards all prior records; a prefix
+                // surviving from an earlier degradation is obsolete.
+                self.degraded_prefix = None;
+            }
+            Err(e) => self.io_error = Some(e),
+        }
+    }
+
+    fn do_restart(&mut self) -> std::io::Result<()> {
+        if self
+            .faults
+            .as_ref()
+            .and_then(|p| p.fire_wal(WalSite::Rotate))
+            .is_some()
+        {
+            self.stats.injected_faults += 1;
+            return Err(std::io::Error::other("injected rotate failure"));
+        }
+        match &mut self.sink {
             Sink::Mem(buf) => {
                 buf.clear();
                 Ok(())
@@ -460,11 +717,47 @@ impl Wal {
                 .flush()
                 .and_then(|()| writer.get_mut().set_len(0))
                 .and_then(|()| writer.get_mut().seek(SeekFrom::Start(0)).map(|_| ())),
-        };
-        if let Err(e) = res {
-            self.io_error = Some(e);
         }
-        self.pending = 0;
+    }
+
+    fn restart_with_policy(&mut self) -> std::io::Result<()> {
+        let first = match self.do_restart() {
+            Ok(()) => return Ok(()),
+            Err(e) => e,
+        };
+        self.stats.io_errors += 1;
+        match self.error_policy {
+            WalErrorPolicy::FailStop => Err(first),
+            WalErrorPolicy::RetryBackoff { attempts, cap_us } => {
+                let mut backoff = 1u64;
+                for _ in 0..attempts {
+                    match self.do_restart() {
+                        Ok(()) => {
+                            self.stats.retries += 1;
+                            return Ok(());
+                        }
+                        Err(_) => {
+                            self.stats.io_errors += 1;
+                            std::thread::sleep(std::time::Duration::from_micros(
+                                backoff.min(cap_us.max(1)),
+                            ));
+                            backoff = backoff.saturating_mul(2);
+                        }
+                    }
+                }
+                Err(first)
+            }
+            WalErrorPolicy::DegradeToMemory => {
+                // A rotation that cannot touch the file starts the
+                // fresh (empty) log in memory instead; the stale file
+                // content is superseded either way.
+                self.stats.degraded = true;
+                self.degraded_prefix = None;
+                self.sink = Sink::Mem(Vec::new());
+                self.good_len = 0;
+                Ok(())
+            }
+        }
     }
 
     /// Counters so far.
@@ -482,6 +775,12 @@ impl Wal {
         self.io_error.as_ref()
     }
 
+    /// First unhealed I/O error, if any (alias of [`Wal::io_error`]
+    /// under the name admission paths use).
+    pub fn last_error(&self) -> Option<&std::io::Error> {
+        self.io_error.as_ref()
+    }
+
     /// Take the sticky I/O error, clearing it.
     pub fn take_io_error(&mut self) -> Option<std::io::Error> {
         self.io_error.take()
@@ -493,6 +792,32 @@ impl Wal {
             Sink::Mem(buf) => Some(buf),
             Sink::File { .. } => None,
         }
+    }
+
+    /// The full logical log: the valid frame prefix of the current
+    /// sink, preceded by the surviving file prefix if this WAL
+    /// degraded to memory mid-run. Works for both sinks (file sinks
+    /// are flushed first); partial frames from torn writes are
+    /// excluded, so the result always scans cleanly.
+    pub fn dump_bytes(&mut self) -> std::io::Result<Vec<u8>> {
+        let mut out = Vec::new();
+        if let Some((path, prefix)) = &self.degraded_prefix {
+            let mut head = std::fs::read(path)?;
+            head.truncate(*prefix as usize);
+            out = head;
+        }
+        let good = self.good_len as usize;
+        match &mut self.sink {
+            Sink::Mem(buf) => out.extend_from_slice(&buf[..good.min(buf.len())]),
+            Sink::File { writer, path } => {
+                writer.flush()?;
+                let path = path.clone();
+                let mut bytes = std::fs::read(path)?;
+                bytes.truncate(good);
+                out.extend_from_slice(&bytes);
+            }
+        }
+        Ok(out)
     }
 
     /// Path of the backing file (file sink only).
@@ -560,6 +885,24 @@ impl SharedWal {
     pub fn snapshot(&self) -> Option<Vec<u8>> {
         self.0.lock().mem_bytes().map(<[u8]>::to_vec)
     }
+
+    /// Take the sticky (unhealed) I/O error, clearing it. Admission
+    /// paths call this at their sync points: `Some` means durable
+    /// history was lost and the run must not be reported successful.
+    pub fn take_error(&self) -> Option<std::io::Error> {
+        self.0.lock().take_io_error()
+    }
+
+    /// True while no unhealed I/O error is pending.
+    pub fn healthy(&self) -> bool {
+        self.0.lock().io_error().is_none()
+    }
+
+    /// The full logical log bytes for either sink (see
+    /// [`Wal::dump_bytes`]).
+    pub fn dump_bytes(&self) -> std::io::Result<Vec<u8>> {
+        self.0.lock().dump_bytes()
+    }
 }
 
 impl MonitorJournal for SharedWal {
@@ -583,6 +926,7 @@ impl MonitorJournal for SharedWal {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
 
     fn op(txn: u32, item: u32, write: bool, value: Value) -> Operation {
         if write {
@@ -729,6 +1073,178 @@ mod tests {
             scan(wal.mem_bytes().unwrap()).records,
             vec![WalRecord::Floor(3)]
         );
+    }
+
+    #[test]
+    fn fail_stop_surfaces_and_counts_drops() {
+        let plan = FaultPlan::new()
+            .on_wal(WalSite::Append, 2, WalFault::ShortWrite { keep: 3 })
+            .share();
+        let records = sample_records();
+        let mut wal = Wal::in_memory(SyncPolicy::Off).with_faults(plan.clone());
+        for r in &records {
+            wal.append(r);
+        }
+        assert!(wal.last_error().is_some(), "fault must surface");
+        assert_eq!(wal.stats().appends, 2);
+        assert_eq!(wal.stats().io_errors, 1);
+        assert_eq!(
+            wal.stats().dropped_records,
+            records.len() as u64 - 2,
+            "every record after the fail-stop must be counted as dropped"
+        );
+        assert_eq!(plan.injected(), 1);
+        // The valid prefix excludes the torn frame.
+        let bytes = wal.dump_bytes().unwrap();
+        let s = scan(&bytes);
+        assert_eq!(s.records, records[..2]);
+        assert_eq!(s.corruption, None);
+        assert!(wal.take_io_error().is_some());
+        assert!(wal.last_error().is_none());
+    }
+
+    #[test]
+    fn retry_backoff_heals_a_torn_write() {
+        let plan = FaultPlan::new()
+            .on_wal(WalSite::Append, 1, WalFault::ShortWrite { keep: 5 })
+            .share();
+        let records = sample_records();
+        let mut wal = Wal::in_memory(SyncPolicy::Off)
+            .with_faults(plan)
+            .with_error_policy(WalErrorPolicy::RetryBackoff {
+                attempts: 3,
+                cap_us: 10,
+            });
+        for r in &records {
+            wal.append(r);
+        }
+        assert!(wal.last_error().is_none(), "retry must heal the fault");
+        assert_eq!(wal.stats().appends, records.len() as u64);
+        assert_eq!(wal.stats().io_errors, 1);
+        assert_eq!(wal.stats().retries, 1);
+        assert_eq!(wal.stats().dropped_records, 0);
+        // The repaired log holds every record, no torn bytes between.
+        let s = scan(&wal.dump_bytes().unwrap());
+        assert_eq!(s.records, records);
+        assert_eq!(s.corruption, None);
+    }
+
+    #[test]
+    fn retry_exhaustion_escalates_to_fail_stop() {
+        let mut plan = FaultPlan::new();
+        for idx in 1..6 {
+            plan = plan.on_wal(WalSite::Append, idx, WalFault::ShortWrite { keep: 2 });
+        }
+        let mut wal = Wal::in_memory(SyncPolicy::Off)
+            .with_faults(plan.share())
+            .with_error_policy(WalErrorPolicy::RetryBackoff {
+                attempts: 3,
+                cap_us: 10,
+            });
+        for r in sample_records().iter().take(3) {
+            wal.append(r);
+        }
+        assert!(wal.last_error().is_some(), "persistent fault must escalate");
+        assert!(wal.stats().dropped_records >= 1);
+        let s = scan(&wal.dump_bytes().unwrap());
+        assert_eq!(s.records, sample_records()[..1]);
+    }
+
+    #[test]
+    fn degrade_to_memory_loses_nothing() {
+        let dir = std::env::temp_dir().join("pwsr_wal_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("wal_degrade_{}.log", std::process::id()));
+        let plan = FaultPlan::new()
+            .on_wal(WalSite::Append, 3, WalFault::ShortWrite { keep: 1 })
+            .share();
+        let records = sample_records();
+        let mut wal = Wal::create(&path, SyncPolicy::Batched(2))
+            .unwrap()
+            .with_faults(plan)
+            .with_error_policy(WalErrorPolicy::DegradeToMemory);
+        for r in &records {
+            wal.append(r);
+        }
+        assert!(wal.last_error().is_none());
+        assert!(wal.stats().degraded);
+        assert_eq!(wal.stats().appends, records.len() as u64);
+        // Full logical log = surviving file prefix ++ memory tail.
+        let s = scan(&wal.dump_bytes().unwrap());
+        assert_eq!(s.records, records);
+        assert_eq!(s.corruption, None);
+        // The abandoned file still scans cleanly up to the tear.
+        let on_disk = scan(&std::fs::read(&path).unwrap());
+        assert_eq!(on_disk.records, records[..3]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn sync_failure_policies() {
+        // Fail-stop: surfaced.
+        let plan = FaultPlan::new()
+            .on_wal(WalSite::Sync, 0, WalFault::SyncFail)
+            .share();
+        let mut wal = Wal::in_memory(SyncPolicy::PerRecord).with_faults(plan);
+        wal.append(&WalRecord::Reset);
+        assert!(wal.last_error().is_some());
+        // Retry: healed.
+        let plan = FaultPlan::new()
+            .on_wal(WalSite::Sync, 0, WalFault::SyncFail)
+            .share();
+        let mut wal = Wal::in_memory(SyncPolicy::PerRecord)
+            .with_faults(plan)
+            .with_error_policy(WalErrorPolicy::RetryBackoff {
+                attempts: 2,
+                cap_us: 10,
+            });
+        wal.append(&WalRecord::Reset);
+        assert!(wal.last_error().is_none());
+        assert_eq!(wal.stats().retries, 1);
+        assert_eq!(wal.stats().fsyncs, 1);
+    }
+
+    #[test]
+    fn rotate_failure_degrades_to_fresh_memory_log() {
+        let dir = std::env::temp_dir().join("pwsr_wal_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("wal_rotate_{}.log", std::process::id()));
+        let plan = FaultPlan::new()
+            .on_wal(WalSite::Rotate, 0, WalFault::RotateFail)
+            .share();
+        let mut wal = Wal::create(&path, SyncPolicy::Off)
+            .unwrap()
+            .with_faults(plan)
+            .with_error_policy(WalErrorPolicy::DegradeToMemory);
+        wal.append(&WalRecord::Reset);
+        wal.restart();
+        assert!(wal.last_error().is_none());
+        assert!(wal.stats().degraded);
+        // The post-rotation log is empty and lives in memory.
+        assert!(wal.dump_bytes().unwrap().is_empty());
+        wal.append(&WalRecord::Floor(2));
+        assert_eq!(
+            scan(&wal.dump_bytes().unwrap()).records,
+            vec![WalRecord::Floor(2)]
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn dump_bytes_matches_file_contents() {
+        let dir = std::env::temp_dir().join("pwsr_wal_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("wal_dump_{}.log", std::process::id()));
+        let records = sample_records();
+        let mut wal = Wal::create(&path, SyncPolicy::Off).unwrap();
+        for r in &records {
+            wal.append(r);
+        }
+        let dumped = wal.dump_bytes().unwrap();
+        assert_eq!(scan(&dumped).records, records);
+        wal.sync();
+        assert_eq!(std::fs::read(&path).unwrap(), dumped);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

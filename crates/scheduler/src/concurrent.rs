@@ -52,13 +52,15 @@ use pwsr_core::op::Operation;
 use pwsr_core::schedule::Schedule;
 use pwsr_core::state::{DbState, ItemSet};
 use pwsr_core::value::Value;
+use pwsr_durability::fault::{ExecFault, FaultHandle};
 use pwsr_tplang::ast::Program;
 use pwsr_tplang::interp::{run_with_reads, RunOutcome};
 use pwsr_tplang::session::{Pending, ProgramSession};
 use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Shared execution state behind one mutex (uncertified path: the
 /// database and trace are updated together; contention here is
@@ -318,9 +320,17 @@ pub fn run_threaded_certified(
 
     let (monitored, verdict) = monitor.into_parts();
     let schedule = splice_side_trace(monitored, side.into_inner())?;
-    // Make the journaled tail durable before reporting success.
+    // Make the journaled tail durable before reporting success — and
+    // refuse to report success at all if the WAL's error policy could
+    // not heal an I/O failure (fail-stop): the schedule would claim a
+    // durability the log cannot back.
     if let Some(wal) = policy.monitor.as_ref().and_then(|s| s.wal.as_ref()) {
         wal.sync();
+        if let Some(error) = wal.take_error() {
+            return Err(SchedError::WalFailed {
+                error: error.to_string(),
+            });
+        }
     }
     Ok((schedule, db.into_state(), verdict))
 }
@@ -430,6 +440,9 @@ struct OccMtCounters {
     undone_ops: AtomicU64,
     dirty_waits: AtomicU64,
     skipped_ops: AtomicU64,
+    txn_timeouts: AtomicU64,
+    zombie_reaps: AtomicU64,
+    worker_panics: AtomicU64,
 }
 
 /// Outcome of [`run_threaded_occ_certified`]: the committed schedule
@@ -454,9 +467,15 @@ pub struct OccThreadedOutcome {
 enum AttemptEnd {
     Committed,
     /// Roll back and retry: the access that broke the admission floor
-    /// (certification abort), or a bounded dirty-wait expired
-    /// (conflict abort).
+    /// (certification abort), a bounded dirty-wait expired (conflict
+    /// abort), or the attempt outlived its deadline (timeout — self-
+    /// detected or discovered after a zombie reap).
     Aborted,
+    /// The worker panicked mid-attempt and the panic was contained:
+    /// the transaction's suffix is retracted, its writes rolled back,
+    /// and it is **never retried** — the pool keeps committing without
+    /// it.
+    Died,
 }
 
 /// Executor knobs for the OCC path, all with conservative defaults
@@ -481,6 +500,21 @@ pub struct OccTuning {
     /// chains — a hot transaction that lost 50 races would sleep
     /// ~50 yields even though the conflict window is 2–3 ops wide.
     pub backoff_cap: u32,
+    /// Attempt deadline in microseconds; `0` disables deadlines (the
+    /// default). When armed, an attempt that outlives the deadline is
+    /// aborted — by itself at its next access, or by a **zombie
+    /// reaper**: any worker parked on one of the zombie's dirty items
+    /// retracts the zombie's monitor suffix and rolls its writes back
+    /// ([`Metrics::zombie_reaps`]), so one stalled worker cannot wedge
+    /// the pool. The reaped transaction retries with a fresh deadline.
+    pub txn_deadline_us: u64,
+    /// Deterministic fault plane
+    /// ([`FaultPlan`](pwsr_durability::fault::FaultPlan)): executor
+    /// faults keyed on `(txn, access index)` fire inside the worker
+    /// loop — stalls, panics, panics under a stripe lock. `None` (the
+    /// default) means no instrumentation and no overhead beyond one
+    /// `Option` check per access.
+    pub faults: Option<FaultHandle>,
 }
 
 impl Default for OccTuning {
@@ -490,6 +524,8 @@ impl Default for OccTuning {
             park_budget: 256,
             park_timeout_us: 500,
             backoff_cap: 24,
+            txn_deadline_us: 0,
+            faults: None,
         }
     }
 }
@@ -612,25 +648,37 @@ pub fn run_threaded_occ_tuned(
     let commits = AtomicU64::new(0);
     let live: Mutex<std::collections::HashSet<TxnId>> =
         Mutex::new((0..programs.len()).map(|k| TxnId(k as u32 + 1)).collect());
+    let registry = TxnRegistry::new(programs.len());
+    let deadline =
+        (tuning.txn_deadline_us > 0).then(|| Duration::from_micros(tuning.txn_deadline_us));
 
     std::thread::scope(|scope| -> Result<()> {
         let mut handles = Vec::new();
         for _ in 0..threads.min(programs.len().max(1)) {
             let (monitor, db, counters, next, side) = (&monitor, &db, &counters, &next, &side);
-            let (commits, live) = (&commits, &live);
+            let (commits, live, registry) = (&commits, &live, &registry);
             handles.push(scope.spawn(move || -> Result<()> {
+                let ctx = OccCtx {
+                    monitor,
+                    db,
+                    counters,
+                    registry,
+                    side,
+                    certificate,
+                    level,
+                    tuning,
+                    deadline,
+                };
                 loop {
                     let k = next.fetch_add(1, Ordering::Relaxed);
                     let Some(program) = programs.get(k) else {
                         return Ok(());
                     };
                     let txn = TxnId(k as u32 + 1);
-                    let fast = certificate.is_some_and(|c| c.covers(txn)).then_some(side);
+                    let fast = ctx.fast_of(txn);
                     let mut restarts = 0u32;
                     loop {
-                        match occ_attempt(
-                            program, catalog, txn, monitor, db, counters, level, fast, tuning,
-                        )? {
+                        match occ_attempt(&ctx, program, catalog, txn)? {
                             AttemptEnd::Committed => {
                                 // An OCC commit is final — committed
                                 // transactions are never resurrected —
@@ -666,6 +714,20 @@ pub fn run_threaded_occ_tuned(
                                     std::thread::yield_now();
                                 }
                             }
+                            AttemptEnd::Died => {
+                                // Contained worker panic: the
+                                // transaction's suffix is retracted and
+                                // its writes rolled back — it is gone
+                                // for good, never retried. Removing it
+                                // from `live` lets the compaction
+                                // frontier advance past its (absent)
+                                // operations; deliberately no
+                                // abort/retry counting (nothing will
+                                // re-run), preserving `aborts ==
+                                // retries` for the survivors.
+                                live.lock().remove(&txn);
+                                break;
+                            }
                         }
                     }
                 }
@@ -689,14 +751,35 @@ pub fn run_threaded_occ_tuned(
         monitor_undone_ops: counters.undone_ops.load(Ordering::Relaxed),
         monitor_skipped_ops: counters.skipped_ops.load(Ordering::Relaxed),
         waits: counters.dirty_waits.load(Ordering::Relaxed),
+        txn_timeouts: counters.txn_timeouts.load(Ordering::Relaxed),
+        zombie_reaps: counters.zombie_reaps.load(Ordering::Relaxed),
+        worker_panics: counters.worker_panics.load(Ordering::Relaxed),
         ..Metrics::default()
     };
+    // When one `FaultPlan` instruments both the executor and the WAL,
+    // `FaultPlan::injected` is the authoritative total; with faults
+    // armed only beneath the WAL, its stats carry the count.
+    if let Some(faults) = &tuning.faults {
+        metrics.injected_faults = faults.injected();
+    }
     if let Some(wal) = &spec.wal {
         wal.sync();
         let ws = wal.stats();
         metrics.wal_appends = ws.appends;
         metrics.wal_bytes = ws.bytes;
         metrics.wal_fsyncs = ws.fsyncs;
+        metrics.wal_io_errors = ws.io_errors;
+        if tuning.faults.is_none() {
+            metrics.injected_faults = ws.injected_faults;
+        }
+        // Self-healing policies (retry/degrade) leave no sticky error
+        // behind; under fail-stop a surviving error means durable
+        // history is incomplete and the run must not report success.
+        if let Some(error) = wal.take_error() {
+            return Err(SchedError::WalFailed {
+                error: error.to_string(),
+            });
+        }
     }
     Ok(OccThreadedOutcome {
         schedule,
@@ -708,6 +791,194 @@ pub fn run_threaded_occ_tuned(
 
 /// Store rollback journal of one attempt: `(item, displaced value)`.
 type WriteUndo = Vec<(ItemId, Option<Value>)>;
+
+/// Lifecycle of one transaction's current attempt, as owner and
+/// reaper see it through the slot mutex.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SlotState {
+    /// No attempt in flight (initial; also post-abort, between
+    /// retries).
+    Idle,
+    /// An attempt is executing; `started` anchors its deadline.
+    Running,
+    /// A reaper aborted the attempt from outside. The owner discovers
+    /// this at its next slot touch, compensates any in-flight access,
+    /// and retries.
+    Reaped,
+    /// The transaction died to a contained panic; it never runs again.
+    Dead,
+    /// The attempt committed.
+    Committed,
+}
+
+/// One transaction's shared attempt state. The store-undo journal
+/// lives here — not on the worker's stack — precisely so a *reaper on
+/// another thread* can roll the attempt back; the slot mutex is the
+/// synchronization point between owner and reaper. Lock ordering:
+/// slot → stripe/monitor, never the reverse (`with_clean_stripe`
+/// drops its stripe guard before reaping, and no stripe action ever
+/// touches a slot).
+struct TxnSlot {
+    state: SlotState,
+    started: Instant,
+    applied: WriteUndo,
+}
+
+/// One slot per transaction (`TxnId(k+1)` ↔ index `k`).
+struct TxnRegistry {
+    slots: Vec<Mutex<TxnSlot>>,
+}
+
+impl TxnRegistry {
+    fn new(n: usize) -> TxnRegistry {
+        TxnRegistry {
+            slots: (0..n)
+                .map(|_| {
+                    Mutex::new(TxnSlot {
+                        state: SlotState::Idle,
+                        started: Instant::now(),
+                        applied: Vec::new(),
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    fn slot(&self, txn: TxnId) -> &Mutex<TxnSlot> {
+        &self.slots[txn.0 as usize - 1]
+    }
+
+    /// Open a fresh attempt: clear the undo journal, restart the
+    /// deadline clock.
+    fn begin(&self, txn: TxnId) {
+        let mut slot = self.slot(txn).lock();
+        slot.state = SlotState::Running;
+        slot.started = Instant::now();
+        slot.applied.clear();
+    }
+}
+
+/// Everything one OCC worker needs, bundled — the attempt, abort, and
+/// reap helpers otherwise drown in arguments.
+struct OccCtx<'a> {
+    monitor: &'a ShardedMonitor,
+    db: &'a OccStripedDb,
+    counters: &'a OccMtCounters,
+    registry: &'a TxnRegistry,
+    side: &'a Mutex<Vec<Operation>>,
+    certificate: Option<&'a StaticCertificate>,
+    level: AdmissionLevel,
+    tuning: &'a OccTuning,
+    deadline: Option<Duration>,
+}
+
+impl<'a> OccCtx<'a> {
+    /// `Some(side trace)` when a static certificate covers `txn` —
+    /// needed both for the worker's own transaction and for a reap
+    /// victim's (whose recording target may differ from the reaper's).
+    fn fast_of(&self, txn: TxnId) -> Option<&'a Mutex<Vec<Operation>>> {
+        self.certificate
+            .is_some_and(|c| c.covers(txn))
+            .then_some(self.side)
+    }
+}
+
+/// Reap `victim` if its current attempt has outlived the deadline:
+/// flip its slot to `Reaped` (the victim discovers this at its next
+/// slot touch and aborts), retract its monitor suffix, then roll back
+/// its registered store writes — retraction first, exactly as in a
+/// self-abort, so reads-from assignments stay stable while the dirty
+/// marks still stand.
+///
+/// The rollback does **not** drain the victim's undo journal: the
+/// victim may have one access in flight that lands *after* this sweep,
+/// and it needs the journal intact to compensate that access with the
+/// attempt's original displaced value (see `occ_attempt_inner`).
+fn try_reap(ctx: &OccCtx<'_>, victim: TxnId) -> bool {
+    let Some(deadline) = ctx.deadline else {
+        return false;
+    };
+    let mut slot = ctx.registry.slot(victim).lock();
+    if !matches!(slot.state, SlotState::Running) || slot.started.elapsed() < deadline {
+        return false;
+    }
+    slot.state = SlotState::Reaped;
+    let fast = ctx.fast_of(victim);
+    let undone = retract_attempt(ctx.monitor, fast, victim);
+    ctx.counters
+        .undone_ops
+        .fetch_add(undone as u64, Ordering::Relaxed);
+    for (item, old) in slot.applied.iter().rev() {
+        let cell = &ctx.db.stripes[ctx.db.stripe_of(*item)];
+        {
+            let mut stripe = cell.state.lock();
+            match old {
+                Some(v) => {
+                    stripe.db.set(*item, v.clone());
+                }
+                None => {
+                    stripe.db.unset(*item);
+                }
+            }
+            stripe.dirty.remove(item);
+        }
+        cell.cv.notify_all();
+    }
+    ctx.counters.zombie_reaps.fetch_add(1, Ordering::Relaxed);
+    true
+}
+
+/// Clean up after an errored or panicked attempt. If the attempt is
+/// still `Running`, retract its suffix and roll back its writes; if a
+/// reaper got there first, the shared state is already clean except
+/// possibly one in-flight access whose recorded op the reaper's sweep
+/// could not see — retract that residue. On the panic path
+/// (`end_state == Dead`) a final stripe sweep clears any dirty mark
+/// the dead transaction still owns: injected panics fire outside
+/// mutation windows and never strand one, but an arbitrary
+/// mid-mutation panic must not leave a mark that wedges every waiter
+/// (it forfeits the displaced value — the price of containment for
+/// panics the fault plane did not choreograph).
+fn cleanup_attempt(
+    ctx: &OccCtx<'_>,
+    txn: TxnId,
+    fast: Option<&Mutex<Vec<Operation>>>,
+    end_state: SlotState,
+) {
+    {
+        let mut slot = ctx.registry.slot(txn).lock();
+        if matches!(slot.state, SlotState::Running) {
+            let undone = retract_attempt(ctx.monitor, fast, txn);
+            ctx.counters
+                .undone_ops
+                .fetch_add(undone as u64, Ordering::Relaxed);
+            let mut applied = std::mem::take(&mut slot.applied);
+            rollback_store(ctx.db, &mut applied);
+        } else {
+            let _ = retract_attempt(ctx.monitor, fast, txn);
+        }
+        slot.state = end_state;
+    }
+    if matches!(end_state, SlotState::Dead) {
+        for cell in &ctx.db.stripes {
+            let cleared = {
+                let mut stripe = cell.state.lock();
+                let owned: Vec<ItemId> = stripe
+                    .dirty
+                    .iter()
+                    .filter_map(|(&i, &w)| (w == txn).then_some(i))
+                    .collect();
+                for item in &owned {
+                    stripe.dirty.remove(item);
+                }
+                !owned.is_empty()
+            };
+            if cleared {
+                cell.cv.notify_all();
+            }
+        }
+    }
+}
 
 /// Squash an attempt's applied writes (newest first): restore the
 /// displaced values and clear the dirty marks. Must run **after** the
@@ -749,14 +1020,20 @@ fn rollback_store(db: &OccStripedDb, applied: &mut WriteUndo) {
 /// possible write-write wait cycle — the caller aborts itself to
 /// break it — and a hypothetically lost wakeup costs one timeout,
 /// never a deadlock.
+///
+/// When deadlines are armed, the park loop doubles as the **zombie
+/// reaper**: before each park the waiter checks whether the dirty
+/// mark's holder has outlived its deadline and, if so, reaps it
+/// ([`try_reap`]) instead of burning the whole park budget on a
+/// stalled or dead writer. The stripe guard is dropped across the
+/// reap — slot locks are always taken before stripe locks.
 fn with_clean_stripe<T>(
-    db: &OccStripedDb,
-    counters: &OccMtCounters,
-    tuning: &OccTuning,
+    ctx: &OccCtx<'_>,
     txn: TxnId,
     item: ItemId,
     mut action: impl FnMut(&mut OccStripe) -> Result<T>,
 ) -> Result<Option<T>> {
+    let (db, counters, tuning) = (ctx.db, ctx.counters, ctx.tuning);
     let cell = &db.stripes[db.stripe_of(item)];
     let clean = |stripe: &OccStripe| stripe.dirty.get(&item).is_none_or(|&w| w == txn);
     // Phase 1: spin fast path.
@@ -781,6 +1058,17 @@ fn with_clean_stripe<T>(
     loop {
         if clean(&stripe) {
             return action(&mut stripe).map(Some);
+        }
+        if ctx.deadline.is_some() {
+            let holder = stripe.dirty.get(&item).copied();
+            if let Some(victim) = holder.filter(|&v| v != txn) {
+                drop(stripe);
+                try_reap(ctx, victim);
+                stripe = cell.state.lock();
+                if clean(&stripe) {
+                    continue;
+                }
+            }
         }
         if parks >= tuning.park_budget {
             return Ok(None);
@@ -821,82 +1109,119 @@ fn retract_attempt(
     }
 }
 
-/// One speculative attempt of `txn`. On abort — and on any error —
-/// the recorded suffix (monitor or side trace) is retracted first and
-/// every store write then restored, so the shared state is as if the
-/// attempt never ran (except the attempt's waits and abort counters).
-///
-/// `fast` is `Some(side trace)` when a [`StaticCertificate`] covers
-/// `txn`: operations are recorded there instead of the monitor and no
-/// admission floor is checked (dirty-wait aborts can still happen —
-/// store conflicts are dynamic even when certification is static).
-#[allow(clippy::too_many_arguments)]
+/// One speculative attempt of `txn`, with panic containment. On abort
+/// — and on any error — the recorded suffix (monitor or side trace)
+/// is retracted first and every store write then restored, so the
+/// shared state is as if the attempt never ran (except the attempt's
+/// waits and abort counters). A panic anywhere in the attempt
+/// (injected or genuine) is caught here: the same cleanup runs, the
+/// panic is counted ([`Metrics::worker_panics`]) and reported to
+/// stderr, and the transaction ends [`AttemptEnd::Died`] — the pool
+/// keeps committing without it.
 fn occ_attempt(
+    ctx: &OccCtx<'_>,
     program: &Program,
     catalog: &Catalog,
     txn: TxnId,
-    monitor: &ShardedMonitor,
-    db: &OccStripedDb,
-    counters: &OccMtCounters,
-    level: AdmissionLevel,
-    fast: Option<&Mutex<Vec<Operation>>>,
-    tuning: &OccTuning,
 ) -> Result<AttemptEnd> {
-    let mut applied: WriteUndo = Vec::new();
-    let end = occ_attempt_inner(
-        program,
-        catalog,
-        txn,
-        monitor,
-        db,
-        counters,
-        level,
-        fast,
-        tuning,
-        &mut applied,
-    );
-    if end.is_err() {
-        // An error must not strand dirty marks: other workers would
-        // spin out their whole wait/retry budget on them before the
-        // error surfaces through the join.
-        let undone = retract_attempt(monitor, fast, txn);
-        counters
-            .undone_ops
-            .fetch_add(undone as u64, Ordering::Relaxed);
-        rollback_store(db, &mut applied);
+    ctx.registry.begin(txn);
+    let fast = ctx.fast_of(txn);
+    match catch_unwind(AssertUnwindSafe(|| {
+        occ_attempt_inner(ctx, program, catalog, txn, fast)
+    })) {
+        Ok(end) => {
+            if end.is_err() {
+                // An error must not strand dirty marks: other workers
+                // would spin out their whole wait/retry budget on them
+                // before the error surfaces through the join.
+                cleanup_attempt(ctx, txn, fast, SlotState::Idle);
+            }
+            end
+        }
+        Err(payload) => {
+            cleanup_attempt(ctx, txn, fast, SlotState::Dead);
+            ctx.counters.worker_panics.fetch_add(1, Ordering::Relaxed);
+            let what = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_string());
+            eprintln!("occ worker panic contained: {txn} died: {what}");
+            Ok(AttemptEnd::Died)
+        }
     }
-    end
 }
 
-#[allow(clippy::too_many_arguments)]
+/// Post-access fault actions, run once the access has registered but
+/// *before* the breach check (a stall or panic choreographed "after
+/// access k" must happen even when that access would also abort): a
+/// stall sleeps with dirty marks held but no locks — the reaper's
+/// prey — and a panic dies mid-transaction, containment's worst case.
+fn apply_fault(fault: &Option<ExecFault>, txn: TxnId, access: u32) {
+    match fault {
+        Some(ExecFault::Stall { ms }) => std::thread::sleep(Duration::from_millis(*ms)),
+        Some(ExecFault::Panic) => {
+            panic!("injected worker panic ({txn}, access {access})");
+        }
+        _ => {}
+    }
+}
+
+/// How a just-performed access relates to the attempt's slot state.
+enum Registered {
+    /// Attempt still running; the access is registered.
+    Alive,
+    /// A reaper declared the attempt dead while the access was in
+    /// flight; `restore` is the value to put back if our dirty mark
+    /// still stands (the attempt's *original* displaced value — not
+    /// what this write displaced, which may have been our own earlier
+    /// speculative value re-clobbered after the reaper's rollback).
+    Dead { restore: Option<Value> },
+}
+
 fn occ_attempt_inner(
+    ctx: &OccCtx<'_>,
     program: &Program,
     catalog: &Catalog,
     txn: TxnId,
-    monitor: &ShardedMonitor,
-    db: &OccStripedDb,
-    counters: &OccMtCounters,
-    level: AdmissionLevel,
     fast: Option<&Mutex<Vec<Operation>>>,
-    tuning: &OccTuning,
-    applied: &mut WriteUndo,
 ) -> Result<AttemptEnd> {
+    let (monitor, counters) = (ctx.monitor, ctx.counters);
     let mut session = ProgramSession::new(program, catalog, txn);
 
-    // Abort: retract the recorded suffix, THEN squash the store
-    // writes (see `rollback_store` / `retract_attempt` for why this
-    // order is load-bearing).
-    let abort = |applied: &mut WriteUndo, certification: bool| {
-        let undone = retract_attempt(monitor, fast, txn);
-        counters
-            .undone_ops
-            .fetch_add(undone as u64, Ordering::Relaxed);
-        rollback_store(db, applied);
+    // Abort this attempt: retract the recorded suffix, THEN squash the
+    // store writes (see `rollback_store` / `retract_attempt` for why
+    // this order is load-bearing) — all under the slot lock, so a
+    // concurrent reaper cannot interleave. If a reaper already swept
+    // the attempt, the shared state is clean and only the counters
+    // need touching.
+    let abort = |certification: bool| {
+        let mut slot = ctx.registry.slot(txn).lock();
+        if matches!(slot.state, SlotState::Running) {
+            let undone = retract_attempt(monitor, fast, txn);
+            counters
+                .undone_ops
+                .fetch_add(undone as u64, Ordering::Relaxed);
+            let mut applied = std::mem::take(&mut slot.applied);
+            rollback_store(ctx.db, &mut applied);
+            slot.state = SlotState::Idle;
+        }
         counters.aborts.fetch_add(1, Ordering::Relaxed);
         if certification {
             counters
                 .certification_aborts
                 .fetch_add(1, Ordering::Relaxed);
+        }
+    };
+
+    // Abort because the attempt outlived its deadline (or a reaper
+    // said so): a timeout is an abort with an extra counter.
+    let timeout_abort = |already_swept: bool| {
+        counters.txn_timeouts.fetch_add(1, Ordering::Relaxed);
+        if already_swept {
+            counters.aborts.fetch_add(1, Ordering::Relaxed);
+        } else {
+            abort(false);
         }
     };
 
@@ -914,52 +1239,189 @@ fn occ_attempt_inner(
         }
     };
 
+    let mut access: u32 = 0;
     loop {
-        match session.pending()? {
+        // Deadline bookkeeping before each access: discover a reap
+        // (everything already rolled back), or self-abort an attempt
+        // that outlived its own deadline. Either way the retry gets a
+        // fresh clock.
+        if ctx.deadline.is_some() {
+            let (reaped, expired) = {
+                let slot = ctx.registry.slot(txn).lock();
+                (
+                    matches!(slot.state, SlotState::Reaped),
+                    matches!(slot.state, SlotState::Running)
+                        && ctx.deadline.is_some_and(|d| slot.started.elapsed() > d),
+                )
+            };
+            if reaped || expired {
+                timeout_abort(reaped);
+                return Ok(AttemptEnd::Aborted);
+            }
+        }
+        let pending = session.pending()?;
+        if matches!(pending, Pending::Done) {
+            break;
+        }
+        // The fault point for this access, if the chaos plane armed
+        // one. Consumed *inside* the stripe action — the moment the
+        // access actually happens — so a point on an access the
+        // attempt never performs (dirty-wait give-up first) survives
+        // for the retry instead of being silently eaten.
+        let mut fault: Option<ExecFault> = None;
+        let fire = |fault: &mut Option<ExecFault>| {
+            if fault.is_none() {
+                *fault = ctx
+                    .tuning
+                    .faults
+                    .as_ref()
+                    .and_then(|f| f.fire_exec(txn.0, access));
+            }
+            matches!(fault, Some(ExecFault::PanicInStripe))
+        };
+        match pending {
             Pending::NeedRead(item) => {
                 // Value and claimed position under one latch:
                 // same-item accesses serialize through the stripe, so
                 // the recorded schedule is read-coherent per item.
-                let outcome = with_clean_stripe(db, counters, tuning, txn, item, |stripe| {
+                let outcome = with_clean_stripe(ctx, txn, item, |stripe| {
+                    if fire(&mut fault) {
+                        panic!("injected panic under stripe latch ({txn}, access {access})");
+                    }
                     let v = stripe.db.require(item)?.clone();
                     let op = session.feed_read(v)?;
                     record(op)
                 })?;
                 let Some(outcome) = outcome else {
-                    abort(applied, false);
+                    abort(false);
                     return Ok(AttemptEnd::Aborted);
                 };
-                if outcome.is_some_and(|o| o.breaches(level)) {
-                    abort(applied, true);
+                // Post-access liveness: a reaper may have swept us
+                // while the read was in flight — its retraction could
+                // not see the op we just recorded, so remove that
+                // residue ourselves (reads touch no store state).
+                if ctx.deadline.is_some()
+                    && !matches!(ctx.registry.slot(txn).lock().state, SlotState::Running)
+                {
+                    let _ = retract_attempt(monitor, fast, txn);
+                    timeout_abort(true);
+                    return Ok(AttemptEnd::Aborted);
+                }
+                apply_fault(&fault, txn, access);
+                // A stall fault may have parked us long enough to be
+                // reaped; the reaper saw the recorded op (it landed
+                // before the fault), so its sweep was complete — exit
+                // through the timeout path, not the breach check
+                // (whose outcome predates the retraction).
+                if ctx.deadline.is_some()
+                    && !matches!(ctx.registry.slot(txn).lock().state, SlotState::Running)
+                {
+                    timeout_abort(true);
+                    return Ok(AttemptEnd::Aborted);
+                }
+                if outcome.is_some_and(|o| o.breaches(ctx.level)) {
+                    abort(true);
                     return Ok(AttemptEnd::Aborted);
                 }
             }
             Pending::Write(op) => {
-                let outcome = with_clean_stripe(db, counters, tuning, txn, op.item, |stripe| {
-                    let old = stripe.db.set(op.item, op.value.clone());
-                    stripe.dirty.insert(op.item, txn);
-                    applied.push((op.item, old));
-                    record(op.clone())
+                let item = op.item;
+                let res = with_clean_stripe(ctx, txn, item, |stripe| {
+                    if fire(&mut fault) {
+                        panic!("injected panic under stripe latch ({txn}, access {access})");
+                    }
+                    let old = stripe.db.set(item, op.value.clone());
+                    stripe.dirty.insert(item, txn);
+                    record(op.clone()).map(|o| (old, o))
                 })?;
-                let Some(outcome) = outcome else {
-                    abort(applied, false);
+                let Some((old, outcome)) = res else {
+                    abort(false);
                     return Ok(AttemptEnd::Aborted);
                 };
+                // Register the write in the shared undo journal — or
+                // learn that a reaper swept us while it was in flight.
+                let registered = {
+                    let mut slot = ctx.registry.slot(txn).lock();
+                    if matches!(slot.state, SlotState::Running) {
+                        slot.applied.push((item, old));
+                        Registered::Alive
+                    } else {
+                        let restore = slot
+                            .applied
+                            .iter()
+                            .find(|(i, _)| *i == item)
+                            .map_or(old, |(_, first)| first.clone());
+                        Registered::Dead { restore }
+                    }
+                };
+                if let Registered::Dead { restore } = registered {
+                    // Compensate the in-flight write: retract the op
+                    // we just recorded, and undo the store write iff
+                    // our dirty mark still stands (mark absent means
+                    // the write landed before the reaper's sweep and
+                    // was already rolled back).
+                    let _ = retract_attempt(monitor, fast, txn);
+                    let cell = &ctx.db.stripes[ctx.db.stripe_of(item)];
+                    {
+                        let mut stripe = cell.state.lock();
+                        if stripe.dirty.get(&item) == Some(&txn) {
+                            match restore {
+                                Some(v) => {
+                                    stripe.db.set(item, v);
+                                }
+                                None => {
+                                    stripe.db.unset(item);
+                                }
+                            }
+                            stripe.dirty.remove(&item);
+                        }
+                    }
+                    cell.cv.notify_all();
+                    timeout_abort(true);
+                    return Ok(AttemptEnd::Aborted);
+                }
                 session.advance_write()?;
-                if outcome.is_some_and(|o| o.breaches(level)) {
-                    abort(applied, true);
+                apply_fault(&fault, txn, access);
+                // Same post-fault liveness re-check as the read arm:
+                // a reap during the stall already rolled this write
+                // back (it was registered in `applied` before the
+                // fault), so the stale breach outcome must not be
+                // consulted.
+                if ctx.deadline.is_some()
+                    && !matches!(ctx.registry.slot(txn).lock().state, SlotState::Running)
+                {
+                    timeout_abort(true);
+                    return Ok(AttemptEnd::Aborted);
+                }
+                if outcome.is_some_and(|o| o.breaches(ctx.level)) {
+                    abort(true);
                     return Ok(AttemptEnd::Aborted);
                 }
             }
-            Pending::Done => break,
+            Pending::Done => unreachable!("handled above"),
         }
+        access += 1;
         std::thread::yield_now();
     }
-    // Commit: publish is already done — just clear the dirty marks
-    // (waking parked waiters) so blocked readers proceed against the
-    // now-committed values.
-    for (item, _) in applied.drain(..) {
-        let cell = &db.stripes[db.stripe_of(item)];
+    // Commit: publish is already done — flip the slot to `Committed`
+    // under its lock (a reap and a commit can race; the slot decides
+    // the winner), then clear the dirty marks, waking parked waiters.
+    let committed = {
+        let mut slot = ctx.registry.slot(txn).lock();
+        if matches!(slot.state, SlotState::Running) {
+            slot.state = SlotState::Committed;
+            Some(std::mem::take(&mut slot.applied))
+        } else {
+            None
+        }
+    };
+    let Some(applied) = committed else {
+        // Reaped at the finish line: everything rolled back; retry.
+        timeout_abort(true);
+        return Ok(AttemptEnd::Aborted);
+    };
+    for (item, _) in applied {
+        let cell = &ctx.db.stripes[ctx.db.stripe_of(item)];
         cell.state.lock().dirty.remove(&item);
         cell.cv.notify_all();
     }

@@ -30,6 +30,15 @@ pub enum SchedError {
     Program(TpError),
     /// A core-model error.
     Core(CoreError),
+    /// The write-ahead log failed under a fail-stop error policy:
+    /// durable history is incomplete, so the run refuses to report
+    /// success (records were dropped, not silently lost — the WAL
+    /// counted them and surfaced the first error here).
+    WalFailed {
+        /// The sticky I/O error, stringified (`io::Error` is not
+        /// `Clone`).
+        error: String,
+    },
 }
 
 impl fmt::Display for SchedError {
@@ -46,6 +55,9 @@ impl fmt::Display for SchedError {
             }
             SchedError::Program(e) => write!(f, "program error: {e}"),
             SchedError::Core(e) => write!(f, "model error: {e}"),
+            SchedError::WalFailed { error } => {
+                write!(f, "write-ahead log failed (fail-stop): {error}")
+            }
         }
     }
 }
@@ -92,5 +104,9 @@ mod tests {
             restarts: 5,
         };
         assert!(e.to_string().contains("T2"));
+        let e = SchedError::WalFailed {
+            error: "injected short write".into(),
+        };
+        assert!(e.to_string().contains("fail-stop"));
     }
 }

@@ -223,7 +223,7 @@ pub fn run_workload(
         }
     }
 
-    if let Some(mon) = &admission {
+    if let Some(mon) = admission.as_mut() {
         metrics.monitor_resyncs = mon.resyncs();
         metrics.monitor_undone_ops = mon.undone_ops();
         metrics.monitor_log_floor = mon.log_floor() as u64;
@@ -236,6 +236,17 @@ pub fn run_workload(
             metrics.wal_appends = ws.appends;
             metrics.wal_bytes = ws.bytes;
             metrics.wal_fsyncs = ws.fsyncs;
+            metrics.wal_io_errors = ws.io_errors;
+            metrics.injected_faults = ws.injected_faults;
+        }
+        // A sticky (unhealed) WAL error means durable history is
+        // incomplete: refuse to report the run as successful. Healed
+        // incidents (retry/degrade policies) pass through with only
+        // `wal_io_errors` raised.
+        if let Some(error) = mon.take_wal_error() {
+            return Err(SchedError::WalFailed {
+                error: error.to_string(),
+            });
         }
     }
     metrics.committed_ops = trace.len() as u64;

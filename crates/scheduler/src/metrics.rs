@@ -49,6 +49,24 @@ pub struct Metrics {
     /// Write-ahead-log fsyncs issued (per the configured
     /// `SyncPolicy`).
     pub wal_fsyncs: u64,
+    /// Write-ahead-log I/O errors observed (including errors the WAL's
+    /// error policy healed by retry or degradation). Non-zero with a
+    /// fail-stop policy means the run ended in `SchedError::WalFailed`.
+    pub wal_io_errors: u64,
+    /// Faults the deterministic chaos plane fired during the run
+    /// (WAL faults and executor faults alike); 0 outside fault drills.
+    pub injected_faults: u64,
+    /// Transaction attempts aborted because they outlived the
+    /// configured OCC deadline — self-detected or discovered after a
+    /// zombie reap.
+    pub txn_timeouts: u64,
+    /// Stalled/dead transactions another worker reclaimed: the zombie's
+    /// monitor suffix retracted and its dirty items rolled back so the
+    /// pool could make progress.
+    pub zombie_reaps: u64,
+    /// Worker panics contained by the executor (the panicking
+    /// transaction died; the pool kept committing).
+    pub worker_panics: u64,
 }
 
 impl Metrics {
@@ -77,7 +95,8 @@ impl fmt::Display for Metrics {
             f,
             "steps={} ops={} waits={} deadlocks={} aborts={} restarts={} locks={} monrej={} \
              monresync={} monundo={} monfloor={} monskip={} occab={} occretry={} \
-             walapp={} walbytes={} walsync={} goodput={:.3}",
+             walapp={} walbytes={} walsync={} walerr={} faults={} timeouts={} reaps={} \
+             panics={} goodput={:.3}",
             self.steps,
             self.committed_ops,
             self.waits,
@@ -95,6 +114,11 @@ impl fmt::Display for Metrics {
             self.wal_appends,
             self.wal_bytes,
             self.wal_fsyncs,
+            self.wal_io_errors,
+            self.injected_faults,
+            self.txn_timeouts,
+            self.zombie_reaps,
+            self.worker_panics,
             self.goodput()
         )
     }
@@ -126,11 +150,19 @@ mod tests {
             deadlocks: 1,
             occ_aborts: 2,
             occ_retries: 5,
+            wal_io_errors: 1,
+            injected_faults: 4,
+            txn_timeouts: 2,
+            zombie_reaps: 1,
+            worker_panics: 1,
             ..Metrics::default()
         };
         let s = m.to_string();
         assert!(s.contains("steps=3") && s.contains("deadlocks=1"));
         assert!(s.contains("occab=2") && s.contains("occretry=5"));
         assert!(s.contains("walapp=0") && s.contains("walsync=0"));
+        assert!(s.contains("walerr=1") && s.contains("faults=4"));
+        assert!(s.contains("timeouts=2") && s.contains("reaps=1"));
+        assert!(s.contains("panics=1"));
     }
 }

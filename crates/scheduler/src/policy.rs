@@ -21,7 +21,7 @@ use pwsr_core::ids::{ItemId, TxnId};
 use pwsr_core::monitor::{AdmissionLevel, CompactStats, OnlineMonitor, Verdict};
 use pwsr_core::op::Operation;
 use pwsr_core::state::ItemSet;
-use pwsr_durability::wal::{SharedWal, WalRecord, WalStats};
+use pwsr_durability::wal::{SharedWal, Wal, WalRecord, WalStats};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
@@ -144,6 +144,13 @@ pub struct MonitorAdmission {
     /// Clones share the log, so clone-and-diverge admissions should
     /// not both stay journaled.
     wal: Option<SharedWal>,
+    /// Set when a journaling call site observed a sticky (unhealed)
+    /// WAL I/O error — the run's durable history is incomplete and
+    /// the executor must surface [`SchedError::WalFailed`] instead of
+    /// reporting success (the log used to drop records silently).
+    ///
+    /// [`SchedError::WalFailed`]: crate::error::SchedError::WalFailed
+    wal_failed: bool,
 }
 
 /// What one [`MonitorAdmission::sync`] call did.
@@ -168,6 +175,25 @@ impl MonitorAdmission {
             resyncs: 0,
             undone_ops: 0,
             wal: None,
+            wal_failed: false,
+        }
+    }
+
+    /// Journal one WAL transition, checking the log's health at the
+    /// call site: a sticky error after the append (fail-stop, or an
+    /// exhausted retry policy) marks this admission failed so the
+    /// executor refuses to report success. Self-healing policies
+    /// (retry, degrade-to-memory) leave no sticky error and the run
+    /// proceeds — the incident stays visible in `WalStats::io_errors`.
+    fn journal(&mut self, f: impl FnOnce(&mut Wal)) {
+        if let Some(wal) = &self.wal {
+            let healthy = wal.with(|w| {
+                f(w);
+                w.last_error().is_none()
+            });
+            if !healthy {
+                self.wal_failed = true;
+            }
         }
     }
 
@@ -263,9 +289,7 @@ impl MonitorAdmission {
     /// an abort can retract it through the undo-log.
     pub fn push(&mut self, op: &Operation) -> Verdict {
         self.seen += 1;
-        if let Some(wal) = &self.wal {
-            wal.with(|w| w.append_op(op));
-        }
+        self.journal(|w| w.append_op(op));
         self.monitor
             .push_logged(op.clone())
             .expect("executor traces satisfy the §2.2 transaction rules")
@@ -300,9 +324,7 @@ impl MonitorAdmission {
     /// Certified transactions' operations are skipped, as on the
     /// incremental path.
     pub fn rebuild(&mut self, trace: &[Operation]) {
-        if let Some(wal) = &self.wal {
-            wal.with(|w| w.append(&WalRecord::Reset));
-        }
+        self.journal(|w| w.append(&WalRecord::Reset));
         self.monitor = OnlineMonitor::new(self.scopes.clone());
         self.seen = 0;
         for op in trace {
@@ -375,9 +397,7 @@ impl MonitorAdmission {
             };
         }
         if common < self.monitor.len() {
-            if let Some(wal) = &self.wal {
-                wal.with(|w| w.append(&WalRecord::Truncate(common as u64)));
-            }
+            self.journal(|w| w.append(&WalRecord::Truncate(common as u64)));
         }
         let undone = self.monitor.truncate_to(common) as u64;
         self.undone_ops += undone;
@@ -409,9 +429,7 @@ impl MonitorAdmission {
         // Journal only actual raises: the executor checkpoints every
         // step, and a no-op raise would bloat the log.
         if after > before {
-            if let Some(wal) = &self.wal {
-                wal.with(|w| w.append(&WalRecord::Floor(after as u64)));
-            }
+            self.journal(|w| w.append(&WalRecord::Floor(after as u64)));
         }
         after
     }
@@ -483,6 +501,23 @@ impl MonitorAdmission {
     /// The attached write-ahead log, if any.
     pub fn wal(&self) -> Option<&SharedWal> {
         self.wal.as_ref()
+    }
+
+    /// False once any journaling call site observed a sticky WAL I/O
+    /// error (fail-stop, or a retry policy that ran out of attempts).
+    pub fn wal_healthy(&self) -> bool {
+        !self.wal_failed && self.wal.as_ref().is_none_or(SharedWal::healthy)
+    }
+
+    /// Take the WAL's sticky I/O error, if any, clearing it — the
+    /// executor's final sync turns `Some` into
+    /// [`SchedError::WalFailed`](crate::error::SchedError::WalFailed).
+    pub fn take_wal_error(&mut self) -> Option<std::io::Error> {
+        let err = self.wal.as_ref().and_then(SharedWal::take_error);
+        if err.is_some() {
+            self.wal_failed = true;
+        }
+        err
     }
 
     /// WAL counters (append/byte/fsync), when a WAL is attached.

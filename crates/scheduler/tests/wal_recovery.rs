@@ -12,12 +12,13 @@ use pwsr_core::state::{DbState, ItemSet};
 use pwsr_core::value::{Domain, Value};
 use pwsr_durability::checkpoint::state_hash;
 use pwsr_durability::recover::recover;
-use pwsr_durability::wal::{SharedWal, SyncPolicy};
+use pwsr_durability::wal::{SharedWal, SyncPolicy, Wal};
 use pwsr_scheduler::concurrent::{run_threaded_certified, run_threaded_occ_tuned, OccTuning};
 use pwsr_scheduler::exec::{run_workload, ExecConfig};
 use pwsr_scheduler::policy::{MonitorSpec, PolicySpec};
 use pwsr_tplang::ast::Program;
 use pwsr_tplang::parser::parse_program;
+use std::path::PathBuf;
 
 fn setup() -> (Catalog, IntegrityConstraint, DbState) {
     let mut cat = Catalog::new();
@@ -52,6 +53,15 @@ fn programs() -> Vec<Program> {
     ]
 }
 
+/// A file-backed shared WAL in the OS temp dir — the executors here
+/// journal through real file I/O (buffered writes, fsync, a reopened
+/// read for recovery), not a `Vec<u8>` stand-in.
+fn file_wal(name: &str, policy: SyncPolicy) -> (SharedWal, PathBuf) {
+    let path = std::env::temp_dir().join(format!("pwsr_sched_{}_{name}.wal", std::process::id()));
+    let wal = SharedWal::new(Wal::create(&path, policy).expect("create WAL file"));
+    (wal, path)
+}
+
 /// Recover from `wal`'s bytes and assert the rebuilt monitor is
 /// byte-identical (state hash) to a twin built by replaying `ops`
 /// directly and raising the floor to `floor`.
@@ -61,7 +71,7 @@ fn assert_recovery_matches(
     ops: &[pwsr_core::op::Operation],
     floor: usize,
 ) {
-    let bytes = wal.snapshot().expect("in-memory WAL");
+    let bytes = wal.dump_bytes().expect("dump WAL bytes");
     let rec = recover(scopes.clone(), None, &bytes).expect("recovery must succeed");
     assert!(rec.corruption.is_none(), "clean log: {:?}", rec.corruption);
     assert_eq!(rec.monitor.schedule().ops(), ops, "recovered schedule");
@@ -86,7 +96,7 @@ fn assert_recovery_matches(
 #[test]
 fn exec_wal_recovers_monitored_trace() {
     let (cat, ic, initial) = setup();
-    let wal = SharedWal::in_memory(SyncPolicy::PerRecord);
+    let (wal, path) = file_wal("exec", SyncPolicy::PerRecord);
     let policy = PolicySpec::predicate_wise_2pl(&ic)
         .monitor_admission(&ic, AdmissionLevel::Pwsr)
         .durable(wal.clone());
@@ -95,12 +105,19 @@ fn exec_wal_recovers_monitored_trace() {
     assert!(out.metrics.wal_appends >= out.metrics.committed_ops);
     assert!(out.metrics.wal_bytes > 0);
     assert!(out.metrics.wal_fsyncs > 0);
+    assert_eq!(out.metrics.wal_io_errors, 0, "healthy file WAL");
     assert_recovery_matches(
         scopes_of(&ic),
         &wal,
         out.schedule.ops(),
         out.metrics.monitor_log_floor as usize,
     );
+    // The on-disk bytes themselves (not the dump) must also replay.
+    wal.sync();
+    let disk = std::fs::read(&path).expect("read WAL file");
+    let rec = recover(scopes_of(&ic), None, &disk).expect("recover from disk bytes");
+    assert_eq!(rec.monitor.schedule().ops(), out.schedule.ops());
+    let _ = std::fs::remove_file(&path);
 }
 
 /// The certified threaded executor journals under the monitor's
@@ -109,14 +126,15 @@ fn exec_wal_recovers_monitored_trace() {
 #[test]
 fn threaded_certified_wal_recovers_monitored_trace() {
     let (cat, ic, initial) = setup();
-    for _ in 0..5 {
-        let wal = SharedWal::in_memory(SyncPolicy::Batched(8));
+    for round in 0..5 {
+        let (wal, path) = file_wal(&format!("cert{round}"), SyncPolicy::Batched(8));
         let policy = PolicySpec::predicate_wise_2pl(&ic)
             .monitor_admission(&ic, AdmissionLevel::Pwsr)
             .durable(wal.clone());
         let (schedule, _, _) =
             run_threaded_certified(&programs(), &cat, &initial, &policy, scopes_of(&ic)).unwrap();
         assert_recovery_matches(scopes_of(&ic), &wal, schedule.ops(), 0);
+        let _ = std::fs::remove_file(&path);
     }
 }
 
@@ -136,9 +154,10 @@ fn occ_tuned_parking_and_wal_survive_contention() {
         park_budget: 256,
         park_timeout_us: 50,
         backoff_cap: 4,
+        ..OccTuning::default()
     };
-    for _ in 0..10 {
-        let wal = SharedWal::in_memory(SyncPolicy::Off);
+    for round in 0..10 {
+        let (wal, path) = file_wal(&format!("occ{round}"), SyncPolicy::Off);
         let spec = MonitorSpec {
             scopes: scopes_of(&ic),
             level: AdmissionLevel::Pwsr,
@@ -156,6 +175,7 @@ fn occ_tuned_parking_and_wal_survive_contention() {
         );
         assert!(out.metrics.wal_appends as usize >= out.schedule.len());
         assert_recovery_matches(scopes_of(&ic), &wal, out.schedule.ops(), 0);
+        let _ = std::fs::remove_file(&path);
     }
 }
 
