@@ -7,7 +7,7 @@
 //!
 //! `<id>` ∈ {ex1 … ex5, fig3, lemma1, viewsets, lemma3, lemma4, lemma7,
 //! thm1, thm2, thm3, perf1 … perf5, scale1, scale2, base1, bank1, rec1,
-//! rec2, exh1, mon1, mon2, mon3, an1, cmp1, cha1}.
+//! rec2, exh1, mon1, mon2, mon3, mon4, an1, cmp1, cha1}.
 //! Every experiment prints a paper-vs-measured table; the exit code is
 //! nonzero if any run deviates from the paper's predicted shape.
 //!
@@ -18,7 +18,7 @@
 //! statistical power. An explicit `--trials` overrides the cap.
 //!
 //! `--json PATH` additionally writes a machine-readable record of the
-//! sweep — schema `pwsr-experiments-v8`: one entry per selected
+//! sweep — schema `pwsr-experiments-v9`: one entry per selected
 //! experiment with its verdict, wall-clock seconds, and (where the
 //! experiment measures them) processed-operation counts and the online
 //! monitor's per-op timings; a `monitor_mt` block recording the
@@ -27,7 +27,12 @@
 //! numbers are uninterpretable, and the measured serial-stage ns per
 //! op); and an `occ_mt` block recording the OCC-certified threaded
 //! executor (threads, commits, aborts, retries, ns per committed op)
-//! plus the sharded-retraction cost entries; and an `analysis` block
+//! plus the sharded-retraction cost entries; and a `batch` block
+//! recording the batched admission path (the singleton-push baseline
+//! and `push_batch` throughput per (batch size, threads) tier with
+//! the amortized serial-stage ns per op) so CI can gate batched
+//! single-thread throughput strictly above the singleton baseline at
+//! batch ≥ 8; and an `analysis` block
 //! recording the static robustness analyzer's portfolio (programs
 //! analyzed, Safe/Unsafe/Unknown verdict counts) and the certified
 //! admission fast path's per-op cost against the monitored path — so
@@ -58,7 +63,7 @@
 use pwsr_bench::analysis_exp::AnalysisStats;
 use pwsr_bench::chaos_exp::ChaosStats;
 use pwsr_bench::compact_exp::CompactExpStats;
-use pwsr_bench::monitor_exp::{MonitorMtStats, MonitorStats, OccMtStats};
+use pwsr_bench::monitor_exp::{BatchStats, MonitorMtStats, MonitorStats, OccMtStats};
 use pwsr_bench::recovery_exp::RecoveryStats;
 use pwsr_bench::{
     analysis_exp, bank_exp, base_exp, chaos_exp, compact_exp, examples_exp, exhaustive_exp,
@@ -133,6 +138,9 @@ struct ExpRun {
     /// OCC-certified executor stats (only `mon3`); lifted into the
     /// JSON document's `occ_mt` block.
     occ_mt: Option<OccMtStats>,
+    /// Batched-admission throughput stats (only `mon4`); lifted into
+    /// the JSON document's `batch` block.
+    batch: Option<BatchStats>,
     /// Static-analyzer portfolio stats (only `an1`); lifted into the
     /// JSON document's `analysis` block.
     analysis: Option<AnalysisStats>,
@@ -157,6 +165,7 @@ impl From<(bool, String)> for ExpRun {
             monitor: None,
             monitor_mt: None,
             occ_mt: None,
+            batch: None,
             analysis: None,
             recovery: None,
             compact: None,
@@ -194,6 +203,7 @@ fn render_json(
     monitor: &Option<MonitorStats>,
     monitor_mt: &Option<MonitorMtStats>,
     occ_mt: &Option<OccMtStats>,
+    batch: &Option<BatchStats>,
     analysis: &Option<AnalysisStats>,
     recovery: &Option<RecoveryStats>,
     compact: &Option<CompactExpStats>,
@@ -201,7 +211,7 @@ fn render_json(
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"pwsr-experiments-v8\",\n");
+    out.push_str("  \"schema\": \"pwsr-experiments-v9\",\n");
     out.push_str(&format!("  \"selection\": \"{}\",\n", opts.what));
     out.push_str(&format!("  \"smoke\": {},\n", opts.smoke));
     out.push_str(&format!("  \"trials_override\": {},\n", opts.trials));
@@ -283,6 +293,31 @@ fn render_json(
             out.push_str("  ]},\n");
         }
         None => out.push_str("  \"occ_mt\": null,\n"),
+    }
+    match batch {
+        Some(stats) => {
+            out.push_str(&format!(
+                "  \"batch\": {{\"parallelism\": {}, \"singleton_ops_per_s\": {:.1}, \
+                 \"tiers\": [\n",
+                stats.parallelism, stats.singleton_ops_per_s
+            ));
+            for (k, t) in stats.tiers.iter().enumerate() {
+                out.push_str(&format!(
+                    "    {{\"batch\": {}, \"threads\": {}, \"ops\": {}, \
+                     \"ops_per_s\": {:.1}, \"speedup_vs_singleton\": {:.3}, \
+                     \"serial_ns_per_op\": {:.1}}}{}\n",
+                    t.batch,
+                    t.threads,
+                    t.ops,
+                    t.ops_per_s,
+                    t.speedup_vs_singleton,
+                    t.serial_ns_per_op,
+                    if k + 1 < stats.tiers.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("  ]},\n");
+        }
+        None => out.push_str("  \"batch\": null,\n"),
     }
     match analysis {
         Some(stats) => {
@@ -408,6 +443,7 @@ fn main() {
     let mut monitor_stats: Option<MonitorStats> = None;
     let mut monitor_mt_stats: Option<MonitorMtStats> = None;
     let mut occ_mt_stats: Option<OccMtStats> = None;
+    let mut batch_stats: Option<BatchStats> = None;
     let mut analysis_stats: Option<AnalysisStats> = None;
     let mut recovery_stats: Option<RecoveryStats> = None;
     let mut compact_stats: Option<CompactExpStats> = None;
@@ -416,6 +452,7 @@ fn main() {
         let monitor_out = &mut monitor_stats;
         let monitor_mt_out = &mut monitor_mt_stats;
         let occ_mt_out = &mut occ_mt_stats;
+        let batch_out = &mut batch_stats;
         let analysis_out = &mut analysis_stats;
         let recovery_out = &mut recovery_stats;
         let compact_out = &mut compact_stats;
@@ -449,6 +486,9 @@ fn main() {
                 }
                 if r.occ_mt.is_some() {
                     *occ_mt_out = r.occ_mt;
+                }
+                if r.batch.is_some() {
+                    *batch_out = r.batch;
                 }
                 if r.analysis.is_some() {
                     *analysis_out = r.analysis;
@@ -537,6 +577,7 @@ fn main() {
                 monitor: None,
                 monitor_mt: None,
                 occ_mt: None,
+                batch: None,
                 analysis: None,
                 recovery: Some(stats),
                 compact: None,
@@ -555,6 +596,7 @@ fn main() {
                 monitor: Some(stats),
                 monitor_mt: None,
                 occ_mt: None,
+                batch: None,
                 analysis: None,
                 recovery: None,
                 compact: None,
@@ -572,6 +614,7 @@ fn main() {
                 monitor: None,
                 monitor_mt: Some(stats),
                 occ_mt: None,
+                batch: None,
                 analysis: None,
                 recovery: None,
                 compact: None,
@@ -589,6 +632,25 @@ fn main() {
                 monitor: None,
                 monitor_mt: None,
                 occ_mt: Some(stats),
+                batch: None,
+                analysis: None,
+                recovery: None,
+                compact: None,
+                chaos: None,
+            }
+        });
+
+        run("mon4", &|n| {
+            let (ok, text, stats) = monitor_exp::mon4(pick(n, 5), 903);
+            ExpRun {
+                ok,
+                text,
+                ops: Some(stats.tiers.iter().map(|t| t.ops).sum()),
+                monitor_ns_per_op: Some(stats.worst_ns_per_op()),
+                monitor: None,
+                monitor_mt: None,
+                occ_mt: None,
+                batch: Some(stats),
                 analysis: None,
                 recovery: None,
                 compact: None,
@@ -606,6 +668,7 @@ fn main() {
                 monitor: None,
                 monitor_mt: None,
                 occ_mt: None,
+                batch: None,
                 analysis: Some(stats),
                 recovery: None,
                 compact: None,
@@ -623,6 +686,7 @@ fn main() {
                 monitor: None,
                 monitor_mt: None,
                 occ_mt: None,
+                batch: None,
                 analysis: None,
                 recovery: None,
                 compact: Some(stats),
@@ -640,6 +704,7 @@ fn main() {
                 monitor: None,
                 monitor_mt: None,
                 occ_mt: None,
+                batch: None,
                 analysis: None,
                 recovery: None,
                 compact: None,
@@ -665,6 +730,7 @@ fn main() {
             &monitor_stats,
             &monitor_mt_stats,
             &occ_mt_stats,
+            &batch_stats,
             &analysis_stats,
             &recovery_stats,
             &compact_stats,
@@ -692,7 +758,7 @@ fn group_of(id: &str) -> &'static str {
         "bank1" => "bank",
         "rec1" | "rec2" => "recovery",
         "exh1" => "exhaustive",
-        "mon1" | "mon2" | "mon3" => "monitor",
+        "mon1" | "mon2" | "mon3" | "mon4" => "monitor",
         "an1" => "analysis",
         "cmp1" => "compact",
         "cha1" => "chaos",

@@ -200,6 +200,9 @@ impl WalOracle {
                 WalRecord::Floor(f) => {
                     monitor.checkpoint(*f as usize);
                 }
+                WalRecord::OpBatch(ops) => {
+                    monitor.push_batch_logged(ops).expect("oracle replay");
+                }
                 WalRecord::Reset => monitor = OnlineMonitor::new(scopes.to_vec()),
             }
             bounds.push(bounds.last().unwrap() + rec.encode_frame().len());
@@ -250,6 +253,9 @@ impl WalOracle {
                 }
                 WalRecord::Floor(f) => {
                     monitor.checkpoint(*f as usize);
+                }
+                WalRecord::OpBatch(ops) => {
+                    monitor.push_batch_logged(ops).expect("oracle replay");
                 }
                 WalRecord::Reset => monitor = OnlineMonitor::new(scopes.to_vec()),
             }

@@ -40,6 +40,18 @@ pub trait MonitorJournal: Send + std::fmt::Debug {
     /// `op` was appended at the end of the recorded schedule.
     fn appended(&mut self, op: &Operation);
 
+    /// `ops` were appended contiguously (one batch admission). The
+    /// default decomposes into per-op [`appended`](Self::appended)
+    /// calls; journals with a cheaper framed multi-op representation
+    /// (the WAL's `OpBatch` record) override it. Replay of either form
+    /// must reconstruct the identical schedule, so overriding is a
+    /// pure amortization.
+    fn appended_batch(&mut self, ops: &[Operation]) {
+        for op in ops {
+            self.appended(op);
+        }
+    }
+
     /// The recorded schedule was truncated to its first `new_len`
     /// operations (an abort retracting a suffix).
     fn truncated(&mut self, new_len: usize);

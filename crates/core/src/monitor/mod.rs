@@ -852,6 +852,85 @@ impl OnlineMonitor {
         Ok(self.verdict())
     }
 
+    /// **Batch admission**: append one transaction's program-ordered
+    /// run of operations and return the verdict after each — the
+    /// single-writer twin of [`sharded::ShardedMonitor::push_batch`],
+    /// with the
+    /// same contract: the slice must be nonempty operations of a
+    /// single transaction in program order (panics otherwise), and
+    /// admission is **atomic** — the whole run is §2.2-validated
+    /// up front against a copy of the transaction's live prefix
+    /// bitsets, so a malformed operation anywhere in the run rejects
+    /// the batch with the monitor untouched (no partial prefix is
+    /// admitted). Verdicts, certificates and undo behaviour are
+    /// byte-identical to pushing the operations one at a time; the
+    /// batch boundary only matters to journaling callers (the
+    /// scheduler's admission layer frames the run as one WAL record).
+    /// An empty slice returns an empty vector.
+    pub fn push_batch(&mut self, ops: &[Operation]) -> Result<Vec<Verdict>> {
+        let verdicts = self.batch_inner(ops, false)?;
+        if let Some(log) = &mut self.log {
+            log.reset(self.index.len());
+        }
+        Ok(verdicts)
+    }
+
+    /// [`OnlineMonitor::push_batch`] recording one undo-log entry per
+    /// operation, so batch-admitted operations retract individually
+    /// through [`OnlineMonitor::truncate_to`] exactly like singleton
+    /// [`OnlineMonitor::push_logged`] calls.
+    pub fn push_batch_logged(&mut self, ops: &[Operation]) -> Result<Vec<Verdict>> {
+        if self.log.is_none() {
+            self.log = Some(UndoLog::new(self.index.len()));
+        }
+        self.batch_inner(ops, true)
+    }
+
+    fn batch_inner(&mut self, ops: &[Operation], logged: bool) -> Result<Vec<Verdict>> {
+        let Some(first) = ops.first() else {
+            return Ok(Vec::new());
+        };
+        let txn = first.txn;
+        assert!(
+            ops.iter().all(|o| o.txn == txn),
+            "push_batch requires a single-transaction batch (the program-order unit)"
+        );
+        if self.summarized.contains(txn) {
+            return Err(CoreError::SummarizedTransaction { txn });
+        }
+        // Pre-validate the whole run on simulated bitsets so the
+        // per-op loop below cannot fail midway.
+        let (mut rs, mut ws) = match self.index.schedule().txn_slot(txn) {
+            Some(s) => (
+                self.index.tables.rs_prefix[s]
+                    .last()
+                    .expect("entry 0 exists")
+                    .clone(),
+                self.index.tables.ws_prefix[s]
+                    .last()
+                    .expect("entry 0 exists")
+                    .clone(),
+            ),
+            None => (ItemSet::new(), ItemSet::new()),
+        };
+        for op in ops {
+            validate_22(&rs, &ws, op)?;
+            if op.is_write() {
+                ws.insert(op.item);
+            } else {
+                rs.insert(op.item);
+            }
+        }
+        let mut verdicts = Vec::with_capacity(ops.len());
+        for op in ops {
+            verdicts.push(
+                self.push_inner(op.clone(), logged)
+                    .expect("batch pre-validated"),
+            );
+        }
+        Ok(verdicts)
+    }
+
     /// Retract logged pushes until the prefix is `n` operations long,
     /// in `O(ops undone)` — the undo-log alternative to rebuilding
     /// after a scheduler abort rewrote the trace. Returns the number

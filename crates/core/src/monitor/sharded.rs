@@ -381,15 +381,21 @@ fn level_of(rank: u8) -> VerdictLevel {
     }
 }
 
-/// Spin briefly, then yield: shard turns are short, but on an
+/// Spin with bounded exponential backoff, then yield: shard turns are
+/// short, so the first probes re-check almost immediately, but each
+/// miss doubles the `spin_loop` burst (1, 2, 4, … capped at 64 hints)
+/// so a waiter behind a slow predecessor backs off the cache line
+/// instead of hammering it; past the spin budget it yields — on an
 /// oversubscribed (or single-core) host the predecessor needs the CPU
 /// to finish its turn.
 fn wait_turn(serving: &AtomicU32, ticket: u32) {
-    let mut spins = 0u32;
+    let mut round = 0u32;
     while serving.load(Ordering::Acquire) != ticket {
-        spins += 1;
-        if spins < 32 {
-            std::hint::spin_loop();
+        if round < 12 {
+            for _ in 0..(1u32 << round.min(6)) {
+                std::hint::spin_loop();
+            }
+            round += 1;
         } else {
             std::thread::yield_now();
         }
@@ -661,6 +667,9 @@ impl ShardedMonitor {
                 return Err(CoreError::SummarizedTransaction { txn });
             }
             let t0 = self.time_serial.then(Instant::now);
+            if let Some(journal) = s.journal.as_deref_mut() {
+                journal.appended(&op);
+            }
             let claimed = self.stage_seq(&mut s, op, &mut turns);
             // Claimed under the sequence lock, released after the
             // floor publication below: a retraction's drain waits for
@@ -707,8 +716,266 @@ impl ShardedMonitor {
         })
     }
 
+    /// **Batch admission**: append one transaction's program-ordered
+    /// run of operations, paying each serial cost **once per batch**
+    /// instead of once per operation — one sequence-mutex entry that
+    /// claims a contiguous segment of positions `[p0, p0 + k)` (a
+    /// segment-reserved `Schedule` append) together with the whole
+    /// run's global and per-shard tickets, one global-turnstile wait
+    /// plus one `gstate` write lock for all `k` operations, and one
+    /// turnstile wait plus one write lock per **touched conjunct
+    /// shard** rather than per operation. Ticket *numbering* is
+    /// unchanged — every operation still owns one global ticket and
+    /// one ticket per touched shard, claimed atomically in program
+    /// order — so the undo journals stay per-op LIFO and
+    /// [`ShardedMonitor::truncate_to`] / [`ShardedMonitor::retract_txn`]
+    /// retract batch-admitted operations individually, exactly as if
+    /// they had been pushed one by one.
+    ///
+    /// Returns one [`PushOutcome`] per operation, in program order,
+    /// byte-identical to what `k` singleton [`ShardedMonitor::push_outcome`]
+    /// calls would have returned for the same interleaving (pinned by
+    /// the twin-harness proptests in `tests/batch_props.rs`): per-op
+    /// positions, causality flags, and floors — an executor's culprit
+    /// identification and abort decisions need no batch-size cases.
+    /// An attached [`MonitorJournal`] receives the run as **one**
+    /// `appended_batch` call under the sequence mutex (the WAL frames
+    /// it as a single multi-op record).
+    ///
+    /// The slice must be nonempty operations of a **single
+    /// transaction** in program order (panics otherwise — the batch
+    /// unit is the transaction, per the push contract). Errors, with
+    /// the monitor and the §2.2 totals untouched, if any operation
+    /// violates well-formedness or the transaction was summarized.
+    /// An empty slice returns an empty vector.
+    pub fn push_batch(&self, ops: &[Operation]) -> Result<Vec<PushOutcome>> {
+        let Some(first) = ops.first() else {
+            return Ok(Vec::new());
+        };
+        let txn = first.txn;
+        assert!(
+            ops.iter().all(|o| o.txn == txn),
+            "push_batch requires a single-transaction batch (the program-order unit)"
+        );
+        let n = self.scopes.len();
+        // Touched conjuncts per shard, gathered outside every lock;
+        // tickets are assigned under the sequence lock. Entries are in
+        // program order within each shard, so per-shard ticket order
+        // equals singleton claim order.
+        let mut by_shard: Vec<Vec<(usize, u32)>> = vec![Vec::new(); n];
+        for (i, op) in ops.iter().enumerate() {
+            for (k, scope) in self.scopes.iter().enumerate() {
+                if scope.contains(op.item) {
+                    by_shard[k].push((i, 0));
+                }
+            }
+        }
+
+        // --- §2.2 validation: the whole run, atomically ----------------
+        // One totals-cell lookup and one lock for the batch; on any
+        // failure the bits set for earlier operations roll back, so a
+        // rejected batch leaves no trace (validate_22 rejects
+        // duplicates, hence every bit set here was fresh).
+        let cell = self.totals_cell(txn);
+        {
+            let mut t = cell.lock();
+            for (i, op) in ops.iter().enumerate() {
+                if let Err(e) = super::validate_22(&t.rs, &t.ws, op) {
+                    for prior in &ops[..i] {
+                        if prior.is_write() {
+                            t.ws.remove(prior.item);
+                        } else {
+                            t.rs.remove(prior.item);
+                        }
+                    }
+                    return Err(e);
+                }
+                if op.is_write() {
+                    t.ws.insert(op.item);
+                } else {
+                    t.rs.insert(op.item);
+                }
+            }
+        }
+
+        // --- stage 1: claim the segment, once ---------------------------
+        let (p0, slot, rf_slots, g0) = {
+            let mut s = self.seq.lock();
+            if s.summarized.contains(txn) {
+                drop(s);
+                let mut t = cell.lock();
+                for op in ops {
+                    if op.is_write() {
+                        t.ws.remove(op.item);
+                    } else {
+                        t.rs.remove(op.item);
+                    }
+                }
+                return Err(CoreError::SummarizedTransaction { txn });
+            }
+            let t0 = self.time_serial.then(Instant::now);
+            if let Some(journal) = s.journal.as_deref_mut() {
+                journal.appended_batch(ops);
+            }
+            let claimed = self.stage_seq_batch(&mut s, ops, &mut by_shard);
+            // One in-flight token covers the whole batch: the drain
+            // only needs to know the pipeline has unpublished floors,
+            // not how many.
+            self.inflight.fetch_add(1, Ordering::AcqRel);
+            if let Some(t0) = t0 {
+                self.serial_ns
+                    .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                self.serial_ops
+                    .fetch_add(ops.len() as u64, Ordering::Relaxed);
+            }
+            claimed
+        };
+
+        // --- stage 2: one global turn for the run -----------------------
+        // Per-op results are captured in program order inside the one
+        // write-lock hold, so each operation's (serializable, dr)
+        // snapshot is prefix-exact — identical to singleton pushes.
+        wait_turn(&self.gserving, g0);
+        let mut global_out = Vec::with_capacity(ops.len());
+        {
+            let mut g = self.gstate.write();
+            for (i, op) in ops.iter().enumerate() {
+                global_out.push(self.stage_global(
+                    &mut g,
+                    slot,
+                    op.item,
+                    op.is_write(),
+                    rf_slots[i],
+                    OpIndex(p0 + i),
+                ));
+            }
+        }
+        self.gserving
+            .store(g0 + ops.len() as u32, Ordering::Release);
+
+        // --- stage 3: one turn per touched shard ------------------------
+        // The lock-free violation floor moves only through this
+        // batch's own `caused` flags in a single-writer interleaving,
+        // so capturing it before the shard turns and prefix-OR-ing the
+        // per-op flags reproduces exactly what each singleton push
+        // would have loaded after its own shard stages.
+        let viol_pre = self.first_violation.load(Ordering::Acquire) != NO_POS;
+        let mut caused_violation = vec![false; ops.len()];
+        for (k, entries) in by_shard.iter().enumerate() {
+            let Some(&(_, t0k)) = entries.first() else {
+                continue;
+            };
+            let shard = &self.shards[k];
+            wait_turn(&shard.serving, t0k);
+            {
+                let mut sh = shard.state.write();
+                for &(i, _) in entries {
+                    caused_violation[i] |= self.stage_shard_locked(
+                        &mut sh,
+                        slot,
+                        ops[i].item,
+                        ops[i].is_write(),
+                        OpIndex(p0 + i),
+                    );
+                }
+            }
+            shard
+                .serving
+                .store(t0k + entries.len() as u32, Ordering::Release);
+        }
+
+        // --- lock-free floor, per op in program order -------------------
+        let mut viol_run = viol_pre;
+        let mut outcomes = Vec::with_capacity(ops.len());
+        for (i, &(ser_now, dr_now, caused_non_serializable, caused_non_dr)) in
+            global_out.iter().enumerate()
+        {
+            viol_run |= caused_violation[i];
+            let level = VerdictLevel::compose(ser_now, dr_now, !viol_run);
+            let mine = rank(level);
+            let prev = self.floor.fetch_max(mine, Ordering::AcqRel);
+            outcomes.push(PushOutcome {
+                pos: OpIndex(p0 + i),
+                floor: level_of(prev.max(mine)),
+                caused_non_serializable,
+                caused_violation: caused_violation[i],
+                caused_non_dr,
+            });
+        }
+        self.inflight.fetch_sub(1, Ordering::AcqRel);
+        Ok(outcomes)
+    }
+
+    /// Stage 1 of the batch path, under the (held) sequence lock:
+    /// reserve the segment `[len, len + k)` in one `Schedule` append,
+    /// record one [`SeqDelta`] per operation (computed arithmetically
+    /// from the pre-batch snapshot — within a single-transaction run,
+    /// operation `i`'s previous-slot-last is simply `p0 + i - 1`, and
+    /// §2.2's read-after-write rejection guarantees no read in the run
+    /// resolves against a writer inside the run), and claim every
+    /// global and per-shard ticket atomically. The per-op deltas keep
+    /// `truncate_locked`'s one-pop-per-op rollback valid unchanged.
+    fn stage_seq_batch(
+        &self,
+        s: &mut SeqState,
+        ops: &[Operation],
+        by_shard: &mut [Vec<(usize, u32)>],
+    ) -> (usize, usize, Vec<Option<usize>>, u32) {
+        let p0 = s.schedule.len();
+        let base = s.schedule.base();
+        let existing = s.schedule.txn_slot(ops[0].txn);
+        let pre_slot_last = existing.map_or(0, |sl| s.schedule.slot_last_raw(sl));
+        let mut cur_ub = s.schedule.item_ub();
+        let mut rf_slots = Vec::with_capacity(ops.len());
+        for (i, op) in ops.iter().enumerate() {
+            let idx = op.item.index();
+            let delta = SeqDelta {
+                new_slot: existing.is_none() && i == 0,
+                prev_item_ub: cur_ub,
+                prev_last_write: s.last_write.get(idx).copied().unwrap_or(NO_POS),
+                prev_slot_last: if i == 0 {
+                    pre_slot_last
+                } else {
+                    (p0 + i - 1) as u32
+                },
+            };
+            cur_ub = cur_ub.max(idx + 1);
+            let rf = if op.is_write() {
+                if s.last_write.len() <= idx {
+                    s.last_write.resize(idx + 1, NO_POS);
+                }
+                s.last_write[idx] = (p0 + i) as u32;
+                None
+            } else {
+                let w = s.last_write.get(idx).copied().unwrap_or(NO_POS);
+                (w != NO_POS && w as usize >= base)
+                    .then(|| s.schedule.slot_of_op(OpIndex(w as usize)))
+            };
+            rf_slots.push(rf);
+            if self.logging {
+                s.log.record(delta);
+            }
+        }
+        let slot = s.schedule.push_segment_unchecked(ops);
+        if slot == s.first_op.len() {
+            s.first_op.push(p0 as u32);
+        }
+        let g0 = s.gticket;
+        s.gticket += ops.len() as u32;
+        for (k, entries) in by_shard.iter_mut().enumerate() {
+            for entry in entries.iter_mut() {
+                entry.1 = s.tickets[k];
+                s.tickets[k] += 1;
+            }
+        }
+        (p0, slot, rf_slots, g0)
+    }
+
     /// Stage 1 under the (held) sequence lock: append, maintain the
-    /// order tables, claim tickets, journal the sequence half.
+    /// order tables, claim tickets, record the sequence-half undo
+    /// delta. The caller has already reported the append to the
+    /// durability journal (hoisted so the batch path can report one
+    /// framed multi-op record instead of per-op calls).
     fn stage_seq(
         &self,
         s: &mut SeqState,
@@ -724,9 +991,6 @@ impl ShardedMonitor {
             prev_slot_last: existing.map_or(0, |sl| s.schedule.slot_last_raw(sl)),
         };
         let p = OpIndex(s.schedule.len());
-        if let Some(journal) = s.journal.as_deref_mut() {
-            journal.appended(&op);
-        }
         s.schedule.push_op_unchecked(op);
         let slot = s.schedule.slot_of_op(p);
         if slot == s.first_op.len() {
@@ -819,6 +1083,20 @@ impl ShardedMonitor {
     /// conjunct's first cycle.
     fn stage_shard(&self, k: usize, slot: usize, item: ItemId, is_write: bool, p: OpIndex) -> bool {
         let mut sh = self.shards[k].state.write();
+        self.stage_shard_locked(&mut sh, slot, item, is_write, p)
+    }
+
+    /// Stage 3's body against an already-locked shard — the batch path
+    /// holds one write lock per touched shard and runs its whole run
+    /// of in-scope operations through this, in ticket order.
+    fn stage_shard_locked(
+        &self,
+        sh: &mut ShardState,
+        slot: usize,
+        item: ItemId,
+        is_write: bool,
+        p: OpIndex,
+    ) -> bool {
         if self.logging {
             let d = sh.graph.apply_logged(slot, item.index(), is_write, p);
             sh.log.push((p.0 as u32, d));
@@ -1318,6 +1596,9 @@ impl ShardedMonitor {
             .filter(|(_, scope)| scope.contains(item))
             .map(|(k, _)| (k, 0))
             .collect();
+        if let Some(journal) = s.journal.as_deref_mut() {
+            journal.appended(&op);
+        }
         let (p, slot, rf_slot, gticket) = self.stage_seq(s, op, &mut turns);
         {
             let mut g = self.gstate.write();

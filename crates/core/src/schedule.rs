@@ -107,6 +107,38 @@ impl Schedule {
         self.ops.push(op);
     }
 
+    /// Append a contiguous **segment** of operations, all from one
+    /// transaction, paying the transaction-slot lookup and the
+    /// positional-table bookkeeping once for the whole run instead of
+    /// per operation. Returns the dense slot the segment landed in.
+    /// The caller holds the order-claiming lock, has §2.2-validated
+    /// the run, and guarantees `ops` is nonempty and single-txn; the
+    /// segment occupies positions `[len, len + ops.len())` exactly as
+    /// if pushed one by one, so `pop_op_unchecked` undoes its
+    /// operations individually in LIFO order unchanged.
+    pub(crate) fn push_segment_unchecked(&mut self, ops: &[Operation]) -> usize {
+        debug_assert!(!ops.is_empty());
+        debug_assert!(ops.iter().all(|o| o.txn == ops[0].txn));
+        let p0 = self.base + self.ops.len();
+        let slot = match self.slot_of.get(&ops[0].txn) {
+            Some(&s) => s,
+            None => {
+                let s = self.txns.len() as u32;
+                self.txns.push(ops[0].txn);
+                self.slot_of.insert(ops[0].txn, s);
+                self.slot_last.push(p0 as u32);
+                s
+            }
+        };
+        self.op_slot.extend(std::iter::repeat_n(slot, ops.len()));
+        self.slot_last[slot as usize] = (p0 + ops.len() - 1) as u32;
+        for o in ops {
+            self.item_ub = self.item_ub.max(o.item.index() + 1);
+        }
+        self.ops.extend_from_slice(ops);
+        slot as usize
+    }
+
     /// The position of slot `slot`'s last operation — the value a
     /// sequence-stage undo-log entry captures before a push displaces
     /// it.

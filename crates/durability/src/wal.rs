@@ -51,6 +51,11 @@ pub const FRAME_HEADER: usize = 8;
 pub enum WalRecord {
     /// An operation appended to the recorded schedule.
     Op(Operation),
+    /// A contiguous run of operations appended by one batch admission
+    /// (one frame, one checksum, one sync-policy tick for the whole
+    /// run). Replays exactly as the equivalent sequence of
+    /// [`WalRecord::Op`] records; never empty on the wire.
+    OpBatch(Vec<Operation>),
     /// The schedule was truncated to its first `n` operations.
     Truncate(u64),
     /// The retraction floor rose to `floor`.
@@ -63,6 +68,7 @@ const TAG_OP: u8 = 1;
 const TAG_TRUNCATE: u8 = 2;
 const TAG_FLOOR: u8 = 3;
 const TAG_RESET: u8 = 4;
+const TAG_OP_BATCH: u8 = 5;
 
 const VAL_INT: u8 = 0;
 const VAL_BOOL: u8 = 1;
@@ -146,6 +152,14 @@ impl WalRecord {
                 buf.push(TAG_OP);
                 encode_op_into(buf, op);
             }
+            WalRecord::OpBatch(ops) => {
+                // Op bodies are self-delimiting, so the batch needs no
+                // count prefix — decode consumes bodies to exhaustion.
+                buf.push(TAG_OP_BATCH);
+                for op in ops {
+                    encode_op_into(buf, op);
+                }
+            }
             WalRecord::Truncate(n) => {
                 buf.push(TAG_TRUNCATE);
                 buf.extend_from_slice(&n.to_le_bytes());
@@ -183,6 +197,16 @@ impl WalRecord {
             TAG_OP => {
                 let (op, used) = decode_op(body)?;
                 (used == body.len()).then_some(WalRecord::Op(op))
+            }
+            TAG_OP_BATCH => {
+                let mut ops = Vec::new();
+                let mut rest = body;
+                while !rest.is_empty() {
+                    let (op, used) = decode_op(rest)?;
+                    ops.push(op);
+                    rest = &rest[used..];
+                }
+                (!ops.is_empty()).then_some(WalRecord::OpBatch(ops))
             }
             TAG_TRUNCATE => (body.len() == 8)
                 .then(|| WalRecord::Truncate(u64::from_le_bytes(body.try_into().unwrap()))),
@@ -327,6 +351,12 @@ pub struct WalStats {
     pub dropped_records: u64,
     /// Faults the chaos plane fired inside this WAL.
     pub injected_faults: u64,
+    /// Multi-op [`WalRecord::OpBatch`] records appended.
+    pub batch_pushes: u64,
+    /// Operations carried inside those batch records.
+    pub batched_ops: u64,
+    /// Largest single batch appended.
+    pub max_batch: u64,
     /// True once the WAL degraded from its file sink to memory.
     pub degraded: bool,
 }
@@ -598,6 +628,25 @@ impl Wal {
     pub fn append_op(&mut self, op: &Operation) {
         // Cheap: `Operation` is a few words plus an `Arc<str>` bump.
         self.append(&WalRecord::Op(op.clone()));
+    }
+
+    /// Append a contiguous batch of operations as one framed
+    /// [`WalRecord::OpBatch`] record: one checksum, one sync-policy
+    /// tick, and one stats update for the whole run. Empty batches are
+    /// a no-op (the wire format forbids them); the batch counters only
+    /// advance when the record actually landed (not dropped by a
+    /// sticky I/O error).
+    pub fn append_batch(&mut self, ops: &[Operation]) {
+        if ops.is_empty() {
+            return;
+        }
+        let before = self.stats.appends;
+        self.append(&WalRecord::OpBatch(ops.to_vec()));
+        if self.stats.appends > before {
+            self.stats.batch_pushes += 1;
+            self.stats.batched_ops += ops.len() as u64;
+            self.stats.max_batch = self.stats.max_batch.max(ops.len() as u64);
+        }
     }
 
     /// Flush buffered bytes and force them to stable storage.
@@ -910,6 +959,10 @@ impl MonitorJournal for SharedWal {
         self.0.lock().append_op(op);
     }
 
+    fn appended_batch(&mut self, ops: &[Operation]) {
+        self.0.lock().append_batch(ops);
+    }
+
     fn truncated(&mut self, new_len: usize) {
         self.0.lock().append(&WalRecord::Truncate(new_len as u64));
     }
@@ -946,6 +999,11 @@ mod tests {
             WalRecord::Floor(1),
             WalRecord::Reset,
             WalRecord::Op(op(4, 5, false, Value::Str(Arc::from("")))),
+            WalRecord::OpBatch(vec![
+                op(5, 0, true, Value::Int(1)),
+                op(5, 1, false, Value::Bool(false)),
+                op(5, 2, true, Value::Str(Arc::from("batched"))),
+            ]),
         ]
     }
 
@@ -1021,6 +1079,68 @@ mod tests {
             );
             assert_eq!(s.records, records[..i], "byte={byte}");
         }
+    }
+
+    #[test]
+    fn batch_append_counts_and_roundtrips() {
+        let mut wal = Wal::in_memory(SyncPolicy::Batched(4));
+        let batch: Vec<Operation> = (0..3)
+            .map(|i| op(7, i, i % 2 == 0, Value::Int(i as i64)))
+            .collect();
+        wal.append_batch(&batch);
+        wal.append_batch(&[]);
+        wal.append_batch(&batch[..2]);
+        let stats = wal.stats();
+        // One framed record per non-empty batch; the empty batch is a
+        // no-op on both the wire and the counters.
+        assert_eq!(stats.appends, 2);
+        assert_eq!(stats.batch_pushes, 2);
+        assert_eq!(stats.batched_ops, 5);
+        assert_eq!(stats.max_batch, 3);
+        // Batched(4) counts records, not carried ops: two records are
+        // below the threshold, so no fsync yet.
+        assert_eq!(stats.fsyncs, 0);
+        let s = scan(wal.mem_bytes().unwrap());
+        assert_eq!(
+            s.records,
+            vec![
+                WalRecord::OpBatch(batch.clone()),
+                WalRecord::OpBatch(batch[..2].to_vec()),
+            ]
+        );
+        assert_eq!(s.corruption, None);
+    }
+
+    #[test]
+    fn empty_batch_payload_is_malformed() {
+        // An on-the-wire OpBatch with zero ops must not decode: the
+        // writer never produces one, so it can only be corruption.
+        let payload = vec![TAG_OP_BATCH];
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        let s = scan(&frame);
+        assert_eq!(s.records, vec![]);
+        assert!(matches!(
+            s.corruption,
+            Some(WalCorruption::MalformedPayload { at: 0 })
+        ));
+    }
+
+    #[test]
+    fn dropped_batch_leaves_counters_untouched() {
+        let plan = FaultPlan::new()
+            .on_wal(WalSite::Append, 0, WalFault::ShortWrite { keep: 1 })
+            .share();
+        let mut wal = Wal::in_memory(SyncPolicy::Off).with_faults(plan);
+        let batch = vec![op(1, 0, true, Value::Int(9))];
+        wal.append_batch(&batch);
+        let stats = wal.stats();
+        assert_eq!(stats.dropped_records, 1);
+        assert_eq!(stats.batch_pushes, 0);
+        assert_eq!(stats.batched_ops, 0);
+        assert_eq!(stats.max_batch, 0);
     }
 
     #[test]

@@ -267,13 +267,19 @@ pub fn run_threaded_certified(
                     .map(|&s| space_locks[s as usize].lock())
                     .collect();
                 let mut session = ProgramSession::new(program, catalog, txn);
-                let record = |op: Operation| -> Result<()> {
+                // Whole-transaction batching: per-space 2PL holds
+                // every conflicting transaction out for this one's
+                // entire lifetime, so deferring the monitor pushes to
+                // one program-ordered batch before lock release claims
+                // the same per-item operation orders as pushing
+                // op-by-op — while paying the pipeline's serial costs
+                // (seq mutex, global ticket, shard tickets) once.
+                let mut batch: Vec<Operation> = Vec::new();
+                let mut record = |op: Operation| {
                     if fast {
                         side.lock().push(op);
-                        Ok(())
                     } else {
-                        monitor.push(op)?;
-                        Ok(())
+                        batch.push(op);
                     }
                 };
                 loop {
@@ -285,16 +291,19 @@ pub fn run_threaded_certified(
                             // split by a conflicting access.
                             let v = db.read(item)?;
                             let op = session.feed_read(v)?;
-                            record(op)?;
+                            record(op);
                         }
                         Pending::Write(op) => {
                             db.write(op.item, op.value.clone());
-                            record(op)?;
+                            record(op);
                             session.advance_write()?;
                         }
                         Pending::Done => break,
                     }
                     std::thread::yield_now();
+                }
+                if !batch.is_empty() {
+                    monitor.push_batch(&batch)?;
                 }
                 drop(guards);
                 // Commit is final here (no aborts): declare the
@@ -443,6 +452,9 @@ struct OccMtCounters {
     txn_timeouts: AtomicU64,
     zombie_reaps: AtomicU64,
     worker_panics: AtomicU64,
+    batch_pushes: AtomicU64,
+    batched_ops: AtomicU64,
+    max_batch: AtomicU64,
 }
 
 /// Outcome of [`run_threaded_occ_certified`]: the committed schedule
@@ -754,6 +766,9 @@ pub fn run_threaded_occ_tuned(
         txn_timeouts: counters.txn_timeouts.load(Ordering::Relaxed),
         zombie_reaps: counters.zombie_reaps.load(Ordering::Relaxed),
         worker_panics: counters.worker_panics.load(Ordering::Relaxed),
+        batch_pushes: counters.batch_pushes.load(Ordering::Relaxed),
+        batched_ops: counters.batched_ops.load(Ordering::Relaxed),
+        max_batch: counters.max_batch.load(Ordering::Relaxed),
         ..Metrics::default()
     };
     // When one `FaultPlan` instruments both the executor and the WAL,
@@ -1225,17 +1240,49 @@ fn occ_attempt_inner(
         }
     };
 
+    // Pending-write buffer for the batched admission path. A write's
+    // monitor push can be deferred for as long as its dirty mark
+    // stands: no other transaction can read or write the item in that
+    // window (`with_clean_stripe` holds them out), so the claimed
+    // position is indistinguishable from an immediate push. Reads
+    // cannot be deferred — their claimed position must be under the
+    // same stripe latch as the value — so a read flushes the buffer
+    // plus itself as one amortized batch; the commit path flushes the
+    // remaining tail before the marks clear.
+    let mut deferred: Vec<Operation> = Vec::new();
+
     // Record one operation under the stripe latch. Fast path: append
     // to the side trace (same-item order still serialized by the
     // latch) and report "no breach" without consulting the monitor.
-    let record = |op: Operation| -> Result<Option<pwsr_core::monitor::sharded::PushOutcome>> {
+    // Monitored path: defer writes, batch-flush on reads; `Some`
+    // carries every outcome the flush produced (breach = any
+    // breaches).
+    let record = |op: Operation,
+                  deferred: &mut Vec<Operation>|
+     -> Result<Option<Vec<pwsr_core::monitor::sharded::PushOutcome>>> {
         match fast {
             Some(side) => {
                 side.lock().push(op);
                 counters.skipped_ops.fetch_add(1, Ordering::Relaxed);
                 Ok(None)
             }
-            None => Ok(Some(monitor.push_outcome(op)?)),
+            None if op.is_write() => {
+                deferred.push(op);
+                Ok(None)
+            }
+            None => {
+                deferred.push(op);
+                let outcomes = monitor.push_batch(deferred)?;
+                counters.batch_pushes.fetch_add(1, Ordering::Relaxed);
+                counters
+                    .batched_ops
+                    .fetch_add(deferred.len() as u64, Ordering::Relaxed);
+                counters
+                    .max_batch
+                    .fetch_max(deferred.len() as u64, Ordering::Relaxed);
+                deferred.clear();
+                Ok(Some(outcomes))
+            }
         }
     };
 
@@ -1290,7 +1337,7 @@ fn occ_attempt_inner(
                     }
                     let v = stripe.db.require(item)?.clone();
                     let op = session.feed_read(v)?;
-                    record(op)
+                    record(op, &mut deferred)
                 })?;
                 let Some(outcome) = outcome else {
                     abort(false);
@@ -1319,7 +1366,7 @@ fn occ_attempt_inner(
                     timeout_abort(true);
                     return Ok(AttemptEnd::Aborted);
                 }
-                if outcome.is_some_and(|o| o.breaches(ctx.level)) {
+                if outcome.is_some_and(|os| os.iter().any(|o| o.breaches(ctx.level))) {
                     abort(true);
                     return Ok(AttemptEnd::Aborted);
                 }
@@ -1332,7 +1379,7 @@ fn occ_attempt_inner(
                     }
                     let old = stripe.db.set(item, op.value.clone());
                     stripe.dirty.insert(item, txn);
-                    record(op.clone()).map(|o| (old, o))
+                    record(op.clone(), &mut deferred).map(|o| (old, o))
                 })?;
                 let Some((old, outcome)) = res else {
                     abort(false);
@@ -1393,7 +1440,7 @@ fn occ_attempt_inner(
                     timeout_abort(true);
                     return Ok(AttemptEnd::Aborted);
                 }
-                if outcome.is_some_and(|o| o.breaches(ctx.level)) {
+                if outcome.is_some_and(|os| os.iter().any(|o| o.breaches(ctx.level))) {
                     abort(true);
                     return Ok(AttemptEnd::Aborted);
                 }
@@ -1402,6 +1449,43 @@ fn occ_attempt_inner(
         }
         access += 1;
         std::thread::yield_now();
+    }
+    // Flush the deferred write tail before committing — under the
+    // slot lock, so the flush is atomic against a reaper's sweep
+    // (which takes the same lock): the flushed ops can never land
+    // after a retraction. The dirty marks still stand, so the claimed
+    // positions are indistinguishable from pushes at write time. A
+    // breach discovered here aborts the attempt like any other (the
+    // abort takes the slot lock itself, so flush and abort cannot
+    // hold it together).
+    let flushed = {
+        let slot = ctx.registry.slot(txn).lock();
+        if !matches!(slot.state, SlotState::Running) {
+            None
+        } else if deferred.is_empty() {
+            Some(Vec::new())
+        } else {
+            let outcomes = monitor.push_batch(&deferred)?;
+            counters.batch_pushes.fetch_add(1, Ordering::Relaxed);
+            counters
+                .batched_ops
+                .fetch_add(deferred.len() as u64, Ordering::Relaxed);
+            counters
+                .max_batch
+                .fetch_max(deferred.len() as u64, Ordering::Relaxed);
+            deferred.clear();
+            Some(outcomes)
+        }
+    };
+    let Some(outcomes) = flushed else {
+        // Reaped before the tail could flush: everything already
+        // rolled back (the unpushed tail never reached the monitor).
+        timeout_abort(true);
+        return Ok(AttemptEnd::Aborted);
+    };
+    if outcomes.iter().any(|o| o.breaches(ctx.level)) {
+        abort(true);
+        return Ok(AttemptEnd::Aborted);
     }
     // Commit: publish is already done — flip the slot to `Committed`
     // under its lock (a reap and a commit can race; the slot decides
@@ -1659,8 +1743,10 @@ mod tests {
                         out.final_state.get(cat.lookup("a1").unwrap()),
                         Some(&Value::Int(3))
                     );
-                    // Per-transaction program-order replay: writes are
-                    // claimed at execution time, not batched at commit.
+                    // Per-transaction program-order replay: the
+                    // batched claim defers writes, but every flush is
+                    // in program order, so each transaction's
+                    // subsequence of the schedule replays its program.
                     for (k, p) in programs.iter().enumerate() {
                         let txn = TxnId(k as u32 + 1);
                         let t = out.schedule.transaction(txn);
@@ -1674,6 +1760,12 @@ mod tests {
                     }
                     assert_eq!(last, out.verdict);
                     assert!(replay.certify_prefix());
+                    // Batched admission is the only monitored path:
+                    // every committed op rode in a batch, and a
+                    // read-plus-deferred-write flush reaches width 2.
+                    assert!(out.metrics.batch_pushes > 0);
+                    assert!(out.metrics.batched_ops >= out.metrics.committed_ops);
+                    assert!(out.metrics.max_batch >= 2);
                 }
             }
         }

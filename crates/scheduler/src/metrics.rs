@@ -67,6 +67,14 @@ pub struct Metrics {
     /// Worker panics contained by the executor (the panicking
     /// transaction died; the pool kept committing).
     pub worker_panics: u64,
+    /// Batch admissions: contiguous single-transaction runs pushed
+    /// through the monitor's amortized batch path.
+    pub batch_pushes: u64,
+    /// Operations carried inside those batch admissions (singleton
+    /// pushes are not counted here).
+    pub batched_ops: u64,
+    /// Largest single batch admitted.
+    pub max_batch: u64,
 }
 
 impl Metrics {
@@ -96,7 +104,7 @@ impl fmt::Display for Metrics {
             "steps={} ops={} waits={} deadlocks={} aborts={} restarts={} locks={} monrej={} \
              monresync={} monundo={} monfloor={} monskip={} occab={} occretry={} \
              walapp={} walbytes={} walsync={} walerr={} faults={} timeouts={} reaps={} \
-             panics={} goodput={:.3}",
+             panics={} batches={} batchops={} maxbatch={} goodput={:.3}",
             self.steps,
             self.committed_ops,
             self.waits,
@@ -119,6 +127,9 @@ impl fmt::Display for Metrics {
             self.txn_timeouts,
             self.zombie_reaps,
             self.worker_panics,
+            self.batch_pushes,
+            self.batched_ops,
+            self.max_batch,
             self.goodput()
         )
     }
@@ -155,6 +166,9 @@ mod tests {
             txn_timeouts: 2,
             zombie_reaps: 1,
             worker_panics: 1,
+            batch_pushes: 6,
+            batched_ops: 24,
+            max_batch: 8,
             ..Metrics::default()
         };
         let s = m.to_string();
@@ -164,5 +178,7 @@ mod tests {
         assert!(s.contains("walerr=1") && s.contains("faults=4"));
         assert!(s.contains("timeouts=2") && s.contains("reaps=1"));
         assert!(s.contains("panics=1"));
+        assert!(s.contains("batches=6") && s.contains("batchops=24"));
+        assert!(s.contains("maxbatch=8"));
     }
 }

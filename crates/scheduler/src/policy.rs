@@ -295,6 +295,21 @@ impl MonitorAdmission {
             .expect("executor traces satisfy the §2.2 transaction rules")
     }
 
+    /// Record a contiguous single-transaction run of admitted
+    /// operations: one framed WAL record, one atomically-validated
+    /// monitor batch. Per-op verdicts come back in program order —
+    /// identical to pushing the run op-by-op.
+    pub fn push_batch(&mut self, ops: &[Operation]) -> Vec<Verdict> {
+        if ops.is_empty() {
+            return Vec::new();
+        }
+        self.seen += ops.len();
+        self.journal(|w| w.append_batch(ops));
+        self.monitor
+            .push_batch_logged(ops)
+            .expect("executor traces satisfy the §2.2 transaction rules")
+    }
+
     /// Record one trace operation, routing it past the monitor when
     /// its transaction is certified. Returns `true` if the operation
     /// was actually pushed (monitored), `false` if skipped.

@@ -133,6 +133,12 @@ fn threaded_certified_wal_recovers_monitored_trace() {
             .durable(wal.clone());
         let (schedule, _, _) =
             run_threaded_certified(&programs(), &cat, &initial, &policy, scopes_of(&ic)).unwrap();
+        // Batched admission journals one framed multi-op record per
+        // transaction; the WAL's batch counters must say exactly that.
+        let ws = wal.stats();
+        assert_eq!(ws.batch_pushes, 4, "one OpBatch record per transaction");
+        assert_eq!(ws.batched_ops, schedule.len() as u64);
+        assert_eq!(ws.max_batch, 4, "T1/T3 carry four operations each");
         assert_recovery_matches(scopes_of(&ic), &wal, schedule.ops(), 0);
         let _ = std::fs::remove_file(&path);
     }
@@ -173,7 +179,15 @@ fn occ_tuned_parking_and_wal_survive_contention() {
             "all six increments must survive parking: {}",
             out.schedule
         );
-        assert!(out.metrics.wal_appends as usize >= out.schedule.len());
+        // Every committed op travelled inside a batch record (the OCC
+        // path defers writes and flushes reads with them), and abort
+        // retries only add batches — never singleton op records.
+        assert!(out.metrics.batch_pushes > 0);
+        assert!(out.metrics.batched_ops as usize >= out.schedule.len());
+        let ws = wal.stats();
+        assert!(ws.batch_pushes > 0);
+        assert!(ws.batched_ops >= out.schedule.len() as u64);
+        assert!(ws.max_batch >= 1);
         assert_recovery_matches(scopes_of(&ic), &wal, out.schedule.ops(), 0);
         let _ = std::fs::remove_file(&path);
     }
